@@ -1,0 +1,201 @@
+/// E8 ablations — micro-costs behind the paper's design decisions
+/// (DESIGN.md §5):
+///
+///  * always-on state tracking is "one assignment operation per state"
+///    (IV-C) vs. the rejected branch-checked alternative;
+///  * event dispatch with no registered callback costs one load+branch —
+///    the check ordering the paper stresses;
+///  * per-thread request queues vs. the rejected single global queue
+///    (IV-B contention claim);
+///  * try-lock-first wait detection keeps uncontended locks cheap (IV-C3);
+///  * fork/join latency with the collector off vs. armed.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "collector/dispatch.hpp"
+#include "collector/message.hpp"
+#include "collector/queue.hpp"
+#include "collector/registry.hpp"
+#include "runtime/ompc_api.h"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using orca::collector::MessageBuilder;
+using orca::collector::PendingRequest;
+using orca::collector::QueuePolicy;
+using orca::collector::Registry;
+using orca::collector::RequestQueues;
+
+// --- state tracking ----------------------------------------------------------
+
+void BM_StateSet_AlwaysTrack(benchmark::State& state) {
+  // The paper's choice: unconditionally store (one relaxed assignment).
+  std::atomic<int> slot{THR_SERIAL_STATE};
+  int v = THR_WORK_STATE;
+  for (auto _ : state) {
+    slot.store(v, std::memory_order_relaxed);
+    benchmark::DoNotOptimize(slot);
+    v = v == THR_WORK_STATE ? THR_IBAR_STATE : THR_WORK_STATE;
+  }
+}
+BENCHMARK(BM_StateSet_AlwaysTrack);
+
+void BM_StateSet_BranchChecked(benchmark::State& state) {
+  // The rejected alternative: check "is the collector initialized?" before
+  // every assignment ("which is not efficient if a program executes
+  // without using the OpenMP collector API", paper IV-C).
+  std::atomic<int> slot{THR_SERIAL_STATE};
+  std::atomic<bool> initialized{state.range(0) != 0};
+  int v = THR_WORK_STATE;
+  for (auto _ : state) {
+    if (initialized.load(std::memory_order_acquire)) {
+      slot.store(v, std::memory_order_relaxed);
+    }
+    benchmark::DoNotOptimize(slot);
+    v = v == THR_WORK_STATE ? THR_IBAR_STATE : THR_WORK_STATE;
+  }
+}
+BENCHMARK(BM_StateSet_BranchChecked)->Arg(0)->Arg(1);
+
+// --- event dispatch -----------------------------------------------------------
+
+std::atomic<std::uint64_t> g_event_sink{0};
+void sink_callback(OMP_COLLECTORAPI_EVENT) {
+  g_event_sink.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BM_EventFire_Unregistered(benchmark::State& state) {
+  Registry registry;  // not even started: first check (null callback) wins
+  for (auto _ : state) {
+    registry.fire(OMP_EVENT_FORK);
+  }
+}
+BENCHMARK(BM_EventFire_Unregistered);
+
+void BM_EventFire_Registered(benchmark::State& state) {
+  Registry registry;
+  registry.start();
+  registry.register_callback(OMP_EVENT_FORK, &sink_callback);
+  for (auto _ : state) {
+    registry.fire(OMP_EVENT_FORK);
+  }
+}
+BENCHMARK(BM_EventFire_Registered);
+
+void BM_EventFire_Paused(benchmark::State& state) {
+  Registry registry;
+  registry.start();
+  registry.register_callback(OMP_EVENT_FORK, &sink_callback);
+  registry.pause();
+  for (auto _ : state) {
+    registry.fire(OMP_EVENT_FORK);
+  }
+}
+BENCHMARK(BM_EventFire_Paused);
+
+// --- request queue policy (IV-B) ----------------------------------------------
+
+void BM_QueuePolicy(benchmark::State& state) {
+  const auto policy =
+      state.range(0) == 0 ? QueuePolicy::kPerThread : QueuePolicy::kGlobal;
+  static RequestQueues* queues = nullptr;
+  if (state.thread_index() == 0) {
+    queues = new RequestQueues(64, policy);
+  }
+  const auto slot = static_cast<std::size_t>(state.thread_index());
+  const std::vector<PendingRequest> batch = {PendingRequest{0},
+                                             PendingRequest{64}};
+  std::uint64_t drained = 0;
+  for (auto _ : state) {
+    queues->push_and_drain(slot, batch,
+                           [&](const PendingRequest&) { ++drained; });
+  }
+  benchmark::DoNotOptimize(drained);
+  if (state.thread_index() == 0) {
+    state.SetLabel(policy == QueuePolicy::kPerThread ? "per-thread queues"
+                                                     : "single global queue");
+  }
+}
+BENCHMARK(BM_QueuePolicy)->Arg(0)->Arg(1)->Threads(1)->Threads(4)->Threads(8);
+
+// --- collector API round trips --------------------------------------------------
+
+void BM_CollectorApi_StateQuery(benchmark::State& state) {
+  orca::rt::Runtime rt;
+  orca::rt::Runtime::make_current(&rt);
+  for (auto _ : state) {
+    MessageBuilder msg;
+    msg.add_state_query();
+    benchmark::DoNotOptimize(rt.collector_api(msg.buffer()));
+  }
+  orca::rt::Runtime::make_current(nullptr);
+}
+BENCHMARK(BM_CollectorApi_StateQuery);
+
+// --- locks: try-lock-first wait detection (IV-C3) -------------------------------
+
+void BM_UncontendedLock(benchmark::State& state) {
+  orca::rt::RuntimeConfig cfg;
+  cfg.num_threads = 1;
+  orca::rt::Runtime rt(cfg);
+  orca::rt::Runtime::make_current(&rt);
+  if (state.range(0) != 0) {
+    // Arm the collector: events registered, but an uncontended lock never
+    // fires them thanks to the try-lock fast path.
+    MessageBuilder msg;
+    msg.add(OMP_REQ_START);
+    msg.add_register(OMP_EVENT_THR_BEGIN_LKWT, &sink_callback);
+    msg.add_register(OMP_EVENT_THR_END_LKWT, &sink_callback);
+    rt.collector_api(msg.buffer());
+  }
+  omp_lock_t lock;
+  omp_init_lock(&lock);
+  for (auto _ : state) {
+    omp_set_lock(&lock);
+    omp_unset_lock(&lock);
+  }
+  omp_destroy_lock(&lock);
+  if (state.range(0) != 0) {
+    MessageBuilder stop;
+    stop.add(OMP_REQ_STOP);
+    rt.collector_api(stop.buffer());
+  }
+  orca::rt::Runtime::make_current(nullptr);
+}
+BENCHMARK(BM_UncontendedLock)->Arg(0)->Arg(1);
+
+// --- fork/join latency -----------------------------------------------------------
+
+void empty_region(int, void*) {}
+
+void BM_ForkJoin(benchmark::State& state) {
+  orca::rt::RuntimeConfig cfg;
+  cfg.num_threads = static_cast<int>(state.range(0));
+  orca::rt::Runtime rt(cfg);
+  orca::rt::Runtime::make_current(&rt);
+  if (state.range(1) != 0) {
+    MessageBuilder msg;
+    msg.add(OMP_REQ_START);
+    msg.add_register(OMP_EVENT_FORK, &sink_callback);
+    msg.add_register(OMP_EVENT_JOIN, &sink_callback);
+    rt.collector_api(msg.buffer());
+  }
+  for (auto _ : state) {
+    rt.fork(&empty_region, nullptr, 0);
+  }
+  state.SetLabel(state.range(1) != 0 ? "collector armed" : "collector off");
+  orca::rt::Runtime::make_current(nullptr);
+}
+BENCHMARK(BM_ForkJoin)
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+/// Figure 5 — "Overhead measurements for NPB3.2-OMP benchmarks."
+///
+/// Runs each NPB analog at 1/2/4/8 threads with the prototype collector
+/// detached vs. attached and reports the percentage runtime increase.
+/// Paper shape: LU-HP worst (~6% at 8 threads in the paper — it makes
+/// ~300k parallel region calls); most benchmarks < 5%; overheads grow with
+/// region-call count. Values < 1% print as 0, as in the paper.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strutil.hpp"
+#include "npb/kernels.hpp"
+#include "runtime/runtime.hpp"
+#include "tool/collector_tool.hpp"
+
+using orca::bench::flag_double;
+using orca::bench::flag_int;
+using orca::npb::BenchResult;
+using orca::npb::NpbOptions;
+
+namespace {
+
+double run_once(const std::string& name, int threads, double scale,
+                bool with_tool) {
+  orca::rt::RuntimeConfig cfg;
+  cfg.num_threads = threads;
+  orca::rt::Runtime rt(cfg);
+  orca::rt::Runtime::make_current(&rt);
+
+  auto& tool = orca::tool::PrototypeCollector::instance();
+  if (with_tool) {
+    tool.reset();
+    tool.attach(orca::tool::ToolOptions{});
+  }
+  NpbOptions opts;
+  opts.num_threads = threads;
+  opts.scale = scale;
+  // Short kernels repeat until enough wall time accumulates for a stable
+  // percentage (overhead differences are a few percent of the total).
+  constexpr double kMinSeconds = 0.25;
+  double total = 0;
+  int iters = 0;
+  do {
+    const BenchResult result = orca::npb::run_by_name(name, opts);
+    total += result.seconds;
+    ++iters;
+    if (with_tool) tool.reset();  // bound sample-store memory
+  } while (total < kMinSeconds);
+  if (with_tool) tool.detach();
+  orca::rt::Runtime::make_current(nullptr);
+  return total / iters;
+}
+
+/// Best-of-N wall time (minimum is robust on a shared/oversubscribed box;
+/// the paper reports std-dev < 2s across runs).
+double best_of(const std::string& name, int threads, double scale,
+               bool with_tool, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    best = std::min(best, run_once(name, threads, scale, with_tool));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = flag_double(argc, argv, "scale", 0.25);
+  const int reps = flag_int(argc, argv, "reps", 2);
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+
+  std::printf("Figure 5: NPB3.2-OMP analogs — %% runtime overhead with the "
+              "prototype collector attached\n");
+  std::printf("(scale=%.2f of the paper's region schedule, best of %d runs; "
+              "events: fork/join/ibar + join callstacks)\n\n",
+              scale, reps);
+
+  orca::TextTable table({"benchmark", "1 thr %", "2 thr %", "4 thr %",
+                         "8 thr %", "region calls", "off@4 s"});
+  for (const auto& target : orca::npb::table1_targets()) {
+    std::vector<std::string> row;
+    row.emplace_back(target.name);
+    double off4 = 0;
+    for (const int t : thread_counts) {
+      const double off = best_of(target.name, t, scale, false, reps);
+      const double on = best_of(target.name, t, scale, true, reps);
+      if (t == 4) off4 = off;
+      row.push_back(
+          orca::strfmt("%.1f", orca::bench::overhead_percent(off, on)));
+    }
+    row.push_back(orca::strfmt(
+        "%llu", static_cast<unsigned long long>(
+                    orca::npb::scaled_target(target.calls, scale))));
+    row.push_back(orca::strfmt("%.3f", off4));
+    table.add_row(row);
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\npaper shape: LU-HP highest (most region calls, ~6%% on 8 "
+              "threads); majority < 5%%; <1%% reported as zero.\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+/// Figure 6 — "Overhead measurements for NPB3.2-MZ-MPI benchmarks."
+///
+/// Runs the hybrid MZ analogs at the paper's process x thread splits
+/// (1x8, 2x4, 4x2, 8x1), collector detached vs. attached per rank, and
+/// reports the percentage runtime increase. Paper shape: SP-MZ worst
+/// (~16% at 1x8: >400k per-process region calls), halving as processes
+/// replace threads because per-process region calls halve.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strutil.hpp"
+#include "npb/multizone.hpp"
+#include "runtime/ompc_api.h"
+#include "tool/client.hpp"
+#include "tool/collector_tool.hpp"
+
+using orca::bench::flag_double;
+using orca::bench::flag_int;
+using orca::npb::MzOptions;
+using orca::npb::MzResult;
+
+namespace {
+
+struct Config {
+  int procs;
+  int threads;
+};
+
+double run_once(const std::string& name, Config config, double scale,
+                bool with_tool) {
+  MzOptions opts;
+  opts.procs = config.procs;
+  opts.threads_per_proc = config.threads;
+  opts.scale = scale;
+
+  auto& tool = orca::tool::PrototypeCollector::instance();
+  if (with_tool) {
+    tool.reset();
+    tool.configure(orca::tool::ToolOptions{});
+    // Like an LD_PRELOAD'ed tool initializing inside each MPI process:
+    // every rank STARTs its own runtime's collector and registers the
+    // fork/join/ibar callbacks there.
+    opts.rank_begin = [](int) {
+      orca::tool::CollectorClient client(&__omp_collector_api);
+      client.start();
+      for (const auto event :
+           {OMP_EVENT_FORK, OMP_EVENT_JOIN, OMP_EVENT_THR_BEGIN_IBAR,
+            OMP_EVENT_THR_END_IBAR}) {
+        client.register_event(
+            event, orca::tool::PrototypeCollector::raw_callback());
+      }
+    };
+    opts.rank_end = [](int) {
+      orca::tool::CollectorClient client(&__omp_collector_api);
+      client.stop();
+    };
+  }
+  // Repeat until enough wall time accumulates for a stable percentage.
+  constexpr double kMinSeconds = 0.25;
+  double total = 0;
+  int iters = 0;
+  do {
+    const MzResult result = orca::npb::run_mz_by_name(name, opts);
+    total += result.seconds;
+    ++iters;
+    if (with_tool) tool.reset();
+  } while (total < kMinSeconds);
+  return total / iters;
+}
+
+double best_of(const std::string& name, Config config, double scale,
+               bool with_tool, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    best = std::min(best, run_once(name, config, scale, with_tool));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = flag_double(argc, argv, "scale", 0.10);
+  const int reps = flag_int(argc, argv, "reps", 2);
+  const std::vector<Config> configs = {{1, 8}, {2, 4}, {4, 2}, {8, 1}};
+
+  std::printf("Figure 6: NPB3.2-MZ analogs over MiniMPI — %% runtime "
+              "overhead with a per-rank collector attached\n");
+  std::printf("(scale=%.2f of the paper's region schedule, best of %d "
+              "runs)\n\n",
+              scale, reps);
+
+  orca::TextTable table({"benchmark", "1x8 %", "2x4 %", "4x2 %", "8x1 %",
+                         "us/call 1x8", "us/call 8x1", "calls/proc @1x8"});
+  for (const auto& target : orca::npb::table2_targets()) {
+    std::vector<std::string> row;
+    row.emplace_back(target.name);
+    std::vector<double> us_per_call;
+    for (const Config& c : configs) {
+      const double off = best_of(target.name, c, scale, false, reps);
+      const double on = best_of(target.name, c, scale, true, reps);
+      row.push_back(
+          orca::strfmt("%.1f", orca::bench::overhead_percent(off, on)));
+      // Absolute collection cost per region call: the thread-count trend
+      // the paper's percentages reflect (events per region ~ 2 + 2T), made
+      // visible independently of the off-arm's oversubscription cost.
+      const double total_calls =
+          static_cast<double>(orca::npb::scaled_target(
+              orca::npb::table2_target(target.name, c.procs), scale)) *
+          c.procs;
+      us_per_call.push_back((on - off) / total_calls * 1e6);
+    }
+    row.push_back(orca::strfmt("%.2f", us_per_call.front()));
+    row.push_back(orca::strfmt("%.2f", us_per_call.back()));
+    row.push_back(orca::strfmt(
+        "%llu", static_cast<unsigned long long>(orca::npb::scaled_target(
+                    orca::npb::table2_target(target.name, 1), scale))));
+    table.add_row(row);
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\npaper shape: SP-MZ worst, overhead tracking per-process region "
+      "calls. NOTE: on a single-core host the %% columns invert across "
+      "configurations because the *baseline* cost of thread-heavy configs "
+      "(1x8) is dominated by oversubscribed fork/join, which the paper's "
+      "8-core testbed did not pay; the per-region-call collection cost "
+      "(us/call) falls from 1x8 to 8x1 — the same direction, for the "
+      "paper's reason (events per region shrink with the thread count).\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+/// Table I — "Number of parallel regions for the NPB3.2-OMP benchmarks."
+///
+/// Runs every analog at full scale on one thread (region counts are
+/// thread-independent) and prints measured vs. paper values for both the
+/// static region inventory and the dynamic invocation count.
+#include <cstdio>
+
+#include "common/strutil.hpp"
+#include "npb/kernels.hpp"
+#include "runtime/runtime.hpp"
+
+int main() {
+  std::printf("Table I: number of parallel regions / region calls, "
+              "NPB3.2-OMP analogs (full scale)\n\n");
+
+  orca::TextTable table({"benchmark", "# parallel regions", "paper",
+                         "# region calls", "paper", "match"});
+  bool all_match = true;
+  for (const auto& target : orca::npb::table1_targets()) {
+    orca::rt::RuntimeConfig cfg;
+    cfg.num_threads = 1;
+    orca::rt::Runtime rt(cfg);
+    orca::rt::Runtime::make_current(&rt);
+    orca::npb::NpbOptions opts;
+    opts.num_threads = 1;
+    opts.scale = 1.0;
+    const auto result = orca::npb::run_by_name(target.name, opts);
+    orca::rt::Runtime::make_current(nullptr);
+
+    const bool match = result.region_calls == target.calls &&
+                       result.distinct_regions == target.regions;
+    all_match = all_match && match;
+    table.add_row({target.name, orca::strfmt("%zu", result.distinct_regions),
+                   orca::strfmt("%zu", target.regions),
+                   orca::strfmt("%llu", static_cast<unsigned long long>(
+                                            result.region_calls)),
+                   orca::strfmt("%llu", static_cast<unsigned long long>(
+                                            target.calls)),
+                   match ? "yes" : "NO"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\n%s\n", all_match ? "all rows match the paper's Table I"
+                                  : "MISMATCH against the paper's Table I");
+  return all_match ? 0 : 1;
+}

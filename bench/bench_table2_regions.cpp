@@ -1,0 +1,53 @@
+/// Table II — "Number of parallel region calls for the NPB3.2-MZ-MPI
+/// benchmarks (process x thread)."
+///
+/// Runs the three MZ analogs at every process split at full scale (one
+/// OpenMP thread per rank: call counts are thread-independent) and prints
+/// the measured per-process region calls against the paper's values.
+#include <cstdio>
+#include <vector>
+
+#include "common/strutil.hpp"
+#include "npb/multizone.hpp"
+
+int main() {
+  std::printf("Table II: parallel region calls per process, NPB3.2-MZ "
+              "analogs (full scale; columns are process counts from the "
+              "paper's P x T splits)\n\n");
+
+  const std::vector<int> proc_counts = {1, 2, 4, 8};
+  orca::TextTable table({"benchmark", "1 X 8", "2 X 4", "4 X 2", "8 X 1",
+                         "paper row", "match"});
+  bool all_match = true;
+  for (const auto& target : orca::npb::table2_targets()) {
+    std::vector<std::string> row;
+    row.emplace_back(target.name);
+    bool match = true;
+    for (const int procs : proc_counts) {
+      orca::npb::MzOptions opts;
+      opts.procs = procs;
+      opts.threads_per_proc = 1;
+      opts.scale = 1.0;
+      const auto result = orca::npb::run_mz_by_name(target.name, opts);
+      const std::uint64_t paper =
+          orca::npb::table2_target(target.name, procs);
+      match = match && result.max_rank_calls == paper;
+      row.push_back(orca::strfmt(
+          "%llu", static_cast<unsigned long long>(result.max_rank_calls)));
+    }
+    std::string paper_row;
+    for (const int procs : proc_counts) {
+      paper_row += orca::strfmt(
+          "%llu ", static_cast<unsigned long long>(
+                       orca::npb::table2_target(target.name, procs)));
+    }
+    row.push_back(paper_row);
+    row.push_back(match ? "yes" : "NO");
+    all_match = all_match && match;
+    table.add_row(row);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\n%s\n", all_match ? "all rows match the paper's Table II"
+                                  : "MISMATCH against the paper's Table II");
+  return all_match ? 0 : 1;
+}

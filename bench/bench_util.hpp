@@ -1,0 +1,44 @@
+/// \file bench_util.hpp
+/// Small shared helpers for the figure/table bench drivers: flag parsing
+/// ("--key=value") and best-of-N timing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace orca::bench {
+
+/// Parse "--name=value" from argv; falls back to `fallback`.
+inline double flag_double(int argc, char** argv, const char* name,
+                          double fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+inline int flag_int(int argc, char** argv, const char* name, int fallback) {
+  return static_cast<int>(
+      flag_double(argc, argv, name, static_cast<double>(fallback)));
+}
+
+/// Percentage increase of `with` over `without`, clamped at 0 like the
+/// paper ("outlier cases, where we observed overhead values of less than
+/// 1%, are listed as zero overhead").
+inline double overhead_percent(double without, double with) {
+  if (without <= 0) return 0;
+  const double pct = (with - without) / without * 100.0;
+  return pct < 1.0 ? 0.0 : pct;
+}
+
+/// Raw (unclamped) percentage, for detail columns.
+inline double overhead_percent_raw(double without, double with) {
+  return without > 0 ? (with - without) / without * 100.0 : 0;
+}
+
+}  // namespace orca::bench

@@ -1,0 +1,89 @@
+/// Figure 3 — "Example of a sequence of requests made by collector to
+/// OpenMP runtime."
+///
+/// Plays out the collector<->runtime conversation the paper's Figure 3
+/// sketches — dlsym probe, OMP_REQ_START (twice, to show the out-of-sync
+/// error), event registration, state and region-id queries from inside a
+/// region, PAUSE/RESUME, OMP_REQ_STOP — and finally prints the ordered
+/// event trace the runtime generated in between.
+#include <cstdio>
+
+#include "collector/names.hpp"
+#include "runtime/ompc_api.h"
+#include "tool/client.hpp"
+#include "tool/tracer.hpp"
+#include "translate/omp.hpp"
+
+namespace {
+
+void show(const char* request, OMP_COLLECTORAPI_EC ec) {
+  std::printf("  collector -> runtime : %-22s | reply: %s\n", request,
+              std::string(orca::collector::to_string(ec)).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 3: collector / OpenMP runtime interaction sequence\n\n");
+
+  auto probe = orca::tool::CollectorClient::discover();
+  if (!probe) {
+    std::fprintf(stderr, "dlsym(\"__omp_collector_api\") failed\n");
+    return 1;
+  }
+  std::printf("  collector: found __omp_collector_api via the dynamic "
+              "linker\n");
+
+  // The tracer performs START and registers every event the runtime
+  // supports (the optional atomic-wait events come back UNSUPPORTED with
+  // the default OpenUH-like configuration).
+  auto& tracer = orca::tool::TracingCollector::instance();
+  if (!tracer.attach()) {
+    std::fprintf(stderr, "tracer attach failed\n");
+    return 1;
+  }
+  show("OMP_REQ_START", OMP_ERRCODE_OK);
+  std::printf("  collector -> runtime : REGISTER fork/join/idle/barrier/"
+              "lock/critical/ordered/master/single events\n");
+  show("OMP_REQ_START (again)", probe->start());  // out of sync (IV-B)
+
+  // Workload: a parallel region with a barrier, a critical section, and a
+  // single block, plus ORA queries from the master thread mid-region.
+  orca::omp::parallel([&](int) {
+    if (omp_get_thread_num() == 0) {
+      const auto state = probe->query_state();
+      const auto current = probe->current_region_id();
+      const auto parent = probe->parent_region_id();
+      std::printf(
+          "  [inside region] state=%s current_prid=%lu parent_prid=%lu\n",
+          state ? std::string(orca::collector::to_string(state->state)).c_str()
+                : "?",
+          current.id, parent.id);
+    }
+    orca::omp::barrier();
+    orca::omp::critical([] {});
+    orca::omp::single([] {});
+  }, 2);
+
+  show("OMP_REQ_PAUSE", probe->pause());
+  const std::size_t before = tracer.log().size();
+  orca::omp::parallel([](int) {}, 2);  // generates no events while paused
+  const std::size_t after = tracer.log().size();
+  std::printf("  [paused] events during paused region: %zu\n",
+              after - before);
+  show("OMP_REQ_RESUME", probe->resume());
+
+  orca::omp::parallel([](int) {}, 2);
+
+  // Out-of-region queries: id 0 + sequence error (paper IV-E).
+  const auto outside = probe->current_region_id();
+  std::printf("  [outside region] current_prid=%lu reply=%s\n", outside.id,
+              std::string(orca::collector::to_string(outside.errcode)).c_str());
+
+  tracer.detach();
+  show("OMP_REQ_STOP", OMP_ERRCODE_OK);
+
+  std::printf("\nevent trace (runtime -> collector callbacks):\n%s",
+              tracer.render().c_str());
+  return 0;
+}

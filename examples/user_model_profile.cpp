@@ -1,0 +1,76 @@
+/// User-model callstack profiling (paper Sec. IV-F).
+///
+/// A small "application" with three parallel regions buried in a call
+/// hierarchy runs under the prototype collector with join-time callstack
+/// recording. The offline pass reconstructs the *user model*: runtime and
+/// collector frames are stripped, and each sample is labelled with the
+/// pragma's own source coordinates (via the region registry, ORCA's
+/// stand-in for compiler debug info + BFD).
+#include <cstdio>
+
+#include "tool/collector_tool.hpp"
+#include "translate/omp.hpp"
+
+namespace app {
+
+double grid[1024];
+
+void smooth_step() {
+  // Region A: a stencil smoothing pass.
+  orca::omp::parallel_for(1, 1022, [](long long i) {
+    grid[i] = 0.25 * grid[i - 1] + 0.5 * grid[i] + 0.25 * grid[i + 1];
+  });
+}
+
+double residual_norm() {
+  // Region B: a reduction.
+  return orca::omp::parallel_reduce(
+      0, 1023, 0.0, [](double a, double b) { return a + b; },
+      [](long long i) { return grid[i] * grid[i]; });
+}
+
+void boundary_fix() {
+  // Region C: a tiny fix-up region.
+  orca::omp::parallel([](int) {
+    orca::omp::single([] {
+      grid[0] = grid[1];
+      grid[1023] = grid[1022];
+    });
+  });
+}
+
+void solver() {
+  for (int step = 0; step < 20; ++step) {
+    smooth_step();
+    boundary_fix();
+  }
+}
+
+}  // namespace app
+
+int main() {
+  orca::tool::ToolOptions opts;
+  opts.record_callstacks = true;
+  // The ORCA extension tags each join sample with the region's outlined
+  // procedure, giving the offline pass exact pragma coordinates.
+  opts.use_region_fn_extension = true;
+
+  auto& tool = orca::tool::PrototypeCollector::instance();
+  if (!tool.attach(opts)) {
+    std::fprintf(stderr, "no ORA-capable runtime found\n");
+    return 1;
+  }
+
+  for (double& v : app::grid) v = 1.0;
+  app::solver();
+  const double norm = app::residual_norm();
+
+  tool.detach();
+  const orca::tool::Report report = tool.finalize();
+  std::printf("residual norm: %.6f\n\n%s\n", norm, report.render().c_str());
+
+  std::printf("note: each profile entry's innermost frame is the pragma "
+              "location (file:line of the parallel construct), not the "
+              "compiler's outlined __ompdo_* procedure — the user model.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "collector/dispatch.hpp"
+
+#include <vector>
+
+#include "collector/message.hpp"
+
+namespace orca::collector {
+namespace {
+
+/// Answer a single non-lifecycle request record in place.
+void answer(Registry& registry, const Providers& providers,
+            MessageCursor cursor) {
+  omp_collector_message* rec = cursor.record();
+  switch (rec->r_req) {
+    case OMP_REQ_REGISTER: {
+      int event = 0;
+      OMP_COLLECTORAPI_CALLBACK cb = nullptr;
+      if (!cursor.read_payload(&event, sizeof(event)) ||
+          !cursor.read_payload(&cb, sizeof(cb), sizeof(event))) {
+        rec->r_errcode = OMP_ERRCODE_MEM_TOO_SMALL;
+        return;
+      }
+      rec->r_errcode = registry.register_callback(
+          static_cast<OMP_COLLECTORAPI_EVENT>(event), cb);
+      return;
+    }
+    case OMP_REQ_UNREGISTER: {
+      int event = 0;
+      if (!cursor.read_payload(&event, sizeof(event))) {
+        rec->r_errcode = OMP_ERRCODE_MEM_TOO_SMALL;
+        return;
+      }
+      rec->r_errcode = registry.unregister_callback(
+          static_cast<OMP_COLLECTORAPI_EVENT>(event));
+      return;
+    }
+    case OMP_REQ_STATE: {
+      // States are queryable at any point of execution, even before START
+      // (paper IV-D: "we made sure that this type of request could be
+      // requested at any given point during the execution").
+      unsigned long wait_id = 0;
+      const OMP_COLLECTOR_API_THR_STATE state =
+          providers.state(providers.ctx, &wait_id);
+      const int state_value = static_cast<int>(state);
+      if (!cursor.write_reply(&state_value, sizeof(state_value))) return;
+      switch (state) {
+        case THR_IBAR_STATE:
+        case THR_EBAR_STATE:
+        case THR_LKWT_STATE:
+        case THR_CTWT_STATE:
+        case THR_ODWT_STATE:
+        case THR_ATWT_STATE:
+          // Wait states return their wait id after the state value
+          // (paper IV-D: "we return the value of a barrier ID or lock ID
+          // after the event type in the mem section").
+          if (!cursor.write_reply(&wait_id, sizeof(wait_id),
+                                  sizeof(state_value))) {
+            return;
+          }
+          break;
+        default:
+          break;
+      }
+      rec->r_errcode = OMP_ERRCODE_OK;
+      return;
+    }
+    case OMP_REQ_CURRENT_PRID: {
+      unsigned long id = 0;
+      const OMP_COLLECTORAPI_EC ec = providers.current_prid(providers.ctx, &id);
+      if (!cursor.write_reply(&id, sizeof(id))) return;
+      rec->r_errcode = ec;
+      return;
+    }
+    case OMP_REQ_PARENT_PRID: {
+      unsigned long id = 0;
+      const OMP_COLLECTORAPI_EC ec = providers.parent_prid(providers.ctx, &id);
+      if (!cursor.write_reply(&id, sizeof(id))) return;
+      rec->r_errcode = ec;
+      return;
+    }
+    default:
+      rec->r_errcode = OMP_ERRCODE_UNKNOWN;
+      return;
+  }
+}
+
+}  // namespace
+
+int process_messages(Registry& registry, RequestQueues& queues,
+                     const Providers& providers, void* arg) {
+  if (arg == nullptr) return -1;
+
+  // First pass: walk the records, answer lifecycle requests inline (they
+  // gate whether the queues exist at all), collect the rest for queueing.
+  std::vector<PendingRequest> pending;
+  std::size_t offset = 0;
+  MessageCursor cursor(arg);
+  bool saw_any = false;
+  while (!cursor.at_terminator()) {
+    if (!cursor.valid()) return -1;  // malformed: sz smaller than header
+    omp_collector_message* rec = cursor.record();
+    switch (rec->r_req) {
+      case OMP_REQ_START:
+        rec->r_errcode = registry.start();
+        break;
+      case OMP_REQ_STOP:
+        rec->r_errcode = registry.stop();
+        break;
+      case OMP_REQ_PAUSE:
+        rec->r_errcode = registry.pause();
+        break;
+      case OMP_REQ_RESUME:
+        rec->r_errcode = registry.resume();
+        break;
+      default:
+        pending.push_back(PendingRequest{offset});
+        break;
+    }
+    offset += static_cast<std::size_t>(rec->sz);
+    cursor.advance();
+    saw_any = true;
+  }
+  (void)saw_any;
+
+  if (pending.empty()) return 0;
+
+  // Second pass: route the remaining requests through the calling thread's
+  // queue (paper IV-B), answering each as it is drained.
+  const std::size_t slot = providers.queue_slot(providers.ctx);
+  char* base = static_cast<char*>(arg);
+  queues.push_and_drain(slot, pending, [&](const PendingRequest& req) {
+    answer(registry, providers, MessageCursor(base + req.record_offset));
+  });
+  return 0;
+}
+
+}  // namespace collector

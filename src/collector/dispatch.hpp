@@ -1,0 +1,50 @@
+/// \file dispatch.hpp
+/// The ORA request processor: parses a request buffer, routes each record
+/// through the thread's request queue, and answers it against the registry
+/// and the runtime-supplied state/region-id providers.
+///
+/// This module is runtime-agnostic: the OpenMP runtime injects the pieces
+/// only it knows (the calling thread's state and wait id, the current and
+/// parent parallel region ids, the thread's queue slot) through `Providers`.
+/// That inversion keeps the sanctioned-interface logic reusable and
+/// testable without a live thread team.
+#pragma once
+
+#include "collector/api.h"
+#include "collector/queue.hpp"
+#include "collector/registry.hpp"
+
+namespace orca::collector {
+
+/// Hooks the runtime supplies so the dispatcher can answer queries about
+/// the *calling* thread. All functions must be callable from any thread.
+struct Providers {
+  /// Current state of the calling thread; for wait states, `*wait_id` must
+  /// be set to the thread's matching wait id (barrier id, lock id, ...).
+  OMP_COLLECTOR_API_THR_STATE (*state)(void* ctx, unsigned long* wait_id);
+
+  /// Current parallel region id. Returns OMP_ERRCODE_SEQUENCE_ERR (with
+  /// *id = 0) when the calling thread is not inside a parallel region.
+  OMP_COLLECTORAPI_EC (*current_prid)(void* ctx, unsigned long* id);
+
+  /// Parent parallel region id, same out-of-region convention.
+  OMP_COLLECTORAPI_EC (*parent_prid)(void* ctx, unsigned long* id);
+
+  /// Queue slot of the calling thread (its OpenMP global thread id, or 0
+  /// for threads unknown to the runtime).
+  std::size_t (*queue_slot)(void* ctx);
+
+  void* ctx = nullptr;
+};
+
+/// Process one request buffer (`arg` as handed to `__omp_collector_api`).
+///
+/// Returns 0 when the buffer was well-formed (individual records still
+/// carry per-record error codes), -1 when `arg` is null or the first
+/// record is malformed. Lifecycle requests (START/STOP/PAUSE/RESUME) are
+/// handled inline; every other request is routed through the calling
+/// thread's request queue exactly as the paper describes.
+int process_messages(Registry& registry, RequestQueues& queues,
+                     const Providers& providers, void* arg);
+
+}  // namespace orca::collector

@@ -1,0 +1,162 @@
+#include "collector/message.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace orca::collector {
+namespace {
+
+/// Round record sizes up so successive records stay pointer-aligned; the
+/// header stores ints and mem[] may carry function pointers.
+constexpr std::size_t align_up(std::size_t n) noexcept {
+  return (n + alignof(void*) - 1) & ~(alignof(void*) - 1);
+}
+
+}  // namespace
+
+std::size_t MessageBuilder::append_record(OMP_COLLECTORAPI_REQUEST req,
+                                          const void* payload,
+                                          std::size_t payload_size,
+                                          std::size_t capacity) {
+  if (terminated_) {
+    bytes_.resize(bytes_.size() - kRecordHeaderSize);
+    terminated_ = false;
+  }
+  const std::size_t mem_size = std::max(payload_size, capacity);
+  const std::size_t total = align_up(record_size(mem_size));
+  const std::size_t offset = bytes_.size();
+  bytes_.resize(offset + total, 0);
+
+  omp_collector_message header{};
+  header.sz = static_cast<int>(total);
+  header.r_req = req;
+  header.r_errcode = OMP_ERRCODE_OK;
+  header.r_sz = 0;
+  std::memcpy(bytes_.data() + offset, &header, kRecordHeaderSize);
+  if (payload != nullptr && payload_size > 0) {
+    std::memcpy(bytes_.data() + offset + kRecordHeaderSize, payload,
+                payload_size);
+  }
+  offsets_.push_back(offset);
+  return offsets_.size() - 1;
+}
+
+std::size_t MessageBuilder::add(OMP_COLLECTORAPI_REQUEST req,
+                                std::size_t reply_capacity) {
+  return append_record(req, nullptr, 0, reply_capacity);
+}
+
+std::size_t MessageBuilder::add_register(OMP_COLLECTORAPI_EVENT event,
+                                         OMP_COLLECTORAPI_CALLBACK cb) {
+  char payload[sizeof(int) + sizeof(OMP_COLLECTORAPI_CALLBACK)];
+  const int ev = static_cast<int>(event);
+  std::memcpy(payload, &ev, sizeof(int));
+  std::memcpy(payload + sizeof(int), &cb, sizeof(cb));
+  return append_record(OMP_REQ_REGISTER, payload, sizeof(payload), 0);
+}
+
+std::size_t MessageBuilder::add_unregister(OMP_COLLECTORAPI_EVENT event) {
+  const int ev = static_cast<int>(event);
+  return append_record(OMP_REQ_UNREGISTER, &ev, sizeof(ev), 0);
+}
+
+std::size_t MessageBuilder::add_state_query() {
+  // Reply: int state, then (for wait states) an unsigned long wait id.
+  return append_record(OMP_REQ_STATE, nullptr, 0,
+                       sizeof(int) + sizeof(unsigned long));
+}
+
+std::size_t MessageBuilder::add_id_query(OMP_COLLECTORAPI_REQUEST req) {
+  assert(req == OMP_REQ_CURRENT_PRID || req == OMP_REQ_PARENT_PRID);
+  return append_record(req, nullptr, 0, sizeof(unsigned long));
+}
+
+void* MessageBuilder::buffer() {
+  if (!terminated_) {
+    const std::size_t offset = bytes_.size();
+    bytes_.resize(offset + kRecordHeaderSize, 0);  // sz == 0 terminator
+    terminated_ = true;
+  }
+  return bytes_.data();
+}
+
+char* MessageBuilder::record_at(std::size_t index) {
+  return bytes_.data() + offsets_.at(index);
+}
+
+const char* MessageBuilder::record_at(std::size_t index) const {
+  return bytes_.data() + offsets_.at(index);
+}
+
+OMP_COLLECTORAPI_EC MessageBuilder::errcode(std::size_t index) const {
+  omp_collector_message header{};
+  std::memcpy(&header, record_at(index), kRecordHeaderSize);
+  return header.r_errcode;
+}
+
+int MessageBuilder::reply_size(std::size_t index) const {
+  omp_collector_message header{};
+  std::memcpy(&header, record_at(index), kRecordHeaderSize);
+  return header.r_sz;
+}
+
+bool MessageBuilder::reply_bytes(std::size_t index, void* out,
+                                 std::size_t n) const {
+  omp_collector_message header{};
+  const char* rec = record_at(index);
+  std::memcpy(&header, rec, kRecordHeaderSize);
+  if (header.r_sz < 0 || static_cast<std::size_t>(header.r_sz) < n) return false;
+  std::memcpy(out, rec + kRecordHeaderSize, n);
+  return true;
+}
+
+bool MessageCursor::valid() const noexcept {
+  if (base_ == nullptr) return false;
+  omp_collector_message header{};
+  std::memcpy(&header, base_ + offset_, kRecordHeaderSize);
+  return header.sz >= static_cast<int>(kRecordHeaderSize);
+}
+
+bool MessageCursor::at_terminator() const noexcept {
+  if (base_ == nullptr) return true;
+  int sz = 0;
+  std::memcpy(&sz, base_ + offset_, sizeof(int));
+  return sz == 0;
+}
+
+std::size_t MessageCursor::payload_capacity() const noexcept {
+  omp_collector_message header{};
+  std::memcpy(&header, base_ + offset_, kRecordHeaderSize);
+  if (header.sz < static_cast<int>(kRecordHeaderSize)) return 0;
+  return static_cast<std::size_t>(header.sz) - kRecordHeaderSize;
+}
+
+bool MessageCursor::read_payload(void* out, std::size_t n,
+                                 std::size_t at) noexcept {
+  if (at + n > payload_capacity()) return false;
+  std::memcpy(out, base_ + offset_ + kRecordHeaderSize + at, n);
+  return true;
+}
+
+bool MessageCursor::write_reply(const void* data, std::size_t n,
+                                std::size_t at) noexcept {
+  omp_collector_message* rec = record();
+  if (at + n > payload_capacity()) {
+    rec->r_errcode = OMP_ERRCODE_MEM_TOO_SMALL;
+    return false;
+  }
+  std::memcpy(base_ + offset_ + kRecordHeaderSize + at, data, n);
+  rec->r_sz = std::max(rec->r_sz, static_cast<int>(at + n));
+  return true;
+}
+
+bool MessageCursor::advance() noexcept {
+  if (base_ == nullptr) return false;
+  omp_collector_message header{};
+  std::memcpy(&header, base_ + offset_, kRecordHeaderSize);
+  if (header.sz < static_cast<int>(kRecordHeaderSize)) return false;
+  offset_ += static_cast<std::size_t>(header.sz);
+  return true;
+}
+
+}  // namespace orca::collector

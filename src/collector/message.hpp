@@ -1,0 +1,125 @@
+/// \file message.hpp
+/// Construction and safe parsing of ORA request buffers.
+///
+/// The wire format (api.h) is a byte array of variable-size
+/// `omp_collector_message` records terminated by a record with `sz == 0`.
+/// `MessageBuilder` is the collector-side composer ("a collector [may] pass
+/// one or more requests" per call, paper Sec. IV); `MessageCursor` is the
+/// runtime-side bounds-checked walker.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <vector>
+
+#include "collector/api.h"
+
+namespace orca::collector {
+
+/// Size of the fixed record header preceding mem[].
+inline constexpr std::size_t kRecordHeaderSize =
+    offsetof(omp_collector_message, mem);
+
+/// Bytes needed for a record carrying `payload` bytes in mem[].
+constexpr std::size_t record_size(std::size_t payload) noexcept {
+  return kRecordHeaderSize + payload;
+}
+
+/// Collector-side request composer. Produces a self-terminated buffer that
+/// can be handed directly to `__omp_collector_api`. Reply fields
+/// (`r_errcode`, `r_sz`, reply payload) are read back through the accessors
+/// after the call.
+class MessageBuilder {
+ public:
+  /// Append a request with an empty payload but `reply_capacity` bytes of
+  /// mem[] reserved for the runtime's answer. Returns the record index.
+  std::size_t add(OMP_COLLECTORAPI_REQUEST req, std::size_t reply_capacity = 0);
+
+  /// Append OMP_REQ_REGISTER for `event` with callback `cb`.
+  std::size_t add_register(OMP_COLLECTORAPI_EVENT event,
+                           OMP_COLLECTORAPI_CALLBACK cb);
+
+  /// Append OMP_REQ_UNREGISTER for `event`.
+  std::size_t add_unregister(OMP_COLLECTORAPI_EVENT event);
+
+  /// Append OMP_REQ_STATE with room for state + wait id in the reply.
+  std::size_t add_state_query();
+
+  /// Append a region-id query (OMP_REQ_CURRENT_PRID / OMP_REQ_PARENT_PRID).
+  std::size_t add_id_query(OMP_COLLECTORAPI_REQUEST req);
+
+  /// Finalized buffer (appends the sz==0 terminator once). The pointer is
+  /// valid until the builder is mutated or destroyed.
+  void* buffer();
+
+  std::size_t count() const noexcept { return offsets_.size(); }
+
+  /// Per-record reply accessors (valid after the API call).
+  OMP_COLLECTORAPI_EC errcode(std::size_t index) const;
+  int reply_size(std::size_t index) const;
+
+  /// Copy `n` bytes of reply payload from record `index` into `out`.
+  /// Returns false when the record holds fewer than `n` reply bytes.
+  bool reply_bytes(std::size_t index, void* out, std::size_t n) const;
+
+  /// Typed helper: read a single POD value from the reply payload at
+  /// byte offset `at`.
+  template <typename T>
+  bool reply_value(std::size_t index, T* out, std::size_t at = 0) const {
+    std::vector<char> tmp(at + sizeof(T));
+    if (!reply_bytes(index, tmp.data(), tmp.size())) return false;
+    std::memcpy(out, tmp.data() + at, sizeof(T));
+    return true;
+  }
+
+ private:
+  char* record_at(std::size_t index);
+  const char* record_at(std::size_t index) const;
+  std::size_t append_record(OMP_COLLECTORAPI_REQUEST req, const void* payload,
+                            std::size_t payload_size, std::size_t capacity);
+
+  std::vector<char> bytes_;
+  std::vector<std::size_t> offsets_;
+  bool terminated_ = false;
+};
+
+/// Runtime-side walker over an incoming request buffer. Every access is
+/// bounds-checked against the declared record sizes so a malformed buffer
+/// cannot crash the runtime (it is rejected instead).
+class MessageCursor {
+ public:
+  explicit MessageCursor(void* raw) noexcept
+      : base_(static_cast<char*>(raw)) {}
+
+  /// True while positioned on a valid, non-terminator record.
+  bool valid() const noexcept;
+
+  /// True when the current record is the sz==0 terminator.
+  bool at_terminator() const noexcept;
+
+  omp_collector_message* record() noexcept {
+    return reinterpret_cast<omp_collector_message*>(base_ + offset_);
+  }
+
+  /// Payload capacity (mem[] bytes) of the current record; 0 when the
+  /// declared sz is smaller than the header (malformed).
+  std::size_t payload_capacity() const noexcept;
+
+  /// Copy `n` payload bytes at offset `at` into `out`; false if they do not
+  /// fit in the declared record size.
+  bool read_payload(void* out, std::size_t n, std::size_t at = 0) noexcept;
+
+  /// Write `n` reply bytes at offset `at`; sets r_sz high-water mark.
+  /// Returns false (and sets OMP_ERRCODE_MEM_TOO_SMALL) when they don't fit.
+  bool write_reply(const void* data, std::size_t n, std::size_t at = 0) noexcept;
+
+  /// Advance to the next record. False when the current record was the
+  /// terminator or malformed (sz < header size).
+  bool advance() noexcept;
+
+ private:
+  char* base_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace orca::collector

@@ -1,0 +1,138 @@
+#include "collector/names.hpp"
+
+namespace orca::collector {
+
+std::string_view to_string(OMP_COLLECTORAPI_REQUEST req) noexcept {
+  switch (req) {
+    case OMP_REQ_START: return "OMP_REQ_START";
+    case OMP_REQ_REGISTER: return "OMP_REQ_REGISTER";
+    case OMP_REQ_UNREGISTER: return "OMP_REQ_UNREGISTER";
+    case OMP_REQ_STATE: return "OMP_REQ_STATE";
+    case OMP_REQ_CURRENT_PRID: return "OMP_REQ_CURRENT_PRID";
+    case OMP_REQ_PARENT_PRID: return "OMP_REQ_PARENT_PRID";
+    case OMP_REQ_STOP: return "OMP_REQ_STOP";
+    case OMP_REQ_PAUSE: return "OMP_REQ_PAUSE";
+    case OMP_REQ_RESUME: return "OMP_REQ_RESUME";
+    case OMP_REQ_LAST: break;
+  }
+  return "?";
+}
+
+std::string_view to_string(OMP_COLLECTORAPI_EC ec) noexcept {
+  switch (ec) {
+    case OMP_ERRCODE_OK: return "OMP_ERRCODE_OK";
+    case OMP_ERRCODE_ERROR: return "OMP_ERRCODE_ERROR";
+    case OMP_ERRCODE_UNKNOWN: return "OMP_ERRCODE_UNKNOWN";
+    case OMP_ERRCODE_UNSUPPORTED: return "OMP_ERRCODE_UNSUPPORTED";
+    case OMP_ERRCODE_SEQUENCE_ERR: return "OMP_ERRCODE_SEQUENCE_ERR";
+    case OMP_ERRCODE_OBSOLETE: return "OMP_ERRCODE_OBSOLETE";
+    case OMP_ERRCODE_THREAD_ERR: return "OMP_ERRCODE_THREAD_ERR";
+    case OMP_ERRCODE_MEM_TOO_SMALL: return "OMP_ERRCODE_MEM_TOO_SMALL";
+  }
+  return "?";
+}
+
+std::string_view to_string(OMP_COLLECTORAPI_EVENT event) noexcept {
+  switch (event) {
+    case OMP_EVENT_FORK: return "OMP_EVENT_FORK";
+    case OMP_EVENT_JOIN: return "OMP_EVENT_JOIN";
+    case OMP_EVENT_THR_BEGIN_IDLE: return "OMP_EVENT_THR_BEGIN_IDLE";
+    case OMP_EVENT_THR_END_IDLE: return "OMP_EVENT_THR_END_IDLE";
+    case OMP_EVENT_THR_BEGIN_IBAR: return "OMP_EVENT_THR_BEGIN_IBAR";
+    case OMP_EVENT_THR_END_IBAR: return "OMP_EVENT_THR_END_IBAR";
+    case OMP_EVENT_THR_BEGIN_EBAR: return "OMP_EVENT_THR_BEGIN_EBAR";
+    case OMP_EVENT_THR_END_EBAR: return "OMP_EVENT_THR_END_EBAR";
+    case OMP_EVENT_THR_BEGIN_LKWT: return "OMP_EVENT_THR_BEGIN_LKWT";
+    case OMP_EVENT_THR_END_LKWT: return "OMP_EVENT_THR_END_LKWT";
+    case OMP_EVENT_THR_BEGIN_CTWT: return "OMP_EVENT_THR_BEGIN_CTWT";
+    case OMP_EVENT_THR_END_CTWT: return "OMP_EVENT_THR_END_CTWT";
+    case OMP_EVENT_THR_BEGIN_ODWT: return "OMP_EVENT_THR_BEGIN_ODWT";
+    case OMP_EVENT_THR_END_ODWT: return "OMP_EVENT_THR_END_ODWT";
+    case OMP_EVENT_THR_BEGIN_MASTER: return "OMP_EVENT_THR_BEGIN_MASTER";
+    case OMP_EVENT_THR_END_MASTER: return "OMP_EVENT_THR_END_MASTER";
+    case OMP_EVENT_THR_BEGIN_SINGLE: return "OMP_EVENT_THR_BEGIN_SINGLE";
+    case OMP_EVENT_THR_END_SINGLE: return "OMP_EVENT_THR_END_SINGLE";
+    case OMP_EVENT_THR_BEGIN_ORDERED: return "OMP_EVENT_THR_BEGIN_ORDERED";
+    case OMP_EVENT_THR_END_ORDERED: return "OMP_EVENT_THR_END_ORDERED";
+    case OMP_EVENT_THR_BEGIN_ATWT: return "OMP_EVENT_THR_BEGIN_ATWT";
+    case OMP_EVENT_THR_END_ATWT: return "OMP_EVENT_THR_END_ATWT";
+    case ORCA_EVENT_TASK_BEGIN: return "ORCA_EVENT_TASK_BEGIN";
+    case ORCA_EVENT_TASK_END: return "ORCA_EVENT_TASK_END";
+    case OMP_EVENT_LAST:
+    case ORCA_EVENT_EXT_LAST:
+      break;
+  }
+  return "?";
+}
+
+std::string_view to_string(OMP_COLLECTOR_API_THR_STATE state) noexcept {
+  switch (state) {
+    case THR_OVHD_STATE: return "THR_OVHD_STATE";
+    case THR_WORK_STATE: return "THR_WORK_STATE";
+    case THR_IBAR_STATE: return "THR_IBAR_STATE";
+    case THR_EBAR_STATE: return "THR_EBAR_STATE";
+    case THR_IDLE_STATE: return "THR_IDLE_STATE";
+    case THR_SERIAL_STATE: return "THR_SERIAL_STATE";
+    case THR_REDUC_STATE: return "THR_REDUC_STATE";
+    case THR_LKWT_STATE: return "THR_LKWT_STATE";
+    case THR_CTWT_STATE: return "THR_CTWT_STATE";
+    case THR_ODWT_STATE: return "THR_ODWT_STATE";
+    case THR_ATWT_STATE: return "THR_ATWT_STATE";
+    case THR_LAST_STATE: break;
+  }
+  return "?";
+}
+
+bool state_has_wait_id(OMP_COLLECTOR_API_THR_STATE state) noexcept {
+  switch (state) {
+    case THR_IBAR_STATE:
+    case THR_EBAR_STATE:
+    case THR_LKWT_STATE:
+    case THR_CTWT_STATE:
+    case THR_ODWT_STATE:
+    case THR_ATWT_STATE:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_begin_event(OMP_COLLECTORAPI_EVENT event) noexcept {
+  switch (event) {
+    case OMP_EVENT_FORK:
+    case OMP_EVENT_THR_BEGIN_IDLE:
+    case OMP_EVENT_THR_BEGIN_IBAR:
+    case OMP_EVENT_THR_BEGIN_EBAR:
+    case OMP_EVENT_THR_BEGIN_LKWT:
+    case OMP_EVENT_THR_BEGIN_CTWT:
+    case OMP_EVENT_THR_BEGIN_ODWT:
+    case OMP_EVENT_THR_BEGIN_MASTER:
+    case OMP_EVENT_THR_BEGIN_SINGLE:
+    case OMP_EVENT_THR_BEGIN_ORDERED:
+    case OMP_EVENT_THR_BEGIN_ATWT:
+    case ORCA_EVENT_TASK_BEGIN:
+      return true;
+    default:
+      return false;
+  }
+}
+
+OMP_COLLECTORAPI_EVENT matching_end(OMP_COLLECTORAPI_EVENT event) noexcept {
+  switch (event) {
+    case OMP_EVENT_FORK: return OMP_EVENT_JOIN;
+    case OMP_EVENT_THR_BEGIN_IDLE: return OMP_EVENT_THR_END_IDLE;
+    case OMP_EVENT_THR_BEGIN_IBAR: return OMP_EVENT_THR_END_IBAR;
+    case OMP_EVENT_THR_BEGIN_EBAR: return OMP_EVENT_THR_END_EBAR;
+    case OMP_EVENT_THR_BEGIN_LKWT: return OMP_EVENT_THR_END_LKWT;
+    case OMP_EVENT_THR_BEGIN_CTWT: return OMP_EVENT_THR_END_CTWT;
+    case OMP_EVENT_THR_BEGIN_ODWT: return OMP_EVENT_THR_END_ODWT;
+    case OMP_EVENT_THR_BEGIN_MASTER: return OMP_EVENT_THR_END_MASTER;
+    case OMP_EVENT_THR_BEGIN_SINGLE: return OMP_EVENT_THR_END_SINGLE;
+    case OMP_EVENT_THR_BEGIN_ORDERED: return OMP_EVENT_THR_END_ORDERED;
+    case OMP_EVENT_THR_BEGIN_ATWT: return OMP_EVENT_THR_END_ATWT;
+    case ORCA_EVENT_TASK_BEGIN: return ORCA_EVENT_TASK_END;
+    default: return OMP_EVENT_LAST;
+  }
+}
+
+}  // namespace orca::collector

@@ -1,0 +1,36 @@
+/// \file names.hpp
+/// Human-readable names for ORA enums — used by the tracing tool, the
+/// Figure-3 sequence example, error messages, and tests.
+#pragma once
+
+#include <string_view>
+
+#include "collector/api.h"
+
+namespace orca::collector {
+
+/// Name of a request kind, e.g. "OMP_REQ_START"; "?" for invalid values.
+std::string_view to_string(OMP_COLLECTORAPI_REQUEST req) noexcept;
+
+/// Name of an error code, e.g. "OMP_ERRCODE_OK".
+std::string_view to_string(OMP_COLLECTORAPI_EC ec) noexcept;
+
+/// Name of an event, e.g. "OMP_EVENT_FORK".
+std::string_view to_string(OMP_COLLECTORAPI_EVENT event) noexcept;
+
+/// Name of a thread state, e.g. "THR_WORK_STATE".
+std::string_view to_string(OMP_COLLECTOR_API_THR_STATE state) noexcept;
+
+/// True for the states that carry a wait id (barrier / lock / critical /
+/// ordered / atomic waits) in the OMP_REQ_STATE reply.
+bool state_has_wait_id(OMP_COLLECTOR_API_THR_STATE state) noexcept;
+
+/// True for `OMP_EVENT_THR_BEGIN_*` events (every event that opens an
+/// interval; used by the tracing tool to pair begin/end records).
+bool is_begin_event(OMP_COLLECTORAPI_EVENT event) noexcept;
+
+/// For a begin event, the matching end event (e.g. BEGIN_IBAR -> END_IBAR).
+/// FORK maps to JOIN. Returns OMP_EVENT_LAST when there is no pair.
+OMP_COLLECTORAPI_EVENT matching_end(OMP_COLLECTORAPI_EVENT event) noexcept;
+
+}  // namespace orca::collector

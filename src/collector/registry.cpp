@@ -1,0 +1,88 @@
+#include "collector/registry.hpp"
+
+#include <mutex>
+
+namespace orca::collector {
+
+OMP_COLLECTORAPI_EC Registry::start() noexcept {
+  bool expected = false;
+  if (!initialized_.compare_exchange_strong(expected, true,
+                                            std::memory_order_acq_rel)) {
+    return OMP_ERRCODE_SEQUENCE_ERR;  // two STARTs without a STOP in between
+  }
+  paused_.store(false, std::memory_order_release);
+  return OMP_ERRCODE_OK;
+}
+
+OMP_COLLECTORAPI_EC Registry::stop() noexcept {
+  bool expected = true;
+  if (!initialized_.compare_exchange_strong(expected, false,
+                                            std::memory_order_acq_rel)) {
+    return OMP_ERRCODE_SEQUENCE_ERR;
+  }
+  paused_.store(false, std::memory_order_release);
+  // A stopped collector must observe no further callbacks; drop them all so
+  // a later START begins from a clean table.
+  for (auto& entry : table_) {
+    std::scoped_lock lk(entry->mu);
+    entry->fn.store(nullptr, std::memory_order_release);
+  }
+  return OMP_ERRCODE_OK;
+}
+
+OMP_COLLECTORAPI_EC Registry::pause() noexcept {
+  if (!initialized()) return OMP_ERRCODE_SEQUENCE_ERR;
+  bool expected = false;
+  if (!paused_.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    return OMP_ERRCODE_SEQUENCE_ERR;  // already paused
+  }
+  return OMP_ERRCODE_OK;
+}
+
+OMP_COLLECTORAPI_EC Registry::resume() noexcept {
+  if (!initialized()) return OMP_ERRCODE_SEQUENCE_ERR;
+  bool expected = true;
+  if (!paused_.compare_exchange_strong(expected, false,
+                                       std::memory_order_acq_rel)) {
+    return OMP_ERRCODE_SEQUENCE_ERR;  // was not paused
+  }
+  return OMP_ERRCODE_OK;
+}
+
+OMP_COLLECTORAPI_EC Registry::register_callback(
+    OMP_COLLECTORAPI_EVENT event, OMP_COLLECTORAPI_CALLBACK cb) noexcept {
+  if (!initialized()) return OMP_ERRCODE_SEQUENCE_ERR;
+  if (event <= 0 || event == OMP_EVENT_LAST || event >= ORCA_EVENT_EXT_LAST ||
+      cb == nullptr) {
+    return OMP_ERRCODE_ERROR;
+  }
+  if (!caps_.supports(event)) return OMP_ERRCODE_UNSUPPORTED;
+  Entry& entry = *table_[index(event)];
+  // Per-entry lock: serializes threads racing to register the same event
+  // with different callbacks (paper IV-C). Last registration wins, but the
+  // table never holds a torn value.
+  std::scoped_lock lk(entry.mu);
+  entry.fn.store(cb, std::memory_order_release);
+  return OMP_ERRCODE_OK;
+}
+
+OMP_COLLECTORAPI_EC Registry::unregister_callback(
+    OMP_COLLECTORAPI_EVENT event) noexcept {
+  if (!initialized()) return OMP_ERRCODE_SEQUENCE_ERR;
+  if (event <= 0 || event == OMP_EVENT_LAST || event >= ORCA_EVENT_EXT_LAST) {
+    return OMP_ERRCODE_ERROR;
+  }
+  if (!caps_.supports(event)) return OMP_ERRCODE_UNSUPPORTED;
+  Entry& entry = *table_[index(event)];
+  std::scoped_lock lk(entry.mu);
+  entry.fn.store(nullptr, std::memory_order_release);
+  return OMP_ERRCODE_OK;
+}
+
+OMP_COLLECTORAPI_CALLBACK Registry::callback(
+    OMP_COLLECTORAPI_EVENT event) const noexcept {
+  return table_[index(event)]->fn.load(std::memory_order_acquire);
+}
+
+}  // namespace orca::collector

@@ -1,0 +1,163 @@
+/// \file registry.hpp
+/// Runtime-side collector state: the START/PAUSE/RESUME/STOP lifecycle, the
+/// event-callback table, and the event-dispatch hot path.
+///
+/// Paper Sec. IV-B/IV-C design points implemented here:
+///  * a thread-safe boolean indicates whether the API is initialized; two
+///    STARTs without a STOP in between return an "out of sync" error;
+///  * the callback table is shared by all threads and each entry carries a
+///    lock "to avoid data races when multiple threads try to register the
+///    same event with different callbacks";
+///  * on the dispatch path "the ordering of the checks is important": the
+///    registered-callback check runs first so an uninstrumented program
+///    pays one load + branch per event point.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "collector/api.h"
+#include "common/cacheline.hpp"
+#include "common/spinlock.hpp"
+
+namespace orca::collector {
+
+/// Bit mask over OMP_COLLECTORAPI_EVENT describing which optional events a
+/// runtime instance supports (FORK/JOIN are mandatory and always set).
+class EventCapabilities {
+ public:
+  /// The event set OpenUH supported: everything in the sanctioned
+  /// interface except the atomic-wait pair (paper Sec. IV-C7), and none of
+  /// the ORCA extension events.
+  static EventCapabilities openuh_default() noexcept {
+    EventCapabilities caps;
+    for (int e = 1; e < OMP_EVENT_LAST; ++e) {
+      caps.enable(static_cast<OMP_COLLECTORAPI_EVENT>(e));
+    }
+    caps.disable(OMP_EVENT_THR_BEGIN_ATWT);
+    caps.disable(OMP_EVENT_THR_END_ATWT);
+    return caps;
+  }
+
+  /// Every event ORCA can generate, extensions included.
+  static EventCapabilities all() noexcept {
+    EventCapabilities caps;
+    for (int e = 1; e < ORCA_EVENT_EXT_LAST; ++e) {
+      if (e == OMP_EVENT_LAST) continue;  // not an event, just the sentinel
+      caps.enable(static_cast<OMP_COLLECTORAPI_EVENT>(e));
+    }
+    return caps;
+  }
+
+  void enable(OMP_COLLECTORAPI_EVENT e) noexcept { bits_ |= bit(e); }
+  void disable(OMP_COLLECTORAPI_EVENT e) noexcept { bits_ &= ~bit(e); }
+  bool supports(OMP_COLLECTORAPI_EVENT e) const noexcept {
+    return (bits_ & bit(e)) != 0;
+  }
+
+ private:
+  static std::uint32_t bit(OMP_COLLECTORAPI_EVENT e) noexcept {
+    return e > 0 && e < ORCA_EVENT_EXT_LAST && e != OMP_EVENT_LAST
+               ? (1u << e)
+               : 0u;
+  }
+  static_assert(ORCA_EVENT_EXT_LAST <= 32, "capability mask is 32 bits");
+  std::uint32_t bits_ = 0;
+};
+
+/// Lifecycle + callback table for one runtime instance.
+class Registry {
+ public:
+  Registry() : caps_(EventCapabilities::openuh_default()) {}
+  explicit Registry(EventCapabilities caps) : caps_(caps) {}
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // --- lifecycle ---------------------------------------------------------
+
+  /// OMP_REQ_START. SEQUENCE_ERR when already started (paper IV-B).
+  OMP_COLLECTORAPI_EC start() noexcept;
+
+  /// OMP_REQ_STOP. Clears the paused flag and every registered callback;
+  /// SEQUENCE_ERR when not started.
+  OMP_COLLECTORAPI_EC stop() noexcept;
+
+  /// OMP_REQ_PAUSE. SEQUENCE_ERR when not started or already paused.
+  OMP_COLLECTORAPI_EC pause() noexcept;
+
+  /// OMP_REQ_RESUME. SEQUENCE_ERR when not started or not paused.
+  OMP_COLLECTORAPI_EC resume() noexcept;
+
+  bool initialized() const noexcept {
+    return initialized_.load(std::memory_order_acquire);
+  }
+  bool paused() const noexcept {
+    return paused_.load(std::memory_order_acquire);
+  }
+
+  // --- callback table ----------------------------------------------------
+
+  /// OMP_REQ_REGISTER. SEQUENCE_ERR before START; UNSUPPORTED for events
+  /// outside this runtime's capability set; ERROR for invalid event values
+  /// or a null callback.
+  OMP_COLLECTORAPI_EC register_callback(OMP_COLLECTORAPI_EVENT event,
+                                        OMP_COLLECTORAPI_CALLBACK cb) noexcept;
+
+  /// OMP_REQ_UNREGISTER. Idempotent: unregistering an event with no
+  /// callback succeeds (the table entry is simply NULL either way).
+  OMP_COLLECTORAPI_EC unregister_callback(OMP_COLLECTORAPI_EVENT event) noexcept;
+
+  /// Currently registered callback for `event` (nullptr when none).
+  OMP_COLLECTORAPI_CALLBACK callback(OMP_COLLECTORAPI_EVENT event) const noexcept;
+
+  const EventCapabilities& capabilities() const noexcept { return caps_; }
+
+  // --- dispatch hot path --------------------------------------------------
+
+  /// Fire `event` if (in this order) a callback is registered, the API is
+  /// initialized, and event generation is not paused. This is
+  /// `__ompc_event` from the paper; the runtime inserts calls to it at
+  /// every event point.
+  void fire(OMP_COLLECTORAPI_EVENT event) noexcept {
+    const OMP_COLLECTORAPI_CALLBACK cb =
+        table_[index(event)]->fn.load(std::memory_order_acquire);
+    if (cb == nullptr) return;                                     // check 1
+    if (!initialized_.load(std::memory_order_acquire)) return;     // check 2
+    if (paused_.load(std::memory_order_acquire)) return;           // check 3
+    cb(event);
+  }
+
+  /// True when `fire(event)` would invoke a callback right now. The runtime
+  /// uses this to skip *preparing* expensive event arguments.
+  bool armed(OMP_COLLECTORAPI_EVENT event) const noexcept {
+    return table_[index(event)]->fn.load(std::memory_order_acquire) != nullptr &&
+           initialized_.load(std::memory_order_acquire) &&
+           !paused_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static std::size_t index(OMP_COLLECTORAPI_EVENT event) noexcept {
+    // Invalid values (including the OMP_EVENT_LAST sentinel) map to slot
+    // 0, which never holds a callback.
+    return event > 0 && event < ORCA_EVENT_EXT_LAST && event != OMP_EVENT_LAST
+               ? static_cast<std::size_t>(event)
+               : 0;
+  }
+
+  /// One table entry per event: the atomic function pointer read on the
+  /// dispatch path plus the registration lock (paper IV-C). Padded so
+  /// concurrent registrations of different events do not false-share.
+  struct Entry {
+    std::atomic<OMP_COLLECTORAPI_CALLBACK> fn{nullptr};
+    SpinLock mu;
+  };
+
+  std::atomic<bool> initialized_{false};
+  std::atomic<bool> paused_{false};
+  EventCapabilities caps_;
+  std::array<CachePadded<Entry>, ORCA_EVENT_EXT_LAST> table_{};
+};
+
+}  // namespace orca::collector

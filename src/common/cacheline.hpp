@@ -1,0 +1,45 @@
+/// \file cacheline.hpp
+/// Cache-line geometry helpers used to keep hot shared data off the same
+/// line (false-sharing avoidance for thread descriptors, callback tables,
+/// and per-thread queues).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace orca {
+
+/// Size in bytes of one destructive-interference cache line.
+///
+/// `std::hardware_destructive_interference_size` is not usable as a stable
+/// ABI constant (it varies with -mtune), so we pin the conventional x86-64
+/// value; 64 is also correct for every AArch64 core we care about.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a value so that it occupies at least one full cache line.
+///
+/// Used for arrays indexed by thread id (thread descriptors, per-thread
+/// request queues, per-thread sample buffers) where neighbouring entries
+/// are written by different threads.
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+  static_assert(!std::is_reference_v<T>, "CachePadded cannot hold references");
+
+  T value{};
+
+  CachePadded() = default;
+  template <typename... Args>
+  explicit CachePadded(Args&&... args) : value(std::forward<Args>(args)...) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(alignof(CachePadded<char>) == kCacheLineSize);
+static_assert(sizeof(CachePadded<char>) % kCacheLineSize == 0);
+
+}  // namespace orca

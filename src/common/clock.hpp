@@ -1,0 +1,63 @@
+/// \file clock.hpp
+/// Time sources for the measurement substrate.
+///
+/// The paper's prototype tool stores "a sample of a hardware-based time
+/// counter" at each event callback (Sec. V). We model that with a
+/// `TickSource` abstraction offering two backends:
+///  * `TscClock`  — raw time-stamp counter (RDTSC), the hardware counter.
+///  * `SteadyClock` — `std::chrono::steady_clock`, the portable fallback.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace orca {
+
+/// Raw hardware time-stamp counter. Monotonic on every post-2008 x86
+/// (invariant TSC), which covers the paper's Xeon E5462 testbed.
+struct TscClock {
+  static std::uint64_t now() noexcept {
+#if defined(__x86_64__)
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+    return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#else
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+  }
+};
+
+/// Portable monotonic clock reporting nanoseconds.
+struct SteadyClock {
+  static std::uint64_t now() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Seconds since an arbitrary epoch, highest-resolution portable clock.
+inline double wall_seconds() noexcept {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Simple RAII stopwatch measuring wall time in seconds.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(wall_seconds()) {}
+
+  /// Seconds elapsed since construction or the last `reset()`.
+  double elapsed() const noexcept { return wall_seconds() - start_; }
+
+  void reset() noexcept { start_ = wall_seconds(); }
+
+ private:
+  double start_;
+};
+
+}  // namespace orca

@@ -1,0 +1,70 @@
+/// \file env.hpp
+/// Environment-variable parsing for runtime ICVs (OMP_NUM_THREADS,
+/// OMP_SCHEDULE, ...) and ORCA's own tuning knobs.
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace orca::env {
+
+/// Raw lookup; empty optional when the variable is unset.
+inline std::optional<std::string> get(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return std::nullopt;
+  return std::string(v);
+}
+
+/// Parse an integer environment variable; returns `fallback` when unset or
+/// malformed (malformed values are ignored rather than fatal, matching how
+/// OpenMP runtimes treat bad ICV strings).
+inline long get_long(const char* name, long fallback) {
+  const auto v = get(name);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v->c_str(), &end, 10);
+  if (end == v->c_str()) return fallback;
+  return parsed;
+}
+
+inline int get_int(const char* name, int fallback) {
+  return static_cast<int>(get_long(name, fallback));
+}
+
+/// Accepts "1/0, true/false, yes/no, on/off" case-insensitively.
+inline bool get_bool(const char* name, bool fallback) {
+  const auto v = get(name);
+  if (!v) return fallback;
+  std::string s;
+  s.reserve(v->size());
+  for (char c : *v) s.push_back(static_cast<char>(std::tolower(c)));
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return fallback;
+}
+
+/// Split a string on a delimiter, trimming ASCII whitespace from each piece.
+inline std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(delim, begin);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view piece = text.substr(begin, end - begin);
+    while (!piece.empty() && std::isspace(static_cast<unsigned char>(piece.front()))) {
+      piece.remove_prefix(1);
+    }
+    while (!piece.empty() && std::isspace(static_cast<unsigned char>(piece.back()))) {
+      piece.remove_suffix(1);
+    }
+    out.emplace_back(piece);
+    if (end == text.size()) break;
+    begin = end + 1;
+  }
+  return out;
+}
+
+}  // namespace orca::env

@@ -1,0 +1,100 @@
+/// \file parking.hpp
+/// Blocking primitives for the persistent worker pool.
+///
+/// OpenUH keeps slave threads "sleeping in between non-nested parallel
+/// regions" (paper Sec. IV-C1). `Parker` is the piece that implements that
+/// sleep: a worker parks on its own epoch counter and the master unparks it
+/// by bumping the epoch. A short adaptive spin before blocking keeps fork
+/// latency low when regions are back-to-back, while still yielding the CPU
+/// under oversubscription.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/spinlock.hpp"
+
+namespace orca {
+
+/// One-producer/one-consumer epoch parker. The consumer calls
+/// `wait(last_seen)` and returns once the epoch has advanced past it; the
+/// producer calls `signal()` to advance the epoch and wake the consumer.
+class Parker {
+ public:
+  /// Current epoch; the consumer records this before going to work so the
+  /// next `wait()` can detect a signal that raced ahead of it.
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Block until `epoch() > seen`. Spins briefly first: back-to-back
+  /// parallel regions (the EPCC hot loop) then never enter the kernel.
+  void wait(std::uint64_t seen) {
+    for (int i = 0; i < kSpinBeforeYield; ++i) {
+      if (epoch_.load(std::memory_order_acquire) > seen) return;
+      cpu_relax();
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return epoch_.load(std::memory_order_acquire) > seen; });
+  }
+
+  /// Advance the epoch and wake the consumer if it is blocked.
+  void signal() {
+    {
+      // The lock orders the epoch bump with the consumer's predicate check;
+      // without it a wait could miss a signal and sleep forever.
+      std::scoped_lock lk(mu_);
+      epoch_.fetch_add(1, std::memory_order_release);
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::atomic<std::uint64_t> epoch_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+/// Many-waiters completion latch used for join: the master blocks until
+/// `count` workers have called `arrive()`. Reusable across generations.
+class CountdownEvent {
+ public:
+  /// Arm the event for `count` arrivals. Must not race with arrive().
+  void reset(std::uint32_t count) noexcept {
+    remaining_.store(count, std::memory_order_release);
+  }
+
+  /// Worker-side: report completion; wakes the waiter on the last arrival.
+  void arrive() {
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::scoped_lock lk(mu_);
+      done_.store(true, std::memory_order_release);
+      cv_.notify_all();
+    }
+  }
+
+  /// Master-side: block until all arrivals for this generation occurred.
+  void wait() {
+    for (int i = 0; i < kSpinBeforeYield; ++i) {
+      if (remaining_.load(std::memory_order_acquire) == 0 &&
+          done_.load(std::memory_order_acquire)) {
+        done_.store(false, std::memory_order_relaxed);
+        return;
+      }
+      cpu_relax();
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return done_.load(std::memory_order_acquire); });
+    done_.store(false, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint32_t> remaining_{0};
+  std::atomic<bool> done_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace orca

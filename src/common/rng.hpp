@@ -1,0 +1,95 @@
+/// \file rng.hpp
+/// Deterministic, fast pseudo-random generators for workload synthesis.
+///
+/// The NPB analogs (EP in particular) need a splittable counter-based
+/// generator so every thread can jump to its slice of the stream without
+/// communication — mirroring NPB's own power-of-two LCG "randlc".
+#pragma once
+
+#include <cstdint>
+
+namespace orca {
+
+/// SplitMix64: tiny, passes BigCrush, ideal for seeding and for
+/// counter-based splitting (stateless `at(i)` addressing).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// The i-th element of the stream for `seed`, computed without stepping.
+  static std::uint64_t at(std::uint64_t seed, std::uint64_t i) noexcept {
+    std::uint64_t z = seed + (i + 1) * 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [0,1) for stream position `i` (splittable form).
+  static double double_at(std::uint64_t seed, std::uint64_t i) noexcept {
+    return static_cast<double>(at(seed, i) >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// NPB's "randlc" linear congruential generator (a = 5^13, mod 2^46),
+/// reimplemented so the EP analog reproduces the reference random-pair
+/// acceptance pattern. Operates in exact integer arithmetic.
+class NpbRandlc {
+ public:
+  static constexpr std::uint64_t kMod = 1ULL << 46;
+  static constexpr std::uint64_t kA = 1220703125ULL;  // 5^13
+
+  explicit NpbRandlc(std::uint64_t seed = 271828183ULL) noexcept
+      : state_(seed % kMod) {}
+
+  /// Next uniform double in (0, 1); advances the state by one step.
+  double next() noexcept {
+    state_ = (mulmod(kA, state_));
+    return static_cast<double>(state_) * 0x1.0p-46;
+  }
+
+  /// Jump the state forward by `n` steps in O(log n) (used by EP to give
+  /// each thread an independent slice, as the NPB reference code does).
+  void jump(std::uint64_t n) noexcept {
+    std::uint64_t an = powmod(kA, n);
+    state_ = mulmod2(an, state_);
+  }
+
+  std::uint64_t state() const noexcept { return state_; }
+
+ private:
+  static std::uint64_t mulmod(std::uint64_t a, std::uint64_t b) noexcept {
+    return (static_cast<unsigned __int128>(a) * b) % kMod;
+  }
+  static std::uint64_t mulmod2(std::uint64_t a, std::uint64_t b) noexcept {
+    return mulmod(a, b);
+  }
+  static std::uint64_t powmod(std::uint64_t a, std::uint64_t n) noexcept {
+    std::uint64_t result = 1;
+    std::uint64_t base = a % kMod;
+    while (n > 0) {
+      if (n & 1) result = mulmod(result, base);
+      base = mulmod(base, base);
+      n >>= 1;
+    }
+    return result;
+  }
+
+  std::uint64_t state_;
+};
+
+}  // namespace orca

@@ -1,0 +1,91 @@
+/// \file stats.hpp
+/// Streaming statistics used by the benchmark harnesses (EPCC reports mean
+/// and standard deviation over outer repetitions; the NPB harness reports
+/// run-to-run deviation, which the paper bounds at "< 2 secs").
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace orca {
+
+/// Welford single-pass accumulator: mean / variance / min / max.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch percentile helper (EPCC-style outlier rejection keeps samples
+/// within mean ± 3 sigma; we also expose the median for robust reporting).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  double percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+  double median() const { return percentile(0.5); }
+
+  RunningStats stats() const {
+    RunningStats s;
+    for (double x : samples_) s.add(x);
+    return s;
+  }
+
+  /// EPCC-style trimmed stats: drop samples outside mean ± 3 stddev.
+  RunningStats trimmed_stats() const {
+    const RunningStats all = stats();
+    RunningStats out;
+    const double lo = all.mean() - 3.0 * all.stddev();
+    const double hi = all.mean() + 3.0 * all.stddev();
+    for (double x : samples_) {
+      if (x >= lo && x <= hi) out.add(x);
+    }
+    return out;
+  }
+
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace orca

@@ -1,0 +1,90 @@
+/// \file strutil.hpp
+/// printf-style string building (libstdc++ 12 lacks <format>) and the
+/// fixed-width text tables the bench binaries print for each paper
+/// table/figure.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace orca {
+
+/// vsnprintf into a std::string. Attributes let the compiler check the
+/// format string at every call site.
+#if defined(__GNUC__)
+__attribute__((format(printf, 1, 2)))
+#endif
+inline std::string
+strfmt(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data(), out.size(), fmt, args);
+    out.resize(static_cast<std::size_t>(needed));
+  }
+  va_end(args);
+  return out;
+}
+
+/// Minimal fixed-width table renderer: the bench harnesses print rows that
+/// mirror the paper's tables/figures, and tests assert on cell content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Render with column auto-sizing; every row is padded to the header
+  /// width so ragged rows cannot silently mis-align.
+  std::string render() const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < header_.size() && c < row.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    std::string out = render_row(header_, width);
+    std::string rule;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      rule += std::string(width[c] + 2, '-');
+      rule += (c + 1 < width.size()) ? "+" : "\n";
+    }
+    out += rule;
+    for (const auto& row : rows_) out += render_row(row, width);
+    return out;
+  }
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  static std::string render_row(const std::vector<std::string>& cells,
+                                const std::vector<std::size_t>& width) {
+    std::string out;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out += ' ';
+      out += cell;
+      out += std::string(width[c] - cell.size() + 1, ' ');
+      if (c + 1 < width.size()) out += '|';
+    }
+    out += '\n';
+    return out;
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace orca

@@ -1,0 +1,223 @@
+#include "epcc/syncbench.hpp"
+
+#include <atomic>
+
+#include "common/clock.hpp"
+#include "runtime/ompc_api.h"
+#include "translate/omp.hpp"
+
+namespace orca::epcc {
+
+const std::vector<Directive>& all_directives() {
+  static const std::vector<Directive> directives = {
+      Directive::kParallel, Directive::kFor,      Directive::kParallelFor,
+      Directive::kBarrier,  Directive::kSingle,   Directive::kCritical,
+      Directive::kLock,     Directive::kOrdered,  Directive::kAtomic,
+      Directive::kReduction, Directive::kMaster,
+  };
+  return directives;
+}
+
+const char* name(Directive directive) {
+  switch (directive) {
+    case Directive::kParallel: return "PARALLEL";
+    case Directive::kFor: return "FOR";
+    case Directive::kParallelFor: return "PARALLEL FOR";
+    case Directive::kBarrier: return "BARRIER";
+    case Directive::kSingle: return "SINGLE";
+    case Directive::kCritical: return "CRITICAL";
+    case Directive::kLock: return "LOCK/UNLOCK";
+    case Directive::kOrdered: return "ORDERED";
+    case Directive::kAtomic: return "ATOMIC";
+    case Directive::kReduction: return "REDUCTION";
+    case Directive::kMaster: return "MASTER";
+  }
+  return "?";
+}
+
+SyncBench::SyncBench(Options opts) : opts_(opts) {}
+
+void SyncBench::delay(int length) {
+  // EPCC's delay(): a floating-point dependency chain the optimizer cannot
+  // collapse, touching no shared memory.
+  volatile float a = 0.0f;
+  for (int i = 0; i < length; ++i) a = a + static_cast<float>(i);
+}
+
+double SyncBench::reference_seconds() {
+  // Payload-only reference: inner_reps delays on one thread, best of three
+  // (EPCC uses the mean of repeated references; min is more robust against
+  // scheduler noise on shared machines).
+  double best = 1e30;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch sw;
+    for (int k = 0; k < opts_.inner_reps; ++k) delay(opts_.delay_length);
+    best = std::min(best, sw.elapsed());
+  }
+  return best;
+}
+
+double SyncBench::time_directive(Directive directive) {
+  const int reps = opts_.inner_reps;
+  const int delay_len = opts_.delay_length;
+  const int threads = opts_.num_threads;
+
+  Stopwatch sw;
+  switch (directive) {
+    case Directive::kParallel: {
+      for (int k = 0; k < reps; ++k) {
+        omp::parallel([&](int) { delay(delay_len); }, threads);
+      }
+      break;
+    }
+    case Directive::kFor: {
+      omp::parallel(
+          [&](int) {
+            for (int k = 0; k < reps; ++k) {
+              omp::for_static(0, threads - 1, 1,
+                              [&](long long) { delay(delay_len); });
+            }
+          },
+          threads);
+      break;
+    }
+    case Directive::kParallelFor: {
+      for (int k = 0; k < reps; ++k) {
+        omp::parallel_for(0, threads - 1,
+                          [&](long long) { delay(delay_len); }, threads);
+      }
+      break;
+    }
+    case Directive::kBarrier: {
+      omp::parallel(
+          [&](int) {
+            for (int k = 0; k < reps; ++k) {
+              delay(delay_len);
+              omp::barrier();
+            }
+          },
+          threads);
+      break;
+    }
+    case Directive::kSingle: {
+      omp::parallel(
+          [&](int) {
+            for (int k = 0; k < reps; ++k) {
+              omp::single([&] { delay(delay_len); });
+            }
+          },
+          threads);
+      break;
+    }
+    case Directive::kCritical: {
+      omp::parallel(
+          [&](int) {
+            for (int k = 0; k < reps; ++k) {
+              omp::critical([&] { delay(delay_len); });
+            }
+          },
+          threads);
+      break;
+    }
+    case Directive::kLock: {
+      omp_lock_t lock;
+      omp_init_lock(&lock);
+      omp::parallel(
+          [&](int) {
+            for (int k = 0; k < reps; ++k) {
+              omp_set_lock(&lock);
+              delay(delay_len);
+              omp_unset_lock(&lock);
+            }
+          },
+          threads);
+      omp_destroy_lock(&lock);
+      break;
+    }
+    case Directive::kOrdered: {
+      // An ordered loop over inner_reps iterations, one delay each.
+      omp::parallel(
+          [&](int) {
+            omp::for_dynamic(
+                0, reps - 1, 1,
+                [&](long long i) {
+                  omp::ordered(i, [&] { delay(delay_len); });
+                },
+                omp::Sched::kDynamic, 1);
+          },
+          threads);
+      break;
+    }
+    case Directive::kAtomic: {
+      omp::parallel(
+          [&](int) {
+            for (int k = 0; k < reps; ++k) {
+              delay(delay_len);
+              omp::atomic_update([] {
+                static volatile long counter = 0;
+                counter = counter + 1;
+              });
+            }
+          },
+          threads);
+      break;
+    }
+    case Directive::kReduction: {
+      for (int k = 0; k < reps; ++k) {
+        (void)omp::parallel_reduce(
+            0, threads - 1, 0.0, [](double a, double b) { return a + b; },
+            [&](long long) {
+              delay(delay_len);
+              return 1.0;
+            },
+            threads);
+      }
+      break;
+    }
+    case Directive::kMaster: {
+      omp::parallel(
+          [&](int) {
+            for (int k = 0; k < reps; ++k) {
+              omp::master([&] { delay(delay_len); });
+            }
+          },
+          threads);
+      break;
+    }
+  }
+  return sw.elapsed();
+}
+
+Result SyncBench::measure(Directive directive) {
+  if (reference_cache_ < 0) reference_cache_ = reference_seconds();
+  const double reference = reference_cache_;
+
+  SampleSet overheads;
+  Stopwatch total;
+  for (int rep = 0; rep < opts_.outer_reps; ++rep) {
+    const double elapsed = time_directive(directive);
+    const double per_call_overhead =
+        (elapsed - reference) / static_cast<double>(opts_.inner_reps);
+    overheads.add(per_call_overhead * 1e6);  // microseconds
+  }
+
+  const RunningStats stats = overheads.trimmed_stats();
+  Result result;
+  result.directive = directive;
+  result.overhead_us = stats.mean();
+  result.min_overhead_us = overheads.stats().min();
+  result.stddev_us = stats.stddev();
+  result.reference_us =
+      reference / static_cast<double>(opts_.inner_reps) * 1e6;
+  result.total_seconds = total.elapsed();
+  return result;
+}
+
+std::vector<Result> SyncBench::measure_all() {
+  std::vector<Result> results;
+  results.reserve(all_directives().size());
+  for (const Directive d : all_directives()) results.push_back(measure(d));
+  return results;
+}
+
+}  // namespace orca::epcc

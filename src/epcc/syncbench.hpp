@@ -1,0 +1,86 @@
+/// \file syncbench.hpp
+/// EPCC-style synchronization microbenchmarks over the ORCA runtime —
+/// the workload of the paper's Figure 4.
+///
+/// Methodology (EPCC syncbench): a reference loop measures the cost of the
+/// delay payload alone; each directive test measures `inner_reps`
+/// executions of the construct wrapping the same payload; the per-call
+/// directive overhead is the difference divided by `inner_reps`. Outer
+/// repetitions give mean/stddev, with EPCC's mean±3σ outlier trimming.
+///
+/// The paper's experiment enables/disables ORA data collection around this
+/// harness and reports the percentage increase per directive
+/// (bench/bench_fig4_epcc.cpp drives that comparison).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace orca::epcc {
+
+/// The EPCC syncbench directive set.
+enum class Directive {
+  kParallel,
+  kFor,
+  kParallelFor,
+  kBarrier,
+  kSingle,
+  kCritical,
+  kLock,
+  kOrdered,
+  kAtomic,
+  kReduction,
+  kMaster,
+};
+
+/// All directives, in report order.
+const std::vector<Directive>& all_directives();
+
+/// Display name ("PARALLEL", "LOCK/UNLOCK", ...).
+const char* name(Directive directive);
+
+struct Options {
+  int num_threads = 4;
+  int outer_reps = 10;    ///< statistical repetitions
+  int inner_reps = 128;   ///< construct executions per timing
+  int delay_length = 500; ///< payload size (EPCC delay loop iterations)
+};
+
+/// Result of one directive measurement.
+struct Result {
+  Directive directive{};
+  double overhead_us = 0;     ///< mean per-call overhead, microseconds
+  double min_overhead_us = 0; ///< best-of across outer repetitions (the
+                              ///< robust statistic on noisy/shared hosts)
+  double stddev_us = 0;       ///< across outer repetitions
+  double reference_us = 0;    ///< payload-only reference per inner rep
+  double total_seconds = 0;   ///< wall time of the whole measurement
+};
+
+/// The benchmark harness. One instance per thread-count configuration.
+class SyncBench {
+ public:
+  explicit SyncBench(Options opts);
+
+  /// Measure a single directive.
+  Result measure(Directive directive);
+
+  /// Measure the full EPCC set.
+  std::vector<Result> measure_all();
+
+  const Options& options() const noexcept { return opts_; }
+
+  /// The EPCC delay payload (volatile float loop; resists optimization).
+  static void delay(int length);
+
+ private:
+  double reference_seconds();
+  double time_directive(Directive directive);
+
+  Options opts_;
+  double reference_cache_ = -1;
+};
+
+}  // namespace orca::epcc

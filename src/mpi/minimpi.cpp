@@ -1,0 +1,152 @@
+#include "mpi/minimpi.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "runtime/runtime.hpp"
+
+namespace orca::mpi {
+
+World::World(int ranks, rt::RuntimeConfig rank_config)
+    : nranks_(std::max(1, ranks)), rank_config_(rank_config) {
+  runtimes_.reserve(static_cast<std::size_t>(nranks_));
+  mailboxes_.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    runtimes_.push_back(std::make_unique<rt::Runtime>(rank_config_));
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+World::~World() = default;
+
+int Rank::size() const noexcept { return world_.nranks_; }
+
+void World::run(const std::function<void(Rank&)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([this, r, &fn] {
+      rt::Runtime* runtime = runtimes_[static_cast<std::size_t>(r)].get();
+      // Bind this OS thread to the rank's private runtime: OpenMP calls
+      // made inside `fn` (including the C ABI) resolve to it.
+      rt::Runtime::make_current(runtime);
+      Rank rank(*this, r, runtime);
+      fn(rank);
+      rt::Runtime::make_current(nullptr);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+std::uint64_t World::total_regions_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& rt_ptr : runtimes_) total += rt_ptr->regions_executed();
+  return total;
+}
+
+std::vector<std::uint64_t> World::regions_per_rank() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(runtimes_.size());
+  for (const auto& rt_ptr : runtimes_) out.push_back(rt_ptr->regions_executed());
+  return out;
+}
+
+void World::deliver(int dest, int source, int tag,
+                    std::vector<std::byte> payload) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    std::scoped_lock lk(box.mu);
+    box.queues[{source, tag}].push_back(std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<std::byte> World::take(int dest, int source, int tag) {
+  Mailbox& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  std::unique_lock<std::mutex> lk(box.mu);
+  const auto key = std::make_pair(source, tag);
+  box.cv.wait(lk, [&] {
+    const auto it = box.queues.find(key);
+    return it != box.queues.end() && !it->second.empty();
+  });
+  auto& queue = box.queues[key];
+  std::vector<std::byte> payload = std::move(queue.front());
+  queue.pop_front();
+  return payload;
+}
+
+void Rank::send(int dest, int tag, const void* data, std::size_t bytes) {
+  std::vector<std::byte> payload(bytes);
+  if (bytes > 0) std::memcpy(payload.data(), data, bytes);
+  world_.deliver(dest, rank_, tag, std::move(payload));
+}
+
+std::vector<std::byte> Rank::recv(int source, int tag) {
+  return world_.take(rank_, source, tag);
+}
+
+void Rank::barrier() {
+  std::unique_lock<std::mutex> lk(world_.barrier_mu_);
+  const std::uint64_t gen = world_.barrier_generation_;
+  if (++world_.barrier_arrived_ == world_.nranks_) {
+    world_.barrier_arrived_ = 0;
+    ++world_.barrier_generation_;
+    lk.unlock();
+    world_.barrier_cv_.notify_all();
+    return;
+  }
+  world_.barrier_cv_.wait(lk,
+                          [&] { return world_.barrier_generation_ != gen; });
+}
+
+double Rank::bcast(double value, int root) {
+  constexpr int kTag = -1001;
+  if (rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send_value(r, kTag, value);
+    }
+    return value;
+  }
+  return recv_value<double>(root, kTag);
+}
+
+double Rank::reduce(double value, Op op, int root) {
+  constexpr int kTag = -1002;
+  if (rank_ != root) {
+    send_value(root, kTag, value);
+    return 0.0;
+  }
+  double acc = value;
+  for (int r = 0; r < size(); ++r) {
+    if (r == root) continue;
+    const double v = recv_value<double>(r, kTag);
+    switch (op) {
+      case Op::kSum: acc += v; break;
+      case Op::kMin: acc = std::min(acc, v); break;
+      case Op::kMax: acc = std::max(acc, v); break;
+    }
+  }
+  return acc;
+}
+
+double Rank::allreduce(double value, Op op) {
+  const double total = reduce(value, op, 0);
+  return bcast(rank_ == 0 ? total : 0.0, 0);
+}
+
+std::vector<double> Rank::gather(double value, int root) {
+  constexpr int kTag = -1003;
+  if (rank_ != root) {
+    send_value(root, kTag, value);
+    return {};
+  }
+  std::vector<double> out(static_cast<std::size_t>(size()), 0.0);
+  out[static_cast<std::size_t>(root)] = value;
+  for (int r = 0; r < size(); ++r) {
+    if (r == root) continue;
+    out[static_cast<std::size_t>(r)] = recv_value<double>(r, kTag);
+  }
+  return out;
+}
+
+}  // namespace orca::mpi

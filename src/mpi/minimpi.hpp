@@ -1,0 +1,165 @@
+/// \file minimpi.hpp
+/// MiniMPI — the message-passing substrate for the hybrid MPI+OpenMP
+/// multi-zone experiments (paper Sec. V-B, NPB3.2-MZ-MPI).
+///
+/// The paper runs the MZ benchmarks at process×thread splits (1×8, 2×4,
+/// 4×2, 8×1). What those experiments need from MPI is rank decomposition,
+/// point-to-point boundary exchange, and a few collectives — not a network.
+/// MiniMPI models each "process" as an OS thread bound to its *own*
+/// `orca::rt::Runtime` instance, so every rank has a private OpenMP thread
+/// pool, private collector registry, and private region-id space, exactly
+/// like separate processes would. Messages are deep-copied byte buffers:
+/// no shared mutable state leaks between ranks.
+///
+/// Supported surface (blocking, MPI-1 flavoured):
+///   send / recv (tagged, deep copy), barrier, bcast, reduce, allreduce,
+///   gather. Deterministic matching: (source, tag) pairs, FIFO per pair.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/config.hpp"
+
+namespace orca::rt {
+class Runtime;
+}
+
+namespace orca::mpi {
+
+/// Reduction operators for reduce/allreduce.
+enum class Op { kSum, kMin, kMax };
+
+class World;
+
+/// Per-rank handle passed to the rank function. Valid only inside
+/// `World::run`.
+class Rank {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// The rank-private OpenMP runtime (already bound to this thread).
+  rt::Runtime& runtime() noexcept { return *runtime_; }
+
+  // --- point-to-point ------------------------------------------------------
+
+  /// Blocking tagged send of `bytes` bytes (deep-copied before return).
+  void send(int dest, int tag, const void* data, std::size_t bytes);
+
+  /// Blocking receive from `source` with `tag`. Returns the payload.
+  std::vector<std::byte> recv(int source, int tag);
+
+  /// Typed helpers.
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dest, tag, &value, sizeof(T));
+  }
+  template <typename T>
+  T recv_value(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::byte> buf = recv(source, tag);
+    T value{};
+    std::memcpy(&value, buf.data(), std::min(sizeof(T), buf.size()));
+    return value;
+  }
+  template <typename T>
+  void send_vector(int dest, int tag, const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send(dest, tag, values.data(), values.size() * sizeof(T));
+  }
+  template <typename T>
+  std::vector<T> recv_vector(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<std::byte> buf = recv(source, tag);
+    std::vector<T> values(buf.size() / sizeof(T));
+    std::memcpy(values.data(), buf.data(), values.size() * sizeof(T));
+    return values;
+  }
+
+  // --- collectives -----------------------------------------------------------
+
+  /// Block until every rank has entered the barrier.
+  void barrier();
+
+  /// Broadcast `value` from `root` to all ranks; returns the value.
+  double bcast(double value, int root);
+
+  /// Reduce to `root` (other ranks receive 0).
+  double reduce(double value, Op op, int root);
+
+  /// Reduce + broadcast.
+  double allreduce(double value, Op op);
+
+  /// Gather each rank's value at `root` (empty vector elsewhere).
+  std::vector<double> gather(double value, int root);
+
+ private:
+  friend class World;
+  Rank(World& world, int my_rank, rt::Runtime* runtime)
+      : world_(world), rank_(my_rank), runtime_(runtime) {}
+
+  World& world_;
+  int rank_;
+  rt::Runtime* runtime_;
+};
+
+/// A communicator of N ranks. Construct, then `run` one SPMD function.
+class World {
+ public:
+  /// `ranks` processes; each rank's private runtime is configured with
+  /// `rank_config` (set `num_threads` to the per-rank OpenMP thread count).
+  World(int ranks, rt::RuntimeConfig rank_config);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const noexcept { return nranks_; }
+
+  /// Run `fn(rank)` on every rank concurrently; returns when all finish.
+  /// May be called repeatedly; mailboxes and barriers are reusable.
+  void run(const std::function<void(Rank&)>& fn);
+
+  /// Sum of parallel regions executed across all rank runtimes
+  /// (Table II instrumentation).
+  std::uint64_t total_regions_executed() const;
+
+  /// Per-rank region counts.
+  std::vector<std::uint64_t> regions_per_rank() const;
+
+ private:
+  friend class Rank;
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    /// (source, tag) -> FIFO of payloads.
+    std::map<std::pair<int, int>, std::deque<std::vector<std::byte>>> queues;
+  };
+
+  void deliver(int dest, int source, int tag, std::vector<std::byte> payload);
+  std::vector<std::byte> take(int dest, int source, int tag);
+
+  int nranks_;
+  rt::RuntimeConfig rank_config_;
+  std::vector<std::unique_ptr<rt::Runtime>> runtimes_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Sense-reversing barrier across ranks.
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace orca::mpi

@@ -1,0 +1,87 @@
+/// \file common.hpp
+/// Shared infrastructure for the NPB kernel analogs.
+///
+/// Substitution note (DESIGN.md §1): the analogs are scaled-down
+/// computational kernels that preserve each NPB benchmark's *parallel
+/// region structure* — the number of distinct regions and the region
+/// invocation counts of the paper's Tables I/II — because region
+/// invocation count, not flops, is what drives the paper's overhead
+/// results. Each kernel runs its structured iteration schedule and then a
+/// small calibration loop of extra verification sweeps that pins the total
+/// region-call count to the paper's exact value (reported top-ups are a
+/// few percent of the total).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace orca::npb {
+
+/// Execution knobs shared by all kernels.
+struct NpbOptions {
+  int num_threads = 4;
+
+  /// Scales the iteration schedule (and the calibrated region-call target)
+  /// to `scale` × the paper's count. 1.0 reproduces Table I exactly;
+  /// overhead sweeps use smaller values to keep wall time reasonable.
+  double scale = 1.0;
+};
+
+/// Outcome of one kernel run.
+struct BenchResult {
+  std::string name;
+  std::uint64_t region_calls = 0;     ///< parallel region invocations
+  std::size_t distinct_regions = 0;   ///< unique outlined procedures
+  double checksum = 0;                ///< numerical result (verification)
+  double seconds = 0;                 ///< wall time
+};
+
+/// Contiguous 3-D array of doubles with (x,y,z) indexing.
+class Grid3 {
+ public:
+  Grid3() = default;
+  Grid3(int nx, int ny, int nz)
+      : nx_(nx), ny_(ny), nz_(nz),
+        data_(static_cast<std::size_t>(nx) * ny * nz, 0.0) {}
+
+  double& at(int x, int y, int z) noexcept {
+    return data_[index(x, y, z)];
+  }
+  double at(int x, int y, int z) const noexcept {
+    return data_[index(x, y, z)];
+  }
+
+  int nx() const noexcept { return nx_; }
+  int ny() const noexcept { return ny_; }
+  int nz() const noexcept { return nz_; }
+  std::size_t size() const noexcept { return data_.size(); }
+
+  double* raw() noexcept { return data_.data(); }
+  const double* raw() const noexcept { return data_.data(); }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  std::size_t index(int x, int y, int z) const noexcept {
+    return (static_cast<std::size_t>(z) * ny_ + y) * nx_ + x;
+  }
+  int nx_ = 0;
+  int ny_ = 0;
+  int nz_ = 0;
+  std::vector<double> data_;
+};
+
+/// Scale an iteration count, keeping at least one iteration.
+inline int scaled(int iterations, double scale) noexcept {
+  const int n = static_cast<int>(iterations * scale);
+  return n < 1 ? 1 : n;
+}
+
+/// Scale a region-call target.
+inline std::uint64_t scaled_target(std::uint64_t target, double scale) noexcept {
+  const auto n = static_cast<std::uint64_t>(static_cast<double>(target) * scale);
+  return n < 1 ? 1 : n;
+}
+
+}  // namespace orca::npb

@@ -1,0 +1,95 @@
+/// EP analog — the "embarrassingly parallel" gaussian-pair benchmark.
+///
+/// Generates uniform pairs with NPB's randlc LCG, applies the Marsaglia
+/// polar acceptance test, and histograms the accepted deviates into
+/// concentric square annuli, exactly like the reference EP — on a smaller
+/// sample count. Three parallel regions, invoked once each (Table I).
+#include <array>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "npb/internal.hpp"
+#include "npb/kernels.hpp"
+#include "translate/omp.hpp"
+
+namespace orca::npb {
+
+BenchResult run_ep(const NpbOptions& opts) {
+  detail::RegionCounter counter;
+  Stopwatch sw;
+
+  const long long samples = scaled(1 << 18, opts.scale);
+  constexpr int kBins = 10;
+
+  std::vector<double> start_states(static_cast<std::size_t>(samples));
+  std::array<double, kBins> bins{};
+  double sx = 0;
+  double sy = 0;
+
+  // Region 1: per-sample generator seeds (randlc jump-ahead, as the
+  // reference EP computes each block's starting seed independently).
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::for_static(0, samples - 1, 1, [&](long long i) {
+          NpbRandlc rng;
+          rng.jump(static_cast<std::uint64_t>(2 * i));
+          start_states[static_cast<std::size_t>(i)] =
+              static_cast<double>(rng.state());
+        });
+      },
+      opts.num_threads);
+
+  // Region 2: generate pairs, apply the acceptance test, accumulate the
+  // annulus counts and the sums of accepted deviates.
+  orca::omp::parallel(
+      [&](int gtid) {
+        std::array<double, kBins> local_bins{};
+        double local_sx = 0;
+        double local_sy = 0;
+        orca::omp::for_static(
+            0, samples - 1, 1,
+            [&](long long i) {
+              NpbRandlc rng(static_cast<std::uint64_t>(
+                  start_states[static_cast<std::size_t>(i)]));
+              const double x = 2.0 * rng.next() - 1.0;
+              const double y = 2.0 * rng.next() - 1.0;
+              const double t = x * x + y * y;
+              if (t <= 1.0 && t > 0.0) {
+                const double factor = std::sqrt(-2.0 * std::log(t) / t);
+                const double gx = x * factor;
+                const double gy = y * factor;
+                const double big = std::max(std::abs(gx), std::abs(gy));
+                const int bin = std::min(kBins - 1, static_cast<int>(big));
+                local_bins[static_cast<std::size_t>(bin)] += 1.0;
+                local_sx += gx;
+                local_sy += gy;
+              }
+            },
+            /*chunk=*/0, /*nowait=*/true);
+        static void* lock_word = nullptr;
+        __ompc_reduction(gtid, &lock_word);
+        for (int b = 0; b < kBins; ++b) bins[static_cast<std::size_t>(b)] +=
+            local_bins[static_cast<std::size_t>(b)];
+        sx += local_sx;
+        sy += local_sy;
+        __ompc_end_reduction(gtid, &lock_word);
+        __ompc_ibarrier();
+      },
+      opts.num_threads);
+
+  // Region 3: verification reduction over the histogram.
+  double total = 0;
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::single([&] {
+          for (int b = 0; b < kBins; ++b) {
+            total += bins[static_cast<std::size_t>(b)] * (b + 1);
+          }
+        });
+      },
+      opts.num_threads);
+
+  return detail::finish("EP", counter, sw, total + sx + sy);
+}
+
+}  // namespace orca::npb

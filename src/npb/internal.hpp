@@ -1,0 +1,55 @@
+/// \file internal.hpp
+/// Shared helpers for the kernel implementations (not installed API).
+#pragma once
+
+#include "common/clock.hpp"
+#include "npb/common.hpp"
+#include "runtime/runtime.hpp"
+
+namespace orca::npb::detail {
+
+/// Tracks region-call and distinct-region deltas for one kernel run on the
+/// calling thread's current runtime.
+class RegionCounter {
+ public:
+  RegionCounter()
+      : rt_(&rt::Runtime::current()),
+        calls0_(rt_->regions_executed()),
+        distinct0_(rt_->distinct_region_count()) {}
+
+  std::uint64_t calls() const {
+    return rt_->regions_executed() - calls0_;
+  }
+  std::size_t distinct() const {
+    return rt_->distinct_region_count() - distinct0_;
+  }
+
+ private:
+  rt::Runtime* rt_;
+  std::uint64_t calls0_;
+  std::size_t distinct0_;
+};
+
+/// Invoke `region` (a callable that executes exactly one parallel region)
+/// until the counter reaches `target` calls. This is the calibration loop
+/// that pins each kernel's total to the paper's Table I/II value; the
+/// callable must do real work (verification/norm sweeps).
+template <typename RegionFn>
+void top_up(const RegionCounter& counter, std::uint64_t target,
+            RegionFn&& region) {
+  while (counter.calls() < target) region();
+}
+
+/// Finalize a BenchResult from the counter and stopwatch.
+inline BenchResult finish(const char* name, const RegionCounter& counter,
+                          const Stopwatch& sw, double checksum) {
+  BenchResult result;
+  result.name = name;
+  result.region_calls = counter.calls();
+  result.distinct_regions = counter.distinct();
+  result.checksum = checksum;
+  result.seconds = sw.elapsed();
+  return result;
+}
+
+}  // namespace orca::npb::detail

@@ -1,0 +1,26 @@
+#include "npb/kernels.hpp"
+
+namespace orca::npb {
+
+const std::vector<TableITarget>& table1_targets() {
+  static const std::vector<TableITarget> rows = {
+      {"BT", 11, 1014},   {"EP", 3, 3},        {"SP", 14, 3618},
+      {"MG", 10, 1281},   {"FT", 9, 112},      {"CG", 15, 2212},
+      {"LU-HP", 16, 298959}, {"LU", 9, 518},
+  };
+  return rows;
+}
+
+BenchResult run_by_name(const std::string& name, const NpbOptions& opts) {
+  if (name == "BT") return run_bt(opts);
+  if (name == "EP") return run_ep(opts);
+  if (name == "SP") return run_sp(opts);
+  if (name == "MG") return run_mg(opts);
+  if (name == "FT") return run_ft(opts);
+  if (name == "CG") return run_cg(opts);
+  if (name == "LU-HP") return run_lu_hp(opts);
+  if (name == "LU") return run_lu(opts);
+  return BenchResult{};
+}
+
+}  // namespace orca::npb

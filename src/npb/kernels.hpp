@@ -1,0 +1,49 @@
+/// \file kernels.hpp
+/// The NPB3.2-OMP benchmark analogs (paper Table I / Figure 5).
+///
+/// Every kernel is a genuine scaled-down computation (ADI sweeps, SSOR,
+/// multigrid V-cycles, 3-D FFT, CG on a sparse matrix, gaussian-pair
+/// counting) whose parallel-region schedule is calibrated to the paper's
+/// Table I: the listed number of distinct regions and, at scale=1.0, the
+/// exact region invocation count.
+///
+///   Benchmark | regions | region calls (paper Table I)
+///   ----------+---------+-----------------------------
+///   BT        |   11    |    1014
+///   EP        |    3    |       3
+///   SP        |   14    |    3618
+///   MG        |   10    |    1281
+///   FT        |    9    |     112
+///   CG        |   15    |    2212
+///   LU-HP     |   16    |  298959
+///   LU        |    9    |     518
+#pragma once
+
+#include "npb/common.hpp"
+
+namespace orca::npb {
+
+/// Paper Table I row for one benchmark.
+struct TableITarget {
+  const char* name;
+  std::size_t regions;
+  std::uint64_t calls;
+};
+
+/// All Table I rows, in the paper's order.
+const std::vector<TableITarget>& table1_targets();
+
+BenchResult run_bt(const NpbOptions& opts);
+BenchResult run_ep(const NpbOptions& opts);
+BenchResult run_sp(const NpbOptions& opts);
+BenchResult run_mg(const NpbOptions& opts);
+BenchResult run_ft(const NpbOptions& opts);
+BenchResult run_cg(const NpbOptions& opts);
+BenchResult run_lu_hp(const NpbOptions& opts);
+BenchResult run_lu(const NpbOptions& opts);
+
+/// Run a benchmark by Table I name ("BT", "LU-HP", ...); empty result name
+/// on unknown benchmark.
+BenchResult run_by_name(const std::string& name, const NpbOptions& opts);
+
+}  // namespace orca::npb

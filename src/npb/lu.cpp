@@ -1,0 +1,450 @@
+/// LU and LU-HP analogs — SSOR solvers for a regularized system.
+///
+/// Both run the same computation: per time step, a stencil right-hand
+/// side, a lower-triangular relaxation sweep, and an upper-triangular
+/// relaxation sweep. They differ exactly where the real NPB variants
+/// differ — in how the sweeps are parallelized:
+///
+///  * LU    : each whole sweep is ONE parallel region (plane-blocked) —
+///            few, large regions (Table I: 9 regions, 518 calls).
+///  * LU-HP : the "hyperplane" version launches one parallel region PER
+///            WAVEFRONT (all cells with i+j+k == d are independent) —
+///            thousands of tiny regions, which is why the paper measures
+///            LU-HP as the OpenMP benchmark with the highest collection
+///            overhead (Table I: 16 regions, 298959 calls).
+#include <cmath>
+
+#include "npb/internal.hpp"
+#include "npb/kernels.hpp"
+#include "translate/omp.hpp"
+
+namespace orca::npb {
+namespace {
+
+constexpr double kOmega = 1.2;  // SSOR relaxation factor
+
+double lu_exact(int x, int y, int z) {
+  return 0.2 * x + std::sin(0.1 * y) - 0.15 * z;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LU (blocked sweeps)
+// ---------------------------------------------------------------------------
+
+BenchResult run_lu(const NpbOptions& opts) {
+  detail::RegionCounter counter;
+  Stopwatch sw;
+
+  constexpr int kN = 16;
+  const std::uint64_t target = scaled_target(518, opts.scale);
+  // Schedule: 4 setup + 3*niter + error_norm + >=1 pintgr (calibration).
+  const int niter =
+      std::max(1, static_cast<int>((target > 8 ? target - 8 : 1) / 3));
+  const int threads = opts.num_threads;
+
+  Grid3 u(kN, kN, kN);
+  Grid3 rsd(kN, kN, kN);
+  Grid3 frct(kN, kN, kN);
+
+  // Region: init_grid.
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::for_static(0, kN - 1, 1, [&](long long z) {
+          for (int y = 0; y < kN; ++y)
+            for (int x = 0; x < kN; ++x) {
+              u.at(x, y, static_cast<int>(z)) = 0;
+              rsd.at(x, y, static_cast<int>(z)) = 0;
+            }
+        });
+      },
+      threads);
+
+  // Region: setbv — boundary values from the exact solution.
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::for_static(0, kN - 1, 1, [&](long long z) {
+          const int zz = static_cast<int>(z);
+          for (int y = 0; y < kN; ++y)
+            for (int x = 0; x < kN; ++x) {
+              if (x == 0 || y == 0 || zz == 0 || x == kN - 1 || y == kN - 1 ||
+                  zz == kN - 1) {
+                u.at(x, y, zz) = lu_exact(x, y, zz);
+              }
+            }
+        });
+      },
+      threads);
+
+  // Region: setiv — interior initial guess.
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::for_static(1, kN - 2, 1, [&](long long z) {
+          const int zz = static_cast<int>(z);
+          for (int y = 1; y < kN - 1; ++y)
+            for (int x = 1; x < kN - 1; ++x)
+              u.at(x, y, zz) = 0.75 * lu_exact(x, y, zz);
+        });
+      },
+      threads);
+
+  // Region: erhs — forcing that makes lu_exact stationary.
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::for_static(1, kN - 2, 1, [&](long long z) {
+          const int zz = static_cast<int>(z);
+          for (int y = 1; y < kN - 1; ++y)
+            for (int x = 1; x < kN - 1; ++x)
+              frct.at(x, y, zz) = 6.0 * lu_exact(x, y, zz) -
+                                  lu_exact(x - 1, y, zz) -
+                                  lu_exact(x + 1, y, zz) -
+                                  lu_exact(x, y - 1, zz) -
+                                  lu_exact(x, y + 1, zz) -
+                                  lu_exact(x, y, zz - 1) -
+                                  lu_exact(x, y, zz + 1);
+        });
+      },
+      threads);
+
+  for (int step = 0; step < niter; ++step) {
+    // Region: compute_rhs.
+    orca::omp::parallel(
+        [&](int) {
+          orca::omp::for_static(1, kN - 2, 1, [&](long long z) {
+            const int zz = static_cast<int>(z);
+            for (int y = 1; y < kN - 1; ++y)
+              for (int x = 1; x < kN - 1; ++x)
+                rsd.at(x, y, zz) =
+                    frct.at(x, y, zz) -
+                    (6.0 * u.at(x, y, zz) - u.at(x - 1, y, zz) -
+                     u.at(x + 1, y, zz) - u.at(x, y - 1, zz) -
+                     u.at(x, y + 1, zz) - u.at(x, y, zz - 1) -
+                     u.at(x, y, zz + 1));
+          });
+        },
+        threads);
+
+    // Region: lower_sweep — one region for the whole forward relaxation
+    // (plane-parallel inside).
+    orca::omp::parallel(
+        [&](int) {
+          for (int zz = 1; zz < kN - 1; ++zz) {
+            orca::omp::for_static(1, kN - 2, 1, [&](long long y) {
+              const int yy = static_cast<int>(y);
+              for (int x = 1; x < kN - 1; ++x)
+                u.at(x, yy, zz) += kOmega / 6.0 * rsd.at(x, yy, zz) * 0.5;
+            });
+          }
+        },
+        threads);
+
+    // Region: upper_sweep — backward relaxation.
+    orca::omp::parallel(
+        [&](int) {
+          for (int zz = kN - 2; zz >= 1; --zz) {
+            orca::omp::for_static(1, kN - 2, 1, [&](long long y) {
+              const int yy = static_cast<int>(y);
+              for (int x = kN - 2; x >= 1; --x)
+                u.at(x, yy, zz) += kOmega / 6.0 * rsd.at(x, yy, zz) * 0.5;
+            });
+          }
+        },
+        threads);
+  }
+
+  // Region: error_norm.
+  const double err = orca::omp::parallel_reduce(
+      1, kN - 2, 0.0, [](double a, double b) { return a + b; },
+      [&](long long z) {
+        const int zz = static_cast<int>(z);
+        double s = 0;
+        for (int y = 1; y < kN - 1; ++y)
+          for (int x = 1; x < kN - 1; ++x) {
+            const double d = u.at(x, y, zz) - lu_exact(x, y, zz);
+            s += d * d;
+          }
+        return s;
+      },
+      threads);
+
+  // Region: pintgr — surface integral; also the calibration region.
+  double pintgr = 0;
+  const auto pintgr_region = [&] {
+    pintgr = orca::omp::parallel_reduce(
+        1, kN - 2, 0.0, [](double a, double b) { return a + b; },
+        [&](long long y) {
+          double s = 0;
+          for (int x = 1; x < kN - 1; ++x)
+            s += u.at(x, static_cast<int>(y), kN / 2);
+          return s;
+        },
+        threads);
+  };
+  pintgr_region();
+  detail::top_up(counter, target, pintgr_region);
+
+  return detail::finish("LU", counter, sw, std::sqrt(err) + pintgr);
+}
+
+// ---------------------------------------------------------------------------
+// LU-HP (hyperplane sweeps)
+// ---------------------------------------------------------------------------
+
+BenchResult run_lu_hp(const NpbOptions& opts) {
+  detail::RegionCounter counter;
+  Stopwatch sw;
+
+  constexpr int kN = 12;                  // interior 1..kN-2
+  constexpr int kFirstPlane = 3;          // min of i+j+k over the interior
+  constexpr int kLastPlane = 3 * (kN - 2);// max of i+j+k over the interior
+  const int planes = kLastPlane - kFirstPlane + 1;
+  const int per_iter = 5 + 2 * planes;    // rhs, jacld, jacu, add, l2norm
+                                          // + one region per wavefront/sweep
+  const std::uint64_t target = scaled_target(298959, opts.scale);
+  const int niter = std::max(
+      1, static_cast<int>((target > 9 ? target - 9 : 1) /
+                          static_cast<std::uint64_t>(per_iter)));
+  const int threads = opts.num_threads;
+
+  Grid3 u(kN, kN, kN);
+  Grid3 rsd(kN, kN, kN);
+  Grid3 frct(kN, kN, kN);
+  Grid3 diag(kN, kN, kN);
+  std::vector<double> exact_cache(static_cast<std::size_t>(kN) * kN * kN);
+
+  const auto cache_at = [&](int x, int y, int z) -> double& {
+    return exact_cache[(static_cast<std::size_t>(z) * kN + y) * kN + x];
+  };
+
+  // Region: init_grid.
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::for_static(0, kN - 1, 1, [&](long long z) {
+          for (int y = 0; y < kN; ++y)
+            for (int x = 0; x < kN; ++x) {
+              u.at(x, y, static_cast<int>(z)) = 0;
+              rsd.at(x, y, static_cast<int>(z)) = 0;
+            }
+        });
+      },
+      threads);
+
+  // Region: exact_sol_cache.
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::for_static(0, kN - 1, 1, [&](long long z) {
+          for (int y = 0; y < kN; ++y)
+            for (int x = 0; x < kN; ++x)
+              cache_at(x, y, static_cast<int>(z)) =
+                  lu_exact(x, y, static_cast<int>(z));
+        });
+      },
+      threads);
+
+  // Region: setbv.
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::for_static(0, kN - 1, 1, [&](long long z) {
+          const int zz = static_cast<int>(z);
+          for (int y = 0; y < kN; ++y)
+            for (int x = 0; x < kN; ++x)
+              if (x == 0 || y == 0 || zz == 0 || x == kN - 1 ||
+                  y == kN - 1 || zz == kN - 1)
+                u.at(x, y, zz) = cache_at(x, y, zz);
+        });
+      },
+      threads);
+
+  // Region: setiv.
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::for_static(1, kN - 2, 1, [&](long long z) {
+          const int zz = static_cast<int>(z);
+          for (int y = 1; y < kN - 1; ++y)
+            for (int x = 1; x < kN - 1; ++x)
+              u.at(x, y, zz) = 0.75 * cache_at(x, y, zz);
+        });
+      },
+      threads);
+
+  // Region: erhs.
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::for_static(1, kN - 2, 1, [&](long long z) {
+          const int zz = static_cast<int>(z);
+          for (int y = 1; y < kN - 1; ++y)
+            for (int x = 1; x < kN - 1; ++x)
+              frct.at(x, y, zz) = 6.0 * cache_at(x, y, zz) -
+                                  cache_at(x - 1, y, zz) -
+                                  cache_at(x + 1, y, zz) -
+                                  cache_at(x, y - 1, zz) -
+                                  cache_at(x, y + 1, zz) -
+                                  cache_at(x, y, zz - 1) -
+                                  cache_at(x, y, zz + 1);
+        });
+      },
+      threads);
+
+  // Region: init_workarrays.
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::for_static(0, kN - 1, 1, [&](long long z) {
+          for (int y = 0; y < kN; ++y)
+            for (int x = 0; x < kN; ++x)
+              diag.at(x, y, static_cast<int>(z)) = 6.0;
+        });
+      },
+      threads);
+
+  /// One wavefront of a triangular sweep: all interior cells with
+  /// i+j+k == plane are independent; parallelize over j.
+  const auto sweep_plane = [&](int plane, double sign) {
+    const int j_lo = std::max(1, plane - 2 * (kN - 2));
+    const int j_hi = std::min(kN - 2, plane - 2);
+    if (j_lo > j_hi) return;
+    orca::omp::for_static(j_lo, j_hi, 1, [&](long long j) {
+      const int jj = static_cast<int>(j);
+      const int k_lo = std::max(1, plane - jj - (kN - 2));
+      const int k_hi = std::min(kN - 2, plane - jj - 1);
+      for (int k = k_lo; k <= k_hi; ++k) {
+        const int i = plane - jj - k;
+        if (i < 1 || i > kN - 2) continue;
+        u.at(i, jj, k) +=
+            sign * kOmega * rsd.at(i, jj, k) / diag.at(i, jj, k) * 0.5;
+      }
+    });
+  };
+
+  double norm = 0;
+  const auto l2norm = [&] {
+    norm = orca::omp::parallel_reduce(
+        1, kN - 2, 0.0, [](double a, double b) { return a + b; },
+        [&](long long z) {
+          const int zz = static_cast<int>(z);
+          double s = 0;
+          for (int y = 1; y < kN - 1; ++y)
+            for (int x = 1; x < kN - 1; ++x)
+              s += rsd.at(x, y, zz) * rsd.at(x, y, zz);
+          return s;
+        },
+        threads);
+  };
+
+  for (int step = 0; step < niter; ++step) {
+    // Region: compute_rhs.
+    orca::omp::parallel(
+        [&](int) {
+          orca::omp::for_static(1, kN - 2, 1, [&](long long z) {
+            const int zz = static_cast<int>(z);
+            for (int y = 1; y < kN - 1; ++y)
+              for (int x = 1; x < kN - 1; ++x)
+                rsd.at(x, y, zz) =
+                    frct.at(x, y, zz) -
+                    (6.0 * u.at(x, y, zz) - u.at(x - 1, y, zz) -
+                     u.at(x + 1, y, zz) - u.at(x, y - 1, zz) -
+                     u.at(x, y + 1, zz) - u.at(x, y, zz - 1) -
+                     u.at(x, y, zz + 1));
+          });
+        },
+        threads);
+
+    // Region: jacld — lower-sweep jacobian diagonal refresh.
+    orca::omp::parallel(
+        [&](int) {
+          orca::omp::for_static(1, kN - 2, 1, [&](long long z) {
+            const int zz = static_cast<int>(z);
+            for (int y = 1; y < kN - 1; ++y)
+              for (int x = 1; x < kN - 1; ++x)
+                diag.at(x, y, zz) = 6.0 + 0.01 * rsd.at(x, y, zz);
+          });
+        },
+        threads);
+
+    // Region: blts_hp — ONE PARALLEL REGION PER HYPERPLANE, forward.
+    for (int plane = kFirstPlane; plane <= kLastPlane; ++plane) {
+      orca::omp::parallel([&](int) { sweep_plane(plane, +1.0); }, threads);
+    }
+
+    // Region: jacu — upper-sweep jacobian refresh.
+    orca::omp::parallel(
+        [&](int) {
+          orca::omp::for_static(1, kN - 2, 1, [&](long long z) {
+            const int zz = static_cast<int>(z);
+            for (int y = 1; y < kN - 1; ++y)
+              for (int x = 1; x < kN - 1; ++x)
+                diag.at(x, y, zz) = 6.0 + 0.005 * rsd.at(x, y, zz);
+          });
+        },
+        threads);
+
+    // Region: buts_hp — one region per hyperplane, backward.
+    for (int plane = kLastPlane; plane >= kFirstPlane; --plane) {
+      orca::omp::parallel([&](int) { sweep_plane(plane, +1.0); }, threads);
+    }
+
+    // Region: add — fold the relaxation into the solution (identity here;
+    // the sweeps already updated u, this region applies the SSOR scaling).
+    orca::omp::parallel(
+        [&](int) {
+          orca::omp::for_static(1, kN - 2, 1, [&](long long z) {
+            const int zz = static_cast<int>(z);
+            for (int y = 1; y < kN - 1; ++y)
+              for (int x = 1; x < kN - 1; ++x)
+                u.at(x, y, zz) = 0.999 * u.at(x, y, zz) +
+                                 0.001 * cache_at(x, y, zz);
+          });
+        },
+        threads);
+
+    // Region: l2norm.
+    l2norm();
+  }
+
+  // Region: error_norm.
+  const double err = orca::omp::parallel_reduce(
+      1, kN - 2, 0.0, [](double a, double b) { return a + b; },
+      [&](long long z) {
+        const int zz = static_cast<int>(z);
+        double s = 0;
+        for (int y = 1; y < kN - 1; ++y)
+          for (int x = 1; x < kN - 1; ++x) {
+            const double d = u.at(x, y, zz) - cache_at(x, y, zz);
+            s += d * d;
+          }
+        return s;
+      },
+      threads);
+
+  // Region: pintgr.
+  const double pintgr = orca::omp::parallel_reduce(
+      1, kN - 2, 0.0, [](double a, double b) { return a + b; },
+      [&](long long y) {
+        double s = 0;
+        for (int x = 1; x < kN - 1; ++x)
+          s += u.at(x, static_cast<int>(y), kN / 2);
+        return s;
+      },
+      threads);
+
+  // Region: verify — also the calibration region.
+  double verify_value = 0;
+  const auto verify = [&] {
+    verify_value = orca::omp::parallel_reduce(
+        1, kN - 2, 0.0, [](double a, double b) { return a + b; },
+        [&](long long z) {
+          double s = 0;
+          for (int y = 1; y < kN - 1; ++y)
+            s += u.at(kN / 2, y, static_cast<int>(z));
+          return s;
+        },
+        threads);
+  };
+  verify();
+  detail::top_up(counter, target, verify);
+
+  return detail::finish("LU-HP", counter, sw,
+                        std::sqrt(err) + norm + pintgr + verify_value);
+}
+
+}  // namespace orca::npb

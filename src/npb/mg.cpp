@@ -1,0 +1,240 @@
+/// MG analog — V-cycle multigrid on a 3-D Poisson problem.
+///
+/// Weighted-Jacobi smoothing (psinv), residual evaluation (resid),
+/// full-weighting restriction (rprj3), and trilinear-ish prolongation
+/// (interp) over a 32³→2³ grid hierarchy. Region schedule calibrated to
+/// Table I: 10 distinct regions, 1281 invocations.
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "npb/internal.hpp"
+#include "npb/kernels.hpp"
+#include "translate/omp.hpp"
+
+namespace orca::npb {
+namespace {
+
+constexpr int kTop = 32;  // finest grid size per dimension
+
+int levels_for(int n) {
+  int levels = 1;
+  while (n > 2) {
+    n /= 2;
+    ++levels;
+  }
+  return levels;
+}
+
+}  // namespace
+
+BenchResult run_mg(const NpbOptions& opts) {
+  detail::RegionCounter counter;
+  Stopwatch sw;
+
+  const int levels = levels_for(kTop);  // 32,16,8,4,2 -> 5
+  // Per V-cycle: (resid + rprj3) on the way down, the bottom psinv, then
+  // (interp + resid + psinv) on the way up, plus one norm2u3.
+  const int per_iter = 2 * (levels - 1) + 1 + 3 * (levels - 1) + 1;
+  const std::uint64_t target = scaled_target(1281, opts.scale);
+  const int niter = std::max(
+      1, static_cast<int>((target > 10 ? target - 10 : 1) /
+                          static_cast<std::uint64_t>(per_iter)));
+  const int threads = opts.num_threads;
+
+  std::vector<Grid3> u;
+  std::vector<Grid3> r;
+  std::vector<Grid3> v;  // right-hand side per level (only finest used)
+  for (int l = 0, n = kTop; l < levels; ++l, n /= 2) {
+    u.emplace_back(n, n, n);
+    r.emplace_back(n, n, n);
+    v.emplace_back(n, n, n);
+  }
+
+  /// Interior sweep at level `l`.
+  const auto interior = [&](int l, auto&& cell) {
+    const int n = u[static_cast<std::size_t>(l)].nx();
+    orca::omp::for_static(1, n - 2, 1, [&](long long z) {
+      for (int y = 1; y < n - 1; ++y)
+        for (int x = 1; x < n - 1; ++x) cell(x, y, static_cast<int>(z));
+    });
+  };
+
+  // Region: zero3 — clear all levels.
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::for_static(0, levels - 1, 1, [&](long long l) {
+          u[static_cast<std::size_t>(l)].fill(0);
+          r[static_cast<std::size_t>(l)].fill(0);
+        });
+      },
+      threads);
+
+  // Region: zran3 — sparse ±1 charges on the finest grid (NPB's random
+  // charge initialization).
+  orca::omp::parallel(
+      [&](int) {
+        const int n = kTop;
+        orca::omp::for_static(1, n - 2, 1, [&](long long z) {
+          for (int y = 1; y < n - 1; ++y)
+            for (int x = 1; x < n - 1; ++x) {
+              const std::uint64_t h = SplitMix64::at(
+                  12345, static_cast<std::uint64_t>((z * n + y) * n + x));
+              if ((h & 1023u) == 0) {
+                v[0].at(x, y, static_cast<int>(z)) = (h & 1024u) ? 1.0 : -1.0;
+              }
+            }
+        });
+      },
+      threads);
+
+  // Region: setup_grid — smoothing coefficients cache (level scales).
+  std::vector<double> scale_of(static_cast<std::size_t>(levels), 1.0);
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::single([&] {
+          for (int l = 0; l < levels; ++l) {
+            scale_of[static_cast<std::size_t>(l)] = 1.0 / (1 << l);
+          }
+        });
+      },
+      threads);
+
+  // Region: resid_init — initial residual r = v - A u (u = 0).
+  orca::omp::parallel(
+      [&](int) {
+        interior(0, [&](int x, int y, int z) {
+          r[0].at(x, y, z) = v[0].at(x, y, z);
+        });
+      },
+      threads);
+
+  const auto resid = [&](int l) {
+    orca::omp::parallel(
+        [&](int) {
+          Grid3& ul = u[static_cast<std::size_t>(l)];
+          Grid3& rl = r[static_cast<std::size_t>(l)];
+          Grid3& vl = v[static_cast<std::size_t>(l)];
+          interior(l, [&](int x, int y, int z) {
+            rl.at(x, y, z) =
+                vl.at(x, y, z) -
+                (6.0 * ul.at(x, y, z) - ul.at(x - 1, y, z) -
+                 ul.at(x + 1, y, z) - ul.at(x, y - 1, z) -
+                 ul.at(x, y + 1, z) - ul.at(x, y, z - 1) -
+                 ul.at(x, y, z + 1));
+          });
+        },
+        threads);
+  };
+
+  const auto psinv = [&](int l) {
+    orca::omp::parallel(
+        [&](int) {
+          Grid3& ul = u[static_cast<std::size_t>(l)];
+          Grid3& rl = r[static_cast<std::size_t>(l)];
+          const double w = 0.6 * scale_of[static_cast<std::size_t>(l)] + 0.2;
+          interior(l, [&](int x, int y, int z) {
+            ul.at(x, y, z) += w * rl.at(x, y, z) / 6.0;
+          });
+        },
+        threads);
+  };
+
+  const auto rprj3 = [&](int l) {  // restrict r[l] -> v[l+1]
+    orca::omp::parallel(
+        [&](int) {
+          Grid3& fine = r[static_cast<std::size_t>(l)];
+          Grid3& coarse = v[static_cast<std::size_t>(l + 1)];
+          const int cn = coarse.nx();
+          orca::omp::for_static(1, cn - 2, 1, [&](long long cz) {
+            for (int cy = 1; cy < cn - 1; ++cy)
+              for (int cx = 1; cx < cn - 1; ++cx) {
+                double s = 0;
+                for (int dz = 0; dz < 2; ++dz)
+                  for (int dy = 0; dy < 2; ++dy)
+                    for (int dx = 0; dx < 2; ++dx)
+                      s += fine.at(2 * cx + dx, 2 * cy + dy,
+                                   2 * static_cast<int>(cz) + dz);
+                coarse.at(cx, cy, static_cast<int>(cz)) = 0.125 * s;
+              }
+          });
+        },
+        threads);
+  };
+
+  const auto interp = [&](int l) {  // prolong u[l+1] into u[l]
+    orca::omp::parallel(
+        [&](int) {
+          Grid3& coarse = u[static_cast<std::size_t>(l + 1)];
+          Grid3& fine = u[static_cast<std::size_t>(l)];
+          const int cn = coarse.nx();
+          orca::omp::for_static(1, cn - 2, 1, [&](long long cz) {
+            for (int cy = 1; cy < cn - 1; ++cy)
+              for (int cx = 1; cx < cn - 1; ++cx) {
+                const double cval = coarse.at(cx, cy, static_cast<int>(cz));
+                for (int dz = 0; dz < 2; ++dz)
+                  for (int dy = 0; dy < 2; ++dy)
+                    for (int dx = 0; dx < 2; ++dx)
+                      fine.at(2 * cx + dx, 2 * cy + dy,
+                              2 * static_cast<int>(cz) + dz) += cval;
+              }
+          });
+        },
+        threads);
+  };
+
+  double norm = 0;
+  const auto norm2u3 = [&] {
+    norm = orca::omp::parallel_reduce(
+        1, kTop - 2, 0.0, [](double a, double b) { return a + b; },
+        [&](long long z) {
+          double s = 0;
+          for (int y = 1; y < kTop - 1; ++y)
+            for (int x = 1; x < kTop - 1; ++x) {
+              const double val = r[0].at(x, y, static_cast<int>(z));
+              s += val * val;
+            }
+          return s;
+        },
+        threads);
+  };
+
+  for (int it = 0; it < niter; ++it) {
+    // Down-cycle: residual + restrict at each level.
+    for (int l = 0; l < levels - 1; ++l) {
+      resid(l);
+      rprj3(l);
+      u[static_cast<std::size_t>(l + 1)].fill(0);
+    }
+    // Bottom solve: smooth the coarsest level.
+    psinv(levels - 1);
+    // Up-cycle: prolong, re-evaluate residual, smooth.
+    for (int l = levels - 2; l >= 0; --l) {
+      interp(l);
+      resid(l);
+      psinv(l);
+    }
+    norm2u3();
+  }
+
+  // Region: final_norm — also the calibration region.
+  double final_norm_value = 0;
+  const auto final_norm = [&] {
+    final_norm_value = orca::omp::parallel_reduce(
+        1, kTop - 2, 0.0, [](double a, double b) { return a + b; },
+        [&](long long z) {
+          double s = 0;
+          for (int y = 1; y < kTop - 1; ++y)
+            for (int x = 1; x < kTop - 1; ++x)
+              s += std::abs(u[0].at(x, y, static_cast<int>(z)));
+          return s;
+        },
+        threads);
+  };
+  final_norm();
+  detail::top_up(counter, target, final_norm);
+
+  return detail::finish("MG", counter, sw, std::sqrt(norm) + final_norm_value);
+}
+
+}  // namespace orca::npb

@@ -1,0 +1,73 @@
+/// \file multizone.hpp
+/// NPB3.2-MZ-MPI analogs: BT-MZ, LU-MZ, SP-MZ over MiniMPI — the hybrid
+/// MPI+OpenMP workloads of the paper's Table II and Figure 6.
+///
+/// Zones are distributed round-robin over ranks; each time step exchanges
+/// zone boundary data between ranks (MiniMPI) and then advances every
+/// owned zone with the benchmark's per-zone parallel-region schedule. The
+/// per-rank region-call count is calibrated to the paper's Table II value
+/// for each process count (Table II halves as processes double because it
+/// reports per-process region calls):
+///
+///   Benchmark | 1x8    | 2x4    | 4x2    | 8x1
+///   ----------+--------+--------+--------+-------
+///   BT-MZ     | 167616 |  83808 |  41904 | 20952
+///   LU-MZ     |  40353 |  20177 |  10089 |  5045
+///   SP-MZ     | 436672 | 218336 | 109168 | 54584
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "npb/common.hpp"
+
+namespace orca::npb {
+
+/// Configuration of one multi-zone run.
+struct MzOptions {
+  int procs = 1;             ///< MiniMPI ranks ("processes")
+  int threads_per_proc = 8;  ///< OpenMP threads per rank
+  double scale = 1.0;        ///< scales the Table II call target
+
+  /// Per-rank hooks, invoked on the rank thread after it is bound to its
+  /// private runtime (begin) and after the rank's work completes (end).
+  /// The overhead benches use these to attach/detach a collector on each
+  /// rank — mirroring how an LD_PRELOAD'ed tool initializes inside every
+  /// MPI process.
+  std::function<void(int rank)> rank_begin;
+  std::function<void(int rank)> rank_end;
+};
+
+/// Outcome of one multi-zone run.
+struct MzResult {
+  std::string name;
+  int procs = 0;
+  int threads_per_proc = 0;
+  std::uint64_t max_rank_calls = 0;   ///< Table II's per-process number
+  std::uint64_t total_calls = 0;      ///< summed across ranks
+  double checksum = 0;
+  double seconds = 0;
+};
+
+/// Paper Table II row (per-process region calls at each process count).
+struct TableIITarget {
+  const char* name;
+  std::uint64_t calls_1x8;  ///< also the base total; per-process target is
+                            ///< ceil(calls_1x8 / procs)
+};
+
+const std::vector<TableIITarget>& table2_targets();
+
+/// Per-process region-call target for `name` at `procs` processes.
+std::uint64_t table2_target(const std::string& name, int procs);
+
+MzResult run_bt_mz(const MzOptions& opts);
+MzResult run_lu_mz(const MzOptions& opts);
+MzResult run_sp_mz(const MzOptions& opts);
+
+/// Run by name ("BT-MZ", "LU-MZ", "SP-MZ").
+MzResult run_mz_by_name(const std::string& name, const MzOptions& opts);
+
+}  // namespace orca::npb

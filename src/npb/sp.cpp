@@ -1,0 +1,230 @@
+/// SP analog — scalar-pentadiagonal ADI solver.
+///
+/// Same ADI skeleton as BT but with SP's characteristic structure: the
+/// factored line solves are interleaved with pointwise inversion steps
+/// (txinvr, ninvr, pinvr, tzetar in the reference code). Region schedule
+/// calibrated to Table I: 14 distinct regions, 3618 invocations.
+#include <cmath>
+
+#include "npb/internal.hpp"
+#include "npb/kernels.hpp"
+#include "translate/omp.hpp"
+
+namespace orca::npb {
+namespace {
+
+constexpr int kN = 14;
+constexpr double kDt = 0.008;
+constexpr double kDiff = 0.35;
+
+double sp_exact(int x, int y, int z) {
+  return std::cos(0.25 * x) * std::sin(0.15 * y) - 0.05 * z;
+}
+
+template <typename Get, typename Set>
+void sp_line_solve(int n, Get get, Set set) {
+  double c_prime[kN];
+  double d_prime[kN];
+  const double b = 1.0 + 2.0 * kDiff;
+  c_prime[0] = -kDiff / b;
+  d_prime[0] = get(0) / b;
+  for (int i = 1; i < n; ++i) {
+    const double m = b + kDiff * c_prime[i - 1];
+    c_prime[i] = -kDiff / m;
+    d_prime[i] = (get(i) + kDiff * d_prime[i - 1]) / m;
+  }
+  set(n - 1, d_prime[n - 1]);
+  for (int i = n - 2; i >= 0; --i) {
+    set(i, d_prime[i] - c_prime[i] * get(i + 1));
+  }
+}
+
+}  // namespace
+
+BenchResult run_sp(const NpbOptions& opts) {
+  detail::RegionCounter counter;
+  Stopwatch sw;
+
+  const std::uint64_t target = scaled_target(3618, opts.scale);
+  // Schedule: 4 setup + 9*niter + >=1 error_norm (calibration region).
+  const int niter =
+      std::max(1, static_cast<int>((target > 18 ? target - 18 : 1) / 9));
+
+  Grid3 u(kN, kN, kN);
+  Grid3 rhs(kN, kN, kN);
+  Grid3 speed(kN, kN, kN);
+  const int threads = opts.num_threads;
+
+  /// Pointwise sweep over the interior: the shape shared by the
+  /// inversion steps. Each *call site* below is its own parallel region.
+  const auto interior = [&](auto&& cell) {
+    orca::omp::for_static(1, kN - 2, 1, [&](long long z) {
+      for (int y = 1; y < kN - 1; ++y)
+        for (int x = 1; x < kN - 1; ++x) cell(x, y, static_cast<int>(z));
+    });
+  };
+
+  // Region: init_grid.
+  orca::omp::parallel(
+      [&](int) {
+        interior([&](int x, int y, int z) {
+          u.at(x, y, z) = 0;
+          rhs.at(x, y, z) = 0;
+        });
+      },
+      threads);
+
+  // Region: initialize.
+  orca::omp::parallel(
+      [&](int) {
+        interior([&](int x, int y, int z) {
+          u.at(x, y, z) = sp_exact(x, y, z) * 0.85;
+        });
+      },
+      threads);
+
+  // Region: lhsinit — the "speed of sound" coefficients SP factors with.
+  orca::omp::parallel(
+      [&](int) {
+        interior([&](int x, int y, int z) {
+          speed.at(x, y, z) = 1.0 + 0.01 * ((x + y + z) % 5);
+        });
+      },
+      threads);
+
+  // Region: exact_rhs — forcing.
+  Grid3 forcing(kN, kN, kN);
+  orca::omp::parallel(
+      [&](int) {
+        interior([&](int x, int y, int z) {
+          forcing.at(x, y, z) = 6.0 * sp_exact(x, y, z) -
+                                sp_exact(x - 1, y, z) - sp_exact(x + 1, y, z) -
+                                sp_exact(x, y - 1, z) - sp_exact(x, y + 1, z) -
+                                sp_exact(x, y, z - 1) - sp_exact(x, y, z + 1);
+        });
+      },
+      threads);
+
+  for (int step = 0; step < niter; ++step) {
+    // Region: compute_rhs.
+    orca::omp::parallel(
+        [&](int) {
+          interior([&](int x, int y, int z) {
+            rhs.at(x, y, z) =
+                kDt * (forcing.at(x, y, z) - 6.0 * u.at(x, y, z) +
+                       u.at(x - 1, y, z) + u.at(x + 1, y, z) +
+                       u.at(x, y - 1, z) + u.at(x, y + 1, z) +
+                       u.at(x, y, z - 1) + u.at(x, y, z + 1));
+          });
+        },
+        threads);
+
+    // Region: txinvr — scale into characteristic variables.
+    orca::omp::parallel(
+        [&](int) {
+          interior([&](int x, int y, int z) {
+            rhs.at(x, y, z) /= speed.at(x, y, z);
+          });
+        },
+        threads);
+
+    // Region: x_solve.
+    orca::omp::parallel(
+        [&](int) {
+          orca::omp::for_static(0, kN - 1, 1, [&](long long z) {
+            const int zz = static_cast<int>(z);
+            for (int y = 0; y < kN; ++y)
+              sp_line_solve(
+                  kN, [&](int i) { return rhs.at(i, y, zz); },
+                  [&](int i, double v) { rhs.at(i, y, zz) = v; });
+          });
+        },
+        threads);
+
+    // Region: ninvr — back out of x characteristics.
+    orca::omp::parallel(
+        [&](int) {
+          interior([&](int x, int y, int z) {
+            rhs.at(x, y, z) *= std::sqrt(speed.at(x, y, z));
+          });
+        },
+        threads);
+
+    // Region: y_solve.
+    orca::omp::parallel(
+        [&](int) {
+          orca::omp::for_static(0, kN - 1, 1, [&](long long z) {
+            const int zz = static_cast<int>(z);
+            for (int x = 0; x < kN; ++x)
+              sp_line_solve(
+                  kN, [&](int i) { return rhs.at(x, i, zz); },
+                  [&](int i, double v) { rhs.at(x, i, zz) = v; });
+          });
+        },
+        threads);
+
+    // Region: pinvr.
+    orca::omp::parallel(
+        [&](int) {
+          interior([&](int x, int y, int z) {
+            rhs.at(x, y, z) *= std::sqrt(speed.at(x, y, z));
+          });
+        },
+        threads);
+
+    // Region: z_solve.
+    orca::omp::parallel(
+        [&](int) {
+          orca::omp::for_static(0, kN - 1, 1, [&](long long y) {
+            const int yy = static_cast<int>(y);
+            for (int x = 0; x < kN; ++x)
+              sp_line_solve(
+                  kN, [&](int i) { return rhs.at(x, yy, i); },
+                  [&](int i, double v) { rhs.at(x, yy, i) = v; });
+          });
+        },
+        threads);
+
+    // Region: tzetar — final characteristic back-substitution.
+    orca::omp::parallel(
+        [&](int) {
+          interior([&](int x, int y, int z) {
+            rhs.at(x, y, z) /= speed.at(x, y, z);
+          });
+        },
+        threads);
+
+    // Region: add.
+    orca::omp::parallel(
+        [&](int) {
+          interior([&](int x, int y, int z) {
+            u.at(x, y, z) += rhs.at(x, y, z);
+          });
+        },
+        threads);
+  }
+
+  // Region: error_norm (also the calibration region).
+  double err = 0;
+  const auto error_norm = [&] {
+    err = orca::omp::parallel_reduce(
+        1, kN - 2, 0.0, [](double a, double b) { return a + b; },
+        [&](long long z) {
+          const int zz = static_cast<int>(z);
+          double s = 0;
+          for (int y = 1; y < kN - 1; ++y)
+            for (int x = 1; x < kN - 1; ++x) {
+              const double d = u.at(x, y, zz) - sp_exact(x, y, zz);
+              s += d * d;
+            }
+          return s;
+        },
+        threads);
+  };
+  error_norm();
+  detail::top_up(counter, target, error_norm);
+
+  return detail::finish("SP", counter, sw, std::sqrt(err));
+}
+
+}  // namespace orca::npb

@@ -1,0 +1,30 @@
+#include "perf/counter.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace orca::perf {
+namespace {
+
+double calibrate_tsc_hz() {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const std::uint64_t c0 = orca::TscClock::now();
+  // 10 ms window: long enough for <0.1% error, short enough to be an
+  // acceptable one-time startup cost.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const auto t1 = clock::now();
+  const std::uint64_t c1 = orca::TscClock::now();
+  const double seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (seconds <= 0 || c1 <= c0) return 1e9;  // defensive fallback
+  return static_cast<double>(c1 - c0) / seconds;
+}
+
+}  // namespace
+
+double HwTimeCounter::tsc_hz() noexcept {
+  static const double hz = calibrate_tsc_hz();
+  return hz;
+}
+
+}  // namespace orca::perf

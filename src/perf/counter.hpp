@@ -1,0 +1,47 @@
+/// \file counter.hpp
+/// Hardware time-counter abstraction (paper Sec. V: the prototype tool's
+/// callback "stores a sample of a hardware-based time counter").
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.hpp"
+
+namespace orca::perf {
+
+/// Which physical counter backs `HwTimeCounter`.
+enum class CounterSource {
+  kTsc,     ///< raw RDTSC — the paper's hardware counter
+  kSteady,  ///< std::chrono::steady_clock — portable fallback
+};
+
+/// Thin façade over the selected time source with tick→seconds conversion.
+class HwTimeCounter {
+ public:
+  explicit HwTimeCounter(CounterSource source = CounterSource::kTsc) noexcept
+      : source_(source) {}
+
+  std::uint64_t read() const noexcept {
+    return source_ == CounterSource::kTsc ? TscClock::now()
+                                          : SteadyClock::now();
+  }
+
+  CounterSource source() const noexcept { return source_; }
+
+  /// Convert a tick delta to seconds. TSC frequency is calibrated once per
+  /// process against the steady clock (~10 ms of sampling at first use).
+  double to_seconds(std::uint64_t ticks) const noexcept {
+    if (source_ == CounterSource::kSteady) {
+      return static_cast<double>(ticks) * 1e-9;
+    }
+    return static_cast<double>(ticks) / tsc_hz();
+  }
+
+  /// Calibrated TSC frequency in Hz.
+  static double tsc_hz() noexcept;
+
+ private:
+  CounterSource source_;
+};
+
+}  // namespace orca::perf

@@ -1,0 +1,51 @@
+#include "perf/psx.h"
+
+#include <cstring>
+
+#include "perf/counter.hpp"
+#include "unwind/backtrace.hpp"
+#include "unwind/symbolize.hpp"
+
+namespace {
+
+void copy_bounded(char* dst, std::size_t cap, const std::string& src) {
+  const std::size_t n = std::min(cap - 1, src.size());
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+const orca::perf::HwTimeCounter& counter() {
+  static const orca::perf::HwTimeCounter c(orca::perf::CounterSource::kTsc);
+  return c;
+}
+
+}  // namespace
+
+extern "C" {
+
+int psx_callstack_get(const void** ips, int max, int skip) {
+  if (ips == nullptr || max <= 0) return 0;
+  // +1: hide this shim frame as well as the requested skip count.
+  const auto stack = orca::unwind::Callstack::capture(skip + 1);
+  const int n = std::min<int>(max, static_cast<int>(stack.depth()));
+  for (int i = 0; i < n; ++i) ips[i] = stack.frame(static_cast<std::size_t>(i));
+  return n;
+}
+
+int psx_ip_to_source(const void* ip, psx_source_info* out) {
+  if (out == nullptr) return -1;
+  const orca::unwind::SymbolInfo info = orca::unwind::symbolize(ip);
+  copy_bounded(out->symbol, sizeof(out->symbol), info.symbol);
+  copy_bounded(out->file, sizeof(out->file), info.file);
+  out->line = info.line;
+  out->exact = info.resolution == orca::unwind::Resolution::kRegion ? 1 : 0;
+  return info.resolution == orca::unwind::Resolution::kUnknown ? -1 : 0;
+}
+
+unsigned long long psx_timer_read(void) { return counter().read(); }
+
+double psx_timer_seconds(unsigned long long ticks) {
+  return counter().to_seconds(ticks);
+}
+
+}  // extern "C"

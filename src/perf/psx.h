@@ -1,0 +1,43 @@
+/// \file psx.h
+/// The libpsx-style C API (paper Sec. IV-F): the auxiliary-library entry
+/// points "callable by the collector" that expose callstack retrieval and
+/// IP→source mapping. A tool written against this header needs no
+/// knowledge of ORCA's C++ internals — mirroring how PerfSuite's libpsx
+/// extensions were consumable by any ORA collector.
+#ifndef ORCA_PERF_PSX_H
+#define ORCA_PERF_PSX_H
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/// Fill `ips` with up to `max` instruction pointers of the calling
+/// thread's stack (innermost first), skipping `skip` innermost frames.
+/// Returns the number of frames written.
+int psx_callstack_get(const void** ips, int max, int skip);
+
+/// Resolved source info for one instruction pointer.
+typedef struct {
+  char symbol[256];  /**< demangled symbol / region label ("" if unknown) */
+  char file[256];    /**< source file ("" if unknown)                     */
+  unsigned line;     /**< source line (0 if unknown)                      */
+  int exact;         /**< 1 when resolved through region debug info       */
+} psx_source_info;
+
+/// Map `ip` to source coordinates (BFD-equivalent lookup). Returns 0 on
+/// success, -1 when nothing at all could be resolved.
+int psx_ip_to_source(const void* ip, psx_source_info* out);
+
+/// Read the hardware time counter (TSC when available).
+unsigned long long psx_timer_read(void);
+
+/// Convert a tick delta from psx_timer_read to seconds.
+double psx_timer_seconds(unsigned long long ticks);
+
+#ifdef __cplusplus
+}  /* extern "C" */
+#endif
+
+#endif  /* ORCA_PERF_PSX_H */

@@ -1,0 +1,78 @@
+#include "perf/samples.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace orca::perf {
+
+SampleStore::SampleStore(std::size_t threads, std::size_t capacity)
+    : event_buffers_(std::max<std::size_t>(threads, 1)),
+      callstack_slots_(std::max<std::size_t>(threads, 1)) {
+  for (auto& buf : event_buffers_) buf->reserve(capacity);
+}
+
+SampleBuffer& SampleStore::buffer(int tid) noexcept {
+  const auto slot =
+      tid >= 0 ? std::min(static_cast<std::size_t>(tid),
+                          event_buffers_.size() - 1)
+               : 0;
+  return *event_buffers_[slot];
+}
+
+void SampleStore::record_callstack(int tid, CallstackRecord record) {
+  const auto slot =
+      tid >= 0 ? std::min(static_cast<std::size_t>(tid),
+                          callstack_slots_.size() - 1)
+               : 0;
+  CallstackSlot& cs = *callstack_slots_[slot];
+  std::scoped_lock lk(cs.mu);
+  cs.records.push_back(std::move(record));
+}
+
+std::vector<EventSample> SampleStore::merged_samples() const {
+  std::vector<EventSample> out;
+  for (const auto& buf : event_buffers_) {
+    const auto& s = buf->samples();
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const EventSample& a, const EventSample& b) {
+                     return a.ticks < b.ticks;
+                   });
+  return out;
+}
+
+std::vector<CallstackRecord> SampleStore::merged_callstacks() const {
+  std::vector<CallstackRecord> out;
+  for (const auto& slot : callstack_slots_) {
+    std::scoped_lock lk(slot->mu);
+    out.insert(out.end(), slot->records.begin(), slot->records.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const CallstackRecord& a, const CallstackRecord& b) {
+                     return a.ticks < b.ticks;
+                   });
+  return out;
+}
+
+std::uint64_t SampleStore::total_samples() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& buf : event_buffers_) n += buf->samples().size();
+  return n;
+}
+
+std::uint64_t SampleStore::total_dropped() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& buf : event_buffers_) n += buf->dropped();
+  return n;
+}
+
+void SampleStore::clear() {
+  for (auto& buf : event_buffers_) buf->clear();
+  for (auto& slot : callstack_slots_) {
+    std::scoped_lock lk(slot->mu);
+    slot->records.clear();
+  }
+}
+
+}  // namespace orca::perf

@@ -1,0 +1,36 @@
+/// \file trace.hpp
+/// On-disk trace spill and reload.
+///
+/// The paper's workflow is two-phase: the collector records raw samples
+/// online, and "reconstructing the callstack to provide a user view of the
+/// program is done offline after the application finishes" (Sec. IV).
+/// This module is the boundary between the phases: a compact binary trace
+/// containing event samples and callstack records, plus a CSV export for
+/// human inspection.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perf/samples.hpp"
+
+namespace orca::perf {
+
+/// Complete content of one trace file.
+struct TraceData {
+  std::vector<EventSample> samples;
+  std::vector<CallstackRecord> callstacks;
+};
+
+/// Write `data` to `path` in the ORCA binary trace format (magic
+/// "ORCATRC1"). Returns false on I/O failure.
+bool write_trace(const std::string& path, const TraceData& data);
+
+/// Read a trace produced by write_trace. Returns false on I/O failure or a
+/// malformed/mismatched header.
+bool read_trace(const std::string& path, TraceData* out);
+
+/// Export samples as CSV ("ticks,event,tid,region_id") for inspection.
+bool write_csv(const std::string& path, const std::vector<EventSample>& samples);
+
+}  // namespace orca::perf

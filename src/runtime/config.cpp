@@ -1,0 +1,59 @@
+#include "runtime/config.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/env.hpp"
+
+namespace orca::rt {
+
+ScheduleSpec RuntimeConfig::parse_schedule(const std::string& text) {
+  ScheduleSpec spec;
+  const auto parts = env::split(text, ',');
+  if (parts.empty() || parts[0].empty()) return spec;
+
+  std::string kind;
+  kind.reserve(parts[0].size());
+  for (char c : parts[0]) kind.push_back(static_cast<char>(std::tolower(c)));
+
+  if (kind == "static") {
+    spec.kind = Schedule::kStaticEven;
+  } else if (kind == "dynamic") {
+    spec.kind = Schedule::kDynamic;
+  } else if (kind == "guided") {
+    spec.kind = Schedule::kGuided;
+  } else {
+    return spec;  // unknown kind: keep defaults, ignore any chunk
+  }
+
+  if (parts.size() > 1 && !parts[1].empty()) {
+    char* end = nullptr;
+    const long chunk = std::strtol(parts[1].c_str(), &end, 10);
+    if (end != parts[1].c_str() && chunk > 0) {
+      spec.chunk = chunk;
+      if (spec.kind == Schedule::kStaticEven) spec.kind = Schedule::kStaticChunked;
+    }
+  }
+  return spec;
+}
+
+RuntimeConfig RuntimeConfig::from_env() {
+  RuntimeConfig cfg;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  cfg.num_threads = env::get_int("OMP_NUM_THREADS", static_cast<int>(hw));
+  cfg.num_threads = std::max(1, cfg.num_threads);
+  cfg.max_threads = std::max(
+      cfg.num_threads, env::get_int("OMP_THREAD_LIMIT", cfg.max_threads));
+  cfg.nested = env::get_bool("OMP_NESTED", cfg.nested);
+  cfg.atomic_events = env::get_bool("ORCA_ATOMIC_EVENTS", cfg.atomic_events);
+  cfg.ordered_events = env::get_bool("ORCA_ORDERED_EVENTS", cfg.ordered_events);
+  cfg.tasking = env::get_bool("ORCA_TASKING", cfg.tasking);
+  cfg.per_thread_queues =
+      env::get_bool("ORCA_PER_THREAD_QUEUES", cfg.per_thread_queues);
+  if (const auto sched = env::get("OMP_SCHEDULE")) {
+    cfg.runtime_schedule = parse_schedule(*sched);
+  }
+  return cfg;
+}
+
+}  // namespace orca::rt

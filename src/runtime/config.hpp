@@ -1,0 +1,74 @@
+/// \file config.hpp
+/// Runtime internal control variables (ICVs) and ORCA tuning knobs.
+#pragma once
+
+#include <string>
+
+namespace orca::rt {
+
+/// Loop schedule kinds understood by the worksharing layer. The *_EVEN
+/// value mirrors OpenUH's `OMP_STATIC_EVEN` (block distribution computed by
+/// `__ompc_static_init_4` in the paper's Fig. 2).
+enum class Schedule : int {
+  kStaticEven = 1,   ///< one contiguous block per thread
+  kStaticChunked = 2,///< block-cyclic with a fixed chunk
+  kDynamic = 3,      ///< first-come-first-served chunks
+  kGuided = 4,       ///< exponentially shrinking chunks
+  kRuntime = 5,      ///< take kind+chunk from OMP_SCHEDULE
+};
+
+/// Parsed OMP_SCHEDULE value.
+struct ScheduleSpec {
+  Schedule kind = Schedule::kStaticEven;
+  long chunk = 0;  ///< 0 = unspecified (scheduler picks)
+};
+
+/// Construction-time configuration of a `Runtime` instance.
+///
+/// Defaults replicate the paper's OpenUH runtime: nested parallel regions
+/// serialized, atomic wait events not generated, states always tracked.
+struct RuntimeConfig {
+  /// Default team size for parallel regions (OMP_NUM_THREADS).
+  int num_threads = 4;
+
+  /// Hard cap on pool size; forks request at most this many threads.
+  int max_threads = 64;
+
+  /// True nested parallelism. OpenUH serialized nested regions ("our
+  /// compiler currently serializes nested parallel regions"); enabling this
+  /// turns on the paper's future-work behaviour: real nested teams, nested
+  /// FORK/JOIN events, and parent-region-id tracking.
+  bool nested = false;
+
+  /// Generate THR_ATWT_STATE and the atomic wait events from the
+  /// lock-fallback atomic path. OpenUH left these unimplemented
+  /// (Sec. IV-C7); ORCA implements them behind this flag.
+  bool atomic_events = false;
+
+  /// Generate ordered-section wait events (optional in the spec).
+  bool ordered_events = true;
+
+  /// OpenMP 3.0 explicit tasking (`orca::omp::task` / `taskwait`) and the
+  /// ORCA_EVENT_TASK_* extension events — the paper's future work
+  /// ("extend the interface to handle the constructs in the recent OpenMP
+  /// 3.0 standard"). With tasking off, task bodies run undeferred and the
+  /// extension events are unsupported, mirroring OpenUH 2009.
+  bool tasking = true;
+
+  /// Route collector requests through per-thread queues (the paper's
+  /// design) or one global queue (the ablation baseline, Sec. IV-B).
+  bool per_thread_queues = true;
+
+  /// Schedule applied when a loop asks for Schedule::kRuntime.
+  ScheduleSpec runtime_schedule{};
+
+  /// Read OMP_NUM_THREADS, OMP_SCHEDULE, OMP_NESTED, OMP_THREAD_LIMIT and
+  /// the ORCA_* extension variables.
+  static RuntimeConfig from_env();
+
+  /// Parse an OMP_SCHEDULE string such as "dynamic,4" or "guided".
+  /// Unrecognized strings yield the static-even default.
+  static ScheduleSpec parse_schedule(const std::string& text);
+};
+
+}  // namespace orca::rt

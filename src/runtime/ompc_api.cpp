@@ -1,0 +1,337 @@
+/// \file ompc_api.cpp
+/// C ABI shims: every entry point resolves the calling thread's current
+/// runtime and descriptor, then forwards to the C++ implementation.
+#include "runtime/ompc_api.h"
+
+#include <chrono>
+#include <new>
+#include <thread>
+
+#include "collector/api.h"
+#include "common/clock.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using orca::rt::OmpLock;
+using orca::rt::OmpNestLock;
+using orca::rt::Runtime;
+using orca::rt::Schedule;
+using orca::rt::ThreadDescriptor;
+
+static_assert(sizeof(OmpLock) <= sizeof(omp_lock_t),
+              "omp_lock_t opaque storage too small");
+static_assert(sizeof(OmpNestLock) <= sizeof(omp_nest_lock_t),
+              "omp_nest_lock_t opaque storage too small");
+
+OmpLock& as_lock(omp_lock_t* lock) {
+  return *std::launder(reinterpret_cast<OmpLock*>(lock));
+}
+OmpNestLock& as_nest_lock(omp_nest_lock_t* lock) {
+  return *std::launder(reinterpret_cast<OmpNestLock*>(lock));
+}
+
+Schedule to_schedule(int schedtype) {
+  switch (schedtype) {
+    case ORCA_SCHED_STATIC_CHUNKED: return Schedule::kStaticChunked;
+    case ORCA_SCHED_DYNAMIC: return Schedule::kDynamic;
+    case ORCA_SCHED_GUIDED: return Schedule::kGuided;
+    case ORCA_SCHED_RUNTIME: return Schedule::kRuntime;
+    default: return Schedule::kStaticEven;
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+void __ompc_fork(int num_threads, orca_microtask_t task, void* frame) {
+  Runtime::current().fork(task, frame, num_threads);
+}
+
+int __ompc_get_global_thread_num(void) {
+  return Runtime::current().self_or_serial().gtid;
+}
+
+int __ompc_get_local_thread_num(void) {
+  return Runtime::current().thread_num();
+}
+
+int __ompc_static_init_4(int gtid, int schedtype, int* plower, int* pupper,
+                         int* pstride, int incr, int chunk) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  long lower = *plower;
+  long upper = *pupper;
+  long stride = 0;
+  const bool has_work =
+      rt.static_init(rt.self_or_serial(), to_schedule(schedtype), &lower,
+                     &upper, &stride, incr, chunk);
+  *plower = static_cast<int>(lower);
+  *pupper = static_cast<int>(upper);
+  *pstride = static_cast<int>(stride);
+  return has_work ? 1 : 0;
+}
+
+int __ompc_static_init_8(int gtid, int schedtype, long long* plower,
+                         long long* pupper, long long* pstride, long long incr,
+                         long long chunk) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  long lower = static_cast<long>(*plower);
+  long upper = static_cast<long>(*pupper);
+  long stride = 0;
+  const bool has_work =
+      rt.static_init(rt.self_or_serial(), to_schedule(schedtype), &lower,
+                     &upper, &stride, static_cast<long>(incr),
+                     static_cast<long>(chunk));
+  *plower = lower;
+  *pupper = upper;
+  *pstride = stride;
+  return has_work ? 1 : 0;
+}
+
+void __ompc_scheduler_init_4(int gtid, int schedtype, int lower, int upper,
+                             int incr, int chunk) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  rt.scheduler_init(rt.self_or_serial(), to_schedule(schedtype), lower, upper,
+                    incr, chunk);
+}
+
+void __ompc_scheduler_init_8(int gtid, int schedtype, long long lower,
+                             long long upper, long long incr, long long chunk) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  rt.scheduler_init(rt.self_or_serial(), to_schedule(schedtype),
+                    static_cast<long>(lower), static_cast<long>(upper),
+                    static_cast<long>(incr), static_cast<long>(chunk));
+}
+
+int __ompc_schedule_next_4(int gtid, int* plower, int* pupper) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  long lower = 0;
+  long upper = 0;
+  if (!rt.schedule_next(rt.self_or_serial(), &lower, &upper)) return 0;
+  *plower = static_cast<int>(lower);
+  *pupper = static_cast<int>(upper);
+  return 1;
+}
+
+int __ompc_schedule_next_8(int gtid, long long* plower, long long* pupper) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  long lower = 0;
+  long upper = 0;
+  if (!rt.schedule_next(rt.self_or_serial(), &lower, &upper)) return 0;
+  *plower = lower;
+  *pupper = upper;
+  return 1;
+}
+
+int __ompc_single(int gtid) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  return rt.single_begin(rt.self_or_serial()) ? 1 : 0;
+}
+
+void __ompc_end_single(int gtid, int executed) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  rt.single_end(rt.self_or_serial(), executed != 0);
+}
+
+int __ompc_master(int gtid) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  return rt.master_begin(rt.self_or_serial()) ? 1 : 0;
+}
+
+void __ompc_end_master(int gtid) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  rt.master_end(rt.self_or_serial());
+}
+
+void __ompc_ordered(int gtid, long long iteration) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  rt.ordered_begin(rt.self_or_serial(), static_cast<long>(iteration));
+}
+
+void __ompc_end_ordered(int gtid) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  rt.ordered_end(rt.self_or_serial());
+}
+
+void __ompc_task(int gtid, void (*fn)(void*), void* arg) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  rt.task_spawn(rt.self_or_serial(), [fn, arg] { fn(arg); });
+}
+
+void __ompc_taskwait(int gtid) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  rt.taskwait(rt.self_or_serial());
+}
+
+void __ompc_barrier(void) {
+  Runtime& rt = Runtime::current();
+  rt.explicit_barrier(rt.self_or_serial());
+}
+
+void __ompc_ibarrier(void) {
+  Runtime& rt = Runtime::current();
+  rt.implicit_barrier(rt.self_or_serial());
+}
+
+void __ompc_critical(int gtid, void** lck) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  rt.critical_begin(rt.self_or_serial(),
+                    reinterpret_cast<orca::rt::orca_lock_word*>(lck));
+}
+
+void __ompc_end_critical(int gtid, void** lck) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  rt.critical_end(rt.self_or_serial(),
+                  reinterpret_cast<orca::rt::orca_lock_word*>(lck));
+}
+
+void __ompc_reduction(int gtid, void** lck) {
+  (void)gtid;
+  (void)lck;  // the team's dedicated reduction lock is used (paper IV-C5)
+  Runtime& rt = Runtime::current();
+  rt.reduction_begin(rt.self_or_serial());
+}
+
+void __ompc_end_reduction(int gtid, void** lck) {
+  (void)gtid;
+  (void)lck;
+  Runtime& rt = Runtime::current();
+  rt.reduction_end(rt.self_or_serial());
+}
+
+void __ompc_atomic(int gtid) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  rt.atomic_begin(rt.self_or_serial());
+}
+
+void __ompc_end_atomic(int gtid) {
+  (void)gtid;
+  Runtime& rt = Runtime::current();
+  rt.atomic_end(rt.self_or_serial());
+}
+
+void __ompc_event(int event) {
+  Runtime::current().event(static_cast<OMP_COLLECTORAPI_EVENT>(event));
+}
+
+void __ompc_set_state(int state) {
+  Runtime::current().self_or_serial().set_state(
+      static_cast<OMP_COLLECTOR_API_THR_STATE>(state));
+}
+
+void* __ompc_get_current_region_fn(void) {
+  const orca::rt::TeamDescriptor* team =
+      Runtime::current().self_or_serial().team;
+  while (team != nullptr && !team->is_parallel) team = team->parent_team;
+  return team != nullptr ? reinterpret_cast<void*>(team->fn) : nullptr;
+}
+
+int __omp_collector_api(void* arg) {
+  return Runtime::current().collector_api(arg);
+}
+
+int omp_collector_api(void* arg) { return __omp_collector_api(arg); }
+
+/* --- user-level API ---------------------------------------------------------- */
+
+int omp_get_thread_num(void) { return Runtime::current().thread_num(); }
+
+int omp_get_num_threads(void) { return Runtime::current().num_threads(); }
+
+int omp_get_max_threads(void) { return Runtime::current().max_threads(); }
+
+void omp_set_num_threads(int n) { Runtime::current().set_num_threads(n); }
+
+int omp_in_parallel(void) { return Runtime::current().in_parallel() ? 1 : 0; }
+
+int omp_get_num_procs(void) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+double omp_get_wtime(void) { return orca::wall_seconds(); }
+
+double omp_get_wtick(void) {
+  // steady_clock resolution: one tick of the underlying period.
+  return static_cast<double>(std::chrono::steady_clock::period::num) /
+         static_cast<double>(std::chrono::steady_clock::period::den);
+}
+
+int omp_get_nested(void) {
+  return Runtime::current().config().nested ? 1 : 0;
+}
+
+void omp_set_nested(int enabled) {
+  Runtime::current().set_nested(enabled != 0);
+}
+
+int omp_get_dynamic(void) {
+  return 0;  // ORCA never adjusts team sizes behind the program's back
+}
+
+void omp_set_dynamic(int enabled) {
+  (void)enabled;  // accepted and ignored, like many 2009-era runtimes
+}
+
+void omp_init_lock(omp_lock_t* lock) {
+  new (lock) OmpLock();
+}
+
+void omp_destroy_lock(omp_lock_t* lock) {
+  Runtime::current().lock_destroy(as_lock(lock));
+  as_lock(lock).~OmpLock();
+}
+
+void omp_set_lock(omp_lock_t* lock) {
+  Runtime& rt = Runtime::current();
+  rt.lock_acquire(rt.self_or_serial(), as_lock(lock));
+}
+
+void omp_unset_lock(omp_lock_t* lock) {
+  Runtime& rt = Runtime::current();
+  rt.lock_release(rt.self_or_serial(), as_lock(lock));
+}
+
+int omp_test_lock(omp_lock_t* lock) {
+  Runtime& rt = Runtime::current();
+  return rt.lock_test(rt.self_or_serial(), as_lock(lock)) ? 1 : 0;
+}
+
+void omp_init_nest_lock(omp_nest_lock_t* lock) {
+  new (lock) OmpNestLock();
+}
+
+void omp_destroy_nest_lock(omp_nest_lock_t* lock) {
+  Runtime::current().nest_lock_destroy(as_nest_lock(lock));
+  as_nest_lock(lock).~OmpNestLock();
+}
+
+void omp_set_nest_lock(omp_nest_lock_t* lock) {
+  Runtime& rt = Runtime::current();
+  rt.nest_lock_acquire(rt.self_or_serial(), as_nest_lock(lock));
+}
+
+void omp_unset_nest_lock(omp_nest_lock_t* lock) {
+  Runtime& rt = Runtime::current();
+  rt.nest_lock_release(rt.self_or_serial(), as_nest_lock(lock));
+}
+
+}  // extern "C"

@@ -1,0 +1,168 @@
+/// \file ompc_api.h
+/// The C ABI of the ORCA OpenMP runtime — the entry points that compiled
+/// OpenMP code calls.
+///
+/// These mirror the OpenUH runtime calls shown in the paper's Fig. 2
+/// (`__ompc_fork`, `__ompc_static_init_4`, `__ompc_reduction`,
+/// `__ompc_ibarrier`, ...) plus the user-level OpenMP library routines.
+/// The `orca/translate` header layer ("the compiler") emits exactly these
+/// calls; hand-written "outlined" code can call them directly, as the
+/// paper's Fig. 2 listing does.
+///
+/// Every function operates on the calling thread's *current runtime*
+/// (thread-local binding, defaulting to the process-global runtime).
+#ifndef ORCA_RUNTIME_OMPC_API_H
+#define ORCA_RUNTIME_OMPC_API_H
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/// Outlined parallel-region procedure (paper Fig. 2's `__ompdo_main1`):
+/// receives the executing thread's global id and the frame pointer that
+/// carries shared variables.
+typedef void (*orca_microtask_t)(int gtid, void* frame);
+
+/// Schedule kinds accepted by the worksharing entry points; values match
+/// orca::rt::Schedule.
+enum {
+  ORCA_SCHED_STATIC_EVEN = 1,
+  ORCA_SCHED_STATIC_CHUNKED = 2,
+  ORCA_SCHED_DYNAMIC = 3,
+  ORCA_SCHED_GUIDED = 4,
+  ORCA_SCHED_RUNTIME = 5
+};
+
+/* --- parallel regions ---------------------------------------------------- */
+
+/// Fork a team of `num_threads` threads (0 = default) running `task`.
+/// Blocks until the region's implicit barrier completes (join).
+void __ompc_fork(int num_threads, orca_microtask_t task, void* frame);
+
+/// Global thread id of the calling thread within its runtime.
+int __ompc_get_global_thread_num(void);
+
+/// Team-local thread id (what omp_get_thread_num returns).
+int __ompc_get_local_thread_num(void);
+
+/* --- worksharing ----------------------------------------------------------- */
+
+/// Static loop scheduling (paper Fig. 2's `__ompc_static_init_4`): on
+/// entry *plower/*pupper hold the loop bounds; on exit they hold the
+/// calling thread's block and *pstride the step between its blocks.
+/// Returns 0 when the thread has no iterations.
+int __ompc_static_init_4(int gtid, int schedtype, int* plower, int* pupper,
+                         int* pstride, int incr, int chunk);
+int __ompc_static_init_8(int gtid, int schedtype, long long* plower,
+                         long long* pupper, long long* pstride, long long incr,
+                         long long chunk);
+
+/// Dynamic/guided/runtime scheduling: publish the loop, then claim chunks.
+void __ompc_scheduler_init_4(int gtid, int schedtype, int lower, int upper,
+                             int incr, int chunk);
+void __ompc_scheduler_init_8(int gtid, int schedtype, long long lower,
+                             long long upper, long long incr, long long chunk);
+
+/// Claim the next chunk into *plower/*pupper. Returns 0 when exhausted.
+int __ompc_schedule_next_4(int gtid, int* plower, int* pupper);
+int __ompc_schedule_next_8(int gtid, long long* plower, long long* pupper);
+
+/// `single` construct: returns 1 on the executing thread.
+int __ompc_single(int gtid);
+void __ompc_end_single(int gtid, int executed);
+
+/// `master` construct: returns 1 on the team master. The paired end call
+/// exists so the exit event can be captured (paper IV-C6).
+int __ompc_master(int gtid);
+void __ompc_end_master(int gtid);
+
+/// `ordered` construct: blocks until `iteration` (the loop's logical
+/// iteration index, starting at 0) may enter.
+void __ompc_ordered(int gtid, long long iteration);
+void __ompc_end_ordered(int gtid);
+
+/* --- explicit tasks (OpenMP 3.0, ORCA extension) ---------------------------- */
+
+/// Defer `fn(arg)` to the team's task pool (executes immediately in
+/// serial contexts or when tasking is disabled).
+void __ompc_task(int gtid, void (*fn)(void*), void* arg);
+
+/// Execute/await pool tasks until none remain.
+void __ompc_taskwait(int gtid);
+
+/* --- synchronization --------------------------------------------------------- */
+
+/// Explicit barrier (`#pragma omp barrier`).
+void __ompc_barrier(void);
+
+/// Implicit barrier (end of parallel/worksharing). Distinct entry point so
+/// the collector can tell the flavours apart (paper IV-C2).
+void __ompc_ibarrier(void);
+
+/// Critical section; `lck` is the address of the compiler-generated static
+/// lock variable for the critical's name (initialize it to NULL).
+void __ompc_critical(int gtid, void** lck);
+void __ompc_end_critical(int gtid, void** lck);
+
+/// Reduction bracket (dedicated entry point, split from critical so the
+/// collector sees THR_REDUC_STATE — paper IV-C5).
+void __ompc_reduction(int gtid, void** lck);
+void __ompc_end_reduction(int gtid, void** lck);
+
+/// Atomic fallback bracket (paper IV-C7 future work; events appear only
+/// when the runtime was configured with atomic_events).
+void __ompc_atomic(int gtid);
+void __ompc_end_atomic(int gtid);
+
+/* --- collector hooks ----------------------------------------------------------- */
+
+/// Fire an ORA event — the `__ompc_event` function of paper Sec. IV-C.
+void __ompc_event(int event);
+
+/// Set the calling thread's state — `__ompc_set_state` of Sec. IV-C.
+void __ompc_set_state(int state);
+
+/// ORCA extension (not part of ORA): outlined procedure of the calling
+/// thread's current parallel region, or NULL outside one. Lets tests and
+/// examples cross-check the callstack-based source mapping against ground
+/// truth; a portable ORA collector must not rely on it.
+void* __ompc_get_current_region_fn(void);
+
+/// The ORA entry point ("the OpenMP runtime [implements] a single API
+/// function omp_collector_api and export[s] its symbol", Sec. IV).
+/// Declared in collector/api.h; defined by this runtime library.
+
+/* --- user-level OpenMP API ------------------------------------------------------ */
+
+typedef struct { void* opaque[4]; } omp_lock_t;
+typedef struct { void* opaque[6]; } omp_nest_lock_t;
+
+int omp_get_thread_num(void);
+int omp_get_num_threads(void);
+int omp_get_max_threads(void);
+void omp_set_num_threads(int n);
+int omp_in_parallel(void);
+int omp_get_num_procs(void);
+double omp_get_wtime(void);
+double omp_get_wtick(void);
+int omp_get_nested(void);
+void omp_set_nested(int enabled);
+int omp_get_dynamic(void);
+void omp_set_dynamic(int enabled);
+
+void omp_init_lock(omp_lock_t* lock);
+void omp_destroy_lock(omp_lock_t* lock);
+void omp_set_lock(omp_lock_t* lock);
+void omp_unset_lock(omp_lock_t* lock);
+int omp_test_lock(omp_lock_t* lock);
+
+void omp_init_nest_lock(omp_nest_lock_t* lock);
+void omp_destroy_nest_lock(omp_nest_lock_t* lock);
+void omp_set_nest_lock(omp_nest_lock_t* lock);
+void omp_unset_nest_lock(omp_nest_lock_t* lock);
+
+#ifdef __cplusplus
+}  // extern "C"
+#endif
+
+#endif  // ORCA_RUNTIME_OMPC_API_H

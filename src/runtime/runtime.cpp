@@ -1,0 +1,464 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <mutex>
+
+namespace orca::rt {
+namespace {
+
+/// Thread-local binding: which runtime this OS thread belongs to, and its
+/// descriptor there. Workers bind themselves at startup; MiniMPI ranks bind
+/// via make_current(); the first foreign thread to touch a runtime claims
+/// its master persona.
+thread_local Runtime* tls_runtime = nullptr;
+thread_local ThreadDescriptor* tls_descriptor = nullptr;
+
+}  // namespace
+
+/// Pool worker: a slave thread that survives, sleeping, between parallel
+/// regions (paper IV-C1).
+struct Runtime::Worker {
+  Worker(Runtime& owner, int slot) : runtime(owner) {
+    desc.gtid = slot + 1;
+    desc.runtime = &owner;
+    // Paper IV-D: slave descriptors start in THR_OVHD_STATE "to reflect
+    // the slave threads are in the process of being created", so a state
+    // query during creation still has an answer.
+    desc.set_state(THR_OVHD_STATE);
+    thread = std::thread([this] { runtime.worker_main(*this); });
+  }
+
+  ~Worker() {
+    shutdown.store(true, std::memory_order_release);
+    parker.signal();
+    if (thread.joinable()) thread.join();
+  }
+
+  Runtime& runtime;
+  ThreadDescriptor desc;
+  Parker parker;
+  std::atomic<TeamDescriptor*> inbox{nullptr};
+  std::atomic<bool> shutdown{false};
+  std::thread thread;  // last member: starts only after the rest is ready
+};
+
+namespace {
+
+/// Capabilities advertised to collectors, derived from the configuration:
+/// the OpenUH 2009 baseline, plus whichever extensions are switched on.
+collector::EventCapabilities capabilities_for(const RuntimeConfig& cfg) {
+  collector::EventCapabilities caps =
+      collector::EventCapabilities::openuh_default();
+  if (cfg.atomic_events) {
+    caps.enable(OMP_EVENT_THR_BEGIN_ATWT);
+    caps.enable(OMP_EVENT_THR_END_ATWT);
+  }
+  if (cfg.tasking) {
+    caps.enable(ORCA_EVENT_TASK_BEGIN);
+    caps.enable(ORCA_EVENT_TASK_END);
+  }
+  return caps;
+}
+
+}  // namespace
+
+Runtime::Runtime(RuntimeConfig cfg)
+    : config_(cfg),
+      registry_(capabilities_for(cfg)),
+      queues_(static_cast<std::size_t>(cfg.max_threads) + 1,
+              cfg.per_thread_queues ? collector::QueuePolicy::kPerThread
+                                    : collector::QueuePolicy::kGlobal) {
+  config_.num_threads = std::clamp(config_.num_threads, 1, config_.max_threads);
+  serial_master_.gtid = 0;
+  serial_master_.runtime = this;
+  serial_master_.set_state(THR_SERIAL_STATE);
+  parallel_master_.gtid = 0;
+  parallel_master_.runtime = this;
+  team_.runtime = this;
+}
+
+Runtime::~Runtime() {
+  // Workers join in ~Worker (CP.25: threads are joined, never detached).
+  workers_.clear();
+  if (tls_runtime == this) {
+    tls_runtime = nullptr;
+    tls_descriptor = nullptr;
+  }
+}
+
+Runtime& Runtime::global() {
+  // Magic-static: thread-safe since C++11, avoids hand-rolled
+  // double-checked locking (Core Guidelines CP.110).
+  static Runtime instance;
+  return instance;
+}
+
+Runtime& Runtime::current() {
+  if (tls_runtime != nullptr) return *tls_runtime;
+  Runtime& g = global();
+  tls_runtime = &g;
+  return g;
+}
+
+void Runtime::make_current(Runtime* rt) noexcept {
+  tls_runtime = rt;
+  tls_descriptor = nullptr;
+  if (rt != nullptr) (void)rt->self();  // claim the master persona if free
+}
+
+ThreadDescriptor* Runtime::self() noexcept {
+  if (tls_descriptor != nullptr && tls_descriptor->runtime == this) {
+    return tls_descriptor;
+  }
+  bool expected = false;
+  if (master_claimed_.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+    tls_runtime = this;
+    tls_descriptor = &serial_master_;
+    return tls_descriptor;
+  }
+  return nullptr;
+}
+
+ThreadDescriptor& Runtime::self_or_serial() noexcept {
+  ThreadDescriptor* td = self();
+  // Threads unknown to the runtime still get an answer (paper IV-D: any
+  // thread "will always return a correct value"): they observe the serial
+  // persona, whose state is at least THR_SERIAL_STATE.
+  return td != nullptr ? *td : serial_master_;
+}
+
+void Runtime::ensure_pool(int needed) {
+  while (static_cast<int>(workers_.size()) < needed) {
+    workers_.push_back(
+        std::make_unique<Worker>(*this, static_cast<int>(workers_.size())));
+  }
+}
+
+void Runtime::quiesce() { quiesce_workers(static_cast<int>(workers_.size())); }
+
+void Runtime::quiesce_workers(int count) {
+  Backoff backoff;
+  for (int i = 0; i < count && i < static_cast<int>(workers_.size()); ++i) {
+    while (workers_[static_cast<std::size_t>(i)]->inbox.load(
+               std::memory_order_acquire) != nullptr) {
+      backoff.pause();
+    }
+    backoff.reset();
+  }
+}
+
+void Runtime::worker_main(Worker& w) {
+  tls_runtime = this;
+  tls_descriptor = &w.desc;
+  // Creation complete: the slave parks between regions in the idle state
+  // (paper IV-C1: "as soon as the threads are created, they are set to be
+  // in the THR_IDLE_STATE and OMP_EVENT_THR_BEGIN_IDLE triggers").
+  w.desc.set_state(THR_IDLE_STATE);
+  registry_.fire(OMP_EVENT_THR_BEGIN_IDLE);
+
+  // Start from epoch 0, not the current epoch: the master may already have
+  // signalled this worker's first assignment while the thread was starting
+  // up, and that signal must not be lost.
+  std::uint64_t seen = 0;
+  for (;;) {
+    w.parker.wait(seen);
+    seen = w.parker.epoch();
+    if (w.shutdown.load(std::memory_order_acquire)) break;
+    TeamDescriptor* team = w.inbox.load(std::memory_order_acquire);
+    if (team == nullptr) continue;  // spurious wake-up
+
+    registry_.fire(OMP_EVENT_THR_END_IDLE);
+    w.desc.set_state(THR_WORK_STATE);
+    run_region(*team, w.desc);
+    w.desc.team = nullptr;
+    w.desc.set_state(THR_IDLE_STATE);
+    registry_.fire(OMP_EVENT_THR_BEGIN_IDLE);
+    // Last store: tells the master's quiesce that this worker has fully
+    // departed the team (the team object may be recycled afterwards).
+    w.inbox.store(nullptr, std::memory_order_release);
+  }
+}
+
+void Runtime::run_region(TeamDescriptor& team, ThreadDescriptor& td) {
+  team.fn(td.gtid, team.frame);
+  // Every parallel region ends in an implicit barrier; the compiler plants
+  // `__ompc_ibarrier` in the outlined procedure (paper Fig. 2).
+  implicit_barrier(td);
+}
+
+void Runtime::fork(Microtask fn, void* frame, int num_threads) {
+  ThreadDescriptor* caller = self();
+  if (caller == nullptr) {
+    // A thread the runtime has never seen (and whose master persona is
+    // taken) executes the region serially with a scratch descriptor.
+    thread_local ThreadDescriptor scratch;
+    scratch.runtime = this;
+    scratch.gtid = 0;
+    fork_serialized(scratch, fn, frame);
+    return;
+  }
+
+  if (caller->team != nullptr) {
+    if (config_.nested) {
+      fork_nested(*caller, fn, frame, num_threads);
+    } else {
+      // OpenUH serializes nested parallel regions and fires no fork event
+      // for them (paper IV-C1).
+      fork_serialized(*caller, fn, frame);
+    }
+    return;
+  }
+
+  int n = num_threads > 0 ? num_threads : config_.num_threads;
+  n = std::clamp(n, 1, config_.max_threads);
+
+  // The master is in the overhead state while it prepares the fork and
+  // updates the slave descriptors (paper IV-C1).
+  caller->set_state(THR_OVHD_STATE);
+
+  // Conceptually every parallel region forks, even when the runtime only
+  // wakes sleeping threads; the event precedes thread creation/wake-up.
+  registry_.fire(OMP_EVENT_FORK);
+
+  ensure_pool(n - 1);
+  quiesce_workers(static_cast<int>(workers_.size()));
+
+  const auto rid =
+      static_cast<unsigned long>(next_region_id_.fetch_add(1, std::memory_order_relaxed));
+  team_.reset_for_region(rid, 0UL, n, fn, frame);
+  {
+    std::scoped_lock lk(regions_mu_);
+    ++region_calls_[reinterpret_cast<void*>(fn)];
+  }
+
+  parallel_master_.begin_team(&team_, 0);
+  team_.members[0] = &parallel_master_;
+  for (int i = 1; i < n; ++i) {
+    Worker& w = *workers_[static_cast<std::size_t>(i - 1)];
+    w.desc.begin_team(&team_, i);
+    team_.members[static_cast<std::size_t>(i)] = &w.desc;
+  }
+  for (int i = 1; i < n; ++i) {
+    Worker& w = *workers_[static_cast<std::size_t>(i - 1)];
+    w.inbox.store(&team_, std::memory_order_release);
+    w.parker.signal();
+  }
+
+  // The master becomes team member 0 and does its share of the work.
+  ThreadDescriptor* prev_tls = tls_descriptor;
+  tls_descriptor = &parallel_master_;
+  parallel_master_.set_state(THR_WORK_STATE);
+  run_region(team_, parallel_master_);
+
+  // Join: "OMP_EVENT_JOIN is triggered and the state of the master thread
+  // is set to THR_OVHD_STATE as soon as it leaves the implicit barrier at
+  // the end of the parallel region" (paper IV-C1).
+  parallel_master_.set_state(THR_OVHD_STATE);
+  registry_.fire(OMP_EVENT_JOIN);
+  parallel_master_.team = nullptr;
+  tls_descriptor = prev_tls;
+  serial_master_.set_state(THR_SERIAL_STATE);
+}
+
+void Runtime::fork_serialized(ThreadDescriptor& parent, Microtask fn,
+                              void* frame) {
+  TeamDescriptor serial_team;
+  serial_team.runtime = this;
+  const unsigned long rid = parent.team != nullptr ? parent.team->region_id : 0;
+  const unsigned long parent_rid =
+      parent.team != nullptr ? parent.team->parent_region_id : 0;
+  serial_team.reset_for_region(rid, parent_rid, 1, fn, frame);
+  serial_team.is_parallel = false;  // region-id queries walk to parent_team
+  serial_team.parent_team = parent.team;
+
+  TeamDescriptor* prev_team = parent.team;
+  const int prev_tid = parent.tid_in_team;
+  const std::uint64_t prev_loops = parent.loop_count;
+  const std::uint64_t prev_singles = parent.single_count;
+
+  parent.begin_team(&serial_team, 0);
+  fn(parent.gtid, frame);
+  implicit_barrier(parent);
+
+  parent.team = prev_team;
+  parent.tid_in_team = prev_tid;
+  parent.loop_count = prev_loops;
+  parent.single_count = prev_singles;
+}
+
+void Runtime::fork_nested(ThreadDescriptor& parent, Microtask fn, void* frame,
+                          int num_threads) {
+  int n = num_threads > 0 ? num_threads : config_.num_threads;
+  n = std::clamp(n, 1, config_.max_threads);
+
+  const auto prev_state = parent.get_state();
+  parent.set_state(THR_OVHD_STATE);
+  // Future-work behaviour the paper sketches: "a fork event will be
+  // generated whenever we create a nested parallel region".
+  registry_.fire(OMP_EVENT_FORK);
+
+  auto team = std::make_unique<TeamDescriptor>();
+  team->runtime = this;
+  const auto rid = static_cast<unsigned long>(
+      next_region_id_.fetch_add(1, std::memory_order_relaxed));
+  const unsigned long parent_rid =
+      parent.team != nullptr ? parent.team->region_id : 0;
+  team->reset_for_region(rid, parent_rid, n, fn, frame);
+  team->parent_team = parent.team;
+  {
+    std::scoped_lock lk(regions_mu_);
+    ++region_calls_[reinterpret_cast<void*>(fn)];
+  }
+
+  // Ephemeral slaves for the nested team (OpenUH's future compiler would
+  // "create a nested parallel region and the corresponding OpenMP threads").
+  std::vector<std::unique_ptr<ThreadDescriptor>> slaves;
+  slaves.reserve(static_cast<std::size_t>(n - 1));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n - 1));
+
+  TeamDescriptor* prev_team = parent.team;
+  const int prev_tid = parent.tid_in_team;
+  const std::uint64_t prev_loops = parent.loop_count;
+  const std::uint64_t prev_singles = parent.single_count;
+  parent.begin_team(team.get(), 0);
+  team->members[0] = &parent;
+
+  for (int i = 1; i < n; ++i) {
+    auto desc = std::make_unique<ThreadDescriptor>();
+    desc->runtime = this;
+    desc->gtid = static_cast<int>(
+        1 + nested_gtid_counter_.fetch_add(1, std::memory_order_relaxed) %
+                static_cast<std::uint32_t>(config_.max_threads));
+    desc->set_state(THR_OVHD_STATE);
+    desc->begin_team(team.get(), i);
+    team->members[static_cast<std::size_t>(i)] = desc.get();
+    slaves.push_back(std::move(desc));
+  }
+  for (int i = 1; i < n; ++i) {
+    ThreadDescriptor* desc = slaves[static_cast<std::size_t>(i - 1)].get();
+    threads.emplace_back([this, desc] {
+      tls_runtime = this;
+      tls_descriptor = desc;
+      desc->set_state(THR_WORK_STATE);
+      run_region(*desc->team, *desc);
+      tls_descriptor = nullptr;
+    });
+  }
+
+  parent.set_state(THR_WORK_STATE);
+  run_region(*team, parent);
+
+  for (auto& t : threads) t.join();
+
+  parent.set_state(THR_OVHD_STATE);
+  registry_.fire(OMP_EVENT_JOIN);
+
+  parent.team = prev_team;
+  parent.tid_in_team = prev_tid;
+  parent.loop_count = prev_loops;
+  parent.single_count = prev_singles;
+  parent.set_state(prev_state);
+}
+
+int Runtime::thread_num() noexcept { return self_or_serial().tid_in_team; }
+
+int Runtime::num_threads() noexcept {
+  const ThreadDescriptor& td = self_or_serial();
+  return td.team != nullptr ? td.team->size : 1;
+}
+
+bool Runtime::in_parallel() noexcept {
+  const ThreadDescriptor& td = self_or_serial();
+  const TeamDescriptor* team = td.team;
+  while (team != nullptr) {
+    if (team->is_parallel && team->size >= 1) return true;
+    team = team->parent_team;
+  }
+  return false;
+}
+
+void Runtime::set_num_threads(int n) noexcept {
+  config_.num_threads = std::clamp(n, 1, config_.max_threads);
+}
+
+std::size_t Runtime::distinct_region_count() const {
+  std::scoped_lock lk(regions_mu_);
+  return region_calls_.size();
+}
+
+std::unordered_map<void*, std::uint64_t> Runtime::region_call_counts() const {
+  std::scoped_lock lk(regions_mu_);
+  return region_calls_;
+}
+
+// --- collector glue ---------------------------------------------------------
+
+OMP_COLLECTOR_API_THR_STATE Runtime::provider_state(void* ctx,
+                                                    unsigned long* wait_id) {
+  auto& rt = *static_cast<Runtime*>(ctx);
+  ThreadDescriptor& td = rt.self_or_serial();
+  const auto state = td.get_state();
+  switch (state) {
+    case THR_IBAR_STATE: *wait_id = td.ibar_id; break;
+    case THR_EBAR_STATE: *wait_id = td.ebar_id; break;
+    case THR_LKWT_STATE: *wait_id = td.lock_wait_id; break;
+    case THR_CTWT_STATE: *wait_id = td.critical_wait_id; break;
+    case THR_ODWT_STATE: *wait_id = td.ordered_wait_id; break;
+    case THR_ATWT_STATE: *wait_id = td.atomic_wait_id; break;
+    default: break;
+  }
+  return state;
+}
+
+OMP_COLLECTORAPI_EC Runtime::provider_current_prid(void* ctx,
+                                                   unsigned long* id) {
+  auto& rt = *static_cast<Runtime*>(ctx);
+  const ThreadDescriptor& td = rt.self_or_serial();
+  const TeamDescriptor* team = td.team;
+  while (team != nullptr && !team->is_parallel) team = team->parent_team;
+  if (team == nullptr) {
+    // Outside any parallel region: id 0 plus an out-of-sequence error
+    // (paper IV-E).
+    *id = 0;
+    return OMP_ERRCODE_SEQUENCE_ERR;
+  }
+  *id = team->region_id;
+  return OMP_ERRCODE_OK;
+}
+
+OMP_COLLECTORAPI_EC Runtime::provider_parent_prid(void* ctx,
+                                                  unsigned long* id) {
+  auto& rt = *static_cast<Runtime*>(ctx);
+  const ThreadDescriptor& td = rt.self_or_serial();
+  const TeamDescriptor* team = td.team;
+  while (team != nullptr && !team->is_parallel) team = team->parent_team;
+  if (team == nullptr) {
+    *id = 0;
+    return OMP_ERRCODE_SEQUENCE_ERR;
+  }
+  // Non-nested regions report parent id 0 (paper IV-E).
+  *id = team->parent_region_id;
+  return OMP_ERRCODE_OK;
+}
+
+std::size_t Runtime::provider_queue_slot(void* ctx) {
+  auto& rt = *static_cast<Runtime*>(ctx);
+  const ThreadDescriptor& td = rt.self_or_serial();
+  return td.gtid >= 0 ? static_cast<std::size_t>(td.gtid) : 0;
+}
+
+int Runtime::collector_api(void* arg) {
+  const collector::Providers providers{
+      &Runtime::provider_state,
+      &Runtime::provider_current_prid,
+      &Runtime::provider_parent_prid,
+      &Runtime::provider_queue_slot,
+      this,
+  };
+  return collector::process_messages(registry_, queues_, providers, arg);
+}
+
+}  // namespace orca::rt

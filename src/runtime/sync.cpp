@@ -1,0 +1,193 @@
+#include <mutex>
+
+#include "runtime/runtime.hpp"
+
+namespace orca::rt {
+
+// --- barriers ---------------------------------------------------------------
+//
+// The functionality of implicit and explicit barriers is identical, but the
+// paper had to split them into distinct runtime calls so the collector can
+// tell the two apart (Sec. IV-C2): "we had to change the way our compiler
+// translated OpenMP barriers so that different runtime calls were generated".
+// ORCA is built split from the start; both wrappers share `barrier_common`.
+
+namespace {
+
+template <OMP_COLLECTOR_API_THR_STATE State, OMP_COLLECTORAPI_EVENT Begin,
+          OMP_COLLECTORAPI_EVENT End>
+void barrier_common(Runtime& rt, ThreadDescriptor& td, unsigned long& wait_id) {
+  // Barriers are task scheduling points: drain the team's explicit-task
+  // pool before arriving, so all tasks complete by the barrier (OpenMP
+  // 3.0 semantics for the ORCA tasking extension).
+  while (rt.execute_pending_task(td)) {
+  }
+  // "Each thread keeps track of its own implicit or explicit barrier ID,
+  // which is incremented each time a thread enters a barrier" (IV-C2).
+  ++wait_id;
+  const auto prev = td.get_state();
+  td.set_state(State);
+  rt.event(Begin);
+  if (td.team != nullptr) td.team->barrier.arrive_and_wait();
+  rt.event(End);
+  td.set_state(prev == State ? THR_WORK_STATE : prev);
+}
+
+}  // namespace
+
+void Runtime::implicit_barrier(ThreadDescriptor& td) {
+  barrier_common<THR_IBAR_STATE, OMP_EVENT_THR_BEGIN_IBAR,
+                 OMP_EVENT_THR_END_IBAR>(*this, td, td.ibar_id);
+}
+
+void Runtime::explicit_barrier(ThreadDescriptor& td) {
+  barrier_common<THR_EBAR_STATE, OMP_EVENT_THR_BEGIN_EBAR,
+                 OMP_EVENT_THR_END_EBAR>(*this, td, td.ebar_id);
+}
+
+// --- critical sections -------------------------------------------------------
+
+TicketLock& Runtime::intern_critical_lock(orca_lock_word* word) {
+  // `word` is the compiler-generated static lock variable for one critical
+  // name; locks are interned per (runtime, word) so MiniMPI ranks — which
+  // model separate processes — never share a critical section.
+  std::scoped_lock lk(critical_mu_);
+  auto& slot = critical_locks_[word];
+  if (slot == nullptr) slot = std::make_unique<TicketLock>();
+  return *slot;
+}
+
+void Runtime::critical_begin(ThreadDescriptor& td, orca_lock_word* word) {
+  TicketLock& lock = intern_critical_lock(word);
+  if (lock.try_lock()) return;  // uncontended: no wait state, no events
+  // "A critical region wait ID is maintained and incremented each time a
+  // thread waits to acquire the lock inside a critical region" (IV-C4).
+  ++td.critical_wait_id;
+  const auto prev = td.get_state();
+  td.set_state(THR_CTWT_STATE);
+  registry_.fire(OMP_EVENT_THR_BEGIN_CTWT);
+  lock.lock();
+  registry_.fire(OMP_EVENT_THR_END_CTWT);
+  td.set_state(prev == THR_CTWT_STATE ? THR_WORK_STATE : prev);
+}
+
+void Runtime::critical_end(ThreadDescriptor& td, orca_lock_word* word) {
+  (void)td;
+  intern_critical_lock(word).unlock();
+}
+
+// --- reductions ---------------------------------------------------------------
+//
+// Reductions were originally translated to plain critical regions; the
+// paper split them into a dedicated runtime call so the collector can
+// distinguish the reduction state (Sec. IV-C5). There is no reduction
+// *event* in ORA — only THR_REDUC_STATE.
+
+void Runtime::reduction_begin(ThreadDescriptor& td) {
+  td.set_state(THR_REDUC_STATE);
+  if (td.team != nullptr) td.team->reduction_lock.lock();
+}
+
+void Runtime::reduction_end(ThreadDescriptor& td) {
+  if (td.team != nullptr) td.team->reduction_lock.unlock();
+  td.set_state(THR_WORK_STATE);
+}
+
+// --- atomic fallback -----------------------------------------------------------
+//
+// OpenUH translated atomics to intrinsic instructions outside the runtime
+// and therefore could not observe them (Sec. IV-C7). ORCA's fallback path
+// routes atomics through a runtime lock; when `config().atomic_events` is
+// set it reports the ATWT state/events — the wrapper-function approach the
+// paper proposes as future work.
+
+void Runtime::atomic_begin(ThreadDescriptor& td) {
+  if (!config_.atomic_events) {
+    atomic_lock_.lock();
+    return;
+  }
+  if (atomic_lock_.try_lock()) return;
+  ++td.atomic_wait_id;
+  const auto prev = td.get_state();
+  td.set_state(THR_ATWT_STATE);
+  registry_.fire(OMP_EVENT_THR_BEGIN_ATWT);
+  atomic_lock_.lock();
+  registry_.fire(OMP_EVENT_THR_END_ATWT);
+  td.set_state(prev == THR_ATWT_STATE ? THR_WORK_STATE : prev);
+}
+
+void Runtime::atomic_end(ThreadDescriptor& td) {
+  (void)td;
+  atomic_lock_.unlock();
+}
+
+// --- user-visible locks ---------------------------------------------------------
+//
+// Paper IV-C3: "we added the function pthread_try_lock() to capture an
+// individual thread's behavior and check whether the lock is available. If
+// it is available, then the thread acquires the lock and continues its
+// execution. If the lock is busy, then we trigger the wait lock state and
+// corresponding event." Events fire only for user-defined locks, never for
+// the runtime's internal ones.
+
+void Runtime::lock_init(OmpLock& lk) { new (&lk) OmpLock(); }
+
+void Runtime::lock_destroy(OmpLock& lk) { (void)lk; }
+
+void Runtime::lock_acquire(ThreadDescriptor& td, OmpLock& lk) {
+  if (lk.impl.try_lock()) return;
+  ++td.lock_wait_id;
+  const auto prev = td.get_state();
+  td.set_state(THR_LKWT_STATE);
+  registry_.fire(OMP_EVENT_THR_BEGIN_LKWT);
+  lk.impl.lock();
+  registry_.fire(OMP_EVENT_THR_END_LKWT);
+  td.set_state(prev == THR_LKWT_STATE ? THR_WORK_STATE : prev);
+}
+
+bool Runtime::lock_test(ThreadDescriptor& td, OmpLock& lk) {
+  (void)td;
+  return lk.impl.try_lock();
+}
+
+void Runtime::lock_release(ThreadDescriptor& td, OmpLock& lk) {
+  (void)td;
+  lk.impl.unlock();
+}
+
+void Runtime::nest_lock_init(OmpNestLock& lk) {
+  lk.owner.store(nullptr, std::memory_order_relaxed);
+  lk.depth = 0;
+}
+
+void Runtime::nest_lock_destroy(OmpNestLock& lk) { (void)lk; }
+
+void Runtime::nest_lock_acquire(ThreadDescriptor& td, OmpNestLock& lk) {
+  if (lk.owner.load(std::memory_order_acquire) == &td) {
+    ++lk.depth;  // re-entrant acquisition by the owner
+    return;
+  }
+  // "The same procedure is applied for nested locks" (IV-C3): try first,
+  // wait state + events only when contended.
+  if (!lk.impl.try_lock()) {
+    ++td.lock_wait_id;
+    const auto prev = td.get_state();
+    td.set_state(THR_LKWT_STATE);
+    registry_.fire(OMP_EVENT_THR_BEGIN_LKWT);
+    lk.impl.lock();
+    registry_.fire(OMP_EVENT_THR_END_LKWT);
+    td.set_state(prev == THR_LKWT_STATE ? THR_WORK_STATE : prev);
+  }
+  lk.owner.store(&td, std::memory_order_release);
+  lk.depth = 1;
+}
+
+void Runtime::nest_lock_release(ThreadDescriptor& td, OmpNestLock& lk) {
+  if (lk.owner.load(std::memory_order_acquire) != &td) return;  // not owner
+  if (--lk.depth == 0) {
+    lk.owner.store(nullptr, std::memory_order_release);
+    lk.impl.unlock();
+  }
+}
+
+}  // namespace orca::rt

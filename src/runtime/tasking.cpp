@@ -1,0 +1,107 @@
+/// Explicit tasking (OpenMP 3.0) — the ORCA implementation of the paper's
+/// future work ("More work will be needed to extend the interface to
+/// handle the constructs in the recent OpenMP 3.0 standard", Sec. VI).
+///
+/// Model: one task pool per team. Any member may push deferred tasks; the
+/// pool drains at scheduling points — `taskwait` and every barrier.
+/// `taskwait` has OpenMP's child-only semantics: every task carries a
+/// pointer to its parent's pending-children counter, and a waiting thread
+/// *helps* by executing arbitrary pool tasks until its own children are
+/// done (which guarantees progress for recursive task graphs such as the
+/// classic fib example). A task's own children complete before the task
+/// does (implicit wait at task end), so child counters can live on the
+/// executing thread's stack.
+///
+/// Task execution is bracketed by the ORCA_EVENT_TASK_BEGIN/END extension
+/// events, letting an extension-aware collector attribute task time the
+/// same way it attributes region time.
+#include <mutex>
+
+#include "runtime/runtime.hpp"
+
+namespace orca::rt {
+namespace {
+
+std::atomic<int>& children_counter(ThreadDescriptor& td) noexcept {
+  if (td.task_children == nullptr) td.task_children = &td.own_task_children;
+  return *td.task_children;
+}
+
+}  // namespace
+
+void Runtime::task_spawn(ThreadDescriptor& td, std::function<void()> body) {
+  TeamDescriptor* team = td.team;
+  if (!config_.tasking || team == nullptr || team->size <= 1) {
+    // Undeferred execution: serial context, or tasking disabled (the
+    // OpenUH-2009 behaviour). The events still fire when supported so a
+    // trace shows *where* task bodies ran.
+    registry_.fire(ORCA_EVENT_TASK_BEGIN);
+    body();
+    registry_.fire(ORCA_EVENT_TASK_END);
+    return;
+  }
+  std::atomic<int>& parent = children_counter(td);
+  parent.fetch_add(1, std::memory_order_acq_rel);
+  team->tasks_in_flight.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::scoped_lock lk(team->task_mu);
+    team->task_queue.push_back(
+        TeamDescriptor::TaskFrame{std::move(body), &parent});
+  }
+}
+
+bool Runtime::execute_pending_task(ThreadDescriptor& td) {
+  TeamDescriptor* team = td.team;
+  if (team == nullptr) return false;
+  TeamDescriptor::TaskFrame frame;
+  {
+    std::scoped_lock lk(team->task_mu);
+    if (team->task_queue.empty()) return false;
+    frame = std::move(team->task_queue.front());
+    team->task_queue.pop_front();
+  }
+
+  // Establish this task as the current parent for anything it spawns.
+  std::atomic<int>* prev_children = td.task_children;
+  std::atomic<int> my_children{0};
+  td.task_children = &my_children;
+
+  registry_.fire(ORCA_EVENT_TASK_BEGIN);
+  frame.body();
+  // Implicit wait for this task's own children: keeps `my_children` (and
+  // any stack state the children reference) alive until they finish.
+  Backoff backoff;
+  while (my_children.load(std::memory_order_acquire) > 0) {
+    if (execute_pending_task(td)) {
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
+  }
+  registry_.fire(ORCA_EVENT_TASK_END);
+
+  td.task_children = prev_children;
+  // Completion order matters: the parent's counter may only drop after
+  // this task (and its subtree) fully finished.
+  if (frame.parent_children != nullptr) {
+    frame.parent_children->fetch_sub(1, std::memory_order_acq_rel);
+  }
+  team->tasks_in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  return true;
+}
+
+void Runtime::taskwait(ThreadDescriptor& td) {
+  TeamDescriptor* team = td.team;
+  if (team == nullptr) return;
+  std::atomic<int>& my_children = children_counter(td);
+  Backoff backoff;
+  while (my_children.load(std::memory_order_acquire) > 0) {
+    if (execute_pending_task(td)) {
+      backoff.reset();
+    } else {
+      backoff.pause();  // a child is mid-flight on another thread
+    }
+  }
+}
+
+}  // namespace orca::rt

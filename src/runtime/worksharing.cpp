@@ -1,0 +1,228 @@
+#include <algorithm>
+#include <mutex>
+
+#include "runtime/runtime.hpp"
+
+namespace orca::rt {
+namespace {
+
+/// Normalized trip count of [lower, upper] step incr; 0 for empty loops.
+long trip_count_of(long lower, long upper, long incr) noexcept {
+  if (incr > 0) {
+    return upper >= lower ? (upper - lower) / incr + 1 : 0;
+  }
+  if (incr < 0) {
+    return lower >= upper ? (lower - upper) / (-incr) + 1 : 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+WorkshareLoop& Runtime::serial_fallback_loop() noexcept {
+  // One per OS thread: orphaned loops execute on the encountering thread
+  // alone, so no sharing (and no locking beyond the buffer's own mutex)
+  // is ever needed.
+  thread_local WorkshareLoop loop;
+  return loop;
+}
+
+bool Runtime::static_init(ThreadDescriptor& td, Schedule kind, long* lower,
+                          long* upper, long* stride, long incr, long chunk) {
+  const TeamDescriptor* team = td.team;
+  const long n = team != nullptr ? team->size : 1;
+  const long tid = td.tid_in_team;
+
+  const long lo = *lower;
+  const long trip = trip_count_of(lo, *upper, incr);
+  if (trip <= 0) return false;
+
+  if (kind == Schedule::kRuntime) {
+    kind = config_.runtime_schedule.kind == Schedule::kStaticChunked
+               ? Schedule::kStaticChunked
+               : Schedule::kStaticEven;
+    if (chunk <= 0) chunk = config_.runtime_schedule.chunk;
+  }
+
+  if (kind == Schedule::kStaticChunked && chunk > 0) {
+    // Block-cyclic: thread `tid` owns chunks tid, tid+n, tid+2n, ...
+    // The caller walks blocks of `chunk` iterations separated by *stride.
+    const long first = tid * chunk;
+    if (first >= trip) return false;
+    *lower = lo + first * incr;
+    *upper = lo + (trip - 1) * incr;  // global last iteration; the block
+                                      // walker clips each chunk against it
+    *stride = n * chunk * incr;
+    return true;
+  }
+
+  // OMP_STATIC_EVEN (paper Fig. 2): one contiguous block per thread.
+  const long per = (trip + n - 1) / n;
+  const long first = tid * per;
+  if (first >= trip) return false;
+  const long last = std::min(first + per, trip) - 1;
+  *lower = lo + first * incr;
+  *upper = lo + last * incr;
+  *stride = incr;
+  return true;
+}
+
+void Runtime::scheduler_init(ThreadDescriptor& td, Schedule kind, long lower,
+                             long upper, long incr, long chunk) {
+  if (kind == Schedule::kRuntime) {
+    kind = config_.runtime_schedule.kind;
+    if (chunk <= 0) chunk = config_.runtime_schedule.chunk;
+    if (kind == Schedule::kStaticChunked) kind = Schedule::kDynamic;
+  }
+  if (chunk <= 0) chunk = 1;
+
+  TeamDescriptor* team = td.team;
+  const std::uint64_t seq = ++td.loop_count;
+
+  if (team == nullptr) {
+    // Orphaned worksharing outside any region: a private single-thread
+    // loop; reuse the recycled team-of-one machinery via a descriptor-local
+    // buffer would be overkill — execute as one dynamic loop over the
+    // scratch buffer below.
+  }
+  WorkshareLoop& loop =
+      team != nullptr ? team->loop_buffer(seq) : serial_fallback_loop();
+
+  std::scoped_lock lk(loop.init_mu);
+  if (loop.sequence != seq || !loop.initialized) {
+    // First thread of the team to reach this loop instance publishes it.
+    loop.sequence = seq;
+    loop.kind = kind;
+    loop.lower = lower;
+    loop.upper = upper;
+    loop.incr = incr == 0 ? 1 : incr;
+    loop.chunk = chunk;
+    loop.trip_count = trip_count_of(lower, upper, loop.incr);
+    loop.next.store(0, std::memory_order_relaxed);
+    loop.initialized = true;
+    if (team != nullptr) {
+      team->ordered_next.store(0, std::memory_order_relaxed);
+      std::scoped_lock hwm(team->loop_mu);
+      team->loop_hwm = std::max(team->loop_hwm, seq);
+    }
+  }
+}
+
+bool Runtime::schedule_next(ThreadDescriptor& td, long* lower, long* upper) {
+  TeamDescriptor* team = td.team;
+  WorkshareLoop& loop = team != nullptr ? team->loop_buffer(td.loop_count)
+                                        : serial_fallback_loop();
+  const long trip = loop.trip_count;
+  if (trip <= 0) return false;
+
+  long begin = 0;
+  long size = 0;
+  if (loop.kind == Schedule::kGuided) {
+    // Guided: each grab takes remaining/(2*team) iterations, never less
+    // than the chunk floor, claimed by CAS on the shared cursor.
+    const long n = team != nullptr ? team->size : 1;
+    long cur = loop.next.load(std::memory_order_relaxed);
+    for (;;) {
+      const long remaining = trip - cur;
+      if (remaining <= 0) return false;
+      size = std::max(loop.chunk, (remaining + 2 * n - 1) / (2 * n));
+      size = std::min(size, remaining);
+      if (loop.next.compare_exchange_weak(cur, cur + size,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_relaxed)) {
+        begin = cur;
+        break;
+      }
+    }
+  } else {
+    // Dynamic (and the static kinds routed here by Schedule::kRuntime):
+    // fixed chunks, first come first served.
+    begin = loop.next.fetch_add(loop.chunk, std::memory_order_acq_rel);
+    if (begin >= trip) return false;
+    size = std::min(loop.chunk, trip - begin);
+  }
+
+  *lower = loop.lower + begin * loop.incr;
+  *upper = loop.lower + (begin + size - 1) * loop.incr;
+  return true;
+}
+
+bool Runtime::single_begin(ThreadDescriptor& td) {
+  const std::uint64_t ticket = ++td.single_count;
+  TeamDescriptor* team = td.team;
+  if (team == nullptr || team->size <= 1) {
+    registry_.fire(OMP_EVENT_THR_BEGIN_SINGLE);
+    return true;
+  }
+  // The k-th single of the region is executed by whichever thread advances
+  // the claim counter from k-1 to k. A thread that arrives before the
+  // previous single was claimed waits for the counter to catch up (nowait
+  // singles make that possible).
+  Backoff backoff;
+  for (;;) {
+    std::uint64_t claimed = team->single_claimed.load(std::memory_order_acquire);
+    if (claimed >= ticket) return false;  // someone else won this single
+    if (claimed == ticket - 1) {
+      std::uint64_t expected = ticket - 1;
+      if (team->single_claimed.compare_exchange_weak(
+              expected, ticket, std::memory_order_acq_rel)) {
+        // Paper IV-C6: default state inside single is THR_WORK_STATE.
+        td.set_state(THR_WORK_STATE);
+        registry_.fire(OMP_EVENT_THR_BEGIN_SINGLE);
+        return true;
+      }
+      continue;
+    }
+    backoff.pause();  // claimed < ticket-1: an earlier single is unclaimed
+  }
+}
+
+void Runtime::single_end(ThreadDescriptor& td, bool executed) {
+  (void)td;
+  // The extra end-of-single runtime call exists purely so the exit event
+  // is captured (paper IV-C6).
+  if (executed) registry_.fire(OMP_EVENT_THR_END_SINGLE);
+}
+
+bool Runtime::master_begin(ThreadDescriptor& td) {
+  if (td.tid_in_team != 0) return false;
+  td.set_state(THR_WORK_STATE);  // paper IV-C6 default
+  registry_.fire(OMP_EVENT_THR_BEGIN_MASTER);
+  return true;
+}
+
+void Runtime::master_end(ThreadDescriptor& td) {
+  if (td.tid_in_team != 0) return;
+  registry_.fire(OMP_EVENT_THR_END_MASTER);
+}
+
+void Runtime::ordered_begin(ThreadDescriptor& td, long iteration) {
+  TeamDescriptor* team = td.team;
+  if (team == nullptr) {
+    if (config_.ordered_events) registry_.fire(OMP_EVENT_THR_BEGIN_ORDERED);
+    return;
+  }
+  if (team->ordered_next.load(std::memory_order_acquire) != iteration) {
+    ++td.ordered_wait_id;
+    const auto prev = td.get_state();
+    td.set_state(THR_ODWT_STATE);
+    if (config_.ordered_events) registry_.fire(OMP_EVENT_THR_BEGIN_ODWT);
+    Backoff backoff;
+    while (team->ordered_next.load(std::memory_order_acquire) != iteration) {
+      backoff.pause();
+    }
+    if (config_.ordered_events) registry_.fire(OMP_EVENT_THR_END_ODWT);
+    td.set_state(prev == THR_ODWT_STATE ? THR_WORK_STATE : prev);
+  }
+  if (config_.ordered_events) registry_.fire(OMP_EVENT_THR_BEGIN_ORDERED);
+}
+
+void Runtime::ordered_end(ThreadDescriptor& td) {
+  TeamDescriptor* team = td.team;
+  if (config_.ordered_events) registry_.fire(OMP_EVENT_THR_END_ORDERED);
+  if (team != nullptr) {
+    team->ordered_next.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+}  // namespace orca::rt

@@ -1,0 +1,72 @@
+/// \file client.hpp
+/// Collector-side access to the ORA entry point.
+///
+/// Paper Sec. IV: "The collector may then query the dynamic linker to
+/// determine whether the symbol is present. If it is, then it may initiate
+/// communications with the runtime." `CollectorClient::discover()` performs
+/// exactly that `dlsym` probe; the instance methods wrap each request kind
+/// in the white-paper message format (collector/message.hpp).
+#pragma once
+
+#include <optional>
+
+#include "collector/api.h"
+
+namespace orca::tool {
+
+/// Reply to a state query.
+struct StateReply {
+  OMP_COLLECTOR_API_THR_STATE state = THR_SERIAL_STATE;
+  unsigned long wait_id = 0;
+  bool has_wait_id = false;
+};
+
+/// Reply to a region-id query.
+struct RegionIdReply {
+  unsigned long id = 0;
+  OMP_COLLECTORAPI_EC errcode = OMP_ERRCODE_OK;
+};
+
+/// Typed wrapper around `__omp_collector_api`.
+class CollectorClient {
+ public:
+  using ApiFn = int (*)(void*);
+
+  /// Probe the dynamic linker for the `__omp_collector_api` symbol; empty
+  /// when no ORA-capable runtime is loaded.
+  static std::optional<CollectorClient> discover();
+
+  /// Bind to a known entry point (testing / multi-runtime setups).
+  explicit CollectorClient(ApiFn fn) noexcept : api_(fn) {}
+
+  /// Lifecycle requests. Each returns the per-request error code.
+  OMP_COLLECTORAPI_EC start();
+  OMP_COLLECTORAPI_EC stop();
+  OMP_COLLECTORAPI_EC pause();
+  OMP_COLLECTORAPI_EC resume();
+
+  /// Event (un)registration.
+  OMP_COLLECTORAPI_EC register_event(OMP_COLLECTORAPI_EVENT event,
+                                     OMP_COLLECTORAPI_CALLBACK cb);
+  OMP_COLLECTORAPI_EC unregister_event(OMP_COLLECTORAPI_EVENT event);
+
+  /// Query the calling thread's state (+ wait id for wait states).
+  std::optional<StateReply> query_state();
+
+  /// Query current / parent parallel region id. The reply carries the
+  /// errcode because "outside a region" is signalled via
+  /// OMP_ERRCODE_SEQUENCE_ERR with id 0, not via failure.
+  RegionIdReply current_region_id();
+  RegionIdReply parent_region_id();
+
+  /// Raw access for composite request buffers.
+  int raw(void* buffer) { return api_(buffer); }
+
+ private:
+  OMP_COLLECTORAPI_EC simple_request(OMP_COLLECTORAPI_REQUEST req);
+  RegionIdReply id_request(OMP_COLLECTORAPI_REQUEST req);
+
+  ApiFn api_;
+};
+
+}  // namespace orca::tool

@@ -1,0 +1,84 @@
+#include "tool/tracer.hpp"
+
+#include <mutex>
+
+#include "collector/names.hpp"
+#include "common/clock.hpp"
+#include "common/strutil.hpp"
+#include "runtime/ompc_api.h"
+
+namespace orca::tool {
+
+TracingCollector& TracingCollector::instance() {
+  static TracingCollector tracer;
+  return tracer;
+}
+
+void TracingCollector::event_callback(OMP_COLLECTORAPI_EVENT event) {
+  TracingCollector& self = instance();
+  TraceEvent entry;
+  entry.ticks = SteadyClock::now();
+  entry.event = event;
+  entry.tid = __ompc_get_global_thread_num();
+  std::scoped_lock lk(self.mu_);
+  self.events_.push_back(entry);
+}
+
+bool TracingCollector::attach(std::vector<OMP_COLLECTORAPI_EVENT> events) {
+  if (attached_) return false;
+  client_ = CollectorClient::discover();
+  if (!client_) return false;
+  if (client_->start() != OMP_ERRCODE_OK) return false;
+
+  if (events.empty()) {
+    for (int e = 1; e < OMP_EVENT_LAST; ++e) {
+      events.push_back(static_cast<OMP_COLLECTORAPI_EVENT>(e));
+    }
+  }
+  for (const OMP_COLLECTORAPI_EVENT event : events) {
+    // Optional events may come back OMP_ERRCODE_UNSUPPORTED; a tracer
+    // simply records whatever the runtime can provide.
+    (void)client_->register_event(event, &TracingCollector::event_callback);
+  }
+  attached_ = true;
+  return true;
+}
+
+void TracingCollector::detach() {
+  if (!attached_) return;
+  client_->stop();
+  attached_ = false;
+}
+
+std::vector<TraceEvent> TracingCollector::log() const {
+  std::scoped_lock lk(mu_);
+  return events_;
+}
+
+std::size_t TracingCollector::count(OMP_COLLECTORAPI_EVENT event) const {
+  std::scoped_lock lk(mu_);
+  std::size_t n = 0;
+  for (const TraceEvent& e : events_) {
+    if (e.event == event) ++n;
+  }
+  return n;
+}
+
+void TracingCollector::clear() {
+  std::scoped_lock lk(mu_);
+  events_.clear();
+}
+
+std::string TracingCollector::render() const {
+  const std::vector<TraceEvent> snapshot = log();
+  std::string out;
+  const std::uint64_t base = snapshot.empty() ? 0 : snapshot.front().ticks;
+  for (const TraceEvent& e : snapshot) {
+    out += strfmt("%10llu ns  tid %-3d %s\n",
+                  static_cast<unsigned long long>(e.ticks - base), e.tid,
+                  std::string(collector::to_string(e.event)).c_str());
+  }
+  return out;
+}
+
+}  // namespace orca::tool

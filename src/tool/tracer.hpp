@@ -1,0 +1,63 @@
+/// \file tracer.hpp
+/// A tracing collector: registers for *every* event the runtime supports
+/// and keeps an ordered in-memory log. Used by the Figure-3 sequence
+/// example, by tests that assert event ordering, and as the "tracing"
+/// usage mode the ORA spec's optional events exist for.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "collector/api.h"
+#include "common/spinlock.hpp"
+#include "tool/client.hpp"
+
+namespace orca::tool {
+
+/// One trace entry.
+struct TraceEvent {
+  std::uint64_t ticks = 0;
+  OMP_COLLECTORAPI_EVENT event = OMP_EVENT_LAST;
+  int tid = -1;
+};
+
+/// Event-trace collector (singleton, same reason as PrototypeCollector).
+class TracingCollector {
+ public:
+  static TracingCollector& instance();
+
+  TracingCollector(const TracingCollector&) = delete;
+  TracingCollector& operator=(const TracingCollector&) = delete;
+
+  /// Discover + START + register every event the runtime accepts.
+  /// `events` empty means "all known events"; unsupported ones are
+  /// skipped (their registration returns OMP_ERRCODE_UNSUPPORTED).
+  bool attach(std::vector<OMP_COLLECTORAPI_EVENT> events = {});
+
+  void detach();
+  bool attached() const noexcept { return attached_; }
+
+  /// Snapshot of the log in arrival order.
+  std::vector<TraceEvent> log() const;
+
+  /// Events of one kind in the log.
+  std::size_t count(OMP_COLLECTORAPI_EVENT event) const;
+
+  void clear();
+
+  /// Multi-line rendering: "tick  tid  EVENT_NAME" per entry.
+  std::string render() const;
+
+ private:
+  TracingCollector() = default;
+  static void event_callback(OMP_COLLECTORAPI_EVENT event);
+
+  mutable SpinLock mu_;
+  std::vector<TraceEvent> events_;
+  std::optional<CollectorClient> client_;
+  bool attached_ = false;
+};
+
+}  // namespace orca::tool

@@ -1,0 +1,291 @@
+/// \file omp.hpp
+/// The "compiler translation" layer — ORCA's stand-in for the OpenUH
+/// OpenMP lowering.
+///
+/// The paper's Fig. 1→Fig. 2 transformation (outline the region body, pass
+/// it to `__ompc_fork`, plant `__ompc_static_init_4` / `__ompc_reduction` /
+/// `__ompc_ibarrier` calls) is reproduced here with templates: each
+/// `orca::omp::parallel(...)` instantiation materializes a unique outlined
+/// trampoline — the `__ompdo_*` procedure — and emits exactly the runtime
+/// call sequence the OpenUH compiler emits. Because ORA lives entirely in
+/// the runtime, the collector observes the same states and events it would
+/// under the real compiler.
+///
+/// Directive mapping:
+///   #pragma omp parallel            -> omp::parallel([](){...})
+///   #pragma omp parallel for        -> omp::parallel_for(lo, hi, body)
+///   #pragma omp for                 -> omp::for_static / for_dynamic / ...
+///   #pragma omp parallel for reduction(+:x)
+///                                   -> omp::parallel_reduce(...)
+///   #pragma omp barrier             -> omp::barrier()
+///   #pragma omp critical [(name)]   -> omp::critical<Tag>(fn)
+///   #pragma omp single              -> omp::single(fn)
+///   #pragma omp master              -> omp::master(fn)
+///   #pragma omp ordered             -> omp::ordered(iter, fn)
+///   #pragma omp atomic              -> omp::atomic_update(fn)
+#pragma once
+
+#include <functional>
+#include <source_location>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/ompc_api.h"
+#include "translate/region_registry.hpp"
+
+namespace orca::omp {
+
+/// Loop schedule selector for the `for_*` templates.
+enum class Sched {
+  kStatic = ORCA_SCHED_STATIC_EVEN,
+  kStaticChunked = ORCA_SCHED_STATIC_CHUNKED,
+  kDynamic = ORCA_SCHED_DYNAMIC,
+  kGuided = ORCA_SCHED_GUIDED,
+  kRuntime = ORCA_SCHED_RUNTIME,
+};
+
+namespace detail {
+
+/// Invoke the region body with or without the thread id, whichever the
+/// lambda accepts (the outlined procedure always receives the gtid; user
+/// bodies often ignore it).
+template <typename Fn>
+void invoke_body(Fn& fn, int gtid) {
+  if constexpr (std::is_invocable_v<Fn&, int>) {
+    fn(gtid);
+  } else {
+    fn();
+  }
+}
+
+/// Register the outlined trampoline's source coordinates the first time
+/// this instantiation runs (the compiler "knows" the pragma location; our
+/// stand-in captures it via std::source_location).
+inline void register_region(const void* fn, const char* label,
+                            const std::source_location& loc) {
+  translate::RegionRegistry::instance().add(
+      fn, translate::RegionSource{loc.function_name(), loc.file_name(),
+                                  loc.line(), label});
+}
+
+}  // namespace detail
+
+/// `#pragma omp parallel`: outline `body` and fork a team. Blocks until the
+/// join (the region's closing implicit barrier) completes.
+template <typename Fn>
+void parallel(Fn&& body, int num_threads = 0,
+              const std::source_location loc = std::source_location::current()) {
+  using Body = std::remove_reference_t<Fn>;
+  // The outlined procedure (`__ompdo_*` in paper Fig. 2): unique per
+  // lambda type, so its address identifies the source region.
+  orca_microtask_t trampoline = [](int gtid, void* frame) {
+    detail::invoke_body(*static_cast<Body*>(frame), gtid);
+  };
+  detail::register_region(reinterpret_cast<const void*>(trampoline),
+                          "parallel", loc);
+  __ompc_fork(num_threads, trampoline, const_cast<void*>(
+                                           static_cast<const void*>(&body)));
+}
+
+/// `#pragma omp for schedule(static[,chunk])` body (call *inside* a
+/// parallel region). `nowait` skips the closing implicit barrier.
+template <typename Body>
+void for_static(long long lower, long long upper, long long incr, Body&& body,
+                long long chunk = 0, bool nowait = false) {
+  const int gtid = __ompc_get_global_thread_num();
+  long long lo = lower;
+  long long up = upper;
+  long long stride = 0;
+  const int sched =
+      chunk > 0 ? ORCA_SCHED_STATIC_CHUNKED : ORCA_SCHED_STATIC_EVEN;
+  if (__ompc_static_init_8(gtid, sched, &lo, &up, &stride, incr, chunk) != 0) {
+    if (chunk > 0) {
+      // Block-cyclic: `lo` starts this thread's first chunk; `up` is the
+      // loop's global last iteration; `stride` jumps between chunks.
+      for (long long block = lo; (incr > 0 ? block <= up : block >= up);
+           block += stride) {
+        for (long long i = block, k = 0;
+             k < chunk && (incr > 0 ? i <= up : i >= up); i += incr, ++k) {
+          body(i);
+        }
+      }
+    } else {
+      for (long long i = lo; (incr > 0 ? i <= up : i >= up); i += incr) {
+        body(i);
+      }
+    }
+  }
+  if (!nowait) __ompc_ibarrier();
+}
+
+/// `#pragma omp for schedule(dynamic|guided|runtime[,chunk])`.
+template <typename Body>
+void for_dynamic(long long lower, long long upper, long long incr, Body&& body,
+                 Sched sched = Sched::kDynamic, long long chunk = 1,
+                 bool nowait = false) {
+  const int gtid = __ompc_get_global_thread_num();
+  __ompc_scheduler_init_8(gtid, static_cast<int>(sched), lower, upper, incr,
+                          chunk);
+  long long lo = 0;
+  long long up = 0;
+  while (__ompc_schedule_next_8(gtid, &lo, &up) != 0) {
+    for (long long i = lo; (incr > 0 ? i <= up : i >= up); i += incr) {
+      body(i);
+    }
+  }
+  if (!nowait) __ompc_ibarrier();
+}
+
+/// `#pragma omp parallel for` (static schedule).
+template <typename Body>
+void parallel_for(long long lower, long long upper, Body&& body,
+                  int num_threads = 0, long long chunk = 0,
+                  const std::source_location loc =
+                      std::source_location::current()) {
+  parallel(
+      [&](int) { for_static(lower, upper, 1, body, chunk); }, num_threads,
+      loc);
+}
+
+/// `#pragma omp parallel for schedule(dynamic|guided|runtime)`.
+template <typename Body>
+void parallel_for_sched(long long lower, long long upper, Sched sched,
+                        long long chunk, Body&& body, int num_threads = 0,
+                        const std::source_location loc =
+                            std::source_location::current()) {
+  parallel([&](int) { for_dynamic(lower, upper, 1, body, sched, chunk); },
+           num_threads, loc);
+}
+
+/// `#pragma omp parallel for reduction(op:acc)` — the paper's Fig. 1/2
+/// example. Each thread accumulates a private copy over its static block,
+/// then merges under the `__ompc_reduction` bracket (THR_REDUC_STATE),
+/// and the region closes with the implicit barrier, exactly as the
+/// compiler-translated listing shows.
+template <typename T, typename BinaryOp, typename Body>
+T parallel_reduce(long long lower, long long upper, T identity, BinaryOp op,
+                  Body&& body, int num_threads = 0,
+                  const std::source_location loc =
+                      std::source_location::current()) {
+  T result = identity;
+  parallel(
+      [&](int gtid) {
+        T local = identity;
+        for_static(
+            lower, upper, 1, [&](long long i) { local = op(local, body(i)); },
+            /*chunk=*/0, /*nowait=*/true);
+        static void* reduction_lock = nullptr;
+        __ompc_reduction(gtid, &reduction_lock);
+        result = op(result, local);
+        __ompc_end_reduction(gtid, &reduction_lock);
+        __ompc_ibarrier();
+      },
+      num_threads, loc);
+  return result;
+}
+
+/// `#pragma omp barrier`.
+inline void barrier() { __ompc_barrier(); }
+
+/// Default tag for unnamed critical sections.
+struct DefaultCriticalTag {};
+
+namespace detail {
+
+/// The compiler-generated lock static for one critical *name*: keyed by
+/// the tag type alone, so every call site naming the same critical shares
+/// one lock word (just as the OpenUH compiler emits one static per name).
+template <typename Tag>
+void** critical_lock_word() noexcept {
+  static void* word = nullptr;
+  return &word;
+}
+
+}  // namespace detail
+
+/// `#pragma omp critical (Tag)`.
+template <typename Tag = DefaultCriticalTag, typename Fn>
+void critical(Fn&& fn) {
+  void** lock_word = detail::critical_lock_word<Tag>();
+  const int gtid = __ompc_get_global_thread_num();
+  __ompc_critical(gtid, lock_word);
+  fn();
+  __ompc_end_critical(gtid, lock_word);
+}
+
+/// `#pragma omp single` (+ implicit barrier unless `nowait`).
+template <typename Fn>
+void single(Fn&& fn, bool nowait = false) {
+  const int gtid = __ompc_get_global_thread_num();
+  const int executed = __ompc_single(gtid);
+  if (executed != 0) fn();
+  __ompc_end_single(gtid, executed);
+  if (!nowait) __ompc_ibarrier();
+}
+
+/// `#pragma omp master` (no implied barrier).
+template <typename Fn>
+void master(Fn&& fn) {
+  const int gtid = __ompc_get_global_thread_num();
+  if (__ompc_master(gtid) != 0) {
+    fn();
+    __ompc_end_master(gtid);
+  }
+}
+
+/// `#pragma omp ordered` for logical iteration `iteration` of the
+/// enclosing ordered loop.
+template <typename Fn>
+void ordered(long long iteration, Fn&& fn) {
+  const int gtid = __ompc_get_global_thread_num();
+  __ompc_ordered(gtid, iteration);
+  fn();
+  __ompc_end_ordered(gtid);
+}
+
+/// `#pragma omp atomic` via the runtime fallback bracket (observable by
+/// the collector when atomic events are enabled).
+template <typename Fn>
+void atomic_update(Fn&& fn) {
+  const int gtid = __ompc_get_global_thread_num();
+  __ompc_atomic(gtid);
+  fn();
+  __ompc_end_atomic(gtid);
+}
+
+/// `#pragma omp task` (OpenMP 3.0 / ORCA extension). The body is copied
+/// into a heap "task frame" — exactly how the compiler packages a task's
+/// firstprivate environment — and runs at some scheduling point on some
+/// team thread. `taskwait()` or any barrier guarantees completion.
+template <typename Fn>
+void task(Fn&& body) {
+  using Body = std::remove_reference_t<Fn>;
+  auto* frame = new Body(std::forward<Fn>(body));
+  __ompc_task(
+      __ompc_get_global_thread_num(),
+      [](void* raw) {
+        auto* task_frame = static_cast<Body*>(raw);
+        (*task_frame)();
+        delete task_frame;
+      },
+      frame);
+}
+
+/// `#pragma omp taskwait`.
+inline void taskwait() { __ompc_taskwait(__ompc_get_global_thread_num()); }
+
+/// `#pragma omp sections` (+ implicit barrier unless `nowait`): each
+/// section runs exactly once on some team thread. Lowered the way OpenUH
+/// lowers sections — as a dynamically scheduled loop over the section
+/// indices with chunk 1.
+inline void sections(const std::vector<std::function<void()>>& blocks,
+                     bool nowait = false) {
+  if (blocks.empty()) return;
+  for_dynamic(
+      0, static_cast<long long>(blocks.size()) - 1, 1,
+      [&](long long i) { blocks[static_cast<std::size_t>(i)](); },
+      Sched::kDynamic, 1, nowait);
+}
+
+}  // namespace orca::omp

@@ -1,0 +1,61 @@
+#include "translate/region_registry.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "common/spinlock.hpp"
+
+namespace orca::translate {
+
+struct RegionRegistry::Impl {
+  mutable SpinLock mu;
+  std::unordered_map<const void*, RegionSource> map;
+};
+
+RegionRegistry& RegionRegistry::instance() {
+  static RegionRegistry reg;
+  return reg;
+}
+
+RegionRegistry::Impl& RegionRegistry::impl() const {
+  static Impl storage;
+  return storage;
+}
+
+void RegionRegistry::add(const void* fn, RegionSource src) {
+  Impl& s = impl();
+  std::scoped_lock lk(s.mu);
+  s.map.try_emplace(fn, std::move(src));
+}
+
+std::optional<RegionSource> RegionRegistry::find(const void* fn) const {
+  const Impl& s = impl();
+  std::scoped_lock lk(s.mu);
+  const auto it = s.map.find(fn);
+  if (it == s.map.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<const void*, RegionSource>> RegionRegistry::snapshot()
+    const {
+  const Impl& s = impl();
+  std::scoped_lock lk(s.mu);
+  std::vector<std::pair<const void*, RegionSource>> out;
+  out.reserve(s.map.size());
+  for (const auto& [fn, src] : s.map) out.emplace_back(fn, src);
+  return out;
+}
+
+std::size_t RegionRegistry::size() const {
+  const Impl& s = impl();
+  std::scoped_lock lk(s.mu);
+  return s.map.size();
+}
+
+void RegionRegistry::clear() {
+  Impl& s = impl();
+  std::scoped_lock lk(s.mu);
+  s.map.clear();
+}
+
+}  // namespace orca::translate

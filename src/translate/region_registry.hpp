@@ -1,0 +1,54 @@
+/// \file region_registry.hpp
+/// Source mapping for outlined parallel regions.
+///
+/// A real compiler emits debug info that lets BFD map an outlined
+/// procedure's address back to the pragma's file/line (paper Sec. IV-F).
+/// ORCA's "compiler" is the translate layer, so it records that mapping
+/// directly at the instant it outlines a region: outlined-entry address ->
+/// {file, line, function}. The collector tool uses this registry (together
+/// with unwind/symbolize) to reconstruct the *user model* callstack.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace orca::translate {
+
+/// Source coordinates of one parallel construct.
+struct RegionSource {
+  std::string function;  ///< enclosing user function ("main")
+  std::string file;      ///< source file of the pragma
+  unsigned line = 0;     ///< line of the pragma
+  std::string label;     ///< construct kind ("parallel", "parallel for", ...)
+};
+
+/// Process-wide map from outlined-procedure address to its source info.
+/// Thread-safe; registration is idempotent per address.
+class RegionRegistry {
+ public:
+  static RegionRegistry& instance();
+
+  /// Record `src` for outlined entry `fn` (first registration wins).
+  void add(const void* fn, RegionSource src);
+
+  /// Look up the source info for outlined entry `fn`.
+  std::optional<RegionSource> find(const void* fn) const;
+
+  /// All registered regions, for report generation (Table I's static
+  /// region inventory).
+  std::vector<std::pair<const void*, RegionSource>> snapshot() const;
+
+  std::size_t size() const;
+
+  /// Drop all registrations (test isolation).
+  void clear();
+
+ private:
+  RegionRegistry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace orca::translate

@@ -1,0 +1,32 @@
+#include "unwind/backtrace.hpp"
+
+#include <execinfo.h>
+
+#include <algorithm>
+
+namespace orca::unwind {
+
+Callstack Callstack::capture(int skip) noexcept {
+  Callstack cs;
+  std::array<void*, kMaxFrames> raw{};
+  const int n = ::backtrace(raw.data(), static_cast<int>(raw.size()));
+  // Frame 0 is capture() itself; always drop it in addition to `skip`.
+  const int drop = 1 + std::max(0, skip);
+  if (n <= drop) return cs;
+  const auto count = static_cast<std::size_t>(n - drop);
+  for (std::size_t i = 0; i < count; ++i) {
+    cs.frames_[i] = raw[i + static_cast<std::size_t>(drop)];
+  }
+  cs.depth_ = count;
+  return cs;
+}
+
+Callstack Callstack::from_frames(
+    const std::vector<const void*>& frames) noexcept {
+  Callstack cs;
+  cs.depth_ = std::min(frames.size(), kMaxFrames);
+  std::copy_n(frames.begin(), cs.depth_, cs.frames_.begin());
+  return cs;
+}
+
+}  // namespace orca::unwind

@@ -1,0 +1,57 @@
+/// \file backtrace.hpp
+/// Callstack capture — ORCA's stand-in for libunwind (paper Sec. IV-F:
+/// "Call-stack retrieval, using the open source library libunwind. New API
+/// entry points, callable by the collector, provide instruction pointer
+/// values for each stack frame at the point of inquiry").
+///
+/// The capture itself uses glibc `backtrace(3)`; the value the paper's
+/// extension adds — a bounded, allocation-free snapshot callable from an
+/// event callback — is preserved.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace orca::unwind {
+
+/// Maximum frames a single capture retains. Deep enough for the NPB call
+/// chains; bounded so captures stay allocation-free.
+inline constexpr std::size_t kMaxFrames = 64;
+
+/// A captured implementation-model callstack: raw instruction pointers,
+/// innermost first.
+class Callstack {
+ public:
+  /// Capture the calling thread's stack, skipping `skip` innermost frames
+  /// (the capture machinery itself is always skipped).
+  static Callstack capture(int skip = 0) noexcept;
+
+  std::size_t depth() const noexcept { return depth_; }
+  bool empty() const noexcept { return depth_ == 0; }
+
+  const void* frame(std::size_t i) const noexcept {
+    // depth_ <= kMaxFrames always; the second test keeps the bound visible
+    // to static analysis.
+    return i < depth_ && i < kMaxFrames ? frames_[i] : nullptr;
+  }
+
+  const void* const* data() const noexcept { return frames_.data(); }
+
+  /// Copy out as a vector (for offline storage).
+  std::vector<const void*> to_vector() const {
+    // Parenthesized on purpose: with braces, the two iterators would be
+    // treated as an initializer_list<const void*> of their own addresses.
+    return std::vector<const void*>(
+        frames_.begin(), frames_.begin() + static_cast<long>(depth_));
+  }
+
+  /// Rebuild from stored frames (offline reconstruction path).
+  static Callstack from_frames(const std::vector<const void*>& frames) noexcept;
+
+ private:
+  std::array<const void*, kMaxFrames> frames_{};
+  std::size_t depth_ = 0;
+};
+
+}  // namespace orca::unwind

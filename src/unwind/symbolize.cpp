@@ -1,0 +1,89 @@
+#include "unwind/symbolize.hpp"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strutil.hpp"
+#include "translate/region_registry.hpp"
+
+namespace orca::unwind {
+
+std::string demangle(const std::string& mangled) {
+  int status = 0;
+  char* out = abi::__cxa_demangle(mangled.c_str(), nullptr, nullptr, &status);
+  if (status != 0 || out == nullptr) {
+    std::free(out);
+    return mangled;
+  }
+  std::string result(out);
+  std::free(out);
+  return result;
+}
+
+SymbolInfo symbolize(const void* address) {
+  SymbolInfo info;
+  info.address = address;
+  if (address == nullptr) return info;
+
+  // 1. Exact outlined-region entry? (our "debug info" for pragmas)
+  if (const auto region =
+          translate::RegionRegistry::instance().find(address)) {
+    info.resolution = Resolution::kRegion;
+    info.symbol = region->label + " in " + region->function;
+    info.file = region->file;
+    info.line = region->line;
+    return info;
+  }
+
+  // 2. Dynamic symbol table (what BFD would read from the ELF).
+  Dl_info dl{};
+  if (dladdr(address, &dl) != 0) {
+    if (dl.dli_fname != nullptr) info.module = dl.dli_fname;
+    if (dl.dli_sname != nullptr) {
+      info.resolution = Resolution::kSymbol;
+      info.symbol = demangle(dl.dli_sname);
+      info.offset = static_cast<std::size_t>(
+          static_cast<const char*>(address) -
+          static_cast<const char*>(dl.dli_saddr));
+      return info;
+    }
+    if (dl.dli_fbase != nullptr) {
+      info.resolution = Resolution::kModule;
+      info.offset = static_cast<std::size_t>(
+          static_cast<const char*>(address) -
+          static_cast<const char*>(dl.dli_fbase));
+      return info;
+    }
+  }
+  return info;
+}
+
+std::string SymbolInfo::pretty() const {
+  switch (resolution) {
+    case Resolution::kRegion:
+      return strfmt("%s at %s:%u", symbol.c_str(), file.c_str(), line);
+    case Resolution::kSymbol:
+      return strfmt("%s+0x%zx (%s)", symbol.c_str(), offset, module.c_str());
+    case Resolution::kModule:
+      return strfmt("%s+0x%zx", module.c_str(), offset);
+    case Resolution::kUnknown:
+      break;
+  }
+  return strfmt("[%p]", address);
+}
+
+bool is_runtime_frame(const SymbolInfo& info) {
+  if (info.resolution == Resolution::kRegion) return false;
+  const std::string& s = info.symbol;
+  if (s.empty()) return false;
+  return s.rfind("__ompc_", 0) == 0 || s.rfind("__omp_collector", 0) == 0 ||
+         s.find("orca::rt::") != std::string::npos ||
+         s.find("orca::collector::") != std::string::npos ||
+         s.find("orca::tool::") != std::string::npos ||
+         s.find("orca::unwind::") != std::string::npos;
+}
+
+}  // namespace orca::unwind

@@ -1,0 +1,51 @@
+/// \file symbolize.hpp
+/// Instruction-pointer symbolization — ORCA's stand-in for the BFD-based
+/// mapping of paper Sec. IV-F ("Mapping of instruction pointer values to
+/// source code location, using the Binary File Descriptor (BFD) API").
+///
+/// Resolution order per address:
+///   1. the translate-layer RegionRegistry (exact outlined-region entry
+///      points carry full pragma source coordinates — what debug info
+///      would provide under a real compiler);
+///   2. `dladdr(3)` dynamic-symbol lookup (name + module + offset);
+///   3. bare module + offset from the loaded-object map.
+#pragma once
+
+#include <string>
+
+namespace orca::unwind {
+
+/// Resolution quality of a symbolized frame.
+enum class Resolution {
+  kRegion,   ///< exact outlined-region match with source coordinates
+  kSymbol,   ///< dynamic symbol name + offset
+  kModule,   ///< only the containing module was identified
+  kUnknown,  ///< address resolved to nothing
+};
+
+/// One symbolized instruction pointer.
+struct SymbolInfo {
+  const void* address = nullptr;
+  Resolution resolution = Resolution::kUnknown;
+  std::string symbol;    ///< demangled symbol or region label
+  std::string module;    ///< containing shared object / executable
+  std::string file;      ///< source file (region hits only)
+  unsigned line = 0;     ///< source line (region hits only)
+  std::size_t offset = 0;///< byte offset from symbol (or module) base
+
+  /// Human-readable one-line rendering ("name+0x12 (module)").
+  std::string pretty() const;
+};
+
+/// Symbolize one instruction pointer.
+SymbolInfo symbolize(const void* address);
+
+/// Demangle an Itanium-ABI mangled name; returns the input on failure.
+std::string demangle(const std::string& mangled);
+
+/// True when `info` refers to ORCA runtime internals (the runtime frames
+/// the user-model reconstruction strips: `__ompc_*`, `orca::rt::*`,
+/// collector dispatch, pool plumbing).
+bool is_runtime_frame(const SymbolInfo& info);
+
+}  // namespace orca::unwind

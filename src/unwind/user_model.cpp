@@ -1,0 +1,48 @@
+#include "unwind/user_model.hpp"
+
+#include "common/strutil.hpp"
+#include "translate/region_registry.hpp"
+
+namespace orca::unwind {
+
+std::string UserCallstack::render() const {
+  std::string out;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    out += strfmt("  #%-2zu %s\n", i, frames[i].pretty().c_str());
+  }
+  return out;
+}
+
+std::vector<const void*> UserCallstack::key() const {
+  std::vector<const void*> k;
+  k.reserve(frames.size());
+  for (const SymbolInfo& f : frames) k.push_back(f.address);
+  return k;
+}
+
+UserCallstack reconstruct(const std::vector<const void*>& raw,
+                          const void* region_fn) {
+  UserCallstack out;
+
+  if (region_fn != nullptr) {
+    // The pragma's own frame: what the user sees instead of `__ompdo_*`.
+    SymbolInfo region = symbolize(region_fn);
+    if (region.resolution == Resolution::kRegion) {
+      out.frames.push_back(std::move(region));
+    }
+  }
+
+  for (const void* ip : raw) {
+    SymbolInfo info = symbolize(ip);
+    if (is_runtime_frame(info)) continue;  // implementation-model noise
+    if (info.resolution == Resolution::kRegion &&
+        !out.frames.empty() &&
+        out.frames.front().address == info.address) {
+      continue;  // the region frame was already planted explicitly
+    }
+    out.frames.push_back(std::move(info));
+  }
+  return out;
+}
+
+}  // namespace orca::unwind

@@ -1,0 +1,45 @@
+/// \file user_model.hpp
+/// User-model callstack reconstruction (paper Sec. IV-F).
+///
+/// Performance data arrives coupled to the *implementation model*: the
+/// callstack captured inside an event callback runs through the collector
+/// tool, the registry dispatch, and the runtime's fork machinery before it
+/// reaches any user code. "Reconstructing the callstack to provide a user
+/// view of the program is done offline after the application finishes"
+/// (Sec. IV): this module is that offline pass. It strips the runtime and
+/// collector frames, symbolizes the rest, and — when the sample carries the
+/// region's outlined-procedure address — plants the pragma's source
+/// location as the innermost user frame.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "unwind/backtrace.hpp"
+#include "unwind/symbolize.hpp"
+
+namespace orca::unwind {
+
+/// A reconstructed user-model callstack: innermost frame first.
+struct UserCallstack {
+  std::vector<SymbolInfo> frames;
+
+  /// Multi-line rendering, innermost first, one frame per line.
+  std::string render() const;
+
+  /// Stable identity for aggregation: the sequence of frame addresses.
+  std::vector<const void*> key() const;
+};
+
+/// Offline reconstruction of one sample.
+///
+/// `raw` is the stored implementation-model stack (innermost first);
+/// `region_fn` is the outlined procedure of the parallel region the sample
+/// belongs to (nullptr when unknown — e.g. a sample taken outside any
+/// region). Runtime/collector frames are dropped; the region source (if
+/// known) becomes the innermost frame, mirroring how the user wrote the
+/// pragma rather than how the compiler outlined it.
+UserCallstack reconstruct(const std::vector<const void*>& raw,
+                          const void* region_fn = nullptr);
+
+}  // namespace orca::unwind

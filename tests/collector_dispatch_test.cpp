@@ -1,0 +1,239 @@
+/// Dispatcher tests: request buffers processed against fake runtime
+/// providers, queue routing, and error paths — all without a live thread
+/// team (the inversion that makes the sanctioned-interface logic testable
+/// in isolation).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "collector/dispatch.hpp"
+#include "collector/message.hpp"
+
+namespace {
+
+using namespace orca::collector;
+
+void noop_callback(OMP_COLLECTORAPI_EVENT) {}
+
+/// Scriptable provider state.
+struct FakeRuntime {
+  OMP_COLLECTOR_API_THR_STATE state = THR_SERIAL_STATE;
+  unsigned long wait_id = 0;
+  unsigned long current_id = 0;
+  unsigned long parent_id = 0;
+  bool in_region = false;
+  std::size_t slot = 0;
+};
+
+Providers providers_for(FakeRuntime& rt) {
+  Providers p;
+  p.state = [](void* ctx, unsigned long* wait_id) {
+    auto& fake = *static_cast<FakeRuntime*>(ctx);
+    *wait_id = fake.wait_id;
+    return fake.state;
+  };
+  p.current_prid = [](void* ctx, unsigned long* id) {
+    auto& fake = *static_cast<FakeRuntime*>(ctx);
+    if (!fake.in_region) {
+      *id = 0;
+      return OMP_ERRCODE_SEQUENCE_ERR;
+    }
+    *id = fake.current_id;
+    return OMP_ERRCODE_OK;
+  };
+  p.parent_prid = [](void* ctx, unsigned long* id) {
+    auto& fake = *static_cast<FakeRuntime*>(ctx);
+    if (!fake.in_region) {
+      *id = 0;
+      return OMP_ERRCODE_SEQUENCE_ERR;
+    }
+    *id = fake.parent_id;
+    return OMP_ERRCODE_OK;
+  };
+  p.queue_slot = [](void* ctx) {
+    return static_cast<FakeRuntime*>(ctx)->slot;
+  };
+  p.ctx = &rt;
+  return p;
+}
+
+struct DispatchFixture : ::testing::Test {
+  Registry registry;
+  RequestQueues queues{8};
+  FakeRuntime fake;
+
+  int process(MessageBuilder& builder) {
+    const Providers p = providers_for(fake);
+    return process_messages(registry, queues, p, builder.buffer());
+  }
+};
+
+TEST_F(DispatchFixture, NullBufferRejected) {
+  const Providers p = providers_for(fake);
+  EXPECT_EQ(process_messages(registry, queues, p, nullptr), -1);
+}
+
+TEST_F(DispatchFixture, LifecycleRequestsHandledInline) {
+  MessageBuilder msg;
+  msg.add(OMP_REQ_START);
+  msg.add(OMP_REQ_PAUSE);
+  msg.add(OMP_REQ_RESUME);
+  msg.add(OMP_REQ_STOP);
+  ASSERT_EQ(process(msg), 0);
+  EXPECT_EQ(msg.errcode(0), OMP_ERRCODE_OK);
+  EXPECT_EQ(msg.errcode(1), OMP_ERRCODE_OK);
+  EXPECT_EQ(msg.errcode(2), OMP_ERRCODE_OK);
+  EXPECT_EQ(msg.errcode(3), OMP_ERRCODE_OK);
+  EXPECT_FALSE(registry.initialized());
+}
+
+TEST_F(DispatchFixture, StateQueryAnyTimeWithWaitId) {
+  // State queries work even before START (paper IV-D).
+  fake.state = THR_LKWT_STATE;
+  fake.wait_id = 42;
+  MessageBuilder msg;
+  msg.add_state_query();
+  ASSERT_EQ(process(msg), 0);
+  EXPECT_EQ(msg.errcode(0), OMP_ERRCODE_OK);
+
+  int state = 0;
+  unsigned long wait_id = 0;
+  ASSERT_TRUE(msg.reply_value(0, &state));
+  ASSERT_TRUE(msg.reply_value(0, &wait_id, sizeof(int)));
+  EXPECT_EQ(state, THR_LKWT_STATE);
+  EXPECT_EQ(wait_id, 42ul);
+  EXPECT_EQ(msg.reply_size(0),
+            static_cast<int>(sizeof(int) + sizeof(unsigned long)));
+}
+
+TEST_F(DispatchFixture, NonWaitStateOmitsWaitId) {
+  fake.state = THR_WORK_STATE;
+  MessageBuilder msg;
+  msg.add_state_query();
+  ASSERT_EQ(process(msg), 0);
+  EXPECT_EQ(msg.reply_size(0), static_cast<int>(sizeof(int)));
+}
+
+TEST_F(DispatchFixture, RegionIdQueries) {
+  fake.in_region = true;
+  fake.current_id = 7;
+  fake.parent_id = 3;
+  MessageBuilder msg;
+  msg.add_id_query(OMP_REQ_CURRENT_PRID);
+  msg.add_id_query(OMP_REQ_PARENT_PRID);
+  ASSERT_EQ(process(msg), 0);
+  unsigned long current = 0;
+  unsigned long parent = 0;
+  ASSERT_TRUE(msg.reply_value(0, &current));
+  ASSERT_TRUE(msg.reply_value(1, &parent));
+  EXPECT_EQ(current, 7ul);
+  EXPECT_EQ(parent, 3ul);
+  EXPECT_EQ(msg.errcode(0), OMP_ERRCODE_OK);
+  EXPECT_EQ(msg.errcode(1), OMP_ERRCODE_OK);
+}
+
+TEST_F(DispatchFixture, OutOfRegionIdQueryIsSequenceError) {
+  fake.in_region = false;
+  MessageBuilder msg;
+  msg.add_id_query(OMP_REQ_CURRENT_PRID);
+  ASSERT_EQ(process(msg), 0);
+  unsigned long id = 99;
+  ASSERT_TRUE(msg.reply_value(0, &id));
+  EXPECT_EQ(id, 0ul);
+  EXPECT_EQ(msg.errcode(0), OMP_ERRCODE_SEQUENCE_ERR);
+}
+
+TEST_F(DispatchFixture, RegisterRoutedThroughQueueAndApplied) {
+  MessageBuilder msg;
+  msg.add(OMP_REQ_START);
+  msg.add_register(OMP_EVENT_FORK, &noop_callback);
+  ASSERT_EQ(process(msg), 0);
+  EXPECT_EQ(msg.errcode(1), OMP_ERRCODE_OK);
+  EXPECT_EQ(registry.callback(OMP_EVENT_FORK), &noop_callback);
+  // Queue fully drained.
+  EXPECT_EQ(queues.depth(fake.slot), 0u);
+}
+
+TEST_F(DispatchFixture, UnknownRequestCode) {
+  MessageBuilder msg;
+  msg.add(static_cast<OMP_COLLECTORAPI_REQUEST>(77));
+  ASSERT_EQ(process(msg), 0);
+  EXPECT_EQ(msg.errcode(0), OMP_ERRCODE_UNKNOWN);
+}
+
+TEST_F(DispatchFixture, TruncatedRegisterPayload) {
+  MessageBuilder msg;
+  msg.add(OMP_REQ_REGISTER);  // no payload at all
+  ASSERT_EQ(process(msg), 0);
+  EXPECT_EQ(msg.errcode(0), OMP_ERRCODE_MEM_TOO_SMALL);
+}
+
+TEST_F(DispatchFixture, MixedBufferProcessesEveryRecord) {
+  fake.in_region = true;
+  fake.current_id = 11;
+  MessageBuilder msg;
+  msg.add(OMP_REQ_START);
+  msg.add_register(OMP_EVENT_FORK, &noop_callback);
+  msg.add_state_query();
+  msg.add_id_query(OMP_REQ_CURRENT_PRID);
+  msg.add(static_cast<OMP_COLLECTORAPI_REQUEST>(123));
+  ASSERT_EQ(process(msg), 0);
+  EXPECT_EQ(msg.errcode(0), OMP_ERRCODE_OK);
+  EXPECT_EQ(msg.errcode(1), OMP_ERRCODE_OK);
+  EXPECT_EQ(msg.errcode(2), OMP_ERRCODE_OK);
+  EXPECT_EQ(msg.errcode(3), OMP_ERRCODE_OK);
+  EXPECT_EQ(msg.errcode(4), OMP_ERRCODE_UNKNOWN);
+}
+
+class QueuePolicyTest : public ::testing::TestWithParam<QueuePolicy> {};
+
+TEST_P(QueuePolicyTest, PushAndDrainFifo) {
+  RequestQueues queues(4, GetParam());
+  std::vector<std::size_t> drained;
+  const std::vector<PendingRequest> batch = {PendingRequest{10},
+                                             PendingRequest{20},
+                                             PendingRequest{30}};
+  queues.push_and_drain(1, batch, [&](const PendingRequest& req) {
+    drained.push_back(req.record_offset);
+  });
+  EXPECT_EQ(drained, (std::vector<std::size_t>{10, 20, 30}));
+  EXPECT_EQ(queues.depth(1), 0u);
+}
+
+TEST_P(QueuePolicyTest, SlotClampAndConcurrentDrains) {
+  RequestQueues queues(2, GetParam());
+  std::atomic<int> total{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      const std::vector<PendingRequest> batch = {PendingRequest{0}};
+      for (int i = 0; i < 2000; ++i) {
+        queues.push_and_drain(static_cast<std::size_t>(t),  // may exceed slots
+                              batch,
+                              [&](const PendingRequest&) { total.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(total.load(), 8000);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPolicies, QueuePolicyTest,
+                         ::testing::Values(QueuePolicy::kPerThread,
+                                           QueuePolicy::kGlobal),
+                         [](const ::testing::TestParamInfo<QueuePolicy>&
+                                param_info) {
+                           return param_info.param == QueuePolicy::kPerThread
+                                      ? "PerThread"
+                                      : "Global";
+                         });
+
+TEST(QueuePolicySizes, GlobalPolicyHasOneQueue) {
+  RequestQueues per_thread(8, QueuePolicy::kPerThread);
+  RequestQueues global(8, QueuePolicy::kGlobal);
+  EXPECT_EQ(per_thread.slot_count(), 8u);
+  EXPECT_EQ(global.slot_count(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+/// Protocol-robustness fuzzing: structurally valid but semantically random
+/// request buffers must never crash the dispatcher, and every record must
+/// come back with a sane error code. (The wire format is length-prefixed
+/// records with a zero terminator; a buffer with a corrupt size chain is
+/// the runtime's to *reject*, which is also exercised here.)
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "collector/message.hpp"
+#include "common/rng.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using orca::SplitMix64;
+using orca::collector::kRecordHeaderSize;
+using orca::rt::Runtime;
+
+void fuzz_callback(OMP_COLLECTORAPI_EVENT) {}
+
+/// Build a random-but-well-formed request buffer: N records with valid
+/// sizes, random request kinds (often invalid), random payload bytes.
+std::vector<char> random_buffer(SplitMix64& rng) {
+  std::vector<char> bytes;
+  const int records = static_cast<int>(rng.next() % 8);
+  for (int r = 0; r < records; ++r) {
+    const std::size_t payload = (rng.next() % 5) * 8;  // 0..32 bytes
+    const std::size_t total = kRecordHeaderSize + payload;
+    omp_collector_message header{};
+    header.sz = static_cast<int>(total);
+    // Random request kind: valid kinds, invalid kinds, and garbage.
+    header.r_req = static_cast<OMP_COLLECTORAPI_REQUEST>(rng.next() % 16);
+    header.r_errcode = OMP_ERRCODE_OK;
+    header.r_sz = 0;
+    const std::size_t offset = bytes.size();
+    bytes.resize(offset + total);
+    std::memcpy(bytes.data() + offset, &header, kRecordHeaderSize);
+    for (std::size_t i = 0; i < payload; ++i) {
+      bytes[offset + kRecordHeaderSize + i] =
+          static_cast<char>(rng.next() & 0xFF);
+    }
+  }
+  bytes.resize(bytes.size() + kRecordHeaderSize, 0);  // terminator
+  return bytes;
+}
+
+TEST(CollectorFuzz, RandomRequestBuffersNeverCrash) {
+  Runtime rt;
+  Runtime::make_current(&rt);
+  SplitMix64 rng(0xF00DF00D);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<char> buffer = random_buffer(rng);
+    const int rc = rt.collector_api(buffer.data());
+    EXPECT_TRUE(rc == 0 || rc == -1) << "round " << round;
+    // Every processed record must carry a defined error code.
+    orca::collector::MessageCursor cursor(buffer.data());
+    while (cursor.valid() && !cursor.at_terminator()) {
+      const int ec = cursor.record()->r_errcode;
+      EXPECT_GE(ec, OMP_ERRCODE_OK);
+      EXPECT_LE(ec, OMP_ERRCODE_MEM_TOO_SMALL);
+      cursor.advance();
+    }
+  }
+  // Leave the registry stopped regardless of what the fuzz rounds did.
+  orca::collector::MessageBuilder stop;
+  stop.add(OMP_REQ_STOP);
+  rt.collector_api(stop.buffer());
+  Runtime::make_current(nullptr);
+}
+
+TEST(CollectorFuzz, RandomRegisterPayloadsAreContained) {
+  // REGISTER records with random event values and random (non-null,
+  // never-invoked-unless-valid) callback pointers: the registry must
+  // accept only in-range events.
+  Runtime rt;
+  Runtime::make_current(&rt);
+  orca::collector::MessageBuilder start;
+  start.add(OMP_REQ_START);
+  ASSERT_EQ(rt.collector_api(start.buffer()), 0);
+
+  SplitMix64 rng(42);
+  for (int round = 0; round < 500; ++round) {
+    orca::collector::MessageBuilder msg;
+    const int event = static_cast<int>(rng.next() % 64) - 8;
+    msg.add_register(static_cast<OMP_COLLECTORAPI_EVENT>(event),
+                     &fuzz_callback);
+    ASSERT_EQ(rt.collector_api(msg.buffer()), 0);
+    const auto ec = msg.errcode(0);
+    const bool valid_event =
+        event > 0 && event != OMP_EVENT_LAST && event < ORCA_EVENT_EXT_LAST;
+    if (valid_event) {
+      EXPECT_TRUE(ec == OMP_ERRCODE_OK || ec == OMP_ERRCODE_UNSUPPORTED);
+    } else {
+      EXPECT_EQ(ec, OMP_ERRCODE_ERROR);
+    }
+  }
+  orca::collector::MessageBuilder stop;
+  stop.add(OMP_REQ_STOP);
+  rt.collector_api(stop.buffer());
+  Runtime::make_current(nullptr);
+}
+
+TEST(CollectorFuzz, CorruptSizeChainIsRejected) {
+  Runtime rt;
+  Runtime::make_current(&rt);
+  // A record whose declared size is positive but smaller than the header:
+  // the dispatcher must reject the whole buffer with -1.
+  std::vector<char> bytes(kRecordHeaderSize * 2, 0);
+  omp_collector_message header{};
+  header.sz = 3;
+  header.r_req = OMP_REQ_STATE;
+  std::memcpy(bytes.data(), &header, kRecordHeaderSize);
+  EXPECT_EQ(rt.collector_api(bytes.data()), -1);
+  EXPECT_EQ(rt.collector_api(nullptr), -1);
+  Runtime::make_current(nullptr);
+}
+
+TEST(CollectorFuzz, LifecycleSequencesStayConsistent) {
+  // Random lifecycle request sequences: afterwards the registry must be in
+  // a consistent state (pause implies initialized).
+  Runtime rt;
+  Runtime::make_current(&rt);
+  SplitMix64 rng(7);
+  for (int round = 0; round < 2000; ++round) {
+    orca::collector::MessageBuilder msg;
+    switch (rng.next() % 4) {
+      case 0: msg.add(OMP_REQ_START); break;
+      case 1: msg.add(OMP_REQ_STOP); break;
+      case 2: msg.add(OMP_REQ_PAUSE); break;
+      default: msg.add(OMP_REQ_RESUME); break;
+    }
+    ASSERT_EQ(rt.collector_api(msg.buffer()), 0);
+    if (rt.registry().paused()) {
+      EXPECT_TRUE(rt.registry().initialized());
+    }
+  }
+  Runtime::make_current(nullptr);
+}
+
+}  // namespace

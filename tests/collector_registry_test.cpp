@@ -1,0 +1,218 @@
+/// Registry tests: the START/PAUSE/RESUME/STOP state machine (with the
+/// paper's out-of-sync error codes), callback-table semantics, capability
+/// masks, and the dispatch fast path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "collector/names.hpp"
+#include "collector/registry.hpp"
+
+namespace {
+
+using namespace orca::collector;
+
+std::atomic<int> g_calls{0};
+void counting_callback(OMP_COLLECTORAPI_EVENT) { g_calls.fetch_add(1); }
+void other_callback(OMP_COLLECTORAPI_EVENT) {}
+
+TEST(RegistryLifecycle, StartStopSequencing) {
+  Registry reg;
+  EXPECT_FALSE(reg.initialized());
+  EXPECT_EQ(reg.start(), OMP_ERRCODE_OK);
+  EXPECT_TRUE(reg.initialized());
+  // "If two requests for initialization are made without a stop request
+  // in-between, an out of sync error code is returned" (paper IV-B).
+  EXPECT_EQ(reg.start(), OMP_ERRCODE_SEQUENCE_ERR);
+  EXPECT_EQ(reg.stop(), OMP_ERRCODE_OK);
+  EXPECT_FALSE(reg.initialized());
+  EXPECT_EQ(reg.stop(), OMP_ERRCODE_SEQUENCE_ERR);
+  // START works again after a STOP.
+  EXPECT_EQ(reg.start(), OMP_ERRCODE_OK);
+}
+
+TEST(RegistryLifecycle, PauseResumeSequencing) {
+  Registry reg;
+  EXPECT_EQ(reg.pause(), OMP_ERRCODE_SEQUENCE_ERR);   // before START
+  EXPECT_EQ(reg.resume(), OMP_ERRCODE_SEQUENCE_ERR);  // before START
+  reg.start();
+  EXPECT_EQ(reg.resume(), OMP_ERRCODE_SEQUENCE_ERR);  // not paused
+  EXPECT_EQ(reg.pause(), OMP_ERRCODE_OK);
+  EXPECT_TRUE(reg.paused());
+  EXPECT_EQ(reg.pause(), OMP_ERRCODE_SEQUENCE_ERR);   // already paused
+  EXPECT_EQ(reg.resume(), OMP_ERRCODE_OK);
+  EXPECT_FALSE(reg.paused());
+}
+
+TEST(RegistryLifecycle, StopClearsPauseAndCallbacks) {
+  Registry reg;
+  reg.start();
+  reg.register_callback(OMP_EVENT_FORK, &counting_callback);
+  reg.pause();
+  reg.stop();
+  EXPECT_FALSE(reg.paused());
+  EXPECT_EQ(reg.callback(OMP_EVENT_FORK), nullptr);
+  // Fresh START begins from a clean table.
+  reg.start();
+  g_calls = 0;
+  reg.fire(OMP_EVENT_FORK);
+  EXPECT_EQ(g_calls.load(), 0);
+}
+
+TEST(RegistryCallbacks, RegisterRequiresStart) {
+  Registry reg;
+  EXPECT_EQ(reg.register_callback(OMP_EVENT_FORK, &counting_callback),
+            OMP_ERRCODE_SEQUENCE_ERR);
+  reg.start();
+  EXPECT_EQ(reg.register_callback(OMP_EVENT_FORK, &counting_callback),
+            OMP_ERRCODE_OK);
+  EXPECT_EQ(reg.callback(OMP_EVENT_FORK), &counting_callback);
+}
+
+TEST(RegistryCallbacks, InvalidArguments) {
+  Registry reg;
+  reg.start();
+  EXPECT_EQ(reg.register_callback(OMP_EVENT_FORK, nullptr),
+            OMP_ERRCODE_ERROR);
+  EXPECT_EQ(reg.register_callback(static_cast<OMP_COLLECTORAPI_EVENT>(0),
+                                  &counting_callback),
+            OMP_ERRCODE_ERROR);
+  EXPECT_EQ(reg.register_callback(OMP_EVENT_LAST, &counting_callback),
+            OMP_ERRCODE_ERROR);
+  EXPECT_EQ(reg.unregister_callback(static_cast<OMP_COLLECTORAPI_EVENT>(-1)),
+            OMP_ERRCODE_ERROR);
+}
+
+TEST(RegistryCallbacks, UnregisterIsIdempotent) {
+  Registry reg;
+  reg.start();
+  EXPECT_EQ(reg.unregister_callback(OMP_EVENT_JOIN), OMP_ERRCODE_OK);
+  reg.register_callback(OMP_EVENT_JOIN, &counting_callback);
+  EXPECT_EQ(reg.unregister_callback(OMP_EVENT_JOIN), OMP_ERRCODE_OK);
+  EXPECT_EQ(reg.callback(OMP_EVENT_JOIN), nullptr);
+}
+
+TEST(RegistryCapabilities, AtomicEventsUnsupportedByDefault) {
+  // OpenUH did not implement atomic wait events (paper IV-C7).
+  Registry reg;  // openuh_default capabilities
+  reg.start();
+  EXPECT_EQ(reg.register_callback(OMP_EVENT_THR_BEGIN_ATWT,
+                                  &counting_callback),
+            OMP_ERRCODE_UNSUPPORTED);
+  EXPECT_EQ(reg.register_callback(OMP_EVENT_THR_END_ATWT, &counting_callback),
+            OMP_ERRCODE_UNSUPPORTED);
+  // Everything else is available.
+  for (int e = 1; e < OMP_EVENT_LAST; ++e) {
+    if (e == OMP_EVENT_THR_BEGIN_ATWT || e == OMP_EVENT_THR_END_ATWT) continue;
+    EXPECT_EQ(reg.register_callback(static_cast<OMP_COLLECTORAPI_EVENT>(e),
+                                    &counting_callback),
+              OMP_ERRCODE_OK)
+        << to_string(static_cast<OMP_COLLECTORAPI_EVENT>(e));
+  }
+}
+
+TEST(RegistryCapabilities, AllCapsEnableAtomicEvents) {
+  Registry reg(EventCapabilities::all());
+  reg.start();
+  EXPECT_EQ(reg.register_callback(OMP_EVENT_THR_BEGIN_ATWT,
+                                  &counting_callback),
+            OMP_ERRCODE_OK);
+}
+
+TEST(RegistryDispatch, FiresOnlyWhenArmed) {
+  Registry reg;
+  g_calls = 0;
+
+  reg.fire(OMP_EVENT_FORK);  // not started, no callback
+  EXPECT_EQ(g_calls.load(), 0);
+
+  reg.start();
+  reg.fire(OMP_EVENT_FORK);  // no callback registered
+  EXPECT_EQ(g_calls.load(), 0);
+
+  reg.register_callback(OMP_EVENT_FORK, &counting_callback);
+  EXPECT_TRUE(reg.armed(OMP_EVENT_FORK));
+  reg.fire(OMP_EVENT_FORK);
+  EXPECT_EQ(g_calls.load(), 1);
+
+  reg.pause();
+  EXPECT_FALSE(reg.armed(OMP_EVENT_FORK));
+  reg.fire(OMP_EVENT_FORK);  // paused: suppressed
+  EXPECT_EQ(g_calls.load(), 1);
+
+  reg.resume();
+  reg.fire(OMP_EVENT_FORK);
+  EXPECT_EQ(g_calls.load(), 2);
+
+  reg.fire(OMP_EVENT_JOIN);  // different, unregistered event
+  EXPECT_EQ(g_calls.load(), 2);
+}
+
+TEST(RegistryDispatch, InvalidEventValuesAreSafe) {
+  Registry reg;
+  reg.start();
+  reg.register_callback(OMP_EVENT_FORK, &counting_callback);
+  g_calls = 0;
+  reg.fire(static_cast<OMP_COLLECTORAPI_EVENT>(0));
+  reg.fire(static_cast<OMP_COLLECTORAPI_EVENT>(-5));
+  reg.fire(OMP_EVENT_LAST);
+  EXPECT_EQ(g_calls.load(), 0);
+}
+
+TEST(RegistryConcurrency, RacingRegistrationsNeverTear) {
+  // Paper IV-C: per-entry locks guard "multiple threads try[ing] to
+  // register the same event with different callbacks". The table must
+  // always hold one of the two callbacks, never garbage.
+  Registry reg;
+  reg.start();
+  std::atomic<bool> stop{false};
+  std::thread a([&] {
+    while (!stop.load()) {
+      reg.register_callback(OMP_EVENT_FORK, &counting_callback);
+    }
+  });
+  std::thread b([&] {
+    while (!stop.load()) {
+      reg.register_callback(OMP_EVENT_FORK, &other_callback);
+    }
+  });
+  for (int i = 0; i < 100000; ++i) {
+    const OMP_COLLECTORAPI_CALLBACK cb = reg.callback(OMP_EVENT_FORK);
+    ASSERT_TRUE(cb == &counting_callback || cb == &other_callback ||
+                cb == nullptr);
+  }
+  stop = true;
+  a.join();
+  b.join();
+}
+
+TEST(Names, RoundTripStringsAndPairs) {
+  EXPECT_EQ(to_string(OMP_REQ_START), "OMP_REQ_START");
+  EXPECT_EQ(to_string(OMP_ERRCODE_SEQUENCE_ERR), "OMP_ERRCODE_SEQUENCE_ERR");
+  EXPECT_EQ(to_string(OMP_EVENT_THR_BEGIN_LKWT), "OMP_EVENT_THR_BEGIN_LKWT");
+  EXPECT_EQ(to_string(THR_REDUC_STATE), "THR_REDUC_STATE");
+  EXPECT_EQ(to_string(static_cast<OMP_COLLECTORAPI_EVENT>(999)), "?");
+
+  EXPECT_TRUE(state_has_wait_id(THR_IBAR_STATE));
+  EXPECT_TRUE(state_has_wait_id(THR_LKWT_STATE));
+  EXPECT_FALSE(state_has_wait_id(THR_WORK_STATE));
+
+  EXPECT_TRUE(is_begin_event(OMP_EVENT_FORK));
+  EXPECT_FALSE(is_begin_event(OMP_EVENT_JOIN));
+  EXPECT_EQ(matching_end(OMP_EVENT_FORK), OMP_EVENT_JOIN);
+  EXPECT_EQ(matching_end(OMP_EVENT_THR_BEGIN_SINGLE),
+            OMP_EVENT_THR_END_SINGLE);
+  EXPECT_EQ(matching_end(OMP_EVENT_JOIN), OMP_EVENT_LAST);
+
+  // Every begin event has a distinct matching end.
+  for (int e = 1; e < OMP_EVENT_LAST; ++e) {
+    const auto event = static_cast<OMP_COLLECTORAPI_EVENT>(e);
+    if (is_begin_event(event)) {
+      EXPECT_NE(matching_end(event), OMP_EVENT_LAST) << to_string(event);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+/// EPCC harness tests: the directive inventory, the measurement
+/// methodology (reference vs. construct timing), and sanity bounds on the
+/// produced overheads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/clock.hpp"
+#include "epcc/syncbench.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using orca::epcc::Directive;
+using orca::epcc::Options;
+using orca::epcc::Result;
+using orca::epcc::SyncBench;
+
+TEST(EpccInventory, AllElevenDirectivesWithNames) {
+  const auto& directives = orca::epcc::all_directives();
+  EXPECT_EQ(directives.size(), 11u);
+  for (const Directive d : directives) {
+    EXPECT_STRNE(orca::epcc::name(d), "?");
+  }
+  EXPECT_STREQ(orca::epcc::name(Directive::kParallel), "PARALLEL");
+  EXPECT_STREQ(orca::epcc::name(Directive::kLock), "LOCK/UNLOCK");
+  EXPECT_STREQ(orca::epcc::name(Directive::kReduction), "REDUCTION");
+}
+
+TEST(EpccDelay, ScalesWithLength) {
+  // The payload must actually burn time proportional to its length, or
+  // every overhead measurement is meaningless.
+  orca::Stopwatch sw;
+  for (int i = 0; i < 2000; ++i) SyncBench::delay(10);
+  const double short_time = sw.elapsed();
+  sw.reset();
+  for (int i = 0; i < 2000; ++i) SyncBench::delay(1000);
+  const double long_time = sw.elapsed();
+  EXPECT_GT(long_time, short_time * 5);
+}
+
+class EpccDirective : public ::testing::TestWithParam<Directive> {};
+
+TEST_P(EpccDirective, ProducesFiniteMeasurement) {
+  orca::rt::RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  orca::rt::Runtime rt(cfg);
+  orca::rt::Runtime::make_current(&rt);
+
+  Options opts;
+  opts.num_threads = 2;
+  opts.outer_reps = 3;
+  opts.inner_reps = 8;
+  opts.delay_length = 50;
+  SyncBench bench(opts);
+  const Result result = bench.measure(GetParam());
+
+  EXPECT_EQ(result.directive, GetParam());
+  EXPECT_TRUE(std::isfinite(result.overhead_us));
+  EXPECT_TRUE(std::isfinite(result.stddev_us));
+  EXPECT_GT(result.reference_us, 0.0);
+  EXPECT_GT(result.total_seconds, 0.0);
+  // Synchronization constructs cannot be *faster* than a wide margin below
+  // the bare payload (allows timer noise but catches sign errors).
+  EXPECT_GT(result.overhead_us, -10.0 * result.reference_us - 100.0);
+  orca::rt::Runtime::make_current(nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDirectives, EpccDirective,
+    ::testing::ValuesIn(orca::epcc::all_directives()),
+    [](const ::testing::TestParamInfo<Directive>& param_info) {
+      std::string name = orca::epcc::name(param_info.param);
+      for (char& c : name) {
+        if (c == '/' || c == ' ') c = '_';
+      }
+      return name;
+    });
+
+TEST(EpccHarness, MeasureAllCoversEveryDirective) {
+  orca::rt::RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  orca::rt::Runtime rt(cfg);
+  orca::rt::Runtime::make_current(&rt);
+
+  Options opts;
+  opts.num_threads = 2;
+  opts.outer_reps = 2;
+  opts.inner_reps = 4;
+  opts.delay_length = 20;
+  SyncBench bench(opts);
+  const auto results = bench.measure_all();
+  EXPECT_EQ(results.size(), orca::epcc::all_directives().size());
+  orca::rt::Runtime::make_current(nullptr);
+}
+
+TEST(EpccHarness, ParallelOverheadExceedsBarrierFreeMaster) {
+  // Coarse ordering property: forking a team per iteration costs more
+  // than a master construct executed inside one long-lived team.
+  orca::rt::RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  orca::rt::Runtime rt(cfg);
+  orca::rt::Runtime::make_current(&rt);
+
+  Options opts;
+  opts.num_threads = 4;
+  opts.outer_reps = 5;
+  opts.inner_reps = 32;
+  opts.delay_length = 100;
+  SyncBench bench(opts);
+  const Result parallel = bench.measure(Directive::kParallel);
+  const Result master = bench.measure(Directive::kMaster);
+  EXPECT_GT(parallel.overhead_us, master.overhead_us);
+  orca::rt::Runtime::make_current(nullptr);
+}
+
+}  // namespace

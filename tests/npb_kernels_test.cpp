@@ -1,0 +1,106 @@
+/// Table I parity tests: every NPB analog reproduces the paper's distinct
+/// region count and (at scale=1.0) its exact region invocation count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "npb/kernels.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using orca::npb::BenchResult;
+using orca::npb::NpbOptions;
+using orca::rt::Runtime;
+using orca::rt::RuntimeConfig;
+
+BenchResult run_fresh(const std::string& name, const NpbOptions& opts) {
+  RuntimeConfig cfg;
+  cfg.num_threads = opts.num_threads;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+  BenchResult result = orca::npb::run_by_name(name, opts);
+  Runtime::make_current(nullptr);
+  return result;
+}
+
+class Table1Parity : public ::testing::TestWithParam<orca::npb::TableITarget> {};
+
+TEST_P(Table1Parity, FullScaleMatchesPaperCounts) {
+  const auto& target = GetParam();
+  NpbOptions opts;
+  opts.num_threads = 2;
+  opts.scale = 1.0;
+  const BenchResult result = run_fresh(target.name, opts);
+
+  EXPECT_EQ(result.name, target.name);
+  EXPECT_EQ(result.region_calls, target.calls)
+      << target.name << " region calls";
+  EXPECT_EQ(result.distinct_regions, target.regions)
+      << target.name << " distinct regions";
+  EXPECT_TRUE(std::isfinite(result.checksum));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, Table1Parity,
+    ::testing::ValuesIn([] {
+      // LU-HP runs at full scale in its own test below (300k regions).
+      std::vector<orca::npb::TableITarget> rows;
+      for (const auto& row : orca::npb::table1_targets()) {
+        if (std::string(row.name) != "LU-HP") rows.push_back(row);
+      }
+      return rows;
+    }()),
+    [](const ::testing::TestParamInfo<orca::npb::TableITarget>& param_info) {
+      std::string name = param_info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Table1ParityLuHp, FullScaleMatchesPaperCounts) {
+  NpbOptions opts;
+  opts.num_threads = 1;  // counts are thread-independent; 1 thread is fast
+  opts.scale = 1.0;
+  const BenchResult result = run_fresh("LU-HP", opts);
+  EXPECT_EQ(result.region_calls, 298959u);
+  EXPECT_EQ(result.distinct_regions, 16u);
+}
+
+TEST(NpbScaling, ScaleReducesRegionCalls) {
+  NpbOptions full;
+  full.num_threads = 1;
+  full.scale = 1.0;
+  NpbOptions tenth;
+  tenth.num_threads = 1;
+  tenth.scale = 0.1;
+
+  const BenchResult big = run_fresh("SP", full);
+  const BenchResult small = run_fresh("SP", tenth);
+  EXPECT_EQ(big.region_calls, 3618u);
+  // Scaled runs land near scale*target (structured schedule + top-up).
+  EXPECT_NEAR(static_cast<double>(small.region_calls), 361.8, 20.0);
+  // Distinct region inventory is scale-independent.
+  EXPECT_EQ(small.distinct_regions, big.distinct_regions);
+}
+
+TEST(NpbDeterminism, ChecksumsStableAcrossThreadCounts) {
+  // The kernels' numerics must not depend on the team size (reductions are
+  // associative-tolerant: allow tiny float reordering differences).
+  for (const char* name : {"BT", "MG", "LU"}) {
+    NpbOptions a;
+    a.num_threads = 1;
+    a.scale = 0.2;
+    NpbOptions b;
+    b.num_threads = 4;
+    b.scale = 0.2;
+    const BenchResult ra = run_fresh(name, a);
+    const BenchResult rb = run_fresh(name, b);
+    EXPECT_NEAR(ra.checksum, rb.checksum,
+                1e-6 * (1.0 + std::abs(ra.checksum)))
+        << name;
+  }
+}
+
+}  // namespace

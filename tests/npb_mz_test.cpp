@@ -1,0 +1,107 @@
+/// Table II parity tests for the MZ analogs over MiniMPI, plus hybrid
+/// decomposition invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "npb/multizone.hpp"
+
+namespace {
+
+using orca::npb::MzOptions;
+using orca::npb::MzResult;
+using orca::npb::table2_target;
+
+TEST(Table2Targets, MatchPaperPerProcessValues) {
+  // Paper Table II, per process x thread configuration.
+  EXPECT_EQ(table2_target("BT-MZ", 1), 167616u);
+  EXPECT_EQ(table2_target("BT-MZ", 2), 83808u);
+  EXPECT_EQ(table2_target("BT-MZ", 4), 41904u);
+  EXPECT_EQ(table2_target("BT-MZ", 8), 20952u);
+
+  EXPECT_EQ(table2_target("LU-MZ", 1), 40353u);
+  EXPECT_EQ(table2_target("LU-MZ", 2), 20177u);
+  EXPECT_EQ(table2_target("LU-MZ", 4), 10089u);
+  EXPECT_EQ(table2_target("LU-MZ", 8), 5045u);
+
+  EXPECT_EQ(table2_target("SP-MZ", 1), 436672u);
+  EXPECT_EQ(table2_target("SP-MZ", 2), 218336u);
+  EXPECT_EQ(table2_target("SP-MZ", 4), 109168u);
+  EXPECT_EQ(table2_target("SP-MZ", 8), 54584u);
+
+  EXPECT_EQ(table2_target("NOPE", 4), 0u);
+}
+
+struct MzCase {
+  const char* name;
+  int procs;
+  int threads;
+};
+
+class MzParity : public ::testing::TestWithParam<MzCase> {};
+
+TEST_P(MzParity, ScaledRunHitsPerRankTarget) {
+  const MzCase& c = GetParam();
+  MzOptions opts;
+  opts.procs = c.procs;
+  opts.threads_per_proc = c.threads;
+  opts.scale = 0.02;  // 2% of the paper's schedule keeps tests quick
+
+  const MzResult result = orca::npb::run_mz_by_name(c.name, opts);
+  const std::uint64_t target = static_cast<std::uint64_t>(
+      static_cast<double>(table2_target(c.name, c.procs)) * opts.scale);
+
+  EXPECT_EQ(result.name, c.name);
+  EXPECT_EQ(result.procs, c.procs);
+  // Calibration pins the busiest rank to the per-process target.
+  EXPECT_EQ(result.max_rank_calls, target);
+  // Every rank is topped up to the same per-process count.
+  EXPECT_EQ(result.total_calls,
+            static_cast<std::uint64_t>(c.procs) * target);
+  EXPECT_TRUE(std::isfinite(result.checksum));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProcessThreadGrid, MzParity,
+    ::testing::Values(MzCase{"BT-MZ", 1, 4}, MzCase{"BT-MZ", 2, 2},
+                      MzCase{"BT-MZ", 4, 1}, MzCase{"LU-MZ", 1, 2},
+                      MzCase{"LU-MZ", 2, 1}, MzCase{"SP-MZ", 2, 2},
+                      MzCase{"SP-MZ", 4, 1}),
+    [](const ::testing::TestParamInfo<MzCase>& param_info) {
+      std::string name = param_info.param.name;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_" + std::to_string(param_info.param.procs) + "x" +
+             std::to_string(param_info.param.threads);
+    });
+
+TEST(MzFullScale, LuMzAtTwoProcsMatchesTable2Exactly) {
+  MzOptions opts;
+  opts.procs = 2;
+  opts.threads_per_proc = 1;
+  opts.scale = 1.0;
+  const MzResult result = orca::npb::run_lu_mz(opts);
+  EXPECT_EQ(result.max_rank_calls, 20177u);  // paper Table II, 2 x 4 column
+}
+
+TEST(MzDecomposition, ChecksumStableAcrossProcessCounts) {
+  // The zone computation must be invariant to how zones map onto ranks.
+  double reference = 0;
+  for (int procs : {1, 2, 4}) {
+    MzOptions opts;
+    opts.procs = procs;
+    opts.threads_per_proc = 1;
+    opts.scale = 0.01;
+    const MzResult result = orca::npb::run_bt_mz(opts);
+    if (procs == 1) {
+      reference = result.checksum;
+    } else {
+      EXPECT_NEAR(result.checksum, reference,
+                  1e-6 * (1.0 + std::abs(reference)))
+          << procs << " procs";
+    }
+  }
+}
+
+}  // namespace

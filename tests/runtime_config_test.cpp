@@ -1,0 +1,88 @@
+/// ICV/configuration tests: OMP_SCHEDULE parsing, environment intake, and
+/// clamping rules.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "runtime/config.hpp"
+
+namespace {
+
+using orca::rt::RuntimeConfig;
+using orca::rt::Schedule;
+using orca::rt::ScheduleSpec;
+
+TEST(ScheduleParse, KindsAndChunks) {
+  ScheduleSpec spec = RuntimeConfig::parse_schedule("dynamic,4");
+  EXPECT_EQ(spec.kind, Schedule::kDynamic);
+  EXPECT_EQ(spec.chunk, 4);
+
+  spec = RuntimeConfig::parse_schedule("guided");
+  EXPECT_EQ(spec.kind, Schedule::kGuided);
+  EXPECT_EQ(spec.chunk, 0);
+
+  spec = RuntimeConfig::parse_schedule("static");
+  EXPECT_EQ(spec.kind, Schedule::kStaticEven);
+
+  spec = RuntimeConfig::parse_schedule("static,16");
+  EXPECT_EQ(spec.kind, Schedule::kStaticChunked);
+  EXPECT_EQ(spec.chunk, 16);
+
+  spec = RuntimeConfig::parse_schedule("DYNAMIC , 8");
+  EXPECT_EQ(spec.kind, Schedule::kDynamic);
+  EXPECT_EQ(spec.chunk, 8);
+}
+
+TEST(ScheduleParse, GarbageFallsBackToStatic) {
+  EXPECT_EQ(RuntimeConfig::parse_schedule("").kind, Schedule::kStaticEven);
+  EXPECT_EQ(RuntimeConfig::parse_schedule("bogus,4").kind,
+            Schedule::kStaticEven);
+  EXPECT_EQ(RuntimeConfig::parse_schedule("dynamic,notanumber").chunk, 0);
+  EXPECT_EQ(RuntimeConfig::parse_schedule("dynamic,-5").chunk, 0);
+}
+
+TEST(ConfigFromEnv, ReadsIcvs) {
+  ::setenv("OMP_NUM_THREADS", "6", 1);
+  ::setenv("OMP_NESTED", "true", 1);
+  ::setenv("OMP_SCHEDULE", "guided,2", 1);
+  ::setenv("ORCA_ATOMIC_EVENTS", "1", 1);
+  ::setenv("ORCA_PER_THREAD_QUEUES", "0", 1);
+
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  EXPECT_EQ(cfg.num_threads, 6);
+  EXPECT_TRUE(cfg.nested);
+  EXPECT_TRUE(cfg.atomic_events);
+  EXPECT_FALSE(cfg.per_thread_queues);
+  EXPECT_EQ(cfg.runtime_schedule.kind, Schedule::kGuided);
+  EXPECT_EQ(cfg.runtime_schedule.chunk, 2);
+
+  ::unsetenv("OMP_NUM_THREADS");
+  ::unsetenv("OMP_NESTED");
+  ::unsetenv("OMP_SCHEDULE");
+  ::unsetenv("ORCA_ATOMIC_EVENTS");
+  ::unsetenv("ORCA_PER_THREAD_QUEUES");
+}
+
+TEST(ConfigFromEnv, ClampsInsaneValues) {
+  ::setenv("OMP_NUM_THREADS", "-3", 1);
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  EXPECT_GE(cfg.num_threads, 1);
+  ::unsetenv("OMP_NUM_THREADS");
+
+  ::setenv("OMP_NUM_THREADS", "100", 1);
+  ::setenv("OMP_THREAD_LIMIT", "8", 1);
+  const RuntimeConfig capped = RuntimeConfig::from_env();
+  EXPECT_GE(capped.max_threads, capped.num_threads);
+  ::unsetenv("OMP_NUM_THREADS");
+  ::unsetenv("OMP_THREAD_LIMIT");
+}
+
+TEST(ConfigDefaults, MatchOpenUh) {
+  const RuntimeConfig cfg;
+  EXPECT_FALSE(cfg.nested);          // nested regions serialized
+  EXPECT_FALSE(cfg.atomic_events);   // atomic waits not implemented
+  EXPECT_TRUE(cfg.ordered_events);
+  EXPECT_TRUE(cfg.per_thread_queues);
+}
+
+}  // namespace

@@ -1,0 +1,245 @@
+/// Fork/join, team shape, and collector event tests for the core runtime.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "collector/api.h"
+#include "collector/message.hpp"
+#include "runtime/ompc_api.h"
+#include "runtime/runtime.hpp"
+#include "translate/omp.hpp"
+
+namespace {
+
+using orca::collector::MessageBuilder;
+using orca::rt::Runtime;
+using orca::rt::RuntimeConfig;
+
+RuntimeConfig test_config(int threads) {
+  RuntimeConfig cfg;
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+TEST(Fork, RunsBodyOnAllThreads) {
+  Runtime rt(test_config(4));
+  Runtime::make_current(&rt);
+  std::atomic<int> hits{0};
+  std::vector<std::atomic<int>> per_tid(4);
+
+  auto body = [](int, void* frame) {
+    auto* state = static_cast<std::pair<std::atomic<int>*,
+                                        std::vector<std::atomic<int>>*>*>(frame);
+    state->first->fetch_add(1);
+    const int tid = omp_get_thread_num();
+    (*state->second)[static_cast<std::size_t>(tid)].fetch_add(1);
+  };
+  std::pair<std::atomic<int>*, std::vector<std::atomic<int>>*> frame{&hits,
+                                                                     &per_tid};
+  rt.fork(body, &frame, 0);
+
+  EXPECT_EQ(hits.load(), 4);
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(per_tid[static_cast<std::size_t>(t)].load(), 1) << "tid " << t;
+  }
+  EXPECT_EQ(rt.regions_executed(), 1u);
+  Runtime::make_current(nullptr);
+}
+
+TEST(Fork, ReusesSleepingPoolAcrossRegions) {
+  Runtime rt(test_config(3));
+  Runtime::make_current(&rt);
+  std::atomic<int> hits{0};
+  auto body = [](int, void* frame) {
+    static_cast<std::atomic<int>*>(frame)->fetch_add(1);
+  };
+  for (int i = 0; i < 100; ++i) rt.fork(body, &hits, 0);
+  EXPECT_EQ(hits.load(), 300);
+  EXPECT_EQ(rt.pool_size(), 2);  // slaves created once, then reused
+  EXPECT_EQ(rt.regions_executed(), 100u);
+  Runtime::make_current(nullptr);
+}
+
+TEST(Fork, NumThreadsOverridePerRegion) {
+  Runtime rt(test_config(4));
+  Runtime::make_current(&rt);
+  std::atomic<int> team_size{0};
+  auto body = [](int, void* frame) {
+    if (omp_get_thread_num() == 0) {
+      static_cast<std::atomic<int>*>(frame)->store(omp_get_num_threads());
+    }
+  };
+  rt.fork(body, &team_size, 2);
+  EXPECT_EQ(team_size.load(), 2);
+  rt.fork(body, &team_size, 4);
+  EXPECT_EQ(team_size.load(), 4);
+  rt.fork(body, &team_size, 1);
+  EXPECT_EQ(team_size.load(), 1);
+  Runtime::make_current(nullptr);
+}
+
+TEST(Fork, SerializesNestedRegionsByDefault) {
+  Runtime rt(test_config(4));
+  Runtime::make_current(&rt);
+  std::atomic<int> inner_hits{0};
+  std::atomic<int> inner_team{-1};
+
+  orca::omp::parallel([&](int) {
+    orca::omp::parallel([&](int) {
+      inner_hits.fetch_add(1);
+      inner_team.store(omp_get_num_threads());
+    });
+  });
+
+  // Each of the 4 outer threads runs the inner region serially.
+  EXPECT_EQ(inner_hits.load(), 4);
+  EXPECT_EQ(inner_team.load(), 1);
+  EXPECT_EQ(rt.regions_executed(), 1u);  // serialized inners don't count
+  Runtime::make_current(nullptr);
+}
+
+TEST(Fork, NestedModeCreatesRealTeams) {
+  RuntimeConfig cfg = test_config(2);
+  cfg.nested = true;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+  std::atomic<int> inner_hits{0};
+
+  orca::omp::parallel([&](int) {
+    orca::omp::parallel([&](int) { inner_hits.fetch_add(1); });
+  });
+
+  EXPECT_EQ(inner_hits.load(), 4);  // 2 outer x 2 inner
+  EXPECT_EQ(rt.regions_executed(), 3u);  // 1 outer + 2 nested
+  Runtime::make_current(nullptr);
+}
+
+// --- collector interaction ----------------------------------------------------
+
+std::atomic<int> g_forks{0};
+std::atomic<int> g_joins{0};
+void count_fork_join(OMP_COLLECTORAPI_EVENT e) {
+  if (e == OMP_EVENT_FORK) g_forks.fetch_add(1);
+  if (e == OMP_EVENT_JOIN) g_joins.fetch_add(1);
+}
+
+TEST(ForkEvents, FiredOncePerRegionOnMaster) {
+  Runtime rt(test_config(4));
+  Runtime::make_current(&rt);
+  g_forks = 0;
+  g_joins = 0;
+
+  MessageBuilder req;
+  req.add(OMP_REQ_START);
+  req.add_register(OMP_EVENT_FORK, &count_fork_join);
+  req.add_register(OMP_EVENT_JOIN, &count_fork_join);
+  ASSERT_EQ(rt.collector_api(req.buffer()), 0);
+  ASSERT_EQ(req.errcode(0), OMP_ERRCODE_OK);
+  ASSERT_EQ(req.errcode(1), OMP_ERRCODE_OK);
+  ASSERT_EQ(req.errcode(2), OMP_ERRCODE_OK);
+
+  for (int i = 0; i < 10; ++i) {
+    orca::omp::parallel([](int) {});
+  }
+  EXPECT_EQ(g_forks.load(), 10);
+  EXPECT_EQ(g_joins.load(), 10);
+
+  // PAUSE suppresses events; RESUME restores them.
+  MessageBuilder pause;
+  pause.add(OMP_REQ_PAUSE);
+  ASSERT_EQ(rt.collector_api(pause.buffer()), 0);
+  orca::omp::parallel([](int) {});
+  EXPECT_EQ(g_forks.load(), 10);
+
+  MessageBuilder resume;
+  resume.add(OMP_REQ_RESUME);
+  ASSERT_EQ(rt.collector_api(resume.buffer()), 0);
+  orca::omp::parallel([](int) {});
+  EXPECT_EQ(g_forks.load(), 11);
+
+  MessageBuilder stop;
+  stop.add(OMP_REQ_STOP);
+  ASSERT_EQ(rt.collector_api(stop.buffer()), 0);
+  orca::omp::parallel([](int) {});
+  EXPECT_EQ(g_forks.load(), 11);
+  Runtime::make_current(nullptr);
+}
+
+std::atomic<int> g_idle_begin{0};
+std::atomic<int> g_idle_end{0};
+void count_idle(OMP_COLLECTORAPI_EVENT e) {
+  if (e == OMP_EVENT_THR_BEGIN_IDLE) g_idle_begin.fetch_add(1);
+  if (e == OMP_EVENT_THR_END_IDLE) g_idle_end.fetch_add(1);
+}
+
+TEST(IdleEvents, SlavesIdleBetweenRegions) {
+  Runtime rt(test_config(3));
+  Runtime::make_current(&rt);
+  g_idle_begin = 0;
+  g_idle_end = 0;
+
+  MessageBuilder req;
+  req.add(OMP_REQ_START);
+  req.add_register(OMP_EVENT_THR_BEGIN_IDLE, &count_idle);
+  req.add_register(OMP_EVENT_THR_END_IDLE, &count_idle);
+  ASSERT_EQ(rt.collector_api(req.buffer()), 0);
+
+  const int regions = 5;
+  for (int i = 0; i < regions; ++i) {
+    orca::omp::parallel([](int) {});
+  }
+  // 2 slaves leave idle at each region start and re-enter it at each end
+  // (plus the initial BEGIN_IDLE at creation, already counted).
+  EXPECT_EQ(g_idle_end.load(), 2 * regions);
+  EXPECT_GE(g_idle_begin.load(), 2 * regions);
+  Runtime::make_current(nullptr);
+}
+
+TEST(RegionIds, CurrentAndParentQueries) {
+  Runtime rt(test_config(2));
+  Runtime::make_current(&rt);
+
+  // Outside any region: id 0 + sequence error (paper IV-E).
+  MessageBuilder outside;
+  outside.add_id_query(OMP_REQ_CURRENT_PRID);
+  ASSERT_EQ(rt.collector_api(outside.buffer()), 0);
+  EXPECT_EQ(outside.errcode(0), OMP_ERRCODE_SEQUENCE_ERR);
+  unsigned long id = 123;
+  ASSERT_TRUE(outside.reply_value(0, &id));
+  EXPECT_EQ(id, 0ul);
+
+  struct Capture {
+    Runtime* rt;
+    std::atomic<unsigned long> current{0};
+    std::atomic<unsigned long> parent{999};
+    std::atomic<int> err{-1};
+  } capture{&rt, {}, {}, {}};
+
+  auto body = [](int, void* frame) {
+    auto* c = static_cast<Capture*>(frame);
+    if (omp_get_thread_num() != 0) return;
+    MessageBuilder inside;
+    inside.add_id_query(OMP_REQ_CURRENT_PRID);
+    inside.add_id_query(OMP_REQ_PARENT_PRID);
+    c->rt->collector_api(inside.buffer());
+    unsigned long cur = 0;
+    unsigned long par = 0;
+    inside.reply_value(0, &cur);
+    inside.reply_value(1, &par);
+    c->current.store(cur);
+    c->parent.store(par);
+    c->err.store(inside.errcode(0));
+  };
+
+  rt.fork(body, &capture, 0);
+  EXPECT_EQ(capture.err.load(), OMP_ERRCODE_OK);
+  EXPECT_EQ(capture.current.load(), 1ul);  // first region id
+  EXPECT_EQ(capture.parent.load(), 0ul);   // non-nested: parent is 0
+
+  rt.fork(body, &capture, 0);
+  EXPECT_EQ(capture.current.load(), 2ul);  // ids advance per region
+  Runtime::make_current(nullptr);
+}
+
+}  // namespace

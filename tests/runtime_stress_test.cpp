@@ -1,0 +1,137 @@
+/// Randomized stress tests: long sequences of mixed constructs with
+/// varying team sizes, checked against deterministic serial replays.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/ompc_api.h"
+#include "runtime/runtime.hpp"
+#include "tool/collector_tool.hpp"
+#include "translate/omp.hpp"
+
+namespace {
+
+using orca::SplitMix64;
+using orca::rt::Runtime;
+using orca::rt::RuntimeConfig;
+
+/// One randomized "program": regions of random size running random
+/// construct mixes, accumulating into a shared checksum whose value is
+/// independent of scheduling.
+long run_program(Runtime& rt, std::uint64_t seed, int rounds) {
+  SplitMix64 rng(seed);
+  std::atomic<long> checksum{0};
+  for (int round = 0; round < rounds; ++round) {
+    const int team = 1 + static_cast<int>(rng.next() % 4);
+    const int flavour = static_cast<int>(rng.next() % 5);
+    const long token = static_cast<long>(rng.next() % 1000);
+    orca::omp::parallel(
+        [&](int) {
+          switch (flavour) {
+            case 0:  // static loop
+              orca::omp::for_static(0, 49, 1, [&](long long i) {
+                checksum.fetch_add(token + i);
+              });
+              break;
+            case 1:  // dynamic loop
+              orca::omp::for_dynamic(0, 49, 1, [&](long long i) {
+                checksum.fetch_add(token + 2 * i);
+              });
+              break;
+            case 2:  // single + barrier
+              orca::omp::single([&] { checksum.fetch_add(token * 3); });
+              orca::omp::barrier();
+              break;
+            case 3:  // critical per thread
+              orca::omp::critical([&] { checksum.fetch_add(token); });
+              break;
+            default:  // tasks from a single block
+              orca::omp::single([&] {
+                for (int t = 0; t < 5; ++t) {
+                  orca::omp::task([&checksum, token, t] {
+                    checksum.fetch_add(token + t);
+                  });
+                }
+                orca::omp::taskwait();
+              });
+              break;
+          }
+        },
+        team);
+  }
+  (void)rt;
+  return checksum.load();
+}
+
+TEST(Stress, MixedConstructsDeterministicAcrossReplays) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+  const long first = run_program(rt, 0xDEAD, 150);
+  const long second = run_program(rt, 0xDEAD, 150);
+  EXPECT_EQ(first, second);
+  Runtime::make_current(nullptr);
+
+  // Same program on a fresh runtime with a different pool: same value.
+  RuntimeConfig other;
+  other.num_threads = 2;
+  Runtime rt2(other);
+  Runtime::make_current(&rt2);
+  EXPECT_EQ(run_program(rt2, 0xDEAD, 150), first);
+  Runtime::make_current(nullptr);
+}
+
+TEST(Stress, SurvivesUnderAttachedCollector) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+  const long bare = run_program(rt, 0xBEEF, 100);
+
+  auto& tool = orca::tool::PrototypeCollector::instance();
+  tool.reset();
+  ASSERT_TRUE(tool.attach({}));
+  const long observed = run_program(rt, 0xBEEF, 100);
+  rt.quiesce();
+  tool.detach();
+
+  EXPECT_EQ(observed, bare);  // observation must not perturb results
+  EXPECT_GT(tool.callback_invocations(), 0u);
+  Runtime::make_current(nullptr);
+}
+
+TEST(Stress, RepeatedAttachDetachCycles) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+  auto& tool = orca::tool::PrototypeCollector::instance();
+  for (int cycle = 0; cycle < 25; ++cycle) {
+    tool.reset();
+    ASSERT_TRUE(tool.attach({})) << "cycle " << cycle;
+    orca::omp::parallel([](int) {}, 2);
+    rt.quiesce();
+    tool.detach();
+  }
+  Runtime::make_current(nullptr);
+}
+
+TEST(Stress, ManyShortLivedRuntimes) {
+  // Creating and destroying runtimes (each with its worker pool) must not
+  // leak threads or deadlock — MiniMPI churns runtimes like this.
+  for (int i = 0; i < 30; ++i) {
+    RuntimeConfig cfg;
+    cfg.num_threads = 1 + (i % 4);
+    Runtime rt(cfg);
+    Runtime::make_current(&rt);
+    std::atomic<int> hits{0};
+    orca::omp::parallel([&](int) { hits.fetch_add(1); });
+    EXPECT_EQ(hits.load(), cfg.num_threads);
+    Runtime::make_current(nullptr);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,217 @@
+/// Explicit-tasking tests (the OpenMP 3.0 extension of paper Sec. VI):
+/// deferral, taskwait, barrier scheduling points, nested spawning, event
+/// reporting, and the disabled (OpenUH-2009) mode.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "collector/message.hpp"
+#include "runtime/ompc_api.h"
+#include "runtime/runtime.hpp"
+#include "translate/omp.hpp"
+
+namespace {
+
+using orca::collector::MessageBuilder;
+using orca::rt::Runtime;
+using orca::rt::RuntimeConfig;
+
+RuntimeConfig threads(int n) {
+  RuntimeConfig cfg;
+  cfg.num_threads = n;
+  return cfg;
+}
+
+TEST(Tasks, AllTasksRunExactlyOnce) {
+  Runtime rt(threads(4));
+  Runtime::make_current(&rt);
+
+  constexpr int kTasks = 200;
+  std::vector<std::atomic<int>> executed(kTasks);
+  orca::omp::parallel([&](int) {
+    orca::omp::single([&] {
+      for (int t = 0; t < kTasks; ++t) {
+        orca::omp::task([&executed, t] {
+          executed[static_cast<std::size_t>(t)].fetch_add(1);
+        });
+      }
+    });
+    // Region-end barrier is a scheduling point: all tasks complete.
+  }, 4);
+
+  for (int t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(executed[static_cast<std::size_t>(t)].load(), 1) << "task " << t;
+  }
+  Runtime::make_current(nullptr);
+}
+
+TEST(Tasks, TaskwaitBlocksUntilAllComplete) {
+  Runtime rt(threads(4));
+  Runtime::make_current(&rt);
+
+  std::atomic<int> done{0};
+  std::atomic<bool> violation{false};
+  orca::omp::parallel([&](int) {
+    orca::omp::single([&] {
+      for (int t = 0; t < 50; ++t) {
+        orca::omp::task([&] { done.fetch_add(1); });
+      }
+      orca::omp::taskwait();
+      if (done.load() != 50) violation.store(true);
+    });
+  }, 4);
+  EXPECT_FALSE(violation.load());
+  EXPECT_EQ(done.load(), 50);
+  Runtime::make_current(nullptr);
+}
+
+TEST(Tasks, TasksMaySpawnTasks) {
+  Runtime rt(threads(4));
+  Runtime::make_current(&rt);
+
+  std::atomic<int> leaves{0};
+  orca::omp::parallel([&](int) {
+    orca::omp::single([&] {
+      for (int t = 0; t < 8; ++t) {
+        orca::omp::task([&] {
+          for (int child = 0; child < 4; ++child) {
+            orca::omp::task([&] { leaves.fetch_add(1); });
+          }
+        });
+      }
+    });
+  }, 4);
+  EXPECT_EQ(leaves.load(), 32);
+  Runtime::make_current(nullptr);
+}
+
+TEST(Tasks, SerialContextRunsUndeferred) {
+  Runtime rt(threads(4));
+  Runtime::make_current(&rt);
+  int value = 0;
+  orca::omp::task([&] { value = 42; });
+  // No barrier needed: outside a team the body ran synchronously.
+  EXPECT_EQ(value, 42);
+  Runtime::make_current(nullptr);
+}
+
+TEST(Tasks, DisabledTaskingRunsUndeferredInsideRegions) {
+  RuntimeConfig cfg = threads(4);
+  cfg.tasking = false;  // OpenUH-2009 mode
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  std::atomic<bool> violation{false};
+  orca::omp::parallel([&](int) {
+    orca::omp::single([&] {
+      int local = 0;
+      orca::omp::task([&local] { local = 7; });
+      if (local != 7) violation.store(true);  // must have run synchronously
+    });
+  }, 4);
+  EXPECT_FALSE(violation.load());
+  Runtime::make_current(nullptr);
+}
+
+std::atomic<int> g_task_begin{0};
+std::atomic<int> g_task_end{0};
+void task_counter(OMP_COLLECTORAPI_EVENT e) {
+  if (e == ORCA_EVENT_TASK_BEGIN) g_task_begin.fetch_add(1);
+  if (e == ORCA_EVENT_TASK_END) g_task_end.fetch_add(1);
+}
+
+TEST(TaskEvents, ExtensionEventsFirePerTask) {
+  Runtime rt(threads(4));
+  Runtime::make_current(&rt);
+
+  MessageBuilder msg;
+  msg.add(OMP_REQ_START);
+  msg.add_register(ORCA_EVENT_TASK_BEGIN, &task_counter);
+  msg.add_register(ORCA_EVENT_TASK_END, &task_counter);
+  ASSERT_EQ(rt.collector_api(msg.buffer()), 0);
+  ASSERT_EQ(msg.errcode(1), OMP_ERRCODE_OK);
+  g_task_begin = 0;
+  g_task_end = 0;
+
+  orca::omp::parallel([&](int) {
+    orca::omp::single([&] {
+      for (int t = 0; t < 25; ++t) {
+        orca::omp::task([] {});
+      }
+      orca::omp::taskwait();
+    });
+  }, 4);
+  rt.quiesce();
+  EXPECT_EQ(g_task_begin.load(), 25);
+  EXPECT_EQ(g_task_end.load(), 25);
+
+  MessageBuilder stop;
+  stop.add(OMP_REQ_STOP);
+  rt.collector_api(stop.buffer());
+  Runtime::make_current(nullptr);
+}
+
+TEST(TaskEvents, UnsupportedWhenTaskingDisabled) {
+  RuntimeConfig cfg = threads(2);
+  cfg.tasking = false;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+  MessageBuilder msg;
+  msg.add(OMP_REQ_START);
+  msg.add_register(ORCA_EVENT_TASK_BEGIN, &task_counter);
+  ASSERT_EQ(rt.collector_api(msg.buffer()), 0);
+  EXPECT_EQ(msg.errcode(1), OMP_ERRCODE_UNSUPPORTED);
+  Runtime::make_current(nullptr);
+}
+
+TEST(Tasks, FibonacciViaTaskRecursion) {
+  // The canonical tasking example (OpenMP 3.0 spec): naive fib with a
+  // task per branch and taskwait joins.
+  Runtime rt(threads(4));
+  Runtime::make_current(&rt);
+
+  // Depth-limited to keep the pool shallow; results land in a tree of
+  // stack frames kept alive by taskwait.
+  struct Fib {
+    static void compute(int n, long* out) {
+      if (n < 2) {
+        *out = n;
+        return;
+      }
+      long a = 0;
+      long b = 0;
+      orca::omp::task([n, &a] { compute(n - 1, &a); });
+      orca::omp::task([n, &b] { compute(n - 2, &b); });
+      orca::omp::taskwait();
+      *out = a + b;
+    }
+  };
+
+  long result = 0;
+  orca::omp::parallel([&](int) {
+    orca::omp::single([&] { Fib::compute(12, &result); });
+  }, 4);
+  EXPECT_EQ(result, 144);
+  Runtime::make_current(nullptr);
+}
+
+TEST(Tasks, CApiTaskAndTaskwait) {
+  Runtime rt(threads(2));
+  Runtime::make_current(&rt);
+  static std::atomic<int> hits{0};
+  hits = 0;
+  orca::omp::parallel([&](int) {
+    orca::omp::single([&] {
+      for (int i = 0; i < 10; ++i) {
+        __ompc_task(
+            0, [](void*) { hits.fetch_add(1); }, nullptr);
+      }
+      __ompc_taskwait(0);
+      EXPECT_EQ(hits.load(), 10);
+    });
+  }, 2);
+  Runtime::make_current(nullptr);
+}
+
+}  // namespace

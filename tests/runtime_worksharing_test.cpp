@@ -1,0 +1,291 @@
+/// Worksharing tests: schedule partition properties (every iteration
+/// executed exactly once, for every schedule/thread-count/chunk/stride
+/// combination), single/master semantics, and ordered sequencing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "runtime/ompc_api.h"
+#include "runtime/runtime.hpp"
+#include "translate/omp.hpp"
+
+namespace {
+
+using orca::rt::Runtime;
+using orca::rt::RuntimeConfig;
+
+struct LoopCase {
+  int threads;
+  long long lower;
+  long long upper;
+  long long incr;
+  long long chunk;
+};
+
+std::string loop_case_str(const LoopCase& c) {
+  auto part = [](long long v) {
+    return v < 0 ? "m" + std::to_string(-v) : std::to_string(v);
+  };
+  return "t" + std::to_string(c.threads) + "_lo" + part(c.lower) + "_hi" +
+         part(c.upper) + "_inc" + part(c.incr) + "_ch" + part(c.chunk);
+}
+
+std::string loop_case_name(const ::testing::TestParamInfo<LoopCase>& info) {
+  return loop_case_str(info.param);
+}
+
+const std::vector<LoopCase> kLoopCases = {
+    {1, 0, 99, 1, 0},    {2, 0, 99, 1, 0},    {4, 0, 99, 1, 0},
+    {4, 0, 0, 1, 0},     {4, 5, 4, 1, 0},     // empty loop
+    {3, 0, 100, 3, 0},   {4, -50, 49, 1, 0},  {2, 100, 1, -1, 0},
+    {4, 99, 0, -3, 0},   {4, 0, 99, 1, 7},    {2, 0, 9, 1, 100},
+    {8, 0, 6, 1, 1},     {4, 0, 9999, 1, 13},
+};
+
+class StaticScheduleProperty : public ::testing::TestWithParam<LoopCase> {};
+
+TEST_P(StaticScheduleProperty, EveryIterationExactlyOnce) {
+  const LoopCase& c = GetParam();
+  RuntimeConfig cfg;
+  cfg.num_threads = c.threads;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  const long long trip =
+      c.incr > 0 ? (c.upper >= c.lower ? (c.upper - c.lower) / c.incr + 1 : 0)
+                 : (c.lower >= c.upper ? (c.lower - c.upper) / -c.incr + 1 : 0);
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(
+      trip > 0 ? trip : 1));
+
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::for_static(c.lower, c.upper, c.incr, [&](long long i) {
+          const long long idx = (i - c.lower) / c.incr;
+          hits[static_cast<std::size_t>(idx)].fetch_add(1);
+        }, c.chunk);
+      },
+      c.threads);
+
+  for (long long i = 0; i < trip; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "iteration " << i;
+  }
+  if (trip <= 0) {
+    EXPECT_EQ(hits[0].load(), 0);
+  }
+  Runtime::make_current(nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, StaticScheduleProperty,
+                         ::testing::ValuesIn(kLoopCases), loop_case_name);
+
+using DynParam = std::tuple<LoopCase, orca::omp::Sched>;
+
+class DynamicScheduleProperty : public ::testing::TestWithParam<DynParam> {};
+
+TEST_P(DynamicScheduleProperty, EveryIterationExactlyOnce) {
+  const LoopCase& c = std::get<0>(GetParam());
+  const orca::omp::Sched sched = std::get<1>(GetParam());
+  RuntimeConfig cfg;
+  cfg.num_threads = c.threads;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  const long long trip =
+      c.incr > 0 ? (c.upper >= c.lower ? (c.upper - c.lower) / c.incr + 1 : 0)
+                 : (c.lower >= c.upper ? (c.lower - c.upper) / -c.incr + 1 : 0);
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(
+      trip > 0 ? trip : 1));
+
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::for_dynamic(
+            c.lower, c.upper, c.incr,
+            [&](long long i) {
+              const long long idx = (i - c.lower) / c.incr;
+              hits[static_cast<std::size_t>(idx)].fetch_add(1);
+            },
+            sched, c.chunk > 0 ? c.chunk : 1);
+      },
+      c.threads);
+
+  for (long long i = 0; i < trip; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "iteration " << i;
+  }
+  Runtime::make_current(nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Partitions, DynamicScheduleProperty,
+    ::testing::Combine(::testing::ValuesIn(kLoopCases),
+                       ::testing::Values(orca::omp::Sched::kDynamic,
+                                         orca::omp::Sched::kGuided)),
+    [](const ::testing::TestParamInfo<DynParam>& param_info) {
+      const bool dynamic =
+          std::get<1>(param_info.param) == orca::omp::Sched::kDynamic;
+      return std::string(dynamic ? "dyn_" : "guided_") +
+             loop_case_str(std::get<0>(param_info.param));
+    });
+
+TEST(RuntimeSchedule, TakesKindAndChunkFromConfig) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 3;
+  cfg.runtime_schedule = RuntimeConfig::parse_schedule("dynamic,4");
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  std::vector<std::atomic<int>> hits(100);
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::for_dynamic(
+            0, 99, 1,
+            [&](long long i) { hits[static_cast<std::size_t>(i)].fetch_add(1); },
+            orca::omp::Sched::kRuntime, 0);
+      },
+      3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1);
+  Runtime::make_current(nullptr);
+}
+
+TEST(Worksharing, ConsecutiveLoopsInOneRegion) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  std::atomic<long> sum{0};
+  orca::omp::parallel(
+      [&](int) {
+        for (int loop = 0; loop < 10; ++loop) {
+          orca::omp::for_static(0, 49, 1, [&](long long) { sum.fetch_add(1); });
+          orca::omp::for_dynamic(0, 49, 1,
+                                 [&](long long) { sum.fetch_add(1); });
+        }
+      },
+      4);
+  EXPECT_EQ(sum.load(), 10 * (50 + 50));
+  Runtime::make_current(nullptr);
+}
+
+TEST(Worksharing, OrphanedLoopOutsideParallel) {
+  RuntimeConfig cfg;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+  long sum = 0;
+  orca::omp::for_static(0, 9, 1, [&](long long i) { sum += i; });
+  EXPECT_EQ(sum, 45);
+  long dsum = 0;
+  orca::omp::for_dynamic(0, 9, 1, [&](long long i) { dsum += i; });
+  EXPECT_EQ(dsum, 45);
+  Runtime::make_current(nullptr);
+}
+
+TEST(Single, ExactlyOneExecutorPerEncounter) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  constexpr int kSingles = 50;
+  std::vector<std::atomic<int>> executed(kSingles);
+  orca::omp::parallel(
+      [&](int) {
+        for (int s = 0; s < kSingles; ++s) {
+          orca::omp::single([&] {
+            executed[static_cast<std::size_t>(s)].fetch_add(1);
+          });
+        }
+      },
+      4);
+  for (int s = 0; s < kSingles; ++s) {
+    EXPECT_EQ(executed[static_cast<std::size_t>(s)].load(), 1) << "single " << s;
+  }
+  Runtime::make_current(nullptr);
+}
+
+TEST(Single, NowaitSinglesStillExecuteExactlyOnce) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  constexpr int kSingles = 30;
+  std::vector<std::atomic<int>> executed(kSingles);
+  orca::omp::parallel(
+      [&](int) {
+        for (int s = 0; s < kSingles; ++s) {
+          orca::omp::single(
+              [&] { executed[static_cast<std::size_t>(s)].fetch_add(1); },
+              /*nowait=*/true);
+        }
+      },
+      4);
+  for (int s = 0; s < kSingles; ++s) {
+    EXPECT_EQ(executed[static_cast<std::size_t>(s)].load(), 1) << "single " << s;
+  }
+  Runtime::make_current(nullptr);
+}
+
+TEST(Master, OnlyThreadZeroExecutes) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  std::atomic<int> count{0};
+  std::atomic<int> executor_tid{-1};
+  orca::omp::parallel([&](int) {
+    orca::omp::master([&] {
+      count.fetch_add(1);
+      executor_tid.store(omp_get_thread_num());
+    });
+  }, 4);
+  EXPECT_EQ(count.load(), 1);
+  EXPECT_EQ(executor_tid.load(), 0);
+  Runtime::make_current(nullptr);
+}
+
+TEST(Ordered, IterationsEnterInOrder) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  std::vector<long long> order;
+  orca::omp::parallel(
+      [&](int) {
+        orca::omp::for_dynamic(
+            0, 49, 1,
+            [&](long long i) {
+              orca::omp::ordered(i, [&] { order.push_back(i); });
+            },
+            orca::omp::Sched::kDynamic, 1);
+      },
+      4);
+  ASSERT_EQ(order.size(), 50u);
+  for (long long i = 0; i < 50; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+  Runtime::make_current(nullptr);
+}
+
+TEST(Reduce, ParallelReduceMatchesSerial) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  const long long n = 10000;
+  const long long sum = orca::omp::parallel_reduce(
+      1, n, 0LL, [](long long a, long long b) { return a + b; },
+      [](long long i) { return i; }, 4);
+  EXPECT_EQ(sum, n * (n + 1) / 2);
+
+  const double prod = orca::omp::parallel_reduce(
+      1, 20, 1.0, [](double a, double b) { return a * b; },
+      [](long long) { return 1.0 + 1e-9; }, 3);
+  EXPECT_NEAR(prod, 1.0 + 20e-9, 1e-12);
+  Runtime::make_current(nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,259 @@
+/// Collector-tool tests: dlsym discovery, the prototype tool's
+/// attach/measure/finalize cycle, the communication-only arm, pause/
+/// resume, trace spill, and the tracing collector's event-ordering
+/// invariants.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+
+#include "collector/names.hpp"
+#include "perf/trace.hpp"
+#include "runtime/runtime.hpp"
+#include "tool/client.hpp"
+#include "tool/collector_tool.hpp"
+#include "tool/tracer.hpp"
+#include "translate/omp.hpp"
+
+namespace {
+
+using orca::rt::Runtime;
+using orca::rt::RuntimeConfig;
+using orca::tool::CollectorClient;
+using orca::tool::PrototypeCollector;
+using orca::tool::Report;
+using orca::tool::ToolOptions;
+using orca::tool::TracingCollector;
+
+TEST(Client, DiscoversSymbolThroughDynamicLinker) {
+  const auto client = CollectorClient::discover();
+  ASSERT_TRUE(client.has_value());
+}
+
+TEST(Client, LifecycleRoundTrip) {
+  RuntimeConfig cfg;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+  auto client = CollectorClient::discover();
+  ASSERT_TRUE(client.has_value());
+
+  EXPECT_EQ(client->start(), OMP_ERRCODE_OK);
+  EXPECT_EQ(client->start(), OMP_ERRCODE_SEQUENCE_ERR);
+  EXPECT_EQ(client->pause(), OMP_ERRCODE_OK);
+  EXPECT_EQ(client->resume(), OMP_ERRCODE_OK);
+  EXPECT_EQ(client->stop(), OMP_ERRCODE_OK);
+  EXPECT_EQ(client->stop(), OMP_ERRCODE_SEQUENCE_ERR);
+  Runtime::make_current(nullptr);
+}
+
+TEST(PrototypeTool, FullMeasurementCycle) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  auto& tool = PrototypeCollector::instance();
+  tool.reset();
+  ToolOptions opts;
+  opts.use_region_fn_extension = true;
+  ASSERT_TRUE(tool.attach(opts));
+  EXPECT_FALSE(tool.attach(opts));  // double attach refused
+  EXPECT_TRUE(tool.attached());
+
+  constexpr int kRegions = 20;
+  for (int i = 0; i < kRegions; ++i) {
+    orca::omp::parallel([](int) {
+      volatile int spin = 0;
+      for (int k = 0; k < 100; ++k) spin = spin + 1;
+    }, 2);
+  }
+  rt.quiesce();
+  tool.detach();
+  EXPECT_FALSE(tool.attached());
+
+  const Report report = tool.finalize();
+  EXPECT_EQ(report.event_counts.at(OMP_EVENT_FORK),
+            static_cast<std::uint64_t>(kRegions));
+  EXPECT_EQ(report.event_counts.at(OMP_EVENT_JOIN),
+            static_cast<std::uint64_t>(kRegions));
+  // Implicit barrier begin/end: 2 threads per region.
+  EXPECT_EQ(report.event_counts.at(OMP_EVENT_THR_BEGIN_IBAR),
+            static_cast<std::uint64_t>(2 * kRegions));
+  EXPECT_EQ(report.dropped_samples, 0u);
+
+  // Fork/join pairing: every region produced one interval with a valid id.
+  std::uint64_t invocations = 0;
+  for (const auto& region : report.regions) {
+    invocations += region.invocations;
+    EXPECT_GE(region.max_seconds, region.min_seconds);
+    EXPECT_GT(region.region_id, 0u);
+  }
+  EXPECT_EQ(invocations, static_cast<std::uint64_t>(kRegions));
+
+  // One call site: the user-model profile collapses to one entry with all
+  // join samples.
+  ASSERT_FALSE(report.callstack_profile.empty());
+  EXPECT_EQ(report.callstack_profile[0].samples,
+            static_cast<std::uint64_t>(kRegions));
+  EXPECT_NE(report.callstack_profile[0].rendered.find("tool_test.cpp"),
+            std::string::npos);
+
+  // Interval metrics: per-thread implicit-barrier time was accumulated
+  // (2 threads x kRegions implicit barriers, each a begin/end pair).
+  std::uint64_t ibar_intervals = 0;
+  for (const auto& iv : report.intervals) {
+    if (iv.begin_event == OMP_EVENT_THR_BEGIN_IBAR) {
+      ibar_intervals += iv.intervals;
+      EXPECT_GE(iv.total_seconds, 0.0);
+    }
+  }
+  EXPECT_EQ(ibar_intervals, static_cast<std::uint64_t>(2 * kRegions));
+
+  const std::string rendered = report.render();
+  EXPECT_NE(rendered.find("OMP_EVENT_FORK"), std::string::npos);
+  Runtime::make_current(nullptr);
+}
+
+TEST(PrototypeTool, CommunicationOnlyArmStoresNothing) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  auto& tool = PrototypeCollector::instance();
+  tool.reset();
+  ToolOptions opts;
+  opts.measure = false;  // the E6 "comm-only" arm
+  ASSERT_TRUE(tool.attach(opts));
+  for (int i = 0; i < 10; ++i) orca::omp::parallel([](int) {}, 2);
+  rt.quiesce();
+  tool.detach();
+
+  EXPECT_GT(tool.callback_invocations(), 0u);
+  const Report report = tool.finalize();
+  EXPECT_EQ(report.total_events, 0u);  // nothing stored
+  Runtime::make_current(nullptr);
+}
+
+TEST(PrototypeTool, PauseSuppressesSamples) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  auto& tool = PrototypeCollector::instance();
+  tool.reset();
+  ASSERT_TRUE(tool.attach(ToolOptions{}));
+  orca::omp::parallel([](int) {}, 2);
+  rt.quiesce();
+  const std::uint64_t before = tool.callback_invocations();
+  ASSERT_TRUE(tool.pause());
+  orca::omp::parallel([](int) {}, 2);
+  rt.quiesce();
+  EXPECT_EQ(tool.callback_invocations(), before);
+  ASSERT_TRUE(tool.resume());
+  orca::omp::parallel([](int) {}, 2);
+  rt.quiesce();
+  EXPECT_GT(tool.callback_invocations(), before);
+  tool.detach();
+  Runtime::make_current(nullptr);
+}
+
+TEST(PrototypeTool, TraceSpillRoundTrip) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  auto& tool = PrototypeCollector::instance();
+  tool.reset();
+  ASSERT_TRUE(tool.attach(ToolOptions{}));
+  for (int i = 0; i < 5; ++i) orca::omp::parallel([](int) {}, 2);
+  rt.quiesce();
+  tool.detach();
+
+  const orca::perf::TraceData data = tool.trace_data();
+  EXPECT_GT(data.samples.size(), 0u);
+  EXPECT_EQ(data.callstacks.size(), 5u);  // one per join
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "tool_spill.orcatrc";
+  ASSERT_TRUE(orca::perf::write_trace(path, data));
+  orca::perf::TraceData loaded;
+  ASSERT_TRUE(orca::perf::read_trace(path, &loaded));
+  EXPECT_EQ(loaded.samples.size(), data.samples.size());
+  EXPECT_EQ(loaded.callstacks.size(), data.callstacks.size());
+  std::remove(path.c_str());
+  Runtime::make_current(nullptr);
+}
+
+TEST(Tracer, EventOrderingInvariants) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  auto& tracer = TracingCollector::instance();
+  tracer.clear();
+  ASSERT_TRUE(tracer.attach());
+  EXPECT_FALSE(tracer.attach());  // double attach refused
+
+  for (int i = 0; i < 3; ++i) {
+    orca::omp::parallel([](int) {
+      orca::omp::barrier();
+      orca::omp::single([] {});
+    }, 2);
+  }
+  rt.quiesce();
+  tracer.detach();
+
+  EXPECT_EQ(tracer.count(OMP_EVENT_FORK), 3u);
+  EXPECT_EQ(tracer.count(OMP_EVENT_JOIN), 3u);
+  EXPECT_EQ(tracer.count(OMP_EVENT_THR_BEGIN_SINGLE), 3u);
+  EXPECT_EQ(tracer.count(OMP_EVENT_THR_BEGIN_EBAR), 6u);
+
+  // Per-thread invariant: every begin event nests with its matching end.
+  // Idle events are excluded: parked workers are inside an open idle
+  // interval when the tracer detaches, by design.
+  std::map<std::pair<int, int>, int> open;  // (tid, begin event) -> depth
+  for (const auto& entry : tracer.log()) {
+    if (entry.event == OMP_EVENT_THR_BEGIN_IDLE ||
+        entry.event == OMP_EVENT_THR_END_IDLE) {
+      continue;
+    }
+    if (orca::collector::is_begin_event(entry.event) &&
+        entry.event != OMP_EVENT_FORK) {
+      ++open[{entry.tid, entry.event}];
+    } else if (entry.event != OMP_EVENT_JOIN) {
+      // find the begin this end matches
+      for (int b = 1; b < OMP_EVENT_LAST; ++b) {
+        const auto begin = static_cast<OMP_COLLECTORAPI_EVENT>(b);
+        if (orca::collector::matching_end(begin) == entry.event) {
+          const int depth = --open[std::make_pair(entry.tid, b)];
+          EXPECT_GE(depth, 0)
+              << orca::collector::to_string(entry.event) << " tid "
+              << entry.tid;
+        }
+      }
+    }
+  }
+  for (const auto& [key, depth] : open) {
+    EXPECT_EQ(depth, 0) << "unbalanced begin/end for tid " << key.first;
+  }
+
+  // FORK precedes JOIN pairwise on the master.
+  int forks_seen = 0;
+  for (const auto& entry : tracer.log()) {
+    if (entry.event == OMP_EVENT_FORK) ++forks_seen;
+    if (entry.event == OMP_EVENT_JOIN) {
+      EXPECT_GT(forks_seen, 0);
+      --forks_seen;
+    }
+  }
+
+  const std::string rendered = tracer.render();
+  EXPECT_NE(rendered.find("OMP_EVENT_FORK"), std::string::npos);
+  Runtime::make_current(nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+/// Translation-layer tests: the templates must emit the same runtime-call
+/// shapes the OpenUH compiler emits (Fig. 2), register their outlined
+/// regions with source coordinates, and behave correctly when composed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "runtime/runtime.hpp"
+#include "translate/omp.hpp"
+#include "translate/region_registry.hpp"
+
+namespace {
+
+using orca::rt::Runtime;
+using orca::rt::RuntimeConfig;
+using orca::translate::RegionRegistry;
+
+TEST(RegionRegistry, ParallelRegistersPragmaCoordinates) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  const std::size_t before = RegionRegistry::instance().size();
+  orca::omp::parallel([](int) {});  // <- the "pragma" under test
+  const unsigned pragma_line = __LINE__ - 1;
+  EXPECT_EQ(RegionRegistry::instance().size(), before + 1);
+
+  // Find the new entry and verify its coordinates.
+  bool found = false;
+  for (const auto& [fn, src] : RegionRegistry::instance().snapshot()) {
+    if (src.line == pragma_line &&
+        std::string(src.file).find("translate_test.cpp") !=
+            std::string::npos) {
+      EXPECT_EQ(src.label, "parallel");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  Runtime::make_current(nullptr);
+}
+
+TEST(RegionRegistry, LookupAndClearSemantics) {
+  RegionRegistry& reg = RegionRegistry::instance();
+  const int key = 0;
+  reg.add(&key, {"fn", "file.cpp", 10, "parallel"});
+  reg.add(&key, {"other", "other.cpp", 99, "parallel for"});  // first wins
+  const auto found = reg.find(&key);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->function, "fn");  // first registration wins
+  EXPECT_EQ(found->line, 10u);
+  const int other_key = 0;
+  EXPECT_FALSE(reg.find(&other_key).has_value());
+}
+
+TEST(Translate, ParallelReceivesThreadIds) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  std::atomic<int> mask{0};
+  orca::omp::parallel([&](int gtid) {
+    // gtid is the *global* id; the team-local id comes from the user API.
+    (void)gtid;
+    mask.fetch_or(1 << omp_get_thread_num());
+  }, 4);
+  EXPECT_EQ(mask.load(), 0b1111);
+
+  // Bodies that take no argument work too.
+  std::atomic<int> count{0};
+  orca::omp::parallel([&] { count.fetch_add(1); }, 3);
+  EXPECT_EQ(count.load(), 3);
+  Runtime::make_current(nullptr);
+}
+
+TEST(Translate, ParallelForSweepsEntireRange) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+  std::vector<std::atomic<int>> hits(1000);
+  orca::omp::parallel_for(0, 999, [&](long long i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+  }
+  Runtime::make_current(nullptr);
+}
+
+TEST(Translate, ParallelForSchedVariants) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 3;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+  for (const auto sched :
+       {orca::omp::Sched::kDynamic, orca::omp::Sched::kGuided}) {
+    std::atomic<long> sum{0};
+    orca::omp::parallel_for_sched(1, 100, sched, 5,
+                                  [&](long long i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 5050);
+  }
+  Runtime::make_current(nullptr);
+}
+
+TEST(Translate, ReduceMirrorsFig2CallSequence) {
+  // The Fig. 1 example: sum += 1 over N iterations with reduction(+).
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+  const long long n = 100000;
+  const long long sum = orca::omp::parallel_reduce(
+      0, n - 1, 0LL, [](long long a, long long b) { return a + b; },
+      [](long long) { return 1LL; }, 4);
+  EXPECT_EQ(sum, n);
+  Runtime::make_current(nullptr);
+}
+
+TEST(Translate, NestedConstructsCompose) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 4;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  std::atomic<int> singles{0};
+  std::atomic<int> masters{0};
+  long criticals = 0;
+  orca::omp::parallel([&](int) {
+    orca::omp::for_static(0, 19, 1, [&](long long) {
+      orca::omp::critical([&] { ++criticals; });
+    });
+    orca::omp::single([&] { singles.fetch_add(1); });
+    orca::omp::master([&] { masters.fetch_add(1); });
+    orca::omp::barrier();
+  }, 4);
+  EXPECT_EQ(criticals, 20);
+  EXPECT_EQ(singles.load(), 1);
+  EXPECT_EQ(masters.load(), 1);
+  Runtime::make_current(nullptr);
+}
+
+TEST(Translate, DistinctCallSitesAreDistinctRegions) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  const std::size_t before = rt.distinct_region_count();
+  for (int i = 0; i < 5; ++i) {
+    orca::omp::parallel([](int) {});  // one call site, five invocations
+  }
+  EXPECT_EQ(rt.distinct_region_count(), before + 1);
+  orca::omp::parallel([](int) {});  // a second call site
+  EXPECT_EQ(rt.distinct_region_count(), before + 2);
+  EXPECT_EQ(rt.regions_executed(), 6u);
+  Runtime::make_current(nullptr);
+}
+
+}  // namespace

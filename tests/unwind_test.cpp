@@ -1,0 +1,172 @@
+/// Callstack capture, symbolization, and user-model reconstruction tests
+/// (the libunwind/BFD substitute of paper Sec. IV-F).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "runtime/runtime.hpp"
+#include "translate/region_registry.hpp"
+#include "unwind/backtrace.hpp"
+#include "unwind/symbolize.hpp"
+#include "unwind/user_model.hpp"
+
+namespace {
+
+using namespace orca::unwind;
+
+__attribute__((noinline)) Callstack capture_here() {
+  return Callstack::capture();
+}
+
+__attribute__((noinline)) Callstack deeper(int depth) {
+  if (depth > 0) {
+    Callstack cs = deeper(depth - 1);
+    // Prevent tail-call folding of the recursion.
+    EXPECT_LE(cs.depth(), kMaxFrames);
+    return cs;
+  }
+  return capture_here();
+}
+
+TEST(Backtrace, CaptureSeesCallers) {
+  const Callstack cs = capture_here();
+  ASSERT_GT(cs.depth(), 1u);
+  // Frame 0 should be inside this test binary, not the capture machinery.
+  const SymbolInfo top = symbolize(cs.frame(0));
+  EXPECT_NE(top.resolution, Resolution::kUnknown);
+}
+
+TEST(Backtrace, DepthGrowsWithRecursion) {
+  const Callstack shallow = deeper(0);
+  const Callstack deep = deeper(10);
+  EXPECT_GT(deep.depth(), shallow.depth());
+}
+
+TEST(Backtrace, SkipDropsInnermostFrames) {
+  const Callstack full = Callstack::capture(0);
+  const Callstack skipped = Callstack::capture(1);
+  ASSERT_GT(full.depth(), 1u);
+  // Skipping one frame shifts the stack by one.
+  EXPECT_EQ(skipped.depth() + 1, full.depth());
+  EXPECT_EQ(skipped.frame(0), full.frame(1));
+}
+
+TEST(Backtrace, ToVectorCopiesFramesNotIterators) {
+  // Regression: braced-init once turned this into a 2-element vector of
+  // iterator addresses (stack pointers).
+  const Callstack cs = capture_here();
+  const auto vec = cs.to_vector();
+  ASSERT_EQ(vec.size(), cs.depth());
+  for (std::size_t i = 0; i < vec.size(); ++i) {
+    EXPECT_EQ(vec[i], cs.frame(i));
+  }
+  const Callstack round = Callstack::from_frames(vec);
+  EXPECT_EQ(round.depth(), cs.depth());
+  EXPECT_EQ(round.frame(0), cs.frame(0));
+}
+
+TEST(Backtrace, OutOfRangeFrameIsNull) {
+  const Callstack cs = capture_here();
+  EXPECT_EQ(cs.frame(cs.depth()), nullptr);
+  EXPECT_EQ(cs.frame(9999), nullptr);
+}
+
+TEST(Symbolize, RegionRegistryHitIsExact) {
+  const int anchor = 0;
+  orca::translate::RegionRegistry::instance().add(
+      &anchor, {"my_func", "my_file.cpp", 42, "parallel for"});
+  const SymbolInfo info = symbolize(&anchor);
+  EXPECT_EQ(info.resolution, Resolution::kRegion);
+  EXPECT_EQ(info.file, "my_file.cpp");
+  EXPECT_EQ(info.line, 42u);
+  EXPECT_NE(info.symbol.find("parallel for"), std::string::npos);
+  EXPECT_NE(info.pretty().find("my_file.cpp:42"), std::string::npos);
+}
+
+TEST(Symbolize, DynamicSymbolResolvesWithName) {
+  // A libc function always has a dynamic symbol.
+  const SymbolInfo info =
+      symbolize(reinterpret_cast<const void*>(&std::strtol));
+  EXPECT_EQ(info.resolution, Resolution::kSymbol);
+  EXPECT_FALSE(info.symbol.empty());
+  EXPECT_FALSE(info.module.empty());
+}
+
+TEST(Symbolize, NullAndGarbageAreSafe) {
+  EXPECT_EQ(symbolize(nullptr).resolution, Resolution::kUnknown);
+  const SymbolInfo garbage =
+      symbolize(reinterpret_cast<const void*>(0x1000));
+  // Must not crash; resolution may be module or unknown.
+  EXPECT_TRUE(garbage.resolution == Resolution::kUnknown ||
+              garbage.resolution == Resolution::kModule);
+}
+
+TEST(Symbolize, Demangle) {
+  EXPECT_EQ(demangle("_Z3foov"), "foo()");
+  EXPECT_EQ(demangle("not_mangled"), "not_mangled");
+  EXPECT_EQ(demangle(""), "");
+}
+
+TEST(Symbolize, RuntimeFrameClassification) {
+  SymbolInfo runtime_frame;
+  runtime_frame.resolution = Resolution::kSymbol;
+  runtime_frame.symbol = "orca::rt::Runtime::fork(void (*)(int, void*), void*, int)";
+  EXPECT_TRUE(is_runtime_frame(runtime_frame));
+
+  runtime_frame.symbol = "__ompc_fork";
+  EXPECT_TRUE(is_runtime_frame(runtime_frame));
+
+  SymbolInfo user_frame;
+  user_frame.resolution = Resolution::kSymbol;
+  user_frame.symbol = "app::solver()";
+  EXPECT_FALSE(is_runtime_frame(user_frame));
+
+  SymbolInfo region_frame;
+  region_frame.resolution = Resolution::kRegion;
+  region_frame.symbol = "parallel in orca::rt::something";  // region hits
+  EXPECT_FALSE(is_runtime_frame(region_frame));             // never stripped
+}
+
+TEST(UserModel, StripsRuntimeFramesAndPlantsRegion) {
+  // Fabricate an implementation-model stack: [runtime, user, runtime,
+  // user] plus a region function known to the registry.
+  const int region_anchor = 0;
+  orca::translate::RegionRegistry::instance().add(
+      &region_anchor, {"solver", "app.cpp", 7, "parallel"});
+
+  // Use real resolvable addresses for the "user" frames.
+  const void* user1 = reinterpret_cast<const void*>(&std::strtol);
+  const void* user2 = reinterpret_cast<const void*>(&std::strtod);
+  // Runtime frame: a function from orca::rt (resolves via dynamic symbols
+  // thanks to -rdynamic).
+  const void* rt_frame =
+      reinterpret_cast<const void*>(&orca::rt::Runtime::global);
+
+  const UserCallstack user =
+      reconstruct({rt_frame, user1, rt_frame, user2}, &region_anchor);
+  ASSERT_GE(user.frames.size(), 3u);
+  EXPECT_EQ(user.frames[0].resolution, Resolution::kRegion);
+  EXPECT_EQ(user.frames[0].file, "app.cpp");
+  for (const SymbolInfo& f : user.frames) {
+    EXPECT_FALSE(is_runtime_frame(f)) << f.pretty();
+  }
+  const std::string rendered = user.render();
+  EXPECT_NE(rendered.find("app.cpp:7"), std::string::npos);
+  EXPECT_EQ(user.key().size(), user.frames.size());
+}
+
+TEST(UserModel, WithoutRegionFnKeepsUserFramesOnly) {
+  const void* user1 = reinterpret_cast<const void*>(&std::strtol);
+  const UserCallstack user = reconstruct({user1}, nullptr);
+  ASSERT_EQ(user.frames.size(), 1u);
+  EXPECT_EQ(user.frames[0].address, user1);
+}
+
+TEST(UserModel, EmptyInput) {
+  const UserCallstack user = reconstruct({}, nullptr);
+  EXPECT_TRUE(user.frames.empty());
+  EXPECT_TRUE(user.render().empty());
+}
+
+}  // namespace

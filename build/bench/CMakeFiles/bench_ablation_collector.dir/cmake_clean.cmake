@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_collector.dir/bench_ablation_collector.cpp.o"
+  "CMakeFiles/bench_ablation_collector.dir/bench_ablation_collector.cpp.o.d"
+  "bench_ablation_collector"
+  "bench_ablation_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

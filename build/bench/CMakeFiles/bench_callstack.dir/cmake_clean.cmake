@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_callstack.dir/bench_callstack.cpp.o"
+  "CMakeFiles/bench_callstack.dir/bench_callstack.cpp.o.d"
+  "bench_callstack"
+  "bench_callstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_callstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_epcc.dir/bench_fig4_epcc.cpp.o"
+  "CMakeFiles/bench_fig4_epcc.dir/bench_fig4_epcc.cpp.o.d"
+  "bench_fig4_epcc"
+  "bench_fig4_epcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_epcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

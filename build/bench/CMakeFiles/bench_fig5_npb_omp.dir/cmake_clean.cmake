@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_npb_omp.dir/bench_fig5_npb_omp.cpp.o"
+  "CMakeFiles/bench_fig5_npb_omp.dir/bench_fig5_npb_omp.cpp.o.d"
+  "bench_fig5_npb_omp"
+  "bench_fig5_npb_omp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_npb_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

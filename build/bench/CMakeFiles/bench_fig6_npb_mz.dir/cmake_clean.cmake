@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_npb_mz.dir/bench_fig6_npb_mz.cpp.o"
+  "CMakeFiles/bench_fig6_npb_mz.dir/bench_fig6_npb_mz.cpp.o.d"
+  "bench_fig6_npb_mz"
+  "bench_fig6_npb_mz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_npb_mz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_mz.dir/hybrid_mz.cpp.o"
+  "CMakeFiles/hybrid_mz.dir/hybrid_mz.cpp.o.d"
+  "hybrid_mz"
+  "hybrid_mz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_mz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

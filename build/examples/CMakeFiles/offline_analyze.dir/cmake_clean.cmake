@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_analyze.dir/offline_analyze.cpp.o"
+  "CMakeFiles/offline_analyze.dir/offline_analyze.cpp.o.d"
+  "offline_analyze"
+  "offline_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_trace.dir/sequence_trace.cpp.o"
+  "CMakeFiles/sequence_trace.dir/sequence_trace.cpp.o.d"
+  "sequence_trace"
+  "sequence_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

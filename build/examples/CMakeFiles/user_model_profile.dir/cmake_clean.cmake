@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_model_profile.dir/user_model_profile.cpp.o"
+  "CMakeFiles/user_model_profile.dir/user_model_profile.cpp.o.d"
+  "user_model_profile"
+  "user_model_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_model_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collector/dispatch.cpp" "src/collector/CMakeFiles/orca_collector.dir/dispatch.cpp.o" "gcc" "src/collector/CMakeFiles/orca_collector.dir/dispatch.cpp.o.d"
+  "/root/repo/src/collector/message.cpp" "src/collector/CMakeFiles/orca_collector.dir/message.cpp.o" "gcc" "src/collector/CMakeFiles/orca_collector.dir/message.cpp.o.d"
+  "/root/repo/src/collector/names.cpp" "src/collector/CMakeFiles/orca_collector.dir/names.cpp.o" "gcc" "src/collector/CMakeFiles/orca_collector.dir/names.cpp.o.d"
+  "/root/repo/src/collector/registry.cpp" "src/collector/CMakeFiles/orca_collector.dir/registry.cpp.o" "gcc" "src/collector/CMakeFiles/orca_collector.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orca_collector.dir/dispatch.cpp.o"
+  "CMakeFiles/orca_collector.dir/dispatch.cpp.o.d"
+  "CMakeFiles/orca_collector.dir/message.cpp.o"
+  "CMakeFiles/orca_collector.dir/message.cpp.o.d"
+  "CMakeFiles/orca_collector.dir/names.cpp.o"
+  "CMakeFiles/orca_collector.dir/names.cpp.o.d"
+  "CMakeFiles/orca_collector.dir/registry.cpp.o"
+  "CMakeFiles/orca_collector.dir/registry.cpp.o.d"
+  "liborca_collector.a"
+  "liborca_collector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orca_collector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orca_epcc.dir/syncbench.cpp.o"
+  "CMakeFiles/orca_epcc.dir/syncbench.cpp.o.d"
+  "liborca_epcc.a"
+  "liborca_epcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orca_epcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orca_mpi.dir/minimpi.cpp.o"
+  "CMakeFiles/orca_mpi.dir/minimpi.cpp.o.d"
+  "liborca_mpi.a"
+  "liborca_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orca_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/npb/bt.cpp" "src/npb/CMakeFiles/orca_npb.dir/bt.cpp.o" "gcc" "src/npb/CMakeFiles/orca_npb.dir/bt.cpp.o.d"
+  "/root/repo/src/npb/cg.cpp" "src/npb/CMakeFiles/orca_npb.dir/cg.cpp.o" "gcc" "src/npb/CMakeFiles/orca_npb.dir/cg.cpp.o.d"
+  "/root/repo/src/npb/ep.cpp" "src/npb/CMakeFiles/orca_npb.dir/ep.cpp.o" "gcc" "src/npb/CMakeFiles/orca_npb.dir/ep.cpp.o.d"
+  "/root/repo/src/npb/ft.cpp" "src/npb/CMakeFiles/orca_npb.dir/ft.cpp.o" "gcc" "src/npb/CMakeFiles/orca_npb.dir/ft.cpp.o.d"
+  "/root/repo/src/npb/kernels.cpp" "src/npb/CMakeFiles/orca_npb.dir/kernels.cpp.o" "gcc" "src/npb/CMakeFiles/orca_npb.dir/kernels.cpp.o.d"
+  "/root/repo/src/npb/lu.cpp" "src/npb/CMakeFiles/orca_npb.dir/lu.cpp.o" "gcc" "src/npb/CMakeFiles/orca_npb.dir/lu.cpp.o.d"
+  "/root/repo/src/npb/mg.cpp" "src/npb/CMakeFiles/orca_npb.dir/mg.cpp.o" "gcc" "src/npb/CMakeFiles/orca_npb.dir/mg.cpp.o.d"
+  "/root/repo/src/npb/multizone.cpp" "src/npb/CMakeFiles/orca_npb.dir/multizone.cpp.o" "gcc" "src/npb/CMakeFiles/orca_npb.dir/multizone.cpp.o.d"
+  "/root/repo/src/npb/sp.cpp" "src/npb/CMakeFiles/orca_npb.dir/sp.cpp.o" "gcc" "src/npb/CMakeFiles/orca_npb.dir/sp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/translate/CMakeFiles/orca_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/orca_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/orca_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/collector/CMakeFiles/orca_collector.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orca_npb.dir/bt.cpp.o"
+  "CMakeFiles/orca_npb.dir/bt.cpp.o.d"
+  "CMakeFiles/orca_npb.dir/cg.cpp.o"
+  "CMakeFiles/orca_npb.dir/cg.cpp.o.d"
+  "CMakeFiles/orca_npb.dir/ep.cpp.o"
+  "CMakeFiles/orca_npb.dir/ep.cpp.o.d"
+  "CMakeFiles/orca_npb.dir/ft.cpp.o"
+  "CMakeFiles/orca_npb.dir/ft.cpp.o.d"
+  "CMakeFiles/orca_npb.dir/kernels.cpp.o"
+  "CMakeFiles/orca_npb.dir/kernels.cpp.o.d"
+  "CMakeFiles/orca_npb.dir/lu.cpp.o"
+  "CMakeFiles/orca_npb.dir/lu.cpp.o.d"
+  "CMakeFiles/orca_npb.dir/mg.cpp.o"
+  "CMakeFiles/orca_npb.dir/mg.cpp.o.d"
+  "CMakeFiles/orca_npb.dir/multizone.cpp.o"
+  "CMakeFiles/orca_npb.dir/multizone.cpp.o.d"
+  "CMakeFiles/orca_npb.dir/sp.cpp.o"
+  "CMakeFiles/orca_npb.dir/sp.cpp.o.d"
+  "liborca_npb.a"
+  "liborca_npb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orca_npb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

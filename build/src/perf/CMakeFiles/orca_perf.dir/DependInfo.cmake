@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/counter.cpp" "src/perf/CMakeFiles/orca_perf.dir/counter.cpp.o" "gcc" "src/perf/CMakeFiles/orca_perf.dir/counter.cpp.o.d"
+  "/root/repo/src/perf/psx.cpp" "src/perf/CMakeFiles/orca_perf.dir/psx.cpp.o" "gcc" "src/perf/CMakeFiles/orca_perf.dir/psx.cpp.o.d"
+  "/root/repo/src/perf/samples.cpp" "src/perf/CMakeFiles/orca_perf.dir/samples.cpp.o" "gcc" "src/perf/CMakeFiles/orca_perf.dir/samples.cpp.o.d"
+  "/root/repo/src/perf/trace.cpp" "src/perf/CMakeFiles/orca_perf.dir/trace.cpp.o" "gcc" "src/perf/CMakeFiles/orca_perf.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/unwind/CMakeFiles/orca_unwind.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/orca_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/orca_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/collector/CMakeFiles/orca_collector.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orca_perf.dir/counter.cpp.o"
+  "CMakeFiles/orca_perf.dir/counter.cpp.o.d"
+  "CMakeFiles/orca_perf.dir/psx.cpp.o"
+  "CMakeFiles/orca_perf.dir/psx.cpp.o.d"
+  "CMakeFiles/orca_perf.dir/samples.cpp.o"
+  "CMakeFiles/orca_perf.dir/samples.cpp.o.d"
+  "CMakeFiles/orca_perf.dir/trace.cpp.o"
+  "CMakeFiles/orca_perf.dir/trace.cpp.o.d"
+  "liborca_perf.a"
+  "liborca_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orca_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

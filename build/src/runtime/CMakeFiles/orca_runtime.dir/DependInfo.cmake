@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/config.cpp" "src/runtime/CMakeFiles/orca_runtime.dir/config.cpp.o" "gcc" "src/runtime/CMakeFiles/orca_runtime.dir/config.cpp.o.d"
+  "/root/repo/src/runtime/ompc_api.cpp" "src/runtime/CMakeFiles/orca_runtime.dir/ompc_api.cpp.o" "gcc" "src/runtime/CMakeFiles/orca_runtime.dir/ompc_api.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/orca_runtime.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/orca_runtime.dir/runtime.cpp.o.d"
+  "/root/repo/src/runtime/sync.cpp" "src/runtime/CMakeFiles/orca_runtime.dir/sync.cpp.o" "gcc" "src/runtime/CMakeFiles/orca_runtime.dir/sync.cpp.o.d"
+  "/root/repo/src/runtime/tasking.cpp" "src/runtime/CMakeFiles/orca_runtime.dir/tasking.cpp.o" "gcc" "src/runtime/CMakeFiles/orca_runtime.dir/tasking.cpp.o.d"
+  "/root/repo/src/runtime/worksharing.cpp" "src/runtime/CMakeFiles/orca_runtime.dir/worksharing.cpp.o" "gcc" "src/runtime/CMakeFiles/orca_runtime.dir/worksharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/collector/CMakeFiles/orca_collector.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

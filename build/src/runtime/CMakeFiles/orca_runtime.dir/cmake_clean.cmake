@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orca_runtime.dir/config.cpp.o"
+  "CMakeFiles/orca_runtime.dir/config.cpp.o.d"
+  "CMakeFiles/orca_runtime.dir/ompc_api.cpp.o"
+  "CMakeFiles/orca_runtime.dir/ompc_api.cpp.o.d"
+  "CMakeFiles/orca_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/orca_runtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/orca_runtime.dir/sync.cpp.o"
+  "CMakeFiles/orca_runtime.dir/sync.cpp.o.d"
+  "CMakeFiles/orca_runtime.dir/tasking.cpp.o"
+  "CMakeFiles/orca_runtime.dir/tasking.cpp.o.d"
+  "CMakeFiles/orca_runtime.dir/worksharing.cpp.o"
+  "CMakeFiles/orca_runtime.dir/worksharing.cpp.o.d"
+  "liborca_runtime.a"
+  "liborca_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orca_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orca_tool.dir/client.cpp.o"
+  "CMakeFiles/orca_tool.dir/client.cpp.o.d"
+  "CMakeFiles/orca_tool.dir/collector_tool.cpp.o"
+  "CMakeFiles/orca_tool.dir/collector_tool.cpp.o.d"
+  "CMakeFiles/orca_tool.dir/tracer.cpp.o"
+  "CMakeFiles/orca_tool.dir/tracer.cpp.o.d"
+  "liborca_tool.a"
+  "liborca_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orca_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liborca_tool.a"
+)

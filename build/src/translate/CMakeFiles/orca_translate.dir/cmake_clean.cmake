@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orca_translate.dir/region_registry.cpp.o"
+  "CMakeFiles/orca_translate.dir/region_registry.cpp.o.d"
+  "liborca_translate.a"
+  "liborca_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orca_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orca_unwind.dir/backtrace.cpp.o"
+  "CMakeFiles/orca_unwind.dir/backtrace.cpp.o.d"
+  "CMakeFiles/orca_unwind.dir/symbolize.cpp.o"
+  "CMakeFiles/orca_unwind.dir/symbolize.cpp.o.d"
+  "CMakeFiles/orca_unwind.dir/user_model.cpp.o"
+  "CMakeFiles/orca_unwind.dir/user_model.cpp.o.d"
+  "liborca_unwind.a"
+  "liborca_unwind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orca_unwind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

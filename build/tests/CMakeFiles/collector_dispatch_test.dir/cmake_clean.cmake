@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collector_dispatch_test.dir/collector_dispatch_test.cpp.o"
+  "CMakeFiles/collector_dispatch_test.dir/collector_dispatch_test.cpp.o.d"
+  "collector_dispatch_test"
+  "collector_dispatch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collector_dispatch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collector_fuzz_test.dir/collector_fuzz_test.cpp.o"
+  "CMakeFiles/collector_fuzz_test.dir/collector_fuzz_test.cpp.o.d"
+  "collector_fuzz_test"
+  "collector_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collector_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collector_message_test.dir/collector_message_test.cpp.o"
+  "CMakeFiles/collector_message_test.dir/collector_message_test.cpp.o.d"
+  "collector_message_test"
+  "collector_message_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collector_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

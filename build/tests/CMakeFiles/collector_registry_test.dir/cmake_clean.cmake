@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collector_registry_test.dir/collector_registry_test.cpp.o"
+  "CMakeFiles/collector_registry_test.dir/collector_registry_test.cpp.o.d"
+  "collector_registry_test"
+  "collector_registry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collector_registry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epcc_test.dir/epcc_test.cpp.o"
+  "CMakeFiles/epcc_test.dir/epcc_test.cpp.o.d"
+  "epcc_test"
+  "epcc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npb_mz_test.dir/npb_mz_test.cpp.o"
+  "CMakeFiles/npb_mz_test.dir/npb_mz_test.cpp.o.d"
+  "npb_mz_test"
+  "npb_mz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npb_mz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_config_test.dir/runtime_config_test.cpp.o"
+  "CMakeFiles/runtime_config_test.dir/runtime_config_test.cpp.o.d"
+  "runtime_config_test"
+  "runtime_config_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_config_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

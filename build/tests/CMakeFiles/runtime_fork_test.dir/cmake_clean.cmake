@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_fork_test.dir/runtime_fork_test.cpp.o"
+  "CMakeFiles/runtime_fork_test.dir/runtime_fork_test.cpp.o.d"
+  "runtime_fork_test"
+  "runtime_fork_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_fork_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_nested_test.dir/runtime_nested_test.cpp.o"
+  "CMakeFiles/runtime_nested_test.dir/runtime_nested_test.cpp.o.d"
+  "runtime_nested_test"
+  "runtime_nested_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_nested_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_state_test.dir/runtime_state_test.cpp.o"
+  "CMakeFiles/runtime_state_test.dir/runtime_state_test.cpp.o.d"
+  "runtime_state_test"
+  "runtime_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_task_test.dir/runtime_task_test.cpp.o"
+  "CMakeFiles/runtime_task_test.dir/runtime_task_test.cpp.o.d"
+  "runtime_task_test"
+  "runtime_task_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_worksharing_test.dir/runtime_worksharing_test.cpp.o"
+  "CMakeFiles/runtime_worksharing_test.dir/runtime_worksharing_test.cpp.o.d"
+  "runtime_worksharing_test"
+  "runtime_worksharing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_worksharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

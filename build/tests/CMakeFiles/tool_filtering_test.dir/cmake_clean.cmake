@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tool_filtering_test.dir/tool_filtering_test.cpp.o"
+  "CMakeFiles/tool_filtering_test.dir/tool_filtering_test.cpp.o.d"
+  "tool_filtering_test"
+  "tool_filtering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tool_filtering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unwind_test.dir/unwind_test.cpp.o"
+  "CMakeFiles/unwind_test.dir/unwind_test.cpp.o.d"
+  "unwind_test"
+  "unwind_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unwind_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,215 @@
+/// \file bench_event_path.cpp
+/// Event-delivery path cost: synchronous dispatch (the paper's model, the
+/// callback runs on the application thread) vs. asynchronous delivery
+/// (ORCA_EVENT_DELIVERY=async: ring push on the application thread, the
+/// callback runs on the drainer) vs. async under deliberate backpressure
+/// (tiny rings, drop_newest).
+///
+/// For each mode x thread count, a team of `threads` pool threads each
+/// fires `--events=N` OMP_EVENT_FORK events with a registered callback that
+/// simulates a tracing collector (timestamp + global lock + log append —
+/// what TracingCollector did before per-slot staging). Reported app-thread
+/// cost covers only what the firing thread pays; the drain/flush cost that
+/// moved off the measured program is listed separately.
+///
+/// Usage: bench_event_path [--events=20000]
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "collector/message.hpp"
+#include "common/clock.hpp"
+#include "common/spinlock.hpp"
+#include "common/strutil.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using orca::SpinLock;
+using orca::SteadyClock;
+using orca::collector::MessageBuilder;
+using orca::rt::EventBackpressure;
+using orca::rt::EventDelivery;
+using orca::rt::Runtime;
+using orca::rt::RuntimeConfig;
+
+/// Simulated tracing collector: the per-event work a real tool does, with
+/// the single-global-log design the async path is meant to absorb. The
+/// dependent-multiply chain stands in for the callstack capture the
+/// paper's prototype performs per event (Sec. V; bench_callstack measures
+/// the real unwinder at comparable cost).
+SpinLock g_log_mu;
+std::vector<std::uint64_t> g_log;
+
+std::uint64_t simulated_unwind(std::uint64_t seed) {
+  std::uint64_t h = seed | 1;
+  for (int i = 0; i < 600; ++i) {
+    h = h * 0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(i);
+  }
+  return h;
+}
+
+void tracing_callback(OMP_COLLECTORAPI_EVENT) {
+  const std::uint64_t t = SteadyClock::now();
+  const std::uint64_t h = simulated_unwind(t);
+  std::scoped_lock lk(g_log_mu);
+  g_log.push_back(t ^ h);
+}
+
+struct ModeSpec {
+  const char* name;
+  EventDelivery delivery;
+  EventBackpressure policy;
+  std::size_t ring_capacity;
+};
+
+struct Frame {
+  Runtime* rt = nullptr;
+  int events = 0;
+  std::vector<std::uint64_t> per_thread_ns;  // indexed by gtid
+};
+
+void fire_microtask(int gtid, void* raw) {
+  Frame& frame = *static_cast<Frame*>(raw);
+  const std::uint64_t begin = SteadyClock::now();
+  for (int i = 0; i < frame.events; ++i) {
+    frame.rt->registry().fire(OMP_EVENT_FORK);
+  }
+  frame.per_thread_ns[static_cast<std::size_t>(gtid)] =
+      SteadyClock::now() - begin;
+}
+
+struct RowResult {
+  double app_ns_per_event = 0;
+  double throughput_mev = 0;  // events/s the app threads sustained, in M
+  double flush_ms = 0;
+  unsigned long long delivered = 0;
+  unsigned long long dropped = 0;
+  unsigned long long overwritten = 0;
+};
+
+RowResult run_row(const ModeSpec& mode, int threads, int events) {
+  RuntimeConfig cfg;
+  cfg.num_threads = threads;
+  cfg.event_delivery = mode.delivery;
+  cfg.event_backpressure = mode.policy;
+  cfg.event_ring_capacity = mode.ring_capacity;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  {
+    g_log.clear();
+    g_log.reserve(static_cast<std::size_t>(threads) *
+                  static_cast<std::size_t>(events));
+  }
+
+  MessageBuilder start;
+  start.add(OMP_REQ_START);
+  rt.collector_api(start.buffer());
+  MessageBuilder reg;
+  reg.add_register(OMP_EVENT_FORK, &tracing_callback);
+  rt.collector_api(reg.buffer());
+
+  Frame frame;
+  frame.rt = &rt;
+  frame.events = events;
+  frame.per_thread_ns.assign(static_cast<std::size_t>(threads) + 1, 0);
+  rt.fork(&fire_microtask, &frame, threads);
+  rt.quiesce();
+
+  // Flush whatever is still buffered (async modes); this is the cost that
+  // left the application threads.
+  const std::uint64_t flush_begin = SteadyClock::now();
+  MessageBuilder pause;
+  pause.add(OMP_REQ_PAUSE);
+  rt.collector_api(pause.buffer());
+  const std::uint64_t flush_ns = SteadyClock::now() - flush_begin;
+
+  RowResult row;
+  std::uint64_t total_ns = 0;
+  int counted = 0;
+  for (const std::uint64_t ns : frame.per_thread_ns) {
+    if (ns == 0) continue;
+    total_ns += ns;
+    ++counted;
+  }
+  const double total_events =
+      static_cast<double>(events) * static_cast<double>(counted);
+  row.app_ns_per_event =
+      total_events > 0 ? static_cast<double>(total_ns) / total_events : 0;
+  // Wall throughput proxy: events per second of summed app-thread time.
+  row.throughput_mev = total_ns > 0 ? total_events * 1e3 /
+                                          static_cast<double>(total_ns)
+                                    : 0;
+  row.flush_ms = static_cast<double>(flush_ns) / 1e6;
+
+  MessageBuilder query;
+  query.add_event_stats_query();
+  rt.collector_api(query.buffer());
+  orca_event_stats stats = {};
+  if (query.errcode(0) == OMP_ERRCODE_OK) query.reply_value(0, &stats);
+  row.delivered = stats.delivered;
+  row.dropped = stats.dropped;
+  row.overwritten = stats.overwritten;
+
+  MessageBuilder stop;
+  stop.add(OMP_REQ_STOP);
+  rt.collector_api(stop.buffer());
+  Runtime::make_current(nullptr);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int events = orca::bench::flag_int(argc, argv, "events", 20000);
+  const ModeSpec modes[] = {
+      {"sync", EventDelivery::kSync, EventBackpressure::kBlock, 1024},
+      {"async", EventDelivery::kAsync, EventBackpressure::kBlock, 32768},
+      {"async+bp", EventDelivery::kAsync, EventBackpressure::kDropNewest, 64},
+  };
+  const int thread_counts[] = {1, 2, 4, 8};
+
+  std::printf("Event-delivery path: app-thread cost per event, %d events "
+              "per thread, tracing-style callback\n\n",
+              events);
+  orca::TextTable table({"mode", "threads", "app ns/event", "Mev/s",
+                         "flush ms", "delivered", "dropped", "overwritten"});
+  double sync_ns_8 = 0;
+  double async_ns_8 = 0;
+  for (const ModeSpec& mode : modes) {
+    for (const int threads : thread_counts) {
+      const RowResult row = run_row(mode, threads, events);
+      if (threads == 8) {
+        if (std::string(mode.name) == "sync") sync_ns_8 = row.app_ns_per_event;
+        if (std::string(mode.name) == "async") {
+          async_ns_8 = row.app_ns_per_event;
+        }
+      }
+      table.add_row({mode.name, orca::strfmt("%d", threads),
+                     orca::strfmt("%.1f", row.app_ns_per_event),
+                     orca::strfmt("%.2f", row.throughput_mev),
+                     orca::strfmt("%.2f", row.flush_ms),
+                     orca::strfmt("%llu", row.delivered),
+                     orca::strfmt("%llu", row.dropped),
+                     orca::strfmt("%llu", row.overwritten)});
+      std::printf(
+          "{\"bench\":\"event_path\",\"mode\":\"%s\",\"threads\":%d,"
+          "\"events_per_thread\":%d,\"app_ns_per_event\":%.2f,"
+          "\"mev_per_s\":%.3f,\"flush_ms\":%.3f,\"delivered\":%llu,"
+          "\"dropped\":%llu,\"overwritten\":%llu}\n",
+          mode.name, threads, events, row.app_ns_per_event,
+          row.throughput_mev, row.flush_ms, row.delivered, row.dropped,
+          row.overwritten);
+    }
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  if (sync_ns_8 > 0 && async_ns_8 > 0) {
+    std::printf("8-thread app-path speedup (sync / async): %.2fx\n",
+                sync_ns_8 / async_ns_8);
+  }
+  return 0;
+}

@@ -29,7 +29,15 @@ typedef enum {
   OMP_REQ_STOP = 6,          /**< stop all event generation and tracking    */
   OMP_REQ_PAUSE = 7,         /**< temporarily suppress event callbacks      */
   OMP_REQ_RESUME = 8,        /**< re-enable event callbacks after PAUSE     */
-  OMP_REQ_LAST
+  OMP_REQ_LAST,
+
+  /* --- ORCA extension requests ----------------------------------------- */
+  /* Numbered well past the sanctioned kinds so a future revision of the
+     white paper cannot collide. A strictly conforming runtime answers
+     unknown kinds with OMP_ERRCODE_UNKNOWN, which is also what ORCA
+     returns for these when the corresponding subsystem is absent.         */
+  ORCA_REQ_EVENT_STATS = 16  /**< query asynchronous event-delivery stats;
+                                  reply payload is one orca_event_stats     */
 } OMP_COLLECTORAPI_REQUEST;
 
 /// Error codes returned per-request in `r_errcode`.
@@ -110,6 +118,22 @@ typedef enum {
 /// Event callback signature. The runtime passes the event kind; everything
 /// else (timestamps, callstacks, region ids) the collector queries itself.
 typedef void (*OMP_COLLECTORAPI_CALLBACK)(OMP_COLLECTORAPI_EVENT event);
+
+/// Reply payload of ORCA_REQ_EVENT_STATS: aggregate counters of the
+/// asynchronous event-delivery subsystem, summed over every per-thread
+/// ring. `submitted == delivered + overwritten` once delivery has been
+/// flushed (PAUSE/STOP do that); `dropped` counts events shed by the
+/// drop_newest backpressure policy. All counters are zero (with active == 0)
+/// on a runtime configured for synchronous delivery — overhead vs. fidelity
+/// is observable either way, never silent.
+typedef struct orca_event_stats {
+  unsigned long long submitted;    /**< records accepted into rings         */
+  unsigned long long delivered;    /**< records whose callback completed    */
+  unsigned long long dropped;      /**< pushes rejected (drop_newest)       */
+  unsigned long long overwritten;  /**< records evicted (overwrite_oldest)  */
+  unsigned long long ring_capacity;/**< per-ring capacity in records        */
+  int active;                      /**< 1 while the drainer thread runs     */
+} orca_event_stats;
 
 /// One request record inside the byte array handed to the API. Records are
 /// laid out back-to-back; the array is terminated by a record with sz == 0.

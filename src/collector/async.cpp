@@ -1,0 +1,181 @@
+#include "collector/async.hpp"
+
+#include <chrono>
+#include <mutex>
+
+#include "collector/registry.hpp"
+#include "common/clock.hpp"
+
+namespace orca::collector {
+namespace {
+
+/// Set while the calling thread is the drainer delivering a record; lets
+/// collectors (and the flush barrier) detect delivery context without a
+/// thread-id lookup on the hot path.
+thread_local const EventRecord* tls_delivery_record = nullptr;
+thread_local bool tls_on_drainer = false;
+
+/// Per-ring batch the drainer takes before moving to the next ring: large
+/// enough to amortize the scan, small enough that one hot ring cannot
+/// starve the others.
+constexpr int kDrainBatch = 64;
+
+/// How long the drainer sleeps when every ring is empty. A timed wait
+/// bounds the cost of any lost wake-up race to one period instead of
+/// requiring a seq-cst handshake on the producer fast path.
+constexpr auto kIdleSleep = std::chrono::milliseconds(1);
+
+}  // namespace
+
+const EventRecord* AsyncDispatcher::delivery_context() noexcept {
+  return tls_delivery_record;
+}
+
+AsyncDispatcher::AsyncDispatcher(Registry& registry, std::size_t slots,
+                                 std::size_t ring_capacity,
+                                 Backpressure policy)
+    : registry_(registry), policy_(policy) {
+  if (slots == 0) slots = 1;
+  rings_.reserve(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    rings_.push_back(std::make_unique<EventRing>(ring_capacity));
+  }
+}
+
+AsyncDispatcher::~AsyncDispatcher() { stop_and_join(); }
+
+void AsyncDispatcher::start() {
+  std::scoped_lock lk(lifecycle_mu_);
+  if (running_.load(std::memory_order_acquire)) return;
+  if (drainer_.joinable()) drainer_.join();  // reap a finished drainer
+  stop_requested_.store(false, std::memory_order_release);
+  for (auto& ring : rings_) ring->reopen();
+  running_.store(true, std::memory_order_release);
+  drainer_ = std::thread([this] { drain_loop(); });
+}
+
+void AsyncDispatcher::stop_and_join() {
+  if (tls_on_drainer) return;  // a callback cannot join its own thread
+  std::scoped_lock lk(lifecycle_mu_);
+  if (!drainer_.joinable()) return;
+  flush();
+  stop_requested_.store(true, std::memory_order_release);
+  // Unblock producers waiting on full rings: after this point a kBlock
+  // push fails fast (counted dropped) instead of waiting for a consumer
+  // that is about to exit.
+  for (auto& ring : rings_) ring->close();
+  parker_.signal();
+  drainer_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+bool AsyncDispatcher::settled() const noexcept {
+  for (const auto& ring : rings_) {
+    if (!ring->settled()) return false;
+  }
+  return true;
+}
+
+void AsyncDispatcher::flush() {
+  if (tls_on_drainer) return;  // delivery callback re-entry: already draining
+  if (!running_.load(std::memory_order_acquire)) {
+    // No drainer: retire whatever is buffered on the calling thread so the
+    // barrier still holds (e.g. STOP after a drainer crash-join).
+    while (drain_pass()) {
+    }
+    return;
+  }
+  Backoff backoff;
+  while (!settled()) {
+    parker_.signal();  // drainer may be in its timed sleep
+    backoff.pause();
+  }
+}
+
+bool AsyncDispatcher::publish(std::size_t slot,
+                              OMP_COLLECTORAPI_EVENT event) noexcept {
+  if (!running_.load(std::memory_order_acquire)) return false;
+  EventRing& ring = *rings_[map_slot(slot)];
+  EventRecord rec;
+  rec.seq = ring.submitted_count();  // per-ring submission number
+  rec.ticks = TscClock::now();
+  rec.event = static_cast<std::int32_t>(event);
+  rec.origin_slot = static_cast<std::int32_t>(map_slot(slot));
+  (void)ring.push(rec, policy_);  // shed-per-policy still counts as handled
+  if (sleeping_.load(std::memory_order_acquire)) parker_.signal();
+  return true;
+}
+
+void AsyncDispatcher::deliver(EventRing& ring, const EventRecord& rec) {
+  // Resolve the callback at *delivery* time: a record that outlives its
+  // registration (UNREGISTER or STOP raced ahead) is retired silently, which
+  // is exactly the lifecycle contract — no callback after STOP returns.
+  const OMP_COLLECTORAPI_CALLBACK cb =
+      registry_.callback(static_cast<OMP_COLLECTORAPI_EVENT>(rec.event));
+  if (cb != nullptr) {
+    tls_delivery_record = &rec;
+    cb(static_cast<OMP_COLLECTORAPI_EVENT>(rec.event));
+    tls_delivery_record = nullptr;
+  }
+  // Count after the callback returned: flush()'s "delivered" means the
+  // collector has fully observed the event, not merely that it left the
+  // ring.
+  ring.count_delivered();
+}
+
+bool AsyncDispatcher::drain_pass() {
+  bool any = false;
+  for (auto& ring_ptr : rings_) {
+    EventRing& ring = *ring_ptr;
+    EventRecord rec;
+    for (int n = 0; n < kDrainBatch && ring.pop(&rec); ++n) {
+      deliver(ring, rec);
+      any = true;
+    }
+  }
+  return any;
+}
+
+void AsyncDispatcher::drain_loop() {
+  tls_on_drainer = true;
+  for (;;) {
+    const bool any = drain_pass();
+    if (stop_requested_.load(std::memory_order_acquire)) {
+      // Final sweep: everything admitted before the stop request drains.
+      while (drain_pass()) {
+      }
+      break;
+    }
+    if (!any) {
+      const std::uint64_t seen = parker_.epoch();
+      sleeping_.store(true, std::memory_order_release);
+      // Double-check after advertising the nap: a producer that pushed
+      // before seeing sleeping_ == true is caught here; one that pushed
+      // after will signal. The timed wait bounds the residual race.
+      bool work = false;
+      for (const auto& ring : rings_) {
+        if (!ring->empty()) {
+          work = true;
+          break;
+        }
+      }
+      if (!work) parker_.wait_for(seen, kIdleSleep);
+      sleeping_.store(false, std::memory_order_release);
+    }
+  }
+  tls_on_drainer = false;
+}
+
+EventRingStats AsyncDispatcher::stats() const noexcept {
+  EventRingStats total;
+  for (const auto& ring : rings_) {
+    const EventRingStats s = ring->stats();
+    total.submitted += s.submitted;
+    total.dropped += s.dropped;
+    total.overwritten += s.overwritten;
+    total.delivered += s.delivered;
+  }
+  return total;
+}
+
+}  // namespace orca::collector

@@ -1,0 +1,317 @@
+/// \file async.hpp
+/// Asynchronous event delivery: per-thread-slot bounded lock-free ring
+/// buffers drained by a dedicated consumer thread.
+///
+/// The paper keeps event *dispatch* synchronous — `__ompc_event` invokes the
+/// registered callback on the application thread — and pushes the cost of
+/// whatever the collector does (locking, allocation, callstack capture) onto
+/// the measured program. Its own request path avoids exactly that pattern:
+/// "requests to the API are pushed onto a queue associated with a thread
+/// [to] avoid the contention otherwise incurred if a single global queue
+/// processed requests" (Sec. IV-B). This module applies the same per-thread
+/// decoupling to the event side: application threads append fixed-size
+/// records to a private ring and return; one drainer thread batches records
+/// out of all rings and runs the callbacks off the hot path.
+///
+/// Design points:
+///  * one `EventRing` per thread slot, `CachePadded` so neighbouring
+///    producers never false-share; ring capacity is a power of two taken
+///    from `ORCA_EVENT_RING_CAPACITY`;
+///  * rings use per-cell sequence numbers (Vyukov bounded-queue style) so
+///    every access is data-race-free under ThreadSanitizer, including the
+///    `overwrite_oldest` policy where the producer evicts the head;
+///  * explicit backpressure: `kBlock` (never lose an event), `kDropNewest`
+///    (shed load, count it), `kOverwriteOldest` (keep the freshest window,
+///    count evictions). Loss is *observable* — per-ring counters reconcile
+///    as submitted == delivered + overwritten, with rejected pushes in
+///    `dropped` — never silent;
+///  * a flush barrier (`flush()`, `stop_and_join()`) gives lifecycle edges
+///    (PAUSE/STOP) a hard guarantee: no record admitted before the edge is
+///    still undelivered when the request returns.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "collector/api.h"
+#include "common/cacheline.hpp"
+#include "common/parking.hpp"
+#include "common/spinlock.hpp"
+
+namespace orca::collector {
+
+class Registry;
+
+/// What producers enqueue: everything the drainer (or a context-aware
+/// collector, via `AsyncDispatcher::delivery_context()`) needs to know about
+/// the event's origin, since the ORA callback signature carries only the
+/// event kind.
+struct EventRecord {
+  std::uint64_t seq = 0;     ///< per-ring submission number (0-based)
+  std::uint64_t ticks = 0;   ///< origin timestamp (TSC) taken at publish
+  std::int32_t event = 0;    ///< OMP_COLLECTORAPI_EVENT
+  std::int32_t origin_slot = 0;  ///< producer's thread slot (gtid)
+};
+
+/// What to do when a producer finds its ring full.
+enum class Backpressure {
+  kBlock,            ///< wait for the drainer to free a cell (lossless)
+  kDropNewest,       ///< reject the incoming record, count it dropped
+  kOverwriteOldest,  ///< evict the oldest undelivered record, count it
+};
+
+/// Monotonic per-ring counters. `submitted` counts records accepted into
+/// the ring; `dropped` counts rejected pushes (kDropNewest); `overwritten`
+/// counts evictions (kOverwriteOldest); `delivered` counts records the
+/// drainer retired. Steady-state invariant (after a flush):
+///   submitted == delivered + overwritten.
+struct EventRingStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t overwritten = 0;
+  std::uint64_t delivered = 0;
+};
+
+/// Bounded lock-free ring of EventRecords with per-cell sequence numbers.
+///
+/// Normal operation is single-producer (the owning thread slot) /
+/// single-consumer (the drainer), but both ends use the CAS-based protocol
+/// so the `overwrite_oldest` policy — where the *producer* pops the head —
+/// and rare slot sharing (nested-team gtid reuse) stay correct and
+/// TSan-clean rather than silently racy.
+class EventRing {
+ public:
+  /// Capacity is rounded up to a power of two, minimum 4.
+  explicit EventRing(std::size_t capacity) {
+    std::size_t cap = 4;
+    while (cap < capacity) cap <<= 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(static_cast<std::uint64_t>(i),
+                          std::memory_order_relaxed);
+    }
+  }
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Append `rec` under `policy`. Returns true when the record was accepted
+  /// (possibly evicting an older one), false when it was rejected
+  /// (kDropNewest on a full ring, or kBlock interrupted by `close()`).
+  /// Counters are updated either way.
+  bool push(const EventRecord& rec, Backpressure policy) noexcept {
+    Backoff backoff;
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::int64_t>(seq) -
+                       static_cast<std::int64_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.rec = rec;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          submitted_.fetch_add(1, std::memory_order_acq_rel);
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry with the new tail.
+      } else if (dif < 0) {
+        // Ring full: the cell at tail has not been consumed yet.
+        switch (policy) {
+          case Backpressure::kDropNewest:
+            dropped_.fetch_add(1, std::memory_order_acq_rel);
+            return false;
+          case Backpressure::kOverwriteOldest: {
+            EventRecord victim;
+            if (pop(&victim)) {
+              overwritten_.fetch_add(1, std::memory_order_acq_rel);
+            }
+            pos = tail_.load(std::memory_order_relaxed);
+            break;
+          }
+          case Backpressure::kBlock:
+            if (closed_.load(std::memory_order_acquire)) {
+              dropped_.fetch_add(1, std::memory_order_acq_rel);
+              return false;
+            }
+            backoff.pause();
+            pos = tail_.load(std::memory_order_relaxed);
+            break;
+        }
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Pop the oldest record; false when the ring is empty.
+  bool pop(EventRecord* out) noexcept {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::uint64_t seq = cell.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::int64_t>(seq) -
+                       static_cast<std::int64_t>(pos + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          *out = cell.rec;
+          cell.seq.store(pos + capacity(), std::memory_order_release);
+          return true;
+        }
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Approximate occupancy (exact when producers and consumer are quiet).
+  std::size_t size() const noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<std::size_t>(tail - head) : 0;
+  }
+
+  bool empty() const noexcept { return size() == 0; }
+
+  /// Unblock producers stuck in a kBlock push (shutdown path); subsequent
+  /// blocked pushes fail fast and count as dropped.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+  void reopen() noexcept { closed_.store(false, std::memory_order_release); }
+
+  void count_delivered() noexcept {
+    delivered_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  /// Cheap producer-side read of the submission counter (sequence stamp).
+  std::uint64_t submitted_count() const noexcept {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+
+  EventRingStats stats() const noexcept {
+    EventRingStats s;
+    s.submitted = submitted_.load(std::memory_order_acquire);
+    s.dropped = dropped_.load(std::memory_order_acquire);
+    s.overwritten = overwritten_.load(std::memory_order_acquire);
+    s.delivered = delivered_.load(std::memory_order_acquire);
+    return s;
+  }
+
+  /// True when every record accepted so far has been delivered or evicted.
+  bool settled() const noexcept {
+    const EventRingStats s = stats();
+    return s.submitted == s.delivered + s.overwritten;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> seq{0};
+    EventRecord rec;
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  std::size_t mask_ = 0;
+  /// Producer and consumer cursors on separate lines; counters likewise
+  /// grouped by writer (producer owns submitted/dropped/overwritten, the
+  /// drainer owns delivered).
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> tail_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> head_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> overwritten_{0};
+  alignas(kCacheLineSize) std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<bool> closed_{false};
+};
+
+/// The async delivery engine owned by a runtime instance: one ring per
+/// thread slot plus the drainer thread that feeds registered callbacks.
+///
+/// Lifecycle mirrors the ORA state machine: the runtime starts the drainer
+/// when the collector issues OMP_REQ_START, flushes on PAUSE, and
+/// flush-then-joins on STOP, so no event crosses a lifecycle edge.
+class AsyncDispatcher {
+ public:
+  /// `slots` rings of `ring_capacity` records each; callbacks are resolved
+  /// against `registry` at delivery time (so STOP/UNREGISTER take effect
+  /// for records still in flight).
+  AsyncDispatcher(Registry& registry, std::size_t slots,
+                  std::size_t ring_capacity, Backpressure policy);
+  ~AsyncDispatcher();
+
+  AsyncDispatcher(const AsyncDispatcher&) = delete;
+  AsyncDispatcher& operator=(const AsyncDispatcher&) = delete;
+
+  /// Spawn the drainer if it is not running (idempotent).
+  void start();
+
+  /// Flush everything admitted so far, then stop and join the drainer.
+  /// Safe to call repeatedly; `start()` can revive the dispatcher after.
+  void stop_and_join();
+
+  /// Barrier: returns once every record accepted so far has been delivered
+  /// (its callback returned) or evicted. No-op from inside a delivery
+  /// callback (the drainer cannot wait on itself). When the drainer is not
+  /// running, drains inline on the calling thread.
+  void flush();
+
+  /// Producer hot path: stamp and enqueue `event` on `slot`'s ring.
+  /// Returns true when the dispatcher took responsibility for the event
+  /// (enqueued OR consciously shed per policy), false when the caller
+  /// should fall back to synchronous dispatch (drainer not running).
+  bool publish(std::size_t slot, OMP_COLLECTORAPI_EVENT event) noexcept;
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  Backpressure policy() const noexcept { return policy_; }
+  std::size_t ring_capacity() const noexcept { return rings_[0]->capacity(); }
+  std::size_t slot_count() const noexcept { return rings_.size(); }
+
+  EventRingStats ring_stats(std::size_t slot) const noexcept {
+    return rings_[map_slot(slot)]->stats();
+  }
+
+  /// Sum of all per-ring counters.
+  EventRingStats stats() const noexcept;
+
+  /// Inside a delivery callback: the record being delivered (origin slot,
+  /// origin timestamp, submission sequence). Null on application threads —
+  /// i.e. under synchronous dispatch. This is how context-aware collectors
+  /// (TracingCollector) recover the producing thread after the handoff.
+  static const EventRecord* delivery_context() noexcept;
+
+ private:
+  void drain_loop();
+  bool drain_pass();
+  void deliver(EventRing& ring, const EventRecord& rec);
+  bool settled() const noexcept;
+
+  std::size_t map_slot(std::size_t slot) const noexcept {
+    return slot < rings_.size() ? slot : rings_.size() - 1;
+  }
+
+  Registry& registry_;
+  Backpressure policy_;
+  std::vector<std::unique_ptr<EventRing>> rings_;
+
+  Parker parker_;                      ///< drainer's bed
+  std::atomic<bool> sleeping_{false};  ///< drainer is (about to be) parked
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> drainer_tid_{0};  ///< hashed id of the drainer
+  std::thread drainer_;
+  SpinLock lifecycle_mu_;  ///< serializes start()/stop_and_join()
+};
+
+}  // namespace orca::collector

@@ -78,10 +78,38 @@ void answer(Registry& registry, const Providers& providers,
       rec->r_errcode = ec;
       return;
     }
+    case ORCA_REQ_EVENT_STATS: {
+      if (providers.event_stats == nullptr) {
+        rec->r_errcode = OMP_ERRCODE_UNKNOWN;
+        return;
+      }
+      orca_event_stats stats = {};
+      const OMP_COLLECTORAPI_EC ec =
+          providers.event_stats(providers.ctx, &stats);
+      if (!cursor.write_reply(&stats, sizeof(stats))) return;
+      rec->r_errcode = ec;
+      return;
+    }
     default:
       rec->r_errcode = OMP_ERRCODE_UNKNOWN;
       return;
   }
+}
+
+/// Run the registry transition for one lifecycle record, bracketed by the
+/// runtime's lifecycle hook (flush-and-quiesce for async delivery).
+template <typename Transition>
+OMP_COLLECTORAPI_EC lifecycle_request(const Providers& providers,
+                                      OMP_COLLECTORAPI_REQUEST req,
+                                      Transition&& transition) {
+  if (providers.lifecycle != nullptr) {
+    providers.lifecycle(providers.ctx, req, 1, OMP_ERRCODE_OK);
+  }
+  const OMP_COLLECTORAPI_EC ec = transition();
+  if (providers.lifecycle != nullptr) {
+    providers.lifecycle(providers.ctx, req, 0, ec);
+  }
+  return ec;
 }
 
 }  // namespace
@@ -101,16 +129,20 @@ int process_messages(Registry& registry, RequestQueues& queues,
     omp_collector_message* rec = cursor.record();
     switch (rec->r_req) {
       case OMP_REQ_START:
-        rec->r_errcode = registry.start();
+        rec->r_errcode = lifecycle_request(providers, OMP_REQ_START,
+                                           [&] { return registry.start(); });
         break;
       case OMP_REQ_STOP:
-        rec->r_errcode = registry.stop();
+        rec->r_errcode = lifecycle_request(providers, OMP_REQ_STOP,
+                                           [&] { return registry.stop(); });
         break;
       case OMP_REQ_PAUSE:
-        rec->r_errcode = registry.pause();
+        rec->r_errcode = lifecycle_request(providers, OMP_REQ_PAUSE,
+                                           [&] { return registry.pause(); });
         break;
       case OMP_REQ_RESUME:
-        rec->r_errcode = registry.resume();
+        rec->r_errcode = lifecycle_request(providers, OMP_REQ_RESUME,
+                                           [&] { return registry.resume(); });
         break;
       default:
         pending.push_back(PendingRequest{offset});

@@ -35,6 +35,22 @@ struct Providers {
   std::size_t (*queue_slot)(void* ctx);
 
   void* ctx = nullptr;
+
+  /// Optional: invoked around each lifecycle request so the runtime can
+  /// flush/quiesce asynchronous event delivery at the edge. Called twice
+  /// per record: once with before == true ahead of the registry transition
+  /// (ec is OMP_ERRCODE_OK and meaningless), once with before == false
+  /// after it (ec is the transition's result). The before-STOP call is the
+  /// flush point: events admitted before the edge must be delivered while
+  /// their callbacks are still registered.
+  void (*lifecycle)(void* ctx, OMP_COLLECTORAPI_REQUEST req, int before,
+                    OMP_COLLECTORAPI_EC ec) = nullptr;
+
+  /// Optional: answer ORCA_REQ_EVENT_STATS by filling `*out`. Absent
+  /// (nullptr), the request is answered with OMP_ERRCODE_UNKNOWN like any
+  /// other unrecognized kind.
+  OMP_COLLECTORAPI_EC (*event_stats)(void* ctx, orca_event_stats* out) =
+      nullptr;
 };
 
 /// Process one request buffer (`arg` as handed to `__omp_collector_api`).

@@ -71,6 +71,11 @@ std::size_t MessageBuilder::add_id_query(OMP_COLLECTORAPI_REQUEST req) {
   return append_record(req, nullptr, 0, sizeof(unsigned long));
 }
 
+std::size_t MessageBuilder::add_event_stats_query() {
+  return append_record(ORCA_REQ_EVENT_STATS, nullptr, 0,
+                       sizeof(orca_event_stats));
+}
+
 void* MessageBuilder::buffer() {
   if (!terminated_) {
     const std::size_t offset = bytes_.size();

@@ -48,6 +48,9 @@ class MessageBuilder {
   /// Append a region-id query (OMP_REQ_CURRENT_PRID / OMP_REQ_PARENT_PRID).
   std::size_t add_id_query(OMP_COLLECTORAPI_REQUEST req);
 
+  /// Append ORCA_REQ_EVENT_STATS with room for one orca_event_stats reply.
+  std::size_t add_event_stats_query();
+
   /// Finalized buffer (appends the sz==0 terminator once). The pointer is
   /// valid until the builder is mutated or destroyed.
   void* buffer();

@@ -13,6 +13,7 @@ std::string_view to_string(OMP_COLLECTORAPI_REQUEST req) noexcept {
     case OMP_REQ_STOP: return "OMP_REQ_STOP";
     case OMP_REQ_PAUSE: return "OMP_REQ_PAUSE";
     case OMP_REQ_RESUME: return "OMP_REQ_RESUME";
+    case ORCA_REQ_EVENT_STATS: return "ORCA_REQ_EVENT_STATS";
     case OMP_REQ_LAST: break;
   }
   return "?";

@@ -116,6 +116,21 @@ class Registry {
 
   // --- dispatch hot path --------------------------------------------------
 
+  /// Asynchronous-delivery hook. When installed, an admitted event is
+  /// handed to the sink (which enqueues it on the calling thread's ring)
+  /// instead of invoking the callback inline; a `false` return means the
+  /// sink is not accepting (drainer down) and the event falls back to
+  /// synchronous dispatch. The admission checks below run either way, on
+  /// the application thread — only the *callback* moves.
+  using AsyncSink = bool (*)(void* ctx, OMP_COLLECTORAPI_EVENT event);
+
+  /// Install (or clear, with nullptr) the async sink. Intended to be called
+  /// once at runtime construction, before any event can fire.
+  void set_async_sink(AsyncSink sink, void* ctx) noexcept {
+    async_ctx_.store(ctx, std::memory_order_release);
+    async_sink_.store(sink, std::memory_order_release);
+  }
+
   /// Fire `event` if (in this order) a callback is registered, the API is
   /// initialized, and event generation is not paused. This is
   /// `__ompc_event` from the paper; the runtime inserts calls to it at
@@ -126,6 +141,11 @@ class Registry {
     if (cb == nullptr) return;                                     // check 1
     if (!initialized_.load(std::memory_order_acquire)) return;     // check 2
     if (paused_.load(std::memory_order_acquire)) return;           // check 3
+    const AsyncSink sink = async_sink_.load(std::memory_order_acquire);
+    if (sink != nullptr &&
+        sink(async_ctx_.load(std::memory_order_acquire), event)) {
+      return;  // enqueued for asynchronous delivery
+    }
     cb(event);
   }
 
@@ -156,6 +176,8 @@ class Registry {
 
   std::atomic<bool> initialized_{false};
   std::atomic<bool> paused_{false};
+  std::atomic<AsyncSink> async_sink_{nullptr};
+  std::atomic<void*> async_ctx_{nullptr};
   EventCapabilities caps_;
   std::array<CachePadded<Entry>, ORCA_EVENT_EXT_LAST> table_{};
 };

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -38,6 +39,24 @@ class Parker {
     }
     std::unique_lock<std::mutex> lk(mu_);
     cv_.wait(lk, [&] { return epoch_.load(std::memory_order_acquire) > seen; });
+  }
+
+  /// Like `wait()`, but gives up after `timeout`. Returns true when the
+  /// epoch advanced, false on timeout. Consumers whose producers signal
+  /// opportunistically (the async event drainer) use this as a bounded
+  /// backstop against lost wake-ups instead of a seq-cst handshake on the
+  /// producer fast path.
+  template <typename Rep, typename Period>
+  bool wait_for(std::uint64_t seen,
+                std::chrono::duration<Rep, Period> timeout) {
+    for (int i = 0; i < kSpinBeforeYield; ++i) {
+      if (epoch_.load(std::memory_order_acquire) > seen) return true;
+      cpu_relax();
+    }
+    std::unique_lock<std::mutex> lk(mu_);
+    return cv_.wait_for(lk, timeout, [&] {
+      return epoch_.load(std::memory_order_acquire) > seen;
+    });
   }
 
   /// Advance the epoch and wake the consumer if it is blocked.

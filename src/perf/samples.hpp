@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/cacheline.hpp"
@@ -35,19 +36,26 @@ struct CallstackRecord {
   std::vector<const void*> frames;        ///< innermost first
 };
 
-/// Bounded append-only event buffer for one thread. Growth is amortized
-/// (the paper's "storage" cost the breakdown experiment measures); beyond
-/// the hard cap samples are dropped and counted, never blocking the
-/// application.
+/// Bounded append-only event buffer for one thread slot. Growth is
+/// amortized (the paper's "storage" cost the breakdown experiment
+/// measures); beyond the hard cap samples are dropped and counted, never
+/// blocking the application.
+///
+/// Slots are normally single-writer (indexed by gtid), but slot *sharing*
+/// is legal — several MiniMPI rank masters all carry gtid 0, and unknown
+/// threads clamp to slot 0 — so the write side takes a per-buffer lock
+/// (uncontended in the common single-writer case).
 class SampleBuffer {
  public:
   /// Set the hard cap and pre-reserve a modest initial block.
   void reserve(std::size_t capacity) {
+    std::scoped_lock lk(mu_);
     capacity_ = capacity;
     samples_.reserve(std::min<std::size_t>(capacity, 4096));
   }
 
   void record(const EventSample& s) {
+    std::scoped_lock lk(mu_);
     if (samples_.size() < capacity_) {
       samples_.push_back(s);
     } else {
@@ -55,15 +63,23 @@ class SampleBuffer {
     }
   }
 
+  /// Quiescent-side accessor: callers read after the producing threads
+  /// have joined (merge/report paths), so no snapshot copy is taken.
   const std::vector<EventSample>& samples() const noexcept { return samples_; }
-  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  std::uint64_t dropped() const noexcept {
+    std::scoped_lock lk(mu_);
+    return dropped_;
+  }
 
   void clear() noexcept {
+    std::scoped_lock lk(mu_);
     samples_.clear();
     dropped_ = 0;
   }
 
  private:
+  mutable SpinLock mu_;
   std::size_t capacity_ = 0;
   std::vector<EventSample> samples_;
   std::uint64_t dropped_ = 0;

@@ -37,6 +37,38 @@ ScheduleSpec RuntimeConfig::parse_schedule(const std::string& text) {
   return spec;
 }
 
+namespace {
+
+std::string ascii_lower(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) out.push_back(static_cast<char>(std::tolower(c)));
+  return out;
+}
+
+}  // namespace
+
+EventDelivery RuntimeConfig::parse_event_delivery(const std::string& text,
+                                                  EventDelivery fallback) {
+  const std::string s = ascii_lower(text);
+  if (s == "sync" || s == "synchronous") return EventDelivery::kSync;
+  if (s == "async" || s == "asynchronous") return EventDelivery::kAsync;
+  return fallback;
+}
+
+EventBackpressure RuntimeConfig::parse_backpressure(
+    const std::string& text, EventBackpressure fallback) {
+  const std::string s = ascii_lower(text);
+  if (s == "block") return EventBackpressure::kBlock;
+  if (s == "drop_newest" || s == "drop-newest" || s == "drop") {
+    return EventBackpressure::kDropNewest;
+  }
+  if (s == "overwrite_oldest" || s == "overwrite-oldest" || s == "overwrite") {
+    return EventBackpressure::kOverwriteOldest;
+  }
+  return fallback;
+}
+
 RuntimeConfig RuntimeConfig::from_env() {
   RuntimeConfig cfg;
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
@@ -50,6 +82,18 @@ RuntimeConfig RuntimeConfig::from_env() {
   cfg.tasking = env::get_bool("ORCA_TASKING", cfg.tasking);
   cfg.per_thread_queues =
       env::get_bool("ORCA_PER_THREAD_QUEUES", cfg.per_thread_queues);
+  if (const auto delivery = env::get("ORCA_EVENT_DELIVERY")) {
+    cfg.event_delivery =
+        parse_event_delivery(*delivery, cfg.event_delivery);
+  }
+  const long ring = env::get_long(
+      "ORCA_EVENT_RING_CAPACITY",
+      static_cast<long>(cfg.event_ring_capacity));
+  if (ring > 0) cfg.event_ring_capacity = static_cast<std::size_t>(ring);
+  if (const auto policy = env::get("ORCA_EVENT_BACKPRESSURE")) {
+    cfg.event_backpressure =
+        parse_backpressure(*policy, cfg.event_backpressure);
+  }
   if (const auto sched = env::get("OMP_SCHEDULE")) {
     cfg.runtime_schedule = parse_schedule(*sched);
   }

@@ -2,6 +2,7 @@
 /// Runtime internal control variables (ICVs) and ORCA tuning knobs.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace orca::rt {
@@ -21,6 +22,20 @@ enum class Schedule : int {
 struct ScheduleSpec {
   Schedule kind = Schedule::kStaticEven;
   long chunk = 0;  ///< 0 = unspecified (scheduler picks)
+};
+
+/// How `__ompc_event` reaches registered collector callbacks.
+enum class EventDelivery {
+  kSync,   ///< paper's behaviour: callback runs inline on the app thread
+  kAsync,  ///< callback runs on the drainer thread (per-thread ring buffers)
+};
+
+/// What an application thread does when its event ring is full
+/// (EventDelivery::kAsync only).
+enum class EventBackpressure {
+  kBlock,            ///< wait for the drainer (lossless, can stall)
+  kDropNewest,       ///< shed the incoming event, count it
+  kOverwriteOldest,  ///< evict the oldest undelivered event, count it
 };
 
 /// Construction-time configuration of a `Runtime` instance.
@@ -59,6 +74,20 @@ struct RuntimeConfig {
   /// design) or one global queue (the ablation baseline, Sec. IV-B).
   bool per_thread_queues = true;
 
+  /// Event delivery mode (ORCA_EVENT_DELIVERY=sync|async). Synchronous is
+  /// the default so the paper's event ordering — callback completes before
+  /// `__ompc_event` returns — is preserved unless a deployment opts into
+  /// the decoupled path.
+  EventDelivery event_delivery = EventDelivery::kSync;
+
+  /// Per-thread event ring capacity in records, rounded up to a power of
+  /// two (ORCA_EVENT_RING_CAPACITY). Only meaningful with async delivery.
+  std::size_t event_ring_capacity = 1024;
+
+  /// Full-ring policy for async delivery
+  /// (ORCA_EVENT_BACKPRESSURE=block|drop_newest|overwrite_oldest).
+  EventBackpressure event_backpressure = EventBackpressure::kBlock;
+
   /// Schedule applied when a loop asks for Schedule::kRuntime.
   ScheduleSpec runtime_schedule{};
 
@@ -69,6 +98,16 @@ struct RuntimeConfig {
   /// Parse an OMP_SCHEDULE string such as "dynamic,4" or "guided".
   /// Unrecognized strings yield the static-even default.
   static ScheduleSpec parse_schedule(const std::string& text);
+
+  /// Parse ORCA_EVENT_DELIVERY ("sync" / "async", case-insensitive).
+  /// Unrecognized strings yield `fallback`.
+  static EventDelivery parse_event_delivery(const std::string& text,
+                                            EventDelivery fallback);
+
+  /// Parse ORCA_EVENT_BACKPRESSURE ("block" / "drop_newest" /
+  /// "overwrite_oldest"). Unrecognized strings yield `fallback`.
+  static EventBackpressure parse_backpressure(const std::string& text,
+                                              EventBackpressure fallback);
 };
 
 }  // namespace orca::rt

@@ -63,6 +63,22 @@ collector::EventCapabilities capabilities_for(const RuntimeConfig& cfg) {
 
 }  // namespace
 
+namespace {
+
+collector::Backpressure to_collector_policy(EventBackpressure p) noexcept {
+  switch (p) {
+    case EventBackpressure::kDropNewest:
+      return collector::Backpressure::kDropNewest;
+    case EventBackpressure::kOverwriteOldest:
+      return collector::Backpressure::kOverwriteOldest;
+    case EventBackpressure::kBlock:
+      break;
+  }
+  return collector::Backpressure::kBlock;
+}
+
+}  // namespace
+
 Runtime::Runtime(RuntimeConfig cfg)
     : config_(cfg),
       registry_(capabilities_for(cfg)),
@@ -76,11 +92,23 @@ Runtime::Runtime(RuntimeConfig cfg)
   parallel_master_.gtid = 0;
   parallel_master_.runtime = this;
   team_.runtime = this;
+  if (config_.event_delivery == EventDelivery::kAsync) {
+    async_ = std::make_unique<collector::AsyncDispatcher>(
+        registry_, static_cast<std::size_t>(config_.max_threads) + 1,
+        config_.event_ring_capacity,
+        to_collector_policy(config_.event_backpressure));
+    // Installed before any event can fire; the drainer itself starts
+    // lazily on OMP_REQ_START (provider_lifecycle) so uninstrumented runs
+    // never pay for the extra thread.
+    registry_.set_async_sink(&Runtime::async_sink, this);
+  }
 }
 
 Runtime::~Runtime() {
-  // Workers join in ~Worker (CP.25: threads are joined, never detached).
+  // Workers join in ~Worker (CP.25: threads are joined, never detached) —
+  // before ~async_ so every event producer is gone when the drainer stops.
   workers_.clear();
+  if (async_) async_->stop_and_join();
   if (tls_runtime == this) {
     tls_runtime = nullptr;
     tls_descriptor = nullptr;
@@ -450,6 +478,66 @@ std::size_t Runtime::provider_queue_slot(void* ctx) {
   return td.gtid >= 0 ? static_cast<std::size_t>(td.gtid) : 0;
 }
 
+void Runtime::provider_lifecycle(void* ctx, OMP_COLLECTORAPI_REQUEST req,
+                                 int before, OMP_COLLECTORAPI_EC ec) {
+  auto& rt = *static_cast<Runtime*>(ctx);
+  collector::AsyncDispatcher* async = rt.async_.get();
+  if (async == nullptr) return;
+  switch (req) {
+    case OMP_REQ_START:
+      if (!before && ec == OMP_ERRCODE_OK) async->start();
+      break;
+    case OMP_REQ_STOP:
+      // Flush *before* the registry clears the callback table: events
+      // admitted before the STOP edge are delivered while their callbacks
+      // still exist. Afterwards (on success) the drainer joins, so no
+      // callback can fire once OMP_REQ_STOP has returned (paper IV-A
+      // lifecycle contract, extended to the decoupled path).
+      if (before) {
+        async->flush();
+      } else if (ec == OMP_ERRCODE_OK) {
+        async->stop_and_join();
+      }
+      break;
+    case OMP_REQ_PAUSE:
+      // Pause gates admission first (registry transition), then the flush
+      // guarantees every pre-PAUSE event has been observed when the
+      // request returns.
+      if (!before && ec == OMP_ERRCODE_OK) async->flush();
+      break;
+    case OMP_REQ_RESUME:
+      if (!before && ec == OMP_ERRCODE_OK) async->start();
+      break;
+    default:
+      break;
+  }
+}
+
+OMP_COLLECTORAPI_EC Runtime::provider_event_stats(void* ctx,
+                                                  orca_event_stats* out) {
+  auto& rt = *static_cast<Runtime*>(ctx);
+  const collector::AsyncDispatcher* async = rt.async_.get();
+  if (async == nullptr) {
+    *out = orca_event_stats{};  // sync mode: nothing buffered, ever
+    return OMP_ERRCODE_OK;
+  }
+  const collector::EventRingStats s = async->stats();
+  out->submitted = s.submitted;
+  out->delivered = s.delivered;
+  out->dropped = s.dropped;
+  out->overwritten = s.overwritten;
+  out->ring_capacity = async->ring_capacity();
+  out->active = async->running() ? 1 : 0;
+  return OMP_ERRCODE_OK;
+}
+
+bool Runtime::async_sink(void* ctx, OMP_COLLECTORAPI_EVENT event) noexcept {
+  auto& rt = *static_cast<Runtime*>(ctx);
+  collector::AsyncDispatcher* async = rt.async_.get();
+  if (async == nullptr) return false;
+  return async->publish(provider_queue_slot(ctx), event);
+}
+
 int Runtime::collector_api(void* arg) {
   const collector::Providers providers{
       &Runtime::provider_state,
@@ -457,6 +545,8 @@ int Runtime::collector_api(void* arg) {
       &Runtime::provider_parent_prid,
       &Runtime::provider_queue_slot,
       this,
+      &Runtime::provider_lifecycle,
+      &Runtime::provider_event_stats,
   };
   return collector::process_messages(registry_, queues_, providers, arg);
 }

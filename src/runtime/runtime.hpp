@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "collector/async.hpp"
 #include "collector/dispatch.hpp"
 #include "collector/queue.hpp"
 #include "collector/registry.hpp"
@@ -201,7 +202,17 @@ class Runtime {
   int collector_api(void* arg);
 
   /// Fire an event on behalf of `td` — `__ompc_event` from the paper.
+  /// With ORCA_EVENT_DELIVERY=async the registry's sink enqueues the event
+  /// on the calling thread's ring and the drainer invokes the callback; the
+  /// admission checks (registered/initialized/!paused) stay on this thread
+  /// either way.
   void event(OMP_COLLECTORAPI_EVENT e) noexcept { registry_.fire(e); }
+
+  /// Asynchronous delivery engine; nullptr when configured for synchronous
+  /// dispatch (the default).
+  collector::AsyncDispatcher* async_dispatcher() noexcept {
+    return async_.get();
+  }
 
   /// Total parallel regions executed (Tables I/II instrumentation).
   std::uint64_t regions_executed() const noexcept {
@@ -244,6 +255,14 @@ class Runtime {
   static OMP_COLLECTORAPI_EC provider_parent_prid(void* ctx,
                                                   unsigned long* id);
   static std::size_t provider_queue_slot(void* ctx);
+  static void provider_lifecycle(void* ctx, OMP_COLLECTORAPI_REQUEST req,
+                                 int before, OMP_COLLECTORAPI_EC ec);
+  static OMP_COLLECTORAPI_EC provider_event_stats(void* ctx,
+                                                  orca_event_stats* out);
+
+  /// Registry::AsyncSink trampoline: enqueue an admitted event on the
+  /// calling thread's ring.
+  static bool async_sink(void* ctx, OMP_COLLECTORAPI_EVENT event) noexcept;
 
   RuntimeConfig config_;
   collector::Registry registry_;
@@ -271,6 +290,11 @@ class Runtime {
 
   mutable SpinLock regions_mu_;
   std::unordered_map<void*, std::uint64_t> region_calls_;  ///< fn -> calls
+
+  /// Asynchronous event delivery (EventDelivery::kAsync only). Declared
+  /// last so its destructor — which joins the drainer thread that still
+  /// reads registry_ — runs before the members it depends on are torn down.
+  std::unique_ptr<collector::AsyncDispatcher> async_;
 };
 
 }  // namespace orca::rt

@@ -91,6 +91,16 @@ RegionIdReply CollectorClient::id_request(OMP_COLLECTORAPI_REQUEST req) {
   return reply;
 }
 
+std::optional<orca_event_stats> CollectorClient::query_event_stats() {
+  MessageBuilder msg;
+  msg.add_event_stats_query();
+  if (api_(msg.buffer()) != 0) return std::nullopt;
+  if (msg.errcode(0) != OMP_ERRCODE_OK) return std::nullopt;
+  orca_event_stats stats = {};
+  if (!msg.reply_value(0, &stats)) return std::nullopt;
+  return stats;
+}
+
 RegionIdReply CollectorClient::current_region_id() {
   return id_request(OMP_REQ_CURRENT_PRID);
 }

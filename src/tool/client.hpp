@@ -59,6 +59,10 @@ class CollectorClient {
   RegionIdReply current_region_id();
   RegionIdReply parent_region_id();
 
+  /// Query asynchronous event-delivery statistics (ORCA extension). Empty
+  /// on runtimes that do not recognize ORCA_REQ_EVENT_STATS.
+  std::optional<orca_event_stats> query_event_stats();
+
   /// Raw access for composite request buffers.
   int raw(void* buffer) { return api_(buffer); }
 

@@ -1,7 +1,9 @@
 #include "tool/tracer.hpp"
 
+#include <algorithm>
 #include <mutex>
 
+#include "collector/async.hpp"
 #include "collector/names.hpp"
 #include "common/clock.hpp"
 #include "common/strutil.hpp"
@@ -14,14 +16,30 @@ TracingCollector& TracingCollector::instance() {
   return tracer;
 }
 
+void TracingCollector::record(int tid, std::uint64_t ticks,
+                              OMP_COLLECTORAPI_EVENT event) {
+  TraceEvent entry;
+  entry.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  entry.ticks = ticks;
+  entry.event = event;
+  entry.tid = tid;
+  Stage& stage = *stages_[tid >= 0 ? static_cast<std::size_t>(tid) % kStages
+                                   : kStages - 1];
+  std::scoped_lock lk(stage.mu);
+  stage.events.push_back(entry);
+}
+
 void TracingCollector::event_callback(OMP_COLLECTORAPI_EVENT event) {
   TracingCollector& self = instance();
-  TraceEvent entry;
-  entry.ticks = SteadyClock::now();
-  entry.event = event;
-  entry.tid = __ompc_get_global_thread_num();
-  std::scoped_lock lk(self.mu_);
-  self.events_.push_back(entry);
+  // Under asynchronous delivery the callback runs on the drainer thread;
+  // the delivery context recovers the origin thread's slot and enqueue
+  // timestamp, which is what a trace should show.
+  if (const collector::EventRecord* rec =
+          collector::AsyncDispatcher::delivery_context()) {
+    self.record(rec->origin_slot, rec->ticks, event);
+    return;
+  }
+  self.record(__ompc_get_global_thread_num(), SteadyClock::now(), event);
 }
 
 bool TracingCollector::attach(std::vector<OMP_COLLECTORAPI_EVENT> events) {
@@ -51,22 +69,37 @@ void TracingCollector::detach() {
 }
 
 std::vector<TraceEvent> TracingCollector::log() const {
-  std::scoped_lock lk(mu_);
-  return events_;
+  std::vector<TraceEvent> merged;
+  for (const CachePadded<Stage>& padded : stages_) {
+    const Stage& stage = *padded;
+    std::scoped_lock lk(stage.mu);
+    merged.insert(merged.end(), stage.events.begin(), stage.events.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.seq < b.seq;
+            });
+  return merged;
 }
 
 std::size_t TracingCollector::count(OMP_COLLECTORAPI_EVENT event) const {
-  std::scoped_lock lk(mu_);
   std::size_t n = 0;
-  for (const TraceEvent& e : events_) {
-    if (e.event == event) ++n;
+  for (const CachePadded<Stage>& padded : stages_) {
+    const Stage& stage = *padded;
+    std::scoped_lock lk(stage.mu);
+    for (const TraceEvent& e : stage.events) {
+      if (e.event == event) ++n;
+    }
   }
   return n;
 }
 
 void TracingCollector::clear() {
-  std::scoped_lock lk(mu_);
-  events_.clear();
+  for (CachePadded<Stage>& padded : stages_) {
+    Stage& stage = *padded;
+    std::scoped_lock lk(stage.mu);
+    stage.events.clear();
+  }
 }
 
 std::string TracingCollector::render() const {

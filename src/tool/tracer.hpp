@@ -3,14 +3,24 @@
 /// and keeps an ordered in-memory log. Used by the Figure-3 sequence
 /// example, by tests that assert event ordering, and as the "tracing"
 /// usage mode the ORA spec's optional events exist for.
+///
+/// Storage is striped: arriving events land in per-slot staging buffers
+/// (cache-line padded, one spinlock each) instead of one global lock, so
+/// concurrent application threads -- or the async drainer delivering on
+/// behalf of many origin threads -- never contend on a single line.
+/// `log()` merges the stages by a global arrival sequence, preserving the
+/// old single-log arrival order.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "collector/api.h"
+#include "common/cacheline.hpp"
 #include "common/spinlock.hpp"
 #include "tool/client.hpp"
 
@@ -18,6 +28,7 @@ namespace orca::tool {
 
 /// One trace entry.
 struct TraceEvent {
+  std::uint64_t seq = 0;  ///< global arrival order across all stages
   std::uint64_t ticks = 0;
   OMP_COLLECTORAPI_EVENT event = OMP_EVENT_LAST;
   int tid = -1;
@@ -39,7 +50,7 @@ class TracingCollector {
   void detach();
   bool attached() const noexcept { return attached_; }
 
-  /// Snapshot of the log in arrival order.
+  /// Snapshot of the log in arrival order (merged across stages).
   std::vector<TraceEvent> log() const;
 
   /// Events of one kind in the log.
@@ -51,11 +62,21 @@ class TracingCollector {
   std::string render() const;
 
  private:
+  /// Stripe count for the staging buffers. Thread ids map onto stripes
+  /// modulo this, so collisions only cost occasional lock sharing.
+  static constexpr std::size_t kStages = 16;
+
+  struct Stage {
+    mutable SpinLock mu;
+    std::vector<TraceEvent> events;
+  };
+
   TracingCollector() = default;
   static void event_callback(OMP_COLLECTORAPI_EVENT event);
+  void record(int tid, std::uint64_t ticks, OMP_COLLECTORAPI_EVENT event);
 
-  mutable SpinLock mu_;
-  std::vector<TraceEvent> events_;
+  std::array<CachePadded<Stage>, kStages> stages_;
+  std::atomic<std::uint64_t> next_seq_{0};
   std::optional<CollectorClient> client_;
   bool attached_ = false;
 };

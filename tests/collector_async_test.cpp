@@ -1,0 +1,276 @@
+/// Lifecycle-edge tests for asynchronous event delivery: events admitted
+/// before PAUSE are delivered by the time PAUSE returns, STOP flushes and
+/// joins the drainer (no callback after OMP_REQ_STOP returns), RESUME
+/// restarts delivery, and the backpressure counters are exact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "collector/async.hpp"
+#include "collector/message.hpp"
+#include "runtime/runtime.hpp"
+
+namespace {
+
+using orca::collector::AsyncDispatcher;
+using orca::collector::EventRingStats;
+using orca::collector::MessageBuilder;
+using orca::rt::EventBackpressure;
+using orca::rt::EventDelivery;
+using orca::rt::Runtime;
+using orca::rt::RuntimeConfig;
+
+std::atomic<std::uint64_t> g_count{0};
+std::atomic<std::uint64_t> g_with_context{0};
+
+void counting_callback(OMP_COLLECTORAPI_EVENT) {
+  if (AsyncDispatcher::delivery_context() != nullptr) {
+    g_with_context.fetch_add(1, std::memory_order_relaxed);
+  }
+  g_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::atomic<std::uint64_t> g_fork_count{0};
+std::atomic<std::uint64_t> g_join_count{0};
+void fork_callback(OMP_COLLECTORAPI_EVENT) {
+  g_fork_count.fetch_add(1, std::memory_order_relaxed);
+}
+void join_callback(OMP_COLLECTORAPI_EVENT) {
+  g_join_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Callback that parks the drainer until the test opens the gate; lets a
+/// test stall delivery deterministically to provoke backpressure.
+std::atomic<int> g_gate{1};
+std::atomic<std::uint64_t> g_entered{0};
+void gated_callback(OMP_COLLECTORAPI_EVENT) {
+  g_entered.fetch_add(1, std::memory_order_release);
+  while (g_gate.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+  g_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void reset_globals() {
+  g_count = 0;
+  g_with_context = 0;
+  g_fork_count = 0;
+  g_join_count = 0;
+  g_gate = 1;
+  g_entered = 0;
+}
+
+RuntimeConfig async_cfg(EventBackpressure policy, std::size_t ring_capacity) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  cfg.event_delivery = EventDelivery::kAsync;
+  cfg.event_backpressure = policy;
+  cfg.event_ring_capacity = ring_capacity;
+  return cfg;
+}
+
+OMP_COLLECTORAPI_EC lifecycle(Runtime& rt, OMP_COLLECTORAPI_REQUEST req) {
+  MessageBuilder msg;
+  msg.add(req);
+  EXPECT_EQ(rt.collector_api(msg.buffer()), 0);
+  return msg.errcode(0);
+}
+
+void register_cb(Runtime& rt, OMP_COLLECTORAPI_EVENT event,
+                 OMP_COLLECTORAPI_CALLBACK cb) {
+  MessageBuilder msg;
+  msg.add_register(event, cb);
+  ASSERT_EQ(rt.collector_api(msg.buffer()), 0);
+  ASSERT_EQ(msg.errcode(0), OMP_ERRCODE_OK);
+}
+
+TEST(AsyncDelivery, StartSpawnsDrainerAndPauseIsFlushBarrier) {
+  reset_globals();
+  Runtime rt(async_cfg(EventBackpressure::kBlock, 1024));
+  Runtime::make_current(&rt);
+  ASSERT_NE(rt.async_dispatcher(), nullptr);
+  EXPECT_FALSE(rt.async_dispatcher()->running());
+
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_START), OMP_ERRCODE_OK);
+  EXPECT_TRUE(rt.async_dispatcher()->running());
+  register_cb(rt, OMP_EVENT_FORK, &counting_callback);
+
+  for (int i = 0; i < 100; ++i) rt.registry().fire(OMP_EVENT_FORK);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_PAUSE), OMP_ERRCODE_OK);
+  // PAUSE returned: every pre-PAUSE event has been delivered, all of them
+  // on the drainer (delivery context set), none lost under kBlock.
+  EXPECT_EQ(g_count.load(), 100u);
+  EXPECT_EQ(g_with_context.load(), 100u);
+  const EventRingStats s = rt.async_dispatcher()->stats();
+  EXPECT_EQ(s.submitted, 100u);
+  EXPECT_EQ(s.delivered, 100u);
+  EXPECT_EQ(s.dropped, 0u);
+
+  // Paused: new events are not admitted at all.
+  for (int i = 0; i < 50; ++i) rt.registry().fire(OMP_EVENT_FORK);
+  EXPECT_EQ(rt.async_dispatcher()->stats().submitted, 100u);
+  EXPECT_EQ(g_count.load(), 100u);
+
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_STOP), OMP_ERRCODE_OK);
+  Runtime::make_current(nullptr);
+}
+
+TEST(AsyncDelivery, ResumeRestartsDelivery) {
+  reset_globals();
+  Runtime rt(async_cfg(EventBackpressure::kBlock, 256));
+  Runtime::make_current(&rt);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_START), OMP_ERRCODE_OK);
+  register_cb(rt, OMP_EVENT_FORK, &counting_callback);
+
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_PAUSE), OMP_ERRCODE_OK);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_RESUME), OMP_ERRCODE_OK);
+  EXPECT_TRUE(rt.async_dispatcher()->running());
+
+  for (int i = 0; i < 7; ++i) rt.registry().fire(OMP_EVENT_FORK);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_PAUSE), OMP_ERRCODE_OK);
+  EXPECT_EQ(g_count.load(), 7u);
+
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_STOP), OMP_ERRCODE_OK);
+  Runtime::make_current(nullptr);
+}
+
+TEST(AsyncDelivery, StopFlushesJoinsAndSilences) {
+  reset_globals();
+  Runtime rt(async_cfg(EventBackpressure::kBlock, 512));
+  Runtime::make_current(&rt);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_START), OMP_ERRCODE_OK);
+  register_cb(rt, OMP_EVENT_FORK, &counting_callback);
+
+  for (int i = 0; i < 200; ++i) rt.registry().fire(OMP_EVENT_FORK);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_STOP), OMP_ERRCODE_OK);
+  // STOP returned: everything admitted before the edge was delivered, the
+  // drainer has joined, and no callback fires afterwards.
+  EXPECT_EQ(g_count.load(), 200u);
+  EXPECT_FALSE(rt.async_dispatcher()->running());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(g_count.load(), 200u);
+
+  // A second session restarts the drainer (registrations were cleared by
+  // STOP, so re-register).
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_START), OMP_ERRCODE_OK);
+  EXPECT_TRUE(rt.async_dispatcher()->running());
+  register_cb(rt, OMP_EVENT_FORK, &counting_callback);
+  for (int i = 0; i < 5; ++i) rt.registry().fire(OMP_EVENT_FORK);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_STOP), OMP_ERRCODE_OK);
+  EXPECT_EQ(g_count.load(), 205u);
+  Runtime::make_current(nullptr);
+}
+
+TEST(AsyncDelivery, DropNewestCountsExactlyUnderStall) {
+  reset_globals();
+  g_gate = 0;  // stall the drainer inside the first delivery
+  Runtime rt(async_cfg(EventBackpressure::kDropNewest, 4));
+  Runtime::make_current(&rt);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_START), OMP_ERRCODE_OK);
+  register_cb(rt, OMP_EVENT_FORK, &gated_callback);
+
+  // First event: wait until the drainer is provably stuck inside its
+  // callback, so nothing further can leave the ring.
+  rt.registry().fire(OMP_EVENT_FORK);
+  while (g_entered.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+  // Fill the 4-cell ring, then overflow it: exactly 6 drops.
+  for (int i = 0; i < 4; ++i) rt.registry().fire(OMP_EVENT_FORK);
+  for (int i = 0; i < 6; ++i) rt.registry().fire(OMP_EVENT_FORK);
+  EventRingStats s = rt.async_dispatcher()->stats();
+  EXPECT_EQ(s.submitted, 5u);
+  EXPECT_EQ(s.dropped, 6u);
+
+  g_gate = 1;  // release the drainer
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_PAUSE), OMP_ERRCODE_OK);
+  EXPECT_EQ(g_count.load(), 5u);
+  s = rt.async_dispatcher()->stats();
+  EXPECT_EQ(s.delivered, 5u);
+  EXPECT_EQ(s.submitted, s.delivered + s.overwritten);
+
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_STOP), OMP_ERRCODE_OK);
+  Runtime::make_current(nullptr);
+}
+
+TEST(AsyncDelivery, ForkRegionEventsArriveThroughAsyncPath) {
+  reset_globals();
+  Runtime rt(async_cfg(EventBackpressure::kBlock, 1024));
+  Runtime::make_current(&rt);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_START), OMP_ERRCODE_OK);
+  register_cb(rt, OMP_EVENT_FORK, &fork_callback);
+  register_cb(rt, OMP_EVENT_JOIN, &join_callback);
+
+  rt.fork([](int, void*) {}, nullptr, 2);
+  rt.quiesce();
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_PAUSE), OMP_ERRCODE_OK);
+  EXPECT_EQ(g_fork_count.load(), 1u);
+  EXPECT_EQ(g_join_count.load(), 1u);
+
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_STOP), OMP_ERRCODE_OK);
+  Runtime::make_current(nullptr);
+}
+
+TEST(AsyncDelivery, EventStatsQueryReportsCountersAndActivity) {
+  reset_globals();
+  Runtime rt(async_cfg(EventBackpressure::kBlock, 100));  // ring rounds to 128
+  Runtime::make_current(&rt);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_START), OMP_ERRCODE_OK);
+  register_cb(rt, OMP_EVENT_FORK, &counting_callback);
+  for (int i = 0; i < 10; ++i) rt.registry().fire(OMP_EVENT_FORK);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_PAUSE), OMP_ERRCODE_OK);
+
+  MessageBuilder query;
+  query.add_event_stats_query();
+  ASSERT_EQ(rt.collector_api(query.buffer()), 0);
+  ASSERT_EQ(query.errcode(0), OMP_ERRCODE_OK);
+  orca_event_stats stats = {};
+  ASSERT_TRUE(query.reply_value(0, &stats));
+  EXPECT_EQ(stats.submitted, 10u);
+  EXPECT_EQ(stats.delivered, 10u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.ring_capacity, 128u);
+  EXPECT_EQ(stats.active, 1);
+
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_STOP), OMP_ERRCODE_OK);
+  MessageBuilder after;
+  after.add_event_stats_query();
+  ASSERT_EQ(rt.collector_api(after.buffer()), 0);
+  ASSERT_TRUE(after.reply_value(0, &stats));
+  EXPECT_EQ(stats.active, 0);
+  Runtime::make_current(nullptr);
+}
+
+TEST(AsyncDelivery, SyncModeStaysInlineAndReportsInactive) {
+  reset_globals();
+  RuntimeConfig cfg;  // default: ORCA_EVENT_DELIVERY=sync
+  cfg.num_threads = 2;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+  EXPECT_EQ(rt.async_dispatcher(), nullptr);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_START), OMP_ERRCODE_OK);
+  register_cb(rt, OMP_EVENT_FORK, &counting_callback);
+
+  rt.registry().fire(OMP_EVENT_FORK);
+  // Synchronous dispatch: delivered inline on the firing thread, with no
+  // delivery context.
+  EXPECT_EQ(g_count.load(), 1u);
+  EXPECT_EQ(g_with_context.load(), 0u);
+
+  MessageBuilder query;
+  query.add_event_stats_query();
+  ASSERT_EQ(rt.collector_api(query.buffer()), 0);
+  ASSERT_EQ(query.errcode(0), OMP_ERRCODE_OK);
+  orca_event_stats stats = {};
+  ASSERT_TRUE(query.reply_value(0, &stats));
+  EXPECT_EQ(stats.active, 0);
+  EXPECT_EQ(stats.submitted, 0u);
+
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_STOP), OMP_ERRCODE_OK);
+  Runtime::make_current(nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,187 @@
+/// EventRing unit tests: capacity rounding, wraparound, full/empty edges,
+/// every backpressure policy, counter accuracy, and a two-thread
+/// producer/consumer hammer with sequence verification.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "collector/async.hpp"
+
+namespace {
+
+using orca::collector::Backpressure;
+using orca::collector::EventRecord;
+using orca::collector::EventRing;
+using orca::collector::EventRingStats;
+
+EventRecord make_record(std::uint64_t seq) {
+  EventRecord rec;
+  rec.seq = seq;
+  rec.ticks = seq * 10;
+  rec.event = OMP_EVENT_FORK;
+  rec.origin_slot = 0;
+  return rec;
+}
+
+TEST(EventRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventRing(0).capacity(), 4u);
+  EXPECT_EQ(EventRing(1).capacity(), 4u);
+  EXPECT_EQ(EventRing(4).capacity(), 4u);
+  EXPECT_EQ(EventRing(5).capacity(), 8u);
+  EXPECT_EQ(EventRing(1000).capacity(), 1024u);
+}
+
+TEST(EventRing, PopOnEmptyFails) {
+  EventRing ring(4);
+  EventRecord out;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.pop(&out));
+}
+
+TEST(EventRing, FifoAcrossManyWraparounds) {
+  EventRing ring(4);
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  // Push 3 / pop 3 repeatedly: the cursors lap the 4-cell ring many times
+  // and every record must come back in FIFO order.
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(ring.push(make_record(next_push++), Backpressure::kBlock));
+    }
+    EventRecord out;
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(ring.pop(&out));
+      EXPECT_EQ(out.seq, next_pop);
+      EXPECT_EQ(out.ticks, next_pop * 10);
+      ++next_pop;
+    }
+  }
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.stats().submitted, 300u);
+}
+
+TEST(EventRing, DropNewestCountsExactly) {
+  EventRing ring(4);
+  int accepted = 0;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    if (ring.push(make_record(i), Backpressure::kDropNewest)) ++accepted;
+  }
+  EXPECT_EQ(accepted, 4);
+  const EventRingStats s = ring.stats();
+  EXPECT_EQ(s.submitted, 4u);
+  EXPECT_EQ(s.dropped, 6u);
+  EXPECT_EQ(s.overwritten, 0u);
+  // The survivors are the *first* four records.
+  EventRecord out;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.pop(&out));
+    EXPECT_EQ(out.seq, i);
+  }
+  EXPECT_FALSE(ring.pop(&out));
+}
+
+TEST(EventRing, OverwriteOldestKeepsFreshestWindow) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ring.push(make_record(i), Backpressure::kOverwriteOldest));
+  }
+  const EventRingStats s = ring.stats();
+  EXPECT_EQ(s.submitted, 10u);
+  EXPECT_EQ(s.overwritten, 6u);
+  EXPECT_EQ(s.dropped, 0u);
+  // The survivors are the *last* four records.
+  EventRecord out;
+  for (std::uint64_t i = 6; i < 10; ++i) {
+    ASSERT_TRUE(ring.pop(&out));
+    EXPECT_EQ(out.seq, i);
+  }
+  EXPECT_FALSE(ring.pop(&out));
+}
+
+TEST(EventRing, BlockWaitsForConsumerWithoutLoss) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.push(make_record(i), Backpressure::kBlock));
+  }
+  // The ring is full; a kBlock push must wait until the consumer frees a
+  // cell, then succeed with nothing dropped.
+  std::thread consumer([&ring] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EventRecord out;
+    ASSERT_TRUE(ring.pop(&out));
+    EXPECT_EQ(out.seq, 0u);
+  });
+  EXPECT_TRUE(ring.push(make_record(4), Backpressure::kBlock));
+  consumer.join();
+  const EventRingStats s = ring.stats();
+  EXPECT_EQ(s.submitted, 5u);
+  EXPECT_EQ(s.dropped, 0u);
+  EXPECT_EQ(s.overwritten, 0u);
+}
+
+TEST(EventRing, CloseUnblocksBlockedProducer) {
+  EventRing ring(4);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.push(make_record(i), Backpressure::kBlock));
+  }
+  std::thread producer([&ring] {
+    // Full ring, no consumer: this push parks until close(), then must
+    // fail fast and be counted as dropped.
+    EXPECT_FALSE(ring.push(make_record(4), Backpressure::kBlock));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ring.close();
+  producer.join();
+  const EventRingStats s = ring.stats();
+  EXPECT_EQ(s.submitted, 4u);
+  EXPECT_EQ(s.dropped, 1u);
+}
+
+TEST(EventRing, CountersReconcileAfterDeliveries) {
+  EventRing ring(8);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.push(make_record(i), Backpressure::kBlock));
+  }
+  EXPECT_FALSE(ring.settled());
+  EventRecord out;
+  while (ring.pop(&out)) ring.count_delivered();
+  EXPECT_TRUE(ring.settled());
+  const EventRingStats s = ring.stats();
+  EXPECT_EQ(s.submitted, 5u);
+  EXPECT_EQ(s.delivered, 5u);
+  EXPECT_EQ(s.submitted, s.delivered + s.overwritten);
+}
+
+TEST(EventRing, TwoThreadHammerPreservesSequence) {
+  constexpr std::uint64_t kRecords = 100000;
+  EventRing ring(64);
+  std::thread producer([&ring] {
+    for (std::uint64_t i = 0; i < kRecords; ++i) {
+      ASSERT_TRUE(ring.push(make_record(i), Backpressure::kBlock));
+    }
+  });
+  // Consume on this thread: every record must arrive exactly once, in
+  // submission order, across thousands of wraparounds of the 64-cell ring.
+  std::uint64_t expected = 0;
+  EventRecord out;
+  while (expected < kRecords) {
+    if (ring.pop(&out)) {
+      ASSERT_EQ(out.seq, expected);
+      ++expected;
+      ring.count_delivered();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+  const EventRingStats s = ring.stats();
+  EXPECT_EQ(s.submitted, kRecords);
+  EXPECT_EQ(s.delivered, kRecords);
+  EXPECT_EQ(s.dropped, 0u);
+  EXPECT_EQ(s.overwritten, 0u);
+}
+
+}  // namespace

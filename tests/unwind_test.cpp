@@ -46,10 +46,16 @@ TEST(Backtrace, DepthGrowsWithRecursion) {
 TEST(Backtrace, SkipDropsInnermostFrames) {
   const Callstack full = Callstack::capture(0);
   const Callstack skipped = Callstack::capture(1);
-  ASSERT_GT(full.depth(), 1u);
-  // Skipping one frame shifts the stack by one.
+  ASSERT_GT(full.depth(), 2u);
+  // Skipping one frame shifts the stack by one. The innermost retained
+  // frame may differ between the two captures (it is the return address
+  // of *this* function's two distinct call sites when the sanitizer
+  // runtime intercepts backtrace(3)), so compare from the second frame up
+  // where both stacks walk the same callers.
   EXPECT_EQ(skipped.depth() + 1, full.depth());
-  EXPECT_EQ(skipped.frame(0), full.frame(1));
+  for (std::size_t i = 1; i < skipped.depth(); ++i) {
+    EXPECT_EQ(skipped.frame(i), full.frame(i + 1)) << "frame " << i;
+  }
 }
 
 TEST(Backtrace, ToVectorCopiesFramesNotIterators) {

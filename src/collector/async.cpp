@@ -5,6 +5,7 @@
 
 #include "collector/registry.hpp"
 #include "common/clock.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace orca::collector {
 namespace {
@@ -67,6 +68,13 @@ void AsyncDispatcher::stop_and_join() {
   parker_.signal();
   drainer_.join();
   running_.store(false, std::memory_order_release);
+  // Retire records that raced past the drainer's final sweep: pushed after
+  // its last empty pass but before the ring closed. Registrations are gone
+  // by the time a STOP reaches here, so retirement stays silent — the
+  // "no callback after STOP returns" contract holds — while the accounting
+  // still reconciles (submitted == delivered + overwritten).
+  while (drain_pass()) {
+  }
 }
 
 bool AsyncDispatcher::settled() const noexcept {
@@ -77,6 +85,7 @@ bool AsyncDispatcher::settled() const noexcept {
 }
 
 void AsyncDispatcher::flush() {
+  ORCA_FAULT_POINT(kAsyncFlush);
   if (tls_on_drainer) return;  // delivery callback re-entry: already draining
   if (!running_.load(std::memory_order_acquire)) {
     // No drainer: retire whatever is buffered on the calling thread so the
@@ -94,6 +103,7 @@ void AsyncDispatcher::flush() {
 
 bool AsyncDispatcher::publish(std::size_t slot,
                               OMP_COLLECTORAPI_EVENT event) noexcept {
+  ORCA_FAULT_POINT(kAsyncPublish);
   if (!running_.load(std::memory_order_acquire)) return false;
   EventRing& ring = *rings_[map_slot(slot)];
   EventRecord rec;
@@ -113,8 +123,16 @@ void AsyncDispatcher::deliver(EventRing& ring, const EventRecord& rec) {
   const OMP_COLLECTORAPI_CALLBACK cb =
       registry_.callback(static_cast<OMP_COLLECTORAPI_EVENT>(rec.event));
   if (cb != nullptr) {
+    ORCA_FAULT_POINT(kAsyncDeliver);
     tls_delivery_record = &rec;
-    cb(static_cast<OMP_COLLECTORAPI_EVENT>(rec.event));
+    // Contain a throwing collector callback: the drainer must outlive any
+    // single bad delivery, or one collector bug stalls every ring and
+    // deadlocks the next flush barrier. Counted, never silent.
+    try {
+      cb(static_cast<OMP_COLLECTORAPI_EVENT>(rec.event));
+    } catch (...) {
+      callback_failures_.fetch_add(1, std::memory_order_acq_rel);
+    }
     tls_delivery_record = nullptr;
   }
   // Count after the callback returned: flush()'s "delivered" means the
@@ -124,6 +142,7 @@ void AsyncDispatcher::deliver(EventRing& ring, const EventRecord& rec) {
 }
 
 bool AsyncDispatcher::drain_pass() {
+  ORCA_FAULT_POINT(kAsyncDrain);
   bool any = false;
   for (auto& ring_ptr : rings_) {
     EventRing& ring = *ring_ptr;

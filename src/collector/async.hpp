@@ -282,6 +282,15 @@ class AsyncDispatcher {
     return rings_[map_slot(slot)]->stats();
   }
 
+  /// Callbacks that threw out of asynchronous delivery. The drainer
+  /// contains the exception (a collector bug must not take down the
+  /// measured program's runtime), counts it here, and keeps draining; the
+  /// record still counts as delivered. Synchronous dispatch has no such
+  /// net — `Registry::fire` is noexcept, per the paper's inline contract.
+  std::uint64_t callback_failures() const noexcept {
+    return callback_failures_.load(std::memory_order_acquire);
+  }
+
   /// Sum of all per-ring counters.
   EventRingStats stats() const noexcept;
 
@@ -309,6 +318,7 @@ class AsyncDispatcher {
   std::atomic<bool> sleeping_{false};  ///< drainer is (about to be) parked
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> callback_failures_{0};
   std::atomic<std::uint64_t> drainer_tid_{0};  ///< hashed id of the drainer
   std::thread drainer_;
   SpinLock lifecycle_mu_;  ///< serializes start()/stop_and_join()

@@ -3,35 +3,35 @@
 #include <vector>
 
 #include "collector/message.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace orca::collector {
 namespace {
 
-/// Answer a single non-lifecycle request record in place.
+/// Answer a single non-lifecycle request record in place. Header fields go
+/// through the cursor's memcpy accessors: a foreign collector may pack
+/// records at unaligned offsets, where struct-pointer access would be UB.
 void answer(Registry& registry, const Providers& providers,
             MessageCursor cursor) {
-  omp_collector_message* rec = cursor.record();
-  switch (rec->r_req) {
+  switch (cursor.request()) {
     case OMP_REQ_REGISTER: {
       int event = 0;
       OMP_COLLECTORAPI_CALLBACK cb = nullptr;
       if (!cursor.read_payload(&event, sizeof(event)) ||
           !cursor.read_payload(&cb, sizeof(cb), sizeof(event))) {
-        rec->r_errcode = OMP_ERRCODE_MEM_TOO_SMALL;
+        cursor.set_errcode(OMP_ERRCODE_MEM_TOO_SMALL);
         return;
       }
-      rec->r_errcode = registry.register_callback(
-          static_cast<OMP_COLLECTORAPI_EVENT>(event), cb);
+      cursor.set_errcode(registry.register_callback(event, cb));
       return;
     }
     case OMP_REQ_UNREGISTER: {
       int event = 0;
       if (!cursor.read_payload(&event, sizeof(event))) {
-        rec->r_errcode = OMP_ERRCODE_MEM_TOO_SMALL;
+        cursor.set_errcode(OMP_ERRCODE_MEM_TOO_SMALL);
         return;
       }
-      rec->r_errcode = registry.unregister_callback(
-          static_cast<OMP_COLLECTORAPI_EVENT>(event));
+      cursor.set_errcode(registry.unregister_callback(event));
       return;
     }
     case OMP_REQ_STATE: {
@@ -61,37 +61,37 @@ void answer(Registry& registry, const Providers& providers,
         default:
           break;
       }
-      rec->r_errcode = OMP_ERRCODE_OK;
+      cursor.set_errcode(OMP_ERRCODE_OK);
       return;
     }
     case OMP_REQ_CURRENT_PRID: {
       unsigned long id = 0;
       const OMP_COLLECTORAPI_EC ec = providers.current_prid(providers.ctx, &id);
       if (!cursor.write_reply(&id, sizeof(id))) return;
-      rec->r_errcode = ec;
+      cursor.set_errcode(ec);
       return;
     }
     case OMP_REQ_PARENT_PRID: {
       unsigned long id = 0;
       const OMP_COLLECTORAPI_EC ec = providers.parent_prid(providers.ctx, &id);
       if (!cursor.write_reply(&id, sizeof(id))) return;
-      rec->r_errcode = ec;
+      cursor.set_errcode(ec);
       return;
     }
     case ORCA_REQ_EVENT_STATS: {
       if (providers.event_stats == nullptr) {
-        rec->r_errcode = OMP_ERRCODE_UNKNOWN;
+        cursor.set_errcode(OMP_ERRCODE_UNKNOWN);
         return;
       }
       orca_event_stats stats = {};
       const OMP_COLLECTORAPI_EC ec =
           providers.event_stats(providers.ctx, &stats);
       if (!cursor.write_reply(&stats, sizeof(stats))) return;
-      rec->r_errcode = ec;
+      cursor.set_errcode(ec);
       return;
     }
     default:
-      rec->r_errcode = OMP_ERRCODE_UNKNOWN;
+      cursor.set_errcode(OMP_ERRCODE_UNKNOWN);
       return;
   }
 }
@@ -117,6 +117,7 @@ OMP_COLLECTORAPI_EC lifecycle_request(const Providers& providers,
 int process_messages(Registry& registry, RequestQueues& queues,
                      const Providers& providers, void* arg) {
   if (arg == nullptr) return -1;
+  ORCA_FAULT_POINT(kApiEnter);
 
   // First pass: walk the records, answer lifecycle requests inline (they
   // gate whether the queues exist at all), collect the rest for queueing.
@@ -126,29 +127,28 @@ int process_messages(Registry& registry, RequestQueues& queues,
   bool saw_any = false;
   while (!cursor.at_terminator()) {
     if (!cursor.valid()) return -1;  // malformed: sz smaller than header
-    omp_collector_message* rec = cursor.record();
-    switch (rec->r_req) {
+    switch (cursor.request()) {
       case OMP_REQ_START:
-        rec->r_errcode = lifecycle_request(providers, OMP_REQ_START,
-                                           [&] { return registry.start(); });
+        cursor.set_errcode(lifecycle_request(
+            providers, OMP_REQ_START, [&] { return registry.start(); }));
         break;
       case OMP_REQ_STOP:
-        rec->r_errcode = lifecycle_request(providers, OMP_REQ_STOP,
-                                           [&] { return registry.stop(); });
+        cursor.set_errcode(lifecycle_request(
+            providers, OMP_REQ_STOP, [&] { return registry.stop(); }));
         break;
       case OMP_REQ_PAUSE:
-        rec->r_errcode = lifecycle_request(providers, OMP_REQ_PAUSE,
-                                           [&] { return registry.pause(); });
+        cursor.set_errcode(lifecycle_request(
+            providers, OMP_REQ_PAUSE, [&] { return registry.pause(); }));
         break;
       case OMP_REQ_RESUME:
-        rec->r_errcode = lifecycle_request(providers, OMP_REQ_RESUME,
-                                           [&] { return registry.resume(); });
+        cursor.set_errcode(lifecycle_request(
+            providers, OMP_REQ_RESUME, [&] { return registry.resume(); }));
         break;
       default:
         pending.push_back(PendingRequest{offset});
         break;
     }
-    offset += static_cast<std::size_t>(rec->sz);
+    offset += static_cast<std::size_t>(cursor.declared_size());
     cursor.advance();
     saw_any = true;
   }
@@ -161,6 +161,7 @@ int process_messages(Registry& registry, RequestQueues& queues,
   const std::size_t slot = providers.queue_slot(providers.ctx);
   char* base = static_cast<char*>(arg);
   queues.push_and_drain(slot, pending, [&](const PendingRequest& req) {
+    ORCA_FAULT_POINT(kQueueDrain);
     answer(registry, providers, MessageCursor(base + req.record_offset));
   });
   return 0;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
+
+#include "testing/fault_injection.hpp"
 
 namespace orca::collector {
 namespace {
@@ -14,25 +17,38 @@ constexpr std::size_t align_up(std::size_t n) noexcept {
 
 }  // namespace
 
-std::size_t MessageBuilder::append_record(OMP_COLLECTORAPI_REQUEST req,
-                                          const void* payload,
+std::size_t MessageBuilder::append_record(int req, const void* payload,
                                           std::size_t payload_size,
                                           std::size_t capacity) {
+  const std::size_t mem_size = std::max(payload_size, capacity);
+  // The record's sz travels through the ABI as an int; a mem[] request
+  // large enough to overflow it must be rejected here, before it could be
+  // encoded as a truncated (or negative) size the runtime would misparse.
+  // (Bounding mem_size also keeps the size arithmetic below overflow-free.)
+  constexpr std::size_t kMaxMem =
+      static_cast<std::size_t>(std::numeric_limits<int>::max()) -
+      kRecordHeaderSize - alignof(void*);
+  if (mem_size > kMaxMem) return npos;
+  const std::size_t total = align_up(record_size(mem_size));
+  if (testing::FaultInjector::alloc_fails(
+          testing::FaultPoint::kMessageAppend)) {
+    return npos;
+  }
   if (terminated_) {
     bytes_.resize(bytes_.size() - kRecordHeaderSize);
     terminated_ = false;
   }
-  const std::size_t mem_size = std::max(payload_size, capacity);
-  const std::size_t total = align_up(record_size(mem_size));
   const std::size_t offset = bytes_.size();
   bytes_.resize(offset + total, 0);
 
-  omp_collector_message header{};
-  header.sz = static_cast<int>(total);
-  header.r_req = req;
-  header.r_errcode = OMP_ERRCODE_OK;
-  header.r_sz = 0;
-  std::memcpy(bytes_.data() + offset, &header, kRecordHeaderSize);
+  // Field-wise writes: `req` is a raw wire value that may lie outside the
+  // request enum's range, so it must never pass through the enum-typed
+  // struct member. r_errcode/r_sz stay zero (OK / no reply) from resize.
+  const int sz = static_cast<int>(total);
+  std::memcpy(bytes_.data() + offset + offsetof(omp_collector_message, sz),
+              &sz, sizeof(sz));
+  std::memcpy(bytes_.data() + offset + offsetof(omp_collector_message, r_req),
+              &req, sizeof(req));
   if (payload != nullptr && payload_size > 0) {
     std::memcpy(bytes_.data() + offset + kRecordHeaderSize, payload,
                 payload_size);
@@ -41,23 +57,20 @@ std::size_t MessageBuilder::append_record(OMP_COLLECTORAPI_REQUEST req,
   return offsets_.size() - 1;
 }
 
-std::size_t MessageBuilder::add(OMP_COLLECTORAPI_REQUEST req,
-                                std::size_t reply_capacity) {
+std::size_t MessageBuilder::add(int req, std::size_t reply_capacity) {
   return append_record(req, nullptr, 0, reply_capacity);
 }
 
-std::size_t MessageBuilder::add_register(OMP_COLLECTORAPI_EVENT event,
+std::size_t MessageBuilder::add_register(int event,
                                          OMP_COLLECTORAPI_CALLBACK cb) {
   char payload[sizeof(int) + sizeof(OMP_COLLECTORAPI_CALLBACK)];
-  const int ev = static_cast<int>(event);
-  std::memcpy(payload, &ev, sizeof(int));
+  std::memcpy(payload, &event, sizeof(int));
   std::memcpy(payload + sizeof(int), &cb, sizeof(cb));
   return append_record(OMP_REQ_REGISTER, payload, sizeof(payload), 0);
 }
 
-std::size_t MessageBuilder::add_unregister(OMP_COLLECTORAPI_EVENT event) {
-  const int ev = static_cast<int>(event);
-  return append_record(OMP_REQ_UNREGISTER, &ev, sizeof(ev), 0);
+std::size_t MessageBuilder::add_unregister(int event) {
+  return append_record(OMP_REQ_UNREGISTER, &event, sizeof(event), 0);
 }
 
 std::size_t MessageBuilder::add_state_query() {
@@ -143,15 +156,43 @@ bool MessageCursor::read_payload(void* out, std::size_t n,
   return true;
 }
 
+int MessageCursor::declared_size() const noexcept {
+  int sz = 0;
+  std::memcpy(&sz, base_ + offset_ + offsetof(omp_collector_message, sz),
+              sizeof(sz));
+  return sz;
+}
+
+int MessageCursor::request() const noexcept {
+  int req = 0;
+  std::memcpy(&req, base_ + offset_ + offsetof(omp_collector_message, r_req),
+              sizeof(req));
+  return req;
+}
+
+void MessageCursor::set_errcode(OMP_COLLECTORAPI_EC ec) noexcept {
+  std::memcpy(base_ + offset_ + offsetof(omp_collector_message, r_errcode),
+              &ec, sizeof(ec));
+}
+
 bool MessageCursor::write_reply(const void* data, std::size_t n,
                                 std::size_t at) noexcept {
-  omp_collector_message* rec = record();
+  // memcpy throughout: foreign buffers may pack records at unaligned
+  // offsets, so the header fields cannot be touched through a struct
+  // pointer here.
   if (at + n > payload_capacity()) {
-    rec->r_errcode = OMP_ERRCODE_MEM_TOO_SMALL;
+    set_errcode(OMP_ERRCODE_MEM_TOO_SMALL);
     return false;
   }
   std::memcpy(base_ + offset_ + kRecordHeaderSize + at, data, n);
-  rec->r_sz = std::max(rec->r_sz, static_cast<int>(at + n));
+  int r_sz = 0;
+  std::memcpy(&r_sz, base_ + offset_ + offsetof(omp_collector_message, r_sz),
+              sizeof(r_sz));
+  const int written = static_cast<int>(at + n);
+  if (written > r_sz) {
+    std::memcpy(base_ + offset_ + offsetof(omp_collector_message, r_sz),
+                &written, sizeof(written));
+  }
   return true;
 }
 

@@ -31,16 +31,25 @@ constexpr std::size_t record_size(std::size_t payload) noexcept {
 /// after the call.
 class MessageBuilder {
  public:
+  /// Returned by the add_* methods when the record cannot be appended —
+  /// a mem[] request so large the record's `sz` would overflow the ABI's
+  /// int field (or a test-injected allocation failure). The builder is
+  /// left unchanged.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
   /// Append a request with an empty payload but `reply_capacity` bytes of
-  /// mem[] reserved for the runtime's answer. Returns the record index.
-  std::size_t add(OMP_COLLECTORAPI_REQUEST req, std::size_t reply_capacity = 0);
+  /// mem[] reserved for the runtime's answer. Returns the record index,
+  /// or `npos` when the record cannot be encoded. `req` is the raw wire
+  /// value — unknown/negative codes are encodable on purpose (the runtime
+  /// must answer them with OMP_ERRCODE_UNKNOWN, and the fuzzers check it).
+  std::size_t add(int req, std::size_t reply_capacity = 0);
 
-  /// Append OMP_REQ_REGISTER for `event` with callback `cb`.
-  std::size_t add_register(OMP_COLLECTORAPI_EVENT event,
-                           OMP_COLLECTORAPI_CALLBACK cb);
+  /// Append OMP_REQ_REGISTER for `event` (raw wire value) with callback
+  /// `cb`.
+  std::size_t add_register(int event, OMP_COLLECTORAPI_CALLBACK cb);
 
-  /// Append OMP_REQ_UNREGISTER for `event`.
-  std::size_t add_unregister(OMP_COLLECTORAPI_EVENT event);
+  /// Append OMP_REQ_UNREGISTER for `event` (raw wire value).
+  std::size_t add_unregister(int event);
 
   /// Append OMP_REQ_STATE with room for state + wait id in the reply.
   std::size_t add_state_query();
@@ -78,7 +87,7 @@ class MessageBuilder {
  private:
   char* record_at(std::size_t index);
   const char* record_at(std::size_t index) const;
-  std::size_t append_record(OMP_COLLECTORAPI_REQUEST req, const void* payload,
+  std::size_t append_record(int req, const void* payload,
                             std::size_t payload_size, std::size_t capacity);
 
   std::vector<char> bytes_;
@@ -100,9 +109,20 @@ class MessageCursor {
   /// True when the current record is the sz==0 terminator.
   bool at_terminator() const noexcept;
 
+  /// Direct view of the current record. Only safe when the record is
+  /// pointer-aligned (true for MessageBuilder output); foreign buffers may
+  /// pack records at any offset, so the dispatcher uses the memcpy-based
+  /// accessors below instead.
   omp_collector_message* record() noexcept {
     return reinterpret_cast<omp_collector_message*>(base_ + offset_);
   }
+
+  /// Alignment-safe header reads/writes for the current record. `request()`
+  /// returns the raw int: a foreign buffer may carry any value there, and
+  /// an int loaded as the request enum would be UB for out-of-range codes.
+  int declared_size() const noexcept;
+  int request() const noexcept;
+  void set_errcode(OMP_COLLECTORAPI_EC ec) noexcept;
 
   /// Payload capacity (mem[] bytes) of the current record; 0 when the
   /// declared sz is smaller than the header (malformed).

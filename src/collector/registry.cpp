@@ -51,14 +51,16 @@ OMP_COLLECTORAPI_EC Registry::resume() noexcept {
 }
 
 OMP_COLLECTORAPI_EC Registry::register_callback(
-    OMP_COLLECTORAPI_EVENT event, OMP_COLLECTORAPI_CALLBACK cb) noexcept {
+    int event, OMP_COLLECTORAPI_CALLBACK cb) noexcept {
   if (!initialized()) return OMP_ERRCODE_SEQUENCE_ERR;
+  // Range-validate the raw wire value before it ever becomes an enum.
   if (event <= 0 || event == OMP_EVENT_LAST || event >= ORCA_EVENT_EXT_LAST ||
       cb == nullptr) {
     return OMP_ERRCODE_ERROR;
   }
-  if (!caps_.supports(event)) return OMP_ERRCODE_UNSUPPORTED;
-  Entry& entry = *table_[index(event)];
+  const auto ev = static_cast<OMP_COLLECTORAPI_EVENT>(event);
+  if (!caps_.supports(ev)) return OMP_ERRCODE_UNSUPPORTED;
+  Entry& entry = *table_[index(ev)];
   // Per-entry lock: serializes threads racing to register the same event
   // with different callbacks (paper IV-C). Last registration wins, but the
   // table never holds a torn value.
@@ -67,14 +69,14 @@ OMP_COLLECTORAPI_EC Registry::register_callback(
   return OMP_ERRCODE_OK;
 }
 
-OMP_COLLECTORAPI_EC Registry::unregister_callback(
-    OMP_COLLECTORAPI_EVENT event) noexcept {
+OMP_COLLECTORAPI_EC Registry::unregister_callback(int event) noexcept {
   if (!initialized()) return OMP_ERRCODE_SEQUENCE_ERR;
   if (event <= 0 || event == OMP_EVENT_LAST || event >= ORCA_EVENT_EXT_LAST) {
     return OMP_ERRCODE_ERROR;
   }
-  if (!caps_.supports(event)) return OMP_ERRCODE_UNSUPPORTED;
-  Entry& entry = *table_[index(event)];
+  const auto ev = static_cast<OMP_COLLECTORAPI_EVENT>(event);
+  if (!caps_.supports(ev)) return OMP_ERRCODE_UNSUPPORTED;
+  Entry& entry = *table_[index(ev)];
   std::scoped_lock lk(entry.mu);
   entry.fn.store(nullptr, std::memory_order_release);
   return OMP_ERRCODE_OK;

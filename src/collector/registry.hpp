@@ -20,6 +20,7 @@
 #include "collector/api.h"
 #include "common/cacheline.hpp"
 #include "common/spinlock.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace orca::collector {
 
@@ -101,13 +102,15 @@ class Registry {
 
   /// OMP_REQ_REGISTER. SEQUENCE_ERR before START; UNSUPPORTED for events
   /// outside this runtime's capability set; ERROR for invalid event values
-  /// or a null callback.
-  OMP_COLLECTORAPI_EC register_callback(OMP_COLLECTORAPI_EVENT event,
+  /// or a null callback. Takes the *raw* wire value: collectors send an
+  /// arbitrary int, and casting an unvalidated int to the event enum is UB,
+  /// so validation happens here, before any enum conversion.
+  OMP_COLLECTORAPI_EC register_callback(int event,
                                         OMP_COLLECTORAPI_CALLBACK cb) noexcept;
 
   /// OMP_REQ_UNREGISTER. Idempotent: unregistering an event with no
   /// callback succeeds (the table entry is simply NULL either way).
-  OMP_COLLECTORAPI_EC unregister_callback(OMP_COLLECTORAPI_EVENT event) noexcept;
+  OMP_COLLECTORAPI_EC unregister_callback(int event) noexcept;
 
   /// Currently registered callback for `event` (nullptr when none).
   OMP_COLLECTORAPI_CALLBACK callback(OMP_COLLECTORAPI_EVENT event) const noexcept;
@@ -136,6 +139,10 @@ class Registry {
   /// `__ompc_event` from the paper; the runtime inserts calls to it at
   /// every event point.
   void fire(OMP_COLLECTORAPI_EVENT event) noexcept {
+    // Fault seam ahead of the admission checks so schedule perturbation
+    // reaches even unregistered/paused fires; disarmed cost is one relaxed
+    // load + predicted branch on top of the paper's check sequence.
+    ORCA_FAULT_POINT(kEventFire);
     const OMP_COLLECTORAPI_CALLBACK cb =
         table_[index(event)]->fn.load(std::memory_order_acquire);
     if (cb == nullptr) return;                                     // check 1

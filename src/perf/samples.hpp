@@ -16,6 +16,7 @@
 
 #include "common/cacheline.hpp"
 #include "common/spinlock.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace orca::perf {
 
@@ -55,6 +56,14 @@ class SampleBuffer {
   }
 
   void record(const EventSample& s) {
+    // Injected allocation failure behaves exactly like hitting the hard
+    // cap: drop and count, never block or throw into the event path.
+    if (testing::FaultInjector::alloc_fails(
+            testing::FaultPoint::kSampleRecord)) {
+      std::scoped_lock lk(mu_);
+      ++dropped_;
+      return;
+    }
     std::scoped_lock lk(mu_);
     if (samples_.size() < capacity_) {
       samples_.push_back(s);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <mutex>
 
+#include "testing/fault_injection.hpp"
+
 namespace orca::rt {
 namespace {
 
@@ -480,6 +482,11 @@ std::size_t Runtime::provider_queue_slot(void* ctx) {
 
 void Runtime::provider_lifecycle(void* ctx, OMP_COLLECTORAPI_REQUEST req,
                                  int before, OMP_COLLECTORAPI_EC ec) {
+  if (before) {
+    ORCA_FAULT_POINT(kLifecycleBefore);
+  } else {
+    ORCA_FAULT_POINT(kLifecycleAfter);
+  }
   auto& rt = *static_cast<Runtime*>(ctx);
   collector::AsyncDispatcher* async = rt.async_.get();
   if (async == nullptr) return;

@@ -1,0 +1,534 @@
+#include "testing/conformance.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "collector/message.hpp"
+#include "collector/names.hpp"
+#include "common/env.hpp"
+#include "common/rng.hpp"
+#include "runtime/runtime.hpp"
+#include "testing/protocol_model.hpp"
+
+namespace orca::testing {
+namespace {
+
+using collector::MessageBuilder;
+using rt::Runtime;
+using rt::RuntimeConfig;
+
+void noop_callback(OMP_COLLECTORAPI_EVENT) {}
+
+/// mem[] capacity the builder actually reserves for a record whose payload
+/// or requested capacity is `mem` bytes (the builder pads records to
+/// pointer alignment).
+constexpr std::size_t encoded_capacity(std::size_t mem) noexcept {
+  const std::size_t total = (collector::kRecordHeaderSize + mem +
+                             alignof(void*) - 1) &
+                            ~(alignof(void*) - 1);
+  return total - collector::kRecordHeaderSize;
+}
+
+constexpr std::size_t kRegisterCap =
+    encoded_capacity(sizeof(int) + sizeof(OMP_COLLECTORAPI_CALLBACK));
+constexpr std::size_t kUnregisterCap = encoded_capacity(sizeof(int));
+constexpr std::size_t kStateCap =
+    encoded_capacity(sizeof(int) + sizeof(unsigned long));
+constexpr std::size_t kPridCap = encoded_capacity(sizeof(unsigned long));
+constexpr std::size_t kStatsCap = encoded_capacity(sizeof(orca_event_stats));
+
+/// One driver step: either a request batch sent through one API call, or a
+/// bare event firing (exercises PAUSE gating and async flush edges without
+/// touching the reply protocol).
+struct Action {
+  std::vector<ModelRequest> batch;               ///< empty => fire event
+  OMP_COLLECTORAPI_EVENT fire = OMP_EVENT_FORK;  ///< used when batch empty
+};
+
+/// A ModelRequest that must be encoded as a bare `add(kind, capacity)`
+/// carries no payload bytes; standard encodings go through the builder's
+/// typed helpers. The encoding is fully determined by the request fields.
+void encode(MessageBuilder& msg, const ModelRequest& r) {
+  switch (r.kind) {
+    case OMP_REQ_REGISTER:
+      if (r.capacity >= kRegisterCap && (r.event != 0 || r.with_callback)) {
+        msg.add_register(r.event, r.with_callback ? &noop_callback : nullptr);
+      } else {
+        msg.add(OMP_REQ_REGISTER, r.capacity);  // zeroed payload
+      }
+      return;
+    case OMP_REQ_UNREGISTER:
+      if (r.capacity >= kUnregisterCap && r.event != 0) {
+        msg.add_unregister(r.event);
+      } else {
+        msg.add(OMP_REQ_UNREGISTER, r.capacity);
+      }
+      return;
+    case OMP_REQ_STATE:
+      if (r.capacity >= kStateCap) {
+        msg.add_state_query();
+      } else {
+        msg.add(OMP_REQ_STATE, r.capacity);
+      }
+      return;
+    case OMP_REQ_CURRENT_PRID:
+    case OMP_REQ_PARENT_PRID:
+      if (r.capacity >= kPridCap) {
+        // In-range by the case labels, so the enum cast is safe.
+        msg.add_id_query(static_cast<OMP_COLLECTORAPI_REQUEST>(r.kind));
+      } else {
+        msg.add(r.kind, r.capacity);
+      }
+      return;
+    case ORCA_REQ_EVENT_STATS:
+      if (r.capacity >= kStatsCap) {
+        msg.add_event_stats_query();
+      } else {
+        msg.add(r.kind, r.capacity);
+      }
+      return;
+    default:
+      msg.add(r.kind, r.capacity);
+      return;
+  }
+}
+
+/// Events a conformance runtime (tasking on, atomic events off) supports.
+constexpr OMP_COLLECTORAPI_EVENT kSupportedEvents[] = {
+    OMP_EVENT_FORK,           OMP_EVENT_JOIN,
+    OMP_EVENT_THR_BEGIN_IDLE, OMP_EVENT_THR_END_IDLE,
+    OMP_EVENT_THR_BEGIN_IBAR, OMP_EVENT_THR_END_IBAR,
+    OMP_EVENT_THR_BEGIN_LKWT, OMP_EVENT_THR_END_LKWT,
+    OMP_EVENT_THR_BEGIN_SINGLE, OMP_EVENT_THR_END_MASTER,
+    ORCA_EVENT_TASK_BEGIN,    ORCA_EVENT_TASK_END,
+};
+constexpr int kInvalidEvents[] = {0, -3, OMP_EVENT_LAST,
+                                  ORCA_EVENT_EXT_LAST + 14};
+constexpr int kUnknownKinds[] = {OMP_REQ_LAST, 11, 15, 17, -2, 1000};
+
+/// Draw one random request from the weighted protocol mix.
+ModelRequest random_request(SplitMix64& rng) {
+  ModelRequest r;
+  const std::uint64_t roll = rng.next() % 100;
+  if (roll < 8) {
+    r.kind = OMP_REQ_START;
+  } else if (roll < 16) {
+    r.kind = OMP_REQ_STOP;
+  } else if (roll < 22) {
+    r.kind = OMP_REQ_PAUSE;
+  } else if (roll < 28) {
+    r.kind = OMP_REQ_RESUME;
+  } else if (roll < 40) {  // REGISTER, valid + supported
+    r.kind = OMP_REQ_REGISTER;
+    r.event = kSupportedEvents[rng.next() % std::size(kSupportedEvents)];
+    r.with_callback = true;
+    r.capacity = kRegisterCap;
+  } else if (roll < 44) {  // REGISTER, out-of-range event
+    r.kind = OMP_REQ_REGISTER;
+    r.event = kInvalidEvents[rng.next() % std::size(kInvalidEvents)];
+    r.with_callback = true;
+    r.capacity = kRegisterCap;
+  } else if (roll < 46) {  // REGISTER, recognized but unsupported event
+    r.kind = OMP_REQ_REGISTER;
+    r.event = (rng.next() & 1) != 0 ? OMP_EVENT_THR_BEGIN_ATWT
+                                    : OMP_EVENT_THR_END_ATWT;
+    r.with_callback = true;
+    r.capacity = kRegisterCap;
+  } else if (roll < 48) {  // REGISTER, null callback
+    r.kind = OMP_REQ_REGISTER;
+    r.event = kSupportedEvents[rng.next() % std::size(kSupportedEvents)];
+    r.with_callback = false;
+    r.capacity = kRegisterCap;
+  } else if (roll < 50) {  // REGISTER, record too small for its payload
+    r.kind = OMP_REQ_REGISTER;
+    r.capacity = (rng.next() & 1) != 0 ? 8 : 0;
+  } else if (roll < 56) {  // UNREGISTER, valid
+    r.kind = OMP_REQ_UNREGISTER;
+    r.event = kSupportedEvents[rng.next() % std::size(kSupportedEvents)];
+    r.capacity = kUnregisterCap;
+  } else if (roll < 58) {  // UNREGISTER, out-of-range event
+    r.kind = OMP_REQ_UNREGISTER;
+    r.event = kInvalidEvents[rng.next() % std::size(kInvalidEvents)];
+    r.capacity = kUnregisterCap;
+  } else if (roll < 60) {  // UNREGISTER, truncated
+    r.kind = OMP_REQ_UNREGISTER;
+    r.capacity = 0;
+  } else if (roll < 70) {
+    r.kind = OMP_REQ_STATE;
+    r.capacity = kStateCap;
+  } else if (roll < 72) {  // STATE with no reply room
+    r.kind = OMP_REQ_STATE;
+    r.capacity = 0;
+  } else if (roll < 78) {
+    r.kind = OMP_REQ_CURRENT_PRID;
+    r.capacity = kPridCap;
+  } else if (roll < 82) {
+    r.kind = OMP_REQ_PARENT_PRID;
+    r.capacity = kPridCap;
+  } else if (roll < 84) {  // region-id query with no reply room
+    r.kind = (rng.next() & 1) != 0 ? OMP_REQ_CURRENT_PRID
+                                   : OMP_REQ_PARENT_PRID;
+    r.capacity = 0;
+  } else if (roll < 89) {
+    r.kind = ORCA_REQ_EVENT_STATS;
+    r.capacity = kStatsCap;
+  } else if (roll < 91) {  // stats reply cannot fit
+    r.kind = ORCA_REQ_EVENT_STATS;
+    r.capacity = 8;
+  } else {  // unknown request kinds
+    r.kind = kUnknownKinds[rng.next() % std::size(kUnknownKinds)];
+    r.capacity = (rng.next() & 1) != 0 ? 16 : 0;
+  }
+  return r;
+}
+
+std::vector<Action> random_sequence(SplitMix64& rng,
+                                    const ConformanceOptions& opt) {
+  const int span = std::max(1, opt.max_actions - opt.min_actions + 1);
+  const int actions = opt.min_actions +
+                      static_cast<int>(rng.next() % static_cast<unsigned>(span));
+  std::vector<Action> seq;
+  seq.reserve(static_cast<std::size_t>(actions));
+  for (int i = 0; i < actions; ++i) {
+    Action a;
+    if (rng.next() % 6 == 0) {
+      a.fire = kSupportedEvents[rng.next() % std::size(kSupportedEvents)];
+    } else {
+      const std::size_t records = 1 + rng.next() % 3;
+      for (std::size_t j = 0; j < records; ++j) {
+        a.batch.push_back(random_request(rng));
+      }
+    }
+    seq.push_back(std::move(a));
+  }
+  return seq;
+}
+
+RuntimeConfig runtime_config(const ConformanceOptions& opt) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  cfg.tasking = true;        // task extension events registerable
+  cfg.atomic_events = false; // ATWT pair stays the UNSUPPORTED probe
+  if (opt.async_delivery) {
+    cfg.event_delivery = rt::EventDelivery::kAsync;
+    cfg.event_backpressure = opt.backpressure;
+    cfg.event_ring_capacity = opt.ring_capacity;
+  }
+  return cfg;
+}
+
+/// Model-side mirror of the capability set `runtime_config` produces,
+/// derived independently from the config (not from the runtime's table).
+collector::EventCapabilities model_capabilities(const RuntimeConfig& cfg) {
+  collector::EventCapabilities caps =
+      collector::EventCapabilities::openuh_default();
+  if (cfg.atomic_events) {
+    caps.enable(OMP_EVENT_THR_BEGIN_ATWT);
+    caps.enable(OMP_EVENT_THR_END_ATWT);
+  }
+  if (cfg.tasking) {
+    caps.enable(ORCA_EVENT_TASK_BEGIN);
+    caps.enable(ORCA_EVENT_TASK_END);
+  }
+  return caps;
+}
+
+struct Divergence {
+  std::size_t action = 0;
+  std::size_t record = 0;
+  ModelRequest request;
+  OMP_COLLECTORAPI_EC expected = OMP_ERRCODE_OK;
+  OMP_COLLECTORAPI_EC actual = OMP_ERRCODE_OK;
+  std::string note;  ///< set for buffer-level (rc != 0) divergences
+};
+
+/// Run one sequence against `rt` and `model` in lockstep; the first
+/// mismatched reply is the divergence.
+std::optional<Divergence> run_sequence(Runtime& rt, ProtocolModel& model,
+                                       const std::vector<Action>& seq,
+                                       std::uint64_t* requests_checked) {
+  for (std::size_t ai = 0; ai < seq.size(); ++ai) {
+    const Action& action = seq[ai];
+    if (action.batch.empty()) {
+      rt.registry().fire(action.fire);
+      continue;
+    }
+    MessageBuilder msg;
+    for (const ModelRequest& r : action.batch) encode(msg, r);
+    const int rc = rt.collector_api(msg.buffer());
+    const std::vector<OMP_COLLECTORAPI_EC> expected =
+        model.apply_batch(action.batch);
+    if (rc != 0) {
+      Divergence d;
+      d.action = ai;
+      d.request = action.batch.front();
+      d.note = "well-formed buffer rejected: rc=" + std::to_string(rc);
+      return d;
+    }
+    for (std::size_t i = 0; i < action.batch.size(); ++i) {
+      if (requests_checked != nullptr) ++*requests_checked;
+      const OMP_COLLECTORAPI_EC actual = msg.errcode(i);
+      if (actual != expected[i]) {
+        Divergence d;
+        d.action = ai;
+        d.record = i;
+        d.request = action.batch[i];
+        d.expected = expected[i];
+        d.actual = actual;
+        return d;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Replay a transcript against a fresh runtime + fresh model.
+std::optional<Divergence> replay(const ConformanceOptions& opt,
+                                 const std::vector<Action>& seq) {
+  const RuntimeConfig cfg = runtime_config(opt);
+  Runtime rt(cfg);
+  ProtocolModel model(model_capabilities(cfg));
+  return run_sequence(rt, model, seq, nullptr);
+}
+
+/// Greedy delta-minimization: drop whole actions, then single records,
+/// keeping every removal that preserves *some* divergence.
+std::vector<Action> minimize(const ConformanceOptions& opt,
+                             std::vector<Action> seq) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = seq.size(); i-- > 0;) {
+      std::vector<Action> candidate = seq;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (replay(opt, candidate).has_value()) {
+        seq = std::move(candidate);
+        changed = true;
+      }
+    }
+    for (std::size_t i = seq.size(); i-- > 0;) {
+      for (std::size_t j = seq[i].batch.size(); j-- > 0;) {
+        if (seq[i].batch.size() <= 1) continue;
+        std::vector<Action> candidate = seq;
+        candidate[i].batch.erase(candidate[i].batch.begin() +
+                                 static_cast<std::ptrdiff_t>(j));
+        if (replay(opt, candidate).has_value()) {
+          seq = std::move(candidate);
+          changed = true;
+        }
+      }
+    }
+  }
+  return seq;
+}
+
+std::string render_failure(const ConformanceOptions& opt,
+                           std::uint64_t sequence_index,
+                           const std::vector<Action>& minimized,
+                           const Divergence& d) {
+  std::ostringstream out;
+  out << "conformance divergence (seed=" << opt.seed << ", sequence="
+      << sequence_index << ", action=" << d.action << ", record=" << d.record
+      << ")\n";
+  out << "  request:  " << describe(d.request) << "\n";
+  if (!d.note.empty()) {
+    out << "  " << d.note << "\n";
+  } else {
+    out << "  expected: " << collector::to_string(d.expected)
+        << "  actual: " << collector::to_string(d.actual) << "\n";
+  }
+  out << "minimized transcript (" << minimized.size() << " actions):\n";
+  for (std::size_t i = 0; i < minimized.size(); ++i) {
+    const Action& a = minimized[i];
+    if (a.batch.empty()) {
+      out << "  " << i << ". fire " << collector::to_string(a.fire) << "\n";
+    } else {
+      out << "  " << i << ". batch[";
+      for (std::size_t j = 0; j < a.batch.size(); ++j) {
+        if (j != 0) out << "; ";
+        out << describe(a.batch[j]);
+      }
+      out << "]\n";
+    }
+  }
+  out << "reproduce: ORCA_TEST_SEED=" << opt.seed
+      << " (mode: " << (opt.async_delivery ? "async" : "sync") << ", threads="
+      << opt.threads << ")\n";
+  return out.str();
+}
+
+/// Reset a runtime + model pair to the deterministic stopped state between
+/// sequences (what a successful STOP leaves: machine stopped, callbacks
+/// cleared, drainer joined).
+void reset_pair(Runtime& rt, ProtocolModel& model) {
+  MessageBuilder stop;
+  stop.add(OMP_REQ_STOP);
+  (void)rt.collector_api(stop.buffer());
+  model.reset();
+}
+
+ConformanceReport run_single_threaded(const ConformanceOptions& opt) {
+  ConformanceReport report;
+  report.seed = opt.seed;
+  const RuntimeConfig cfg = runtime_config(opt);
+
+  std::unique_ptr<Runtime> rt;
+  ProtocolModel model(model_capabilities(cfg));
+  for (int s = 0; s < opt.sequences; ++s) {
+    if (!rt || (opt.runtime_recycle > 0 && s % opt.runtime_recycle == 0)) {
+      rt = std::make_unique<Runtime>(cfg);
+      model.reset();
+    } else {
+      reset_pair(*rt, model);
+    }
+    SplitMix64 rng(SplitMix64::at(opt.seed, static_cast<std::uint64_t>(s)));
+    const std::vector<Action> seq = random_sequence(rng, opt);
+    const std::optional<Divergence> div =
+        run_sequence(*rt, model, seq, &report.requests_checked);
+    ++report.sequences_run;
+    if (div.has_value()) {
+      const std::vector<Action> minimized = minimize(opt, seq);
+      const std::optional<Divergence> min_div = replay(opt, minimized);
+      report.ok = false;
+      report.failure =
+          render_failure(opt, static_cast<std::uint64_t>(s), minimized,
+                         min_div.value_or(*div));
+      return report;
+    }
+  }
+  return report;
+}
+
+ConformanceReport run_multi_threaded(const ConformanceOptions& opt) {
+  ConformanceReport report;
+  report.seed = opt.seed;
+  const RuntimeConfig cfg = runtime_config(opt);
+  const ProtocolModel model(model_capabilities(cfg));
+
+  std::mutex failure_mu;
+  for (int round = 0; round < opt.sequences && report.ok; ++round) {
+    Runtime rt(cfg);
+    std::atomic<std::uint64_t> checked{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(opt.threads));
+    for (int t = 0; t < opt.threads; ++t) {
+      threads.emplace_back([&, t, round] {
+        SplitMix64 rng(SplitMix64::at(
+            opt.seed, 0x10000ULL + static_cast<std::uint64_t>(round) *
+                                       static_cast<std::uint64_t>(opt.threads) +
+                          static_cast<std::uint64_t>(t)));
+        for (int i = 0; i < opt.requests_per_thread; ++i) {
+          if (rng.next() % 6 == 0) {
+            rt.registry().fire(
+                kSupportedEvents[rng.next() % std::size(kSupportedEvents)]);
+            continue;
+          }
+          const ModelRequest req = random_request(rng);
+          MessageBuilder msg;
+          encode(msg, req);
+          const int rc = rt.collector_api(msg.buffer());
+          const OMP_COLLECTORAPI_EC actual = msg.errcode(0);
+          checked.fetch_add(1, std::memory_order_relaxed);
+          const std::vector<OMP_COLLECTORAPI_EC> legal = model.plausible(req);
+          const bool ok_reply =
+              rc == 0 && std::find(legal.begin(), legal.end(), actual) !=
+                             legal.end();
+          if (!ok_reply) {
+            std::scoped_lock lk(failure_mu);
+            if (report.ok) {
+              report.ok = false;
+              std::ostringstream out;
+              out << "concurrent conformance violation (seed=" << opt.seed
+                  << ", round=" << round << ", thread=" << t << ", step=" << i
+                  << ")\n  request: " << describe(req)
+                  << "\n  rc=" << rc << " actual="
+                  << collector::to_string(actual) << " not in plausible set {";
+              for (std::size_t k = 0; k < legal.size(); ++k) {
+                if (k != 0) out << ", ";
+                out << collector::to_string(legal[k]);
+              }
+              out << "}\nreproduce: ORCA_TEST_SEED=" << opt.seed << "\n";
+              report.failure = out.str();
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+    report.sequences_run += static_cast<std::uint64_t>(opt.threads);
+    report.requests_checked += checked.load(std::memory_order_relaxed);
+
+    // Reconciliation: after every stream joined, the machine must sit in a
+    // consistent state that the exact model can drive from here on.
+    const auto lifecycle = [&rt](OMP_COLLECTORAPI_REQUEST kind) {
+      MessageBuilder msg;
+      msg.add(kind);
+      (void)rt.collector_api(msg.buffer());
+      return msg.errcode(0);
+    };
+    const OMP_COLLECTORAPI_EC first_stop = lifecycle(OMP_REQ_STOP);
+    const bool consistent =
+        (first_stop == OMP_ERRCODE_OK ||
+         first_stop == OMP_ERRCODE_SEQUENCE_ERR) &&
+        lifecycle(OMP_REQ_STOP) == OMP_ERRCODE_SEQUENCE_ERR &&
+        lifecycle(OMP_REQ_START) == OMP_ERRCODE_OK &&
+        lifecycle(OMP_REQ_PAUSE) == OMP_ERRCODE_OK &&
+        lifecycle(OMP_REQ_RESUME) == OMP_ERRCODE_OK &&
+        lifecycle(OMP_REQ_STOP) == OMP_ERRCODE_OK;
+    if (!consistent && report.ok) {
+      report.ok = false;
+      std::ostringstream out;
+      out << "post-storm reconciliation failed (seed=" << opt.seed
+          << ", round=" << round
+          << "): machine did not settle to STOP/START/PAUSE/RESUME/STOP\n"
+          << "reproduce: ORCA_TEST_SEED=" << opt.seed << "\n";
+      report.failure = out.str();
+    }
+    if (opt.async_delivery && report.ok) {
+      collector::AsyncDispatcher* async = rt.async_dispatcher();
+      if (async != nullptr) {
+        async->stop_and_join();
+        // Streams joined before reconciliation, so one inline drain retires
+        // any record a preempted producer landed after a mid-round STOP's
+        // final sweep; only then must the ledger balance.
+        async->flush();
+        const collector::EventRingStats s = async->stats();
+        if (s.submitted != s.delivered + s.overwritten) {
+          report.ok = false;
+          std::ostringstream out;
+          out << "async counters do not reconcile (seed=" << opt.seed
+              << ", round=" << round << "): submitted=" << s.submitted
+              << " delivered=" << s.delivered
+              << " overwritten=" << s.overwritten << "\n";
+          report.failure = out.str();
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+ConformanceReport run_conformance(const ConformanceOptions& options) {
+  return options.threads <= 1 ? run_single_threaded(options)
+                              : run_multi_threaded(options);
+}
+
+std::uint64_t conformance_seed(std::uint64_t fallback) {
+  const std::optional<std::string> v = env::get("ORCA_TEST_SEED");
+  if (!v || v->empty()) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v->c_str(), &end, 0);
+  return end == v->c_str() ? fallback : static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace orca::testing

@@ -1,0 +1,75 @@
+/// \file conformance.hpp
+/// Model-vs-real conformance driver for `omp_collector_api`.
+///
+/// Fires seeded random request sequences at a live `orca::rt::Runtime` and
+/// diffs every per-record `r_errcode` against the white-paper reference
+/// model (`ProtocolModel`). Two checking modes:
+///
+///  * single-threaded — every reply must match the model *exactly*;
+///  * multi-threaded — several collector threads fire interleaved streams
+///    at one runtime; each reply must fall inside the model's plausible
+///    set (the union over every reachable machine state, i.e. every
+///    possible linearization point), and after the storm the machine must
+///    reconcile to a deterministic end state.
+///
+/// Reproducibility contract: every run derives entirely from one 64-bit
+/// seed (`ORCA_TEST_SEED` overrides the built-in default). On divergence
+/// the driver greedily minimizes the failing sequence by replaying
+/// sub-sequences against fresh runtimes, then reports the seed, the
+/// minimized request transcript, and the expected/actual errcodes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "runtime/config.hpp"
+
+namespace orca::testing {
+
+struct ConformanceOptions {
+  std::uint64_t seed = 0x0C0'FFEEULL;
+
+  /// Single-thread mode: number of independent request sequences.
+  /// Multi-thread mode: number of rounds (each round runs `threads`
+  /// concurrent streams against one fresh runtime).
+  int sequences = 1000;
+
+  /// Actions (request batches / event firings) per sequence.
+  int min_actions = 4;
+  int max_actions = 20;
+
+  /// 1 = exact model diff; >1 = concurrent plausibility mode.
+  int threads = 1;
+
+  /// Requests per concurrent stream (multi-thread mode only).
+  int requests_per_thread = 60;
+
+  /// Runtime under test: event delivery mode and async-ring tuning.
+  bool async_delivery = false;
+  rt::EventBackpressure backpressure = rt::EventBackpressure::kBlock;
+  std::size_t ring_capacity = 64;
+
+  /// Recycle the runtime instance every this many sequences
+  /// (single-thread mode); sequences in between reset via OMP_REQ_STOP.
+  int runtime_recycle = 500;
+};
+
+struct ConformanceReport {
+  bool ok = true;
+  std::uint64_t seed = 0;
+  std::uint64_t sequences_run = 0;
+  std::uint64_t requests_checked = 0;
+
+  /// Human-readable divergence report: seed, sequence index, minimized
+  /// transcript, expected vs. actual. Empty when ok.
+  std::string failure;
+};
+
+/// Run the differ. Never throws; a divergence comes back in the report.
+ConformanceReport run_conformance(const ConformanceOptions& options);
+
+/// The seed to use: `ORCA_TEST_SEED` (decimal or 0x-hex) when set,
+/// `fallback` otherwise.
+std::uint64_t conformance_seed(std::uint64_t fallback);
+
+}  // namespace orca::testing

@@ -1,0 +1,294 @@
+#include "testing/malformed.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "collector/api.h"
+#include "collector/message.hpp"
+#include "collector/names.hpp"
+#include "common/rng.hpp"
+#include "runtime/runtime.hpp"
+#include "testing/protocol_model.hpp"
+
+namespace orca::testing {
+namespace {
+
+using collector::kRecordHeaderSize;
+
+void fuzz_noop_callback(OMP_COLLECTORAPI_EVENT) {}
+
+/// One planned record: the raw header fields to encode plus enough
+/// bookkeeping to compute the spec'd reply.
+struct PlannedRecord {
+  int sz = 0;                 ///< raw sz field, may be < header or negative
+  int kind = 0;               ///< raw r_req field
+  int event = 0;              ///< payload event value (REGISTER/UNREGISTER)
+  bool write_event = false;   ///< encode `event` at payload offset 0
+  bool write_cb = false;      ///< encode &fuzz_noop_callback at offset 4
+
+  bool malformed() const noexcept {
+    return sz < static_cast<int>(kRecordHeaderSize);
+  }
+  std::size_t capacity() const noexcept {
+    return malformed() ? 0
+                       : static_cast<std::size_t>(sz) - kRecordHeaderSize;
+  }
+  ModelRequest model() const noexcept {
+    ModelRequest r;
+    r.kind = kind;
+    r.event = write_event ? event : 0;
+    r.with_callback = write_cb;
+    r.capacity = capacity();
+    return r;
+  }
+};
+
+/// Serialize a plan into one contiguous, self-terminated buffer. Every
+/// record physically occupies max(sz, header) bytes so the parser's
+/// fixed-size header reads stay inside the allocation even for lying sz
+/// values — the in-bounds guarantee the wire format itself cannot give us
+/// (no total length in the ABI; see docs/TESTING.md).
+std::vector<char> serialize(const std::vector<PlannedRecord>& plan,
+                            std::vector<std::size_t>* offsets) {
+  std::vector<char> bytes;
+  for (const PlannedRecord& rec : plan) {
+    const std::size_t off = bytes.size();
+    offsets->push_back(off);
+    const std::size_t span =
+        std::max<std::size_t>(rec.sz > 0 ? static_cast<std::size_t>(rec.sz) : 0,
+                              kRecordHeaderSize);
+    bytes.resize(off + span, 0);
+    std::memcpy(bytes.data() + off + offsetof(omp_collector_message, sz),
+                &rec.sz, sizeof(rec.sz));
+    std::memcpy(bytes.data() + off + offsetof(omp_collector_message, r_req),
+                &rec.kind, sizeof(rec.kind));
+    if (rec.write_event && rec.capacity() >= sizeof(int)) {
+      std::memcpy(bytes.data() + off + kRecordHeaderSize, &rec.event,
+                  sizeof(rec.event));
+    }
+    if (rec.write_cb &&
+        rec.capacity() >= sizeof(int) + sizeof(OMP_COLLECTORAPI_CALLBACK)) {
+      const OMP_COLLECTORAPI_CALLBACK cb = &fuzz_noop_callback;
+      std::memcpy(bytes.data() + off + kRecordHeaderSize + sizeof(int), &cb,
+                  sizeof(cb));
+    }
+  }
+  bytes.resize(bytes.size() + kRecordHeaderSize, 0);  // sz == 0 terminator
+  return bytes;
+}
+
+constexpr int kLifecycleKinds[] = {OMP_REQ_START, OMP_REQ_STOP, OMP_REQ_PAUSE,
+                                   OMP_REQ_RESUME};
+constexpr int kUnknownKinds[] = {OMP_REQ_LAST, 10, 12, 15, 17,
+                                 -1, -100, 9999};
+constexpr std::size_t kSmallCaps[] = {0, 1, 2, 4, 5, 8, 11, 12,
+                                      16, 17, 24, 33, 48, 64};
+
+/// A random well-formed (walkable) record of any request kind.
+PlannedRecord random_record(SplitMix64& rng) {
+  PlannedRecord rec;
+  rec.sz = static_cast<int>(kRecordHeaderSize +
+                            kSmallCaps[rng.next() % std::size(kSmallCaps)]);
+  const std::uint64_t roll = rng.next() % 100;
+  if (roll < 10) {
+    rec.kind = kLifecycleKinds[rng.next() % std::size(kLifecycleKinds)];
+  } else if (roll < 35) {
+    rec.kind = OMP_REQ_REGISTER;
+    rec.event = static_cast<int>(rng.next() % 36) - 5;  // [-5, 30]
+    rec.write_event = rec.capacity() >= sizeof(int);
+    rec.write_cb =
+        rec.capacity() >= sizeof(int) + sizeof(OMP_COLLECTORAPI_CALLBACK) &&
+        (rng.next() & 1) != 0;
+  } else if (roll < 50) {
+    rec.kind = OMP_REQ_UNREGISTER;
+    rec.event = static_cast<int>(rng.next() % 36) - 5;
+    rec.write_event = rec.capacity() >= sizeof(int);
+  } else if (roll < 65) {
+    rec.kind = OMP_REQ_STATE;
+  } else if (roll < 80) {
+    rec.kind = (rng.next() & 1) != 0 ? OMP_REQ_CURRENT_PRID
+                                     : OMP_REQ_PARENT_PRID;
+  } else if (roll < 90) {
+    rec.kind = ORCA_REQ_EVENT_STATS;
+  } else {
+    rec.kind = kUnknownKinds[rng.next() % std::size(kUnknownKinds)];
+  }
+  return rec;
+}
+
+/// A record whose sz makes the chain unwalkable (truncated or negative).
+PlannedRecord broken_record(SplitMix64& rng) {
+  constexpr int kBadSizes[] = {1, 4, 8, 15, -1, -16, -1000};
+  PlannedRecord rec = random_record(rng);
+  rec.sz = kBadSizes[rng.next() % std::size(kBadSizes)];
+  rec.write_event = false;
+  rec.write_cb = false;
+  return rec;
+}
+
+std::vector<PlannedRecord> random_plan(SplitMix64& rng) {
+  std::vector<PlannedRecord> plan;
+  const std::uint64_t category = rng.next() % 12;
+  if (category == 0) {
+    // Zero-length batch: just the terminator.
+  } else if (category == 1) {
+    // Broken first record; trailing records must never be reached.
+    plan.push_back(broken_record(rng));
+    const std::size_t tail = rng.next() % 4;
+    for (std::size_t i = 0; i < tail; ++i) plan.push_back(random_record(rng));
+  } else if (category == 2) {
+    // Broken record mid-batch: the walkable prefix is still answered
+    // (lifecycle inline) or dropped (queued requests), rc is -1.
+    const std::size_t before = 1 + rng.next() % 4;
+    for (std::size_t i = 0; i < before; ++i) plan.push_back(random_record(rng));
+    plan.push_back(broken_record(rng));
+    const std::size_t after = rng.next() % 3;
+    for (std::size_t i = 0; i < after; ++i) plan.push_back(random_record(rng));
+  } else if (category == 3) {
+    // Giant batch.
+    const std::size_t n = 100 + rng.next() % 200;
+    for (std::size_t i = 0; i < n; ++i) plan.push_back(random_record(rng));
+  } else if (category == 4) {
+    // Giant records (multi-KiB mem[]).
+    const std::size_t n = 1 + rng.next() % 3;
+    for (std::size_t i = 0; i < n; ++i) {
+      PlannedRecord rec = random_record(rng);
+      rec.sz = static_cast<int>(kRecordHeaderSize + 1024 +
+                                rng.next() % 7169);
+      plan.push_back(rec);
+    }
+  } else {
+    const std::size_t n = 1 + rng.next() % 8;
+    for (std::size_t i = 0; i < n; ++i) plan.push_back(random_record(rng));
+  }
+  return plan;
+}
+
+/// Expected outcome, computed against the reference model. `ec[i]` is
+/// empty for records the dispatcher never answers (queued requests in a
+/// buffer that fails mid-walk, and everything after the broken record).
+struct Expectation {
+  int rc = 0;
+  std::vector<std::optional<OMP_COLLECTORAPI_EC>> ec;
+};
+
+Expectation expect(ProtocolModel& model, const std::vector<PlannedRecord>& plan) {
+  Expectation ex;
+  ex.ec.resize(plan.size());
+  // Pass 1 mirrors the dispatcher: lifecycle records transition (and
+  // answer) in order until the walk hits a broken record.
+  std::size_t walkable = plan.size();
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (plan[i].malformed()) {
+      ex.rc = -1;
+      walkable = i;
+      break;
+    }
+    if (ProtocolModel::is_lifecycle(plan[i].kind)) {
+      ex.ec[i] = model.apply(plan[i].model());
+    }
+  }
+  if (ex.rc != 0) return ex;  // queued requests are dropped, unanswered
+  // Pass 2: everything else answers against the post-lifecycle state.
+  for (std::size_t i = 0; i < walkable; ++i) {
+    if (!ProtocolModel::is_lifecycle(plan[i].kind)) {
+      ex.ec[i] = model.apply(plan[i].model());
+    }
+  }
+  return ex;
+}
+
+OMP_COLLECTORAPI_EC read_errcode(const std::vector<char>& bytes,
+                                 std::size_t offset) {
+  OMP_COLLECTORAPI_EC ec{};
+  std::memcpy(&ec, bytes.data() + offset +
+                       offsetof(omp_collector_message, r_errcode),
+              sizeof(ec));
+  return ec;
+}
+
+std::string render_failure(const MalformedOptions& opt, int buffer_index,
+                           const std::vector<PlannedRecord>& plan,
+                           const std::string& what) {
+  std::ostringstream out;
+  out << "malformed-fuzz violation (seed=" << opt.seed << ", buffer="
+      << buffer_index << ", mode=" << (opt.async_delivery ? "async" : "sync")
+      << ")\n  " << what << "\nbuffer plan (" << plan.size() << " records):\n";
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    out << "  " << i << ". " << describe(plan[i].model())
+        << " sz=" << plan[i].sz << (plan[i].malformed() ? "  [broken]" : "")
+        << "\n";
+  }
+  out << "reproduce: ORCA_TEST_SEED=" << opt.seed << "\n";
+  return out.str();
+}
+
+}  // namespace
+
+MalformedReport run_malformed(const MalformedOptions& options) {
+  MalformedReport report;
+  report.seed = options.seed;
+
+  rt::RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  if (options.async_delivery) {
+    cfg.event_delivery = rt::EventDelivery::kAsync;
+  }
+  rt::Runtime rt(cfg);
+
+  // Model capability mirror of the config (openuh default + task events).
+  collector::EventCapabilities caps =
+      collector::EventCapabilities::openuh_default();
+  if (cfg.tasking) {
+    caps.enable(ORCA_EVENT_TASK_BEGIN);
+    caps.enable(ORCA_EVENT_TASK_END);
+  }
+  ProtocolModel model(caps);
+
+  // Null buffer: the one malformation that is not even a record.
+  if (rt.collector_api(nullptr) != -1) {
+    report.ok = false;
+    report.failure = "collector_api(nullptr) did not return -1";
+    return report;
+  }
+
+  for (int b = 0; b < options.buffers; ++b) {
+    SplitMix64 rng(SplitMix64::at(options.seed, static_cast<std::uint64_t>(b)));
+    const std::vector<PlannedRecord> plan = random_plan(rng);
+    const Expectation ex = expect(model, plan);
+
+    std::vector<std::size_t> offsets;
+    std::vector<char> bytes = serialize(plan, &offsets);
+    const int rc = rt.collector_api(bytes.data());
+    ++report.buffers_run;
+
+    if (rc != ex.rc) {
+      report.ok = false;
+      std::ostringstream what;
+      what << "rc=" << rc << ", expected " << ex.rc;
+      report.failure = render_failure(options, b, plan, what.str());
+      return report;
+    }
+    for (std::size_t i = 0; i < plan.size(); ++i) {
+      if (!ex.ec[i].has_value()) continue;
+      ++report.records_checked;
+      const OMP_COLLECTORAPI_EC actual = read_errcode(bytes, offsets[i]);
+      if (actual != *ex.ec[i]) {
+        report.ok = false;
+        std::ostringstream what;
+        what << "record " << i << ": expected "
+             << collector::to_string(*ex.ec[i]) << ", got "
+             << collector::to_string(actual);
+        report.failure = render_failure(options, b, plan, what.str());
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace orca::testing

@@ -1,0 +1,41 @@
+/// \file malformed.hpp
+/// Malformed-message fuzzer for the `omp_collector_api` byte-array parser.
+///
+/// Generates adversarial request buffers — truncated/negative `sz` fields,
+/// misaligned record boundaries, unknown and negative request codes, mem[]
+/// capacities too small for their payload or reply, empty batches, giant
+/// batches, giant records — fires them at a live runtime, and asserts the
+/// spec'd outcome: a buffer whose record chain is walkable end to end
+/// answers rc == 0 with every reply drawn from the protocol model's
+/// plausible set; a buffer with an unwalkable record (sz < header size)
+/// answers rc == -1; nothing ever crashes or trips a sanitizer.
+///
+/// Known wire-format limitation (asserted nowhere, by necessity): the ABI
+/// carries no buffer length, so a record whose declared `sz` extends past
+/// its allocation is *undetectable* by the parser. The generator therefore
+/// keeps every size chain in-bounds; see docs/TESTING.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace orca::testing {
+
+struct MalformedOptions {
+  std::uint64_t seed = 0xBADC0DEULL;
+  int buffers = 2000;          ///< generated buffers per run
+  bool async_delivery = false; ///< runtime under test delivers async
+};
+
+struct MalformedReport {
+  bool ok = true;
+  std::uint64_t seed = 0;
+  std::uint64_t buffers_run = 0;
+  std::uint64_t records_checked = 0;
+  std::string failure;  ///< seed + buffer index + record dump when !ok
+};
+
+/// Run the fuzzer. Never throws; violations come back in the report.
+MalformedReport run_malformed(const MalformedOptions& options);
+
+}  // namespace orca::testing

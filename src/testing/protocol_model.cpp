@@ -1,0 +1,143 @@
+#include "testing/protocol_model.hpp"
+
+#include <algorithm>
+
+#include "collector/names.hpp"
+
+namespace orca::testing {
+namespace {
+
+/// Payload bytes a REGISTER record must carry: the event value followed by
+/// the callback pointer (api.h wire layout).
+constexpr std::size_t kRegisterPayload =
+    sizeof(int) + sizeof(OMP_COLLECTORAPI_CALLBACK);
+
+/// An event value the registry will even look up in its table.
+bool event_in_range(int event) noexcept {
+  return event > 0 && event != OMP_EVENT_LAST && event < ORCA_EVENT_EXT_LAST;
+}
+
+}  // namespace
+
+std::string describe(const ModelRequest& req) {
+  // Guarded cast: only in-range values may become the enum for naming.
+  std::string out = req.kind >= 0 && req.kind <= ORCA_REQ_EVENT_STATS
+                        ? std::string(collector::to_string(
+                              static_cast<OMP_COLLECTORAPI_REQUEST>(req.kind)))
+                        : std::string("?");
+  if (out == "?") out = "req#" + std::to_string(req.kind);
+  if (req.kind == OMP_REQ_REGISTER || req.kind == OMP_REQ_UNREGISTER) {
+    out += " event=" + std::to_string(req.event);
+    if (req.kind == OMP_REQ_REGISTER) {
+      out += req.with_callback ? " cb=yes" : " cb=null";
+    }
+  }
+  out += " cap=" + std::to_string(req.capacity);
+  return out;
+}
+
+OMP_COLLECTORAPI_EC ProtocolModel::apply_in(
+    bool* started, bool* paused, const ModelRequest& req) const noexcept {
+  switch (req.kind) {
+    case OMP_REQ_START:
+      if (*started) return OMP_ERRCODE_SEQUENCE_ERR;
+      *started = true;
+      *paused = false;
+      return OMP_ERRCODE_OK;
+    case OMP_REQ_STOP:
+      if (!*started) return OMP_ERRCODE_SEQUENCE_ERR;
+      *started = false;
+      *paused = false;
+      return OMP_ERRCODE_OK;
+    case OMP_REQ_PAUSE:
+      if (!*started || *paused) return OMP_ERRCODE_SEQUENCE_ERR;
+      *paused = true;
+      return OMP_ERRCODE_OK;
+    case OMP_REQ_RESUME:
+      if (!*started || !*paused) return OMP_ERRCODE_SEQUENCE_ERR;
+      *paused = false;
+      return OMP_ERRCODE_OK;
+
+    case OMP_REQ_REGISTER:
+      // The dispatcher reads the payload before consulting the machine,
+      // so a record too small for event+callback fails on capacity alone.
+      if (req.capacity < kRegisterPayload) return OMP_ERRCODE_MEM_TOO_SMALL;
+      if (!*started) return OMP_ERRCODE_SEQUENCE_ERR;
+      if (!event_in_range(req.event) || !req.with_callback) {
+        return OMP_ERRCODE_ERROR;
+      }
+      if (!caps_.supports(static_cast<OMP_COLLECTORAPI_EVENT>(req.event))) {
+        return OMP_ERRCODE_UNSUPPORTED;
+      }
+      return OMP_ERRCODE_OK;
+    case OMP_REQ_UNREGISTER:
+      if (req.capacity < sizeof(int)) return OMP_ERRCODE_MEM_TOO_SMALL;
+      if (!*started) return OMP_ERRCODE_SEQUENCE_ERR;
+      if (!event_in_range(req.event)) return OMP_ERRCODE_ERROR;
+      if (!caps_.supports(static_cast<OMP_COLLECTORAPI_EVENT>(req.event))) {
+        return OMP_ERRCODE_UNSUPPORTED;
+      }
+      return OMP_ERRCODE_OK;
+
+    case OMP_REQ_STATE:
+      // Queryable in any state (paper IV-D). The conformance driver runs
+      // on threads outside any team, whose state is never a wait state, so
+      // the reply is exactly one int.
+      return req.capacity < sizeof(int) ? OMP_ERRCODE_MEM_TOO_SMALL
+                                        : OMP_ERRCODE_OK;
+    case OMP_REQ_CURRENT_PRID:
+    case OMP_REQ_PARENT_PRID:
+      // Outside any parallel region: id 0 plus an out-of-sequence error
+      // (paper IV-E) — unless the reply does not even fit.
+      return req.capacity < sizeof(unsigned long)
+                 ? OMP_ERRCODE_MEM_TOO_SMALL
+                 : OMP_ERRCODE_SEQUENCE_ERR;
+    case ORCA_REQ_EVENT_STATS:
+      // The runtime under test always supplies the stats provider.
+      return req.capacity < sizeof(orca_event_stats)
+                 ? OMP_ERRCODE_MEM_TOO_SMALL
+                 : OMP_ERRCODE_OK;
+    default:
+      return OMP_ERRCODE_UNKNOWN;
+  }
+}
+
+OMP_COLLECTORAPI_EC ProtocolModel::apply(const ModelRequest& req) noexcept {
+  return apply_in(&started_, &paused_, req);
+}
+
+std::vector<OMP_COLLECTORAPI_EC> ProtocolModel::apply_batch(
+    const std::vector<ModelRequest>& batch) {
+  std::vector<OMP_COLLECTORAPI_EC> out(batch.size(), OMP_ERRCODE_OK);
+  // Pass 1: lifecycle records transition in batch order.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (is_lifecycle(batch[i].kind)) out[i] = apply(batch[i]);
+  }
+  // Pass 2: everything else answers against the post-lifecycle state.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!is_lifecycle(batch[i].kind)) out[i] = apply(batch[i]);
+  }
+  return out;
+}
+
+std::vector<OMP_COLLECTORAPI_EC> ProtocolModel::plausible(
+    const ModelRequest& req) const {
+  // Union of the sequential answer over every reachable machine state.
+  // Sound for concurrent runs because each real request linearizes in one
+  // such state: the lifecycle transitions are single CAS steps and the
+  // registry's staged checks only ever produce outcomes from this union.
+  struct State {
+    bool started, paused;
+  };
+  constexpr State kStates[] = {{false, false}, {true, false}, {true, true}};
+  std::vector<OMP_COLLECTORAPI_EC> out;
+  for (const State& s : kStates) {
+    bool started = s.started;
+    bool paused = s.paused;
+    const OMP_COLLECTORAPI_EC ec = apply_in(&started, &paused, req);
+    if (std::find(out.begin(), out.end(), ec) == out.end()) out.push_back(ec);
+  }
+  return out;
+}
+
+}  // namespace orca::testing

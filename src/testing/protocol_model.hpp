@@ -1,0 +1,106 @@
+/// \file protocol_model.hpp
+/// Reference model of the white-paper collector request protocol.
+///
+/// A small, obviously-correct encoding of the legal request sequences and
+/// the exact `r_errcode` each request must produce in each state — the
+/// oracle the conformance driver diffs the real `omp_collector_api`
+/// against. The model intentionally re-derives the rules from the white
+/// paper / dispatch contract rather than calling into the implementation:
+/// the two are written independently so a bug in one cannot hide in both.
+///
+/// Modelled machine (white paper Sec. 3, paper Sec. IV-B):
+///
+///     stopped --START--> started --PAUSE--> paused
+///        ^                  |  ^---RESUME-----'
+///        '------STOP--------'  (STOP also legal from paused)
+///
+/// plus the per-request rules: REGISTER/UNREGISTER demand a started
+/// machine, an in-range event, and (REGISTER) a non-null callback;
+/// queries answer in any state; every reply is gated on the record's
+/// mem[] capacity (OMP_ERRCODE_MEM_TOO_SMALL); unknown request kinds
+/// answer OMP_ERRCODE_UNKNOWN. Batches answer lifecycle records first,
+/// then the rest in order (the dispatcher's two-pass queueing design).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "collector/api.h"
+#include "collector/registry.hpp"
+
+namespace orca::testing {
+
+/// Symbolic form of one request record, as the conformance driver
+/// generates it before encoding it into the wire format.
+struct ModelRequest {
+  /// Raw wire value of r_req — an int, not the enum, so unknown and
+  /// negative request codes are representable without UB.
+  int kind = OMP_REQ_STATE;
+
+  /// REGISTER/UNREGISTER: the event value encoded in the payload.
+  int event = 0;
+
+  /// REGISTER: whether a non-null callback pointer is encoded.
+  bool with_callback = false;
+
+  /// mem[] capacity of the encoded record, in bytes (the *actual* capacity
+  /// after the builder's alignment padding, not the requested one).
+  std::size_t capacity = 0;
+};
+
+/// One-line human-readable form, used in divergence reports.
+std::string describe(const ModelRequest& req);
+
+/// The reference state machine.
+class ProtocolModel {
+ public:
+  explicit ProtocolModel(
+      collector::EventCapabilities caps =
+          collector::EventCapabilities::openuh_default()) noexcept
+      : caps_(caps) {}
+
+  /// Hard reset to the stopped state (what a successful STOP leaves).
+  void reset() noexcept {
+    started_ = false;
+    paused_ = false;
+  }
+
+  /// Exact sequential semantics: the errcode the machine must return for
+  /// `req` in the current state; advances the state.
+  OMP_COLLECTORAPI_EC apply(const ModelRequest& req) noexcept;
+
+  /// Expected per-record errcodes for a whole batch. Mirrors the
+  /// dispatcher's two-pass order: lifecycle records transition (and
+  /// answer) first, in batch order; every other record answers after
+  /// them, in batch order.
+  std::vector<OMP_COLLECTORAPI_EC> apply_batch(
+      const std::vector<ModelRequest>& batch);
+
+  /// Every errcode `req` may legally return in ANY reachable machine
+  /// state. Used by the concurrent conformance driver, where interleaving
+  /// with other collector threads makes the pre-state ambiguous but each
+  /// request must still linearize somewhere.
+  std::vector<OMP_COLLECTORAPI_EC> plausible(const ModelRequest& req) const;
+
+  bool started() const noexcept { return started_; }
+  bool paused() const noexcept { return paused_; }
+  const collector::EventCapabilities& capabilities() const noexcept {
+    return caps_;
+  }
+
+  static bool is_lifecycle(int kind) noexcept {
+    return kind == OMP_REQ_START || kind == OMP_REQ_STOP ||
+           kind == OMP_REQ_PAUSE || kind == OMP_REQ_RESUME;
+  }
+
+ private:
+  OMP_COLLECTORAPI_EC apply_in(bool* started, bool* paused,
+                               const ModelRequest& req) const noexcept;
+
+  collector::EventCapabilities caps_;
+  bool started_ = false;
+  bool paused_ = false;
+};
+
+}  // namespace orca::testing

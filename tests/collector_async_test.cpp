@@ -1,17 +1,23 @@
 /// Lifecycle-edge tests for asynchronous event delivery: events admitted
 /// before PAUSE are delivered by the time PAUSE returns, STOP flushes and
 /// joins the drainer (no callback after OMP_REQ_STOP returns), RESUME
-/// restarts delivery, and the backpressure counters are exact.
+/// restarts delivery, and the backpressure counters are exact. The second
+/// half drives the nastier interleavings through the fault-injection
+/// harness: a slow callback inside the PAUSE flush barrier, a callback
+/// re-entering `omp_collector_api`, a throwing callback, and STOP racing a
+/// saturated ring under every backpressure policy.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <stdexcept>
 #include <thread>
 
 #include "collector/async.hpp"
 #include "collector/message.hpp"
 #include "runtime/runtime.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace {
 
@@ -271,6 +277,161 @@ TEST(AsyncDelivery, SyncModeStaysInlineAndReportsInactive) {
 
   ASSERT_EQ(lifecycle(rt, OMP_REQ_STOP), OMP_ERRCODE_OK);
   Runtime::make_current(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial interleavings (fault-injection harness).
+// ---------------------------------------------------------------------------
+
+TEST(AsyncDelivery, SlowCallbackMakesPauseFlushWait) {
+  reset_globals();
+  g_gate = 0;  // the first delivery parks the drainer
+  Runtime rt(async_cfg(EventBackpressure::kBlock, 64));
+  Runtime::make_current(&rt);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_START), OMP_ERRCODE_OK);
+  register_cb(rt, OMP_EVENT_FORK, &gated_callback);
+
+  for (int i = 0; i < 8; ++i) rt.registry().fire(OMP_EVENT_FORK);
+  while (g_entered.load(std::memory_order_acquire) == 0) {
+    std::this_thread::yield();
+  }
+
+  // PAUSE from a second thread: its flush barrier cannot complete while
+  // the drainer is provably stuck inside the first delivery.
+  std::atomic<bool> pause_done{false};
+  std::thread pauser([&rt, &pause_done] {
+    EXPECT_EQ(lifecycle(rt, OMP_REQ_PAUSE), OMP_ERRCODE_OK);
+    pause_done.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(pause_done.load(std::memory_order_acquire));
+
+  g_gate = 1;
+  pauser.join();
+  // PAUSE returned only after every admitted event was fully delivered.
+  EXPECT_EQ(g_count.load(), 8u);
+  EXPECT_EQ(rt.async_dispatcher()->stats().delivered, 8u);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_STOP), OMP_ERRCODE_OK);
+  Runtime::make_current(nullptr);
+}
+
+Runtime* g_reentry_rt = nullptr;
+std::atomic<std::uint64_t> g_reentry_ok{0};
+
+/// Collector callback that issues new requests from inside a delivery —
+/// legal per the white paper (the API is callable from any collector
+/// thread), and the drainer must answer without self-deadlocking.
+void reentrant_callback(OMP_COLLECTORAPI_EVENT) {
+  MessageBuilder msg;
+  msg.add_state_query();
+  msg.add_event_stats_query();
+  if (g_reentry_rt->collector_api(msg.buffer()) == 0 &&
+      msg.errcode(0) == OMP_ERRCODE_OK && msg.errcode(1) == OMP_ERRCODE_OK) {
+    g_reentry_ok.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+TEST(AsyncDelivery, CallbackReentersCollectorApi) {
+  reset_globals();
+  g_reentry_ok = 0;
+  Runtime rt(async_cfg(EventBackpressure::kBlock, 64));
+  g_reentry_rt = &rt;
+  Runtime::make_current(&rt);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_START), OMP_ERRCODE_OK);
+  register_cb(rt, OMP_EVENT_FORK, &reentrant_callback);
+
+  for (int i = 0; i < 5; ++i) rt.registry().fire(OMP_EVENT_FORK);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_PAUSE), OMP_ERRCODE_OK);
+  EXPECT_EQ(g_reentry_ok.load(), 5u);
+
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_STOP), OMP_ERRCODE_OK);
+  g_reentry_rt = nullptr;
+  Runtime::make_current(nullptr);
+}
+
+void throwing_callback(OMP_COLLECTORAPI_EVENT) {
+  throw std::runtime_error("collector bug");
+}
+
+TEST(AsyncDelivery, ThrowingCallbackIsContainedAndCounted) {
+  reset_globals();
+  Runtime rt(async_cfg(EventBackpressure::kBlock, 64));
+  Runtime::make_current(&rt);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_START), OMP_ERRCODE_OK);
+  register_cb(rt, OMP_EVENT_FORK, &throwing_callback);
+
+  for (int i = 0; i < 3; ++i) rt.registry().fire(OMP_EVENT_FORK);
+  // The drainer survives every throw: PAUSE's flush barrier completes, the
+  // records count as delivered, and the failures are tallied.
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_PAUSE), OMP_ERRCODE_OK);
+  EXPECT_EQ(rt.async_dispatcher()->stats().delivered, 3u);
+  EXPECT_EQ(rt.async_dispatcher()->callback_failures(), 3u);
+  ASSERT_EQ(lifecycle(rt, OMP_REQ_STOP), OMP_ERRCODE_OK);
+  Runtime::make_current(nullptr);
+}
+
+/// STOP races a producer storm into a 4-cell ring whose drainer is parked
+/// inside a delivery, with seeded schedule perturbation armed at every
+/// seam. Whatever the interleaving: STOP returns OK, the drainer joins, the
+/// ring accounting reconciles, and nothing is admitted afterwards.
+void stop_races_saturated_ring(EventBackpressure policy) {
+  reset_globals();
+  g_gate = 0;
+  auto& fi = orca::testing::FaultInjector::instance();
+  fi.disarm();
+  fi.perturb(/*seed=*/0xACE5ULL, /*one_in=*/4);
+  fi.arm();
+  {
+    Runtime rt(async_cfg(policy, 4));
+    Runtime::make_current(&rt);
+    ASSERT_EQ(lifecycle(rt, OMP_REQ_START), OMP_ERRCODE_OK);
+    register_cb(rt, OMP_EVENT_FORK, &gated_callback);
+
+    std::thread producer([&rt] {
+      for (int i = 0; i < 32; ++i) rt.registry().fire(OMP_EVENT_FORK);
+    });
+    while (g_entered.load(std::memory_order_acquire) == 0) {
+      std::this_thread::yield();
+    }
+    std::atomic<bool> stop_done{false};
+    std::thread stopper([&rt, &stop_done] {
+      EXPECT_EQ(lifecycle(rt, OMP_REQ_STOP), OMP_ERRCODE_OK);
+      stop_done.store(true, std::memory_order_release);
+    });
+    g_gate = 1;  // release the drainer; the flush barrier can now complete
+    producer.join();
+    stopper.join();
+    ASSERT_TRUE(stop_done.load());
+    EXPECT_FALSE(rt.async_dispatcher()->running());
+
+    // A producer preempted mid-push can land its record after STOP's final
+    // sweep (the publish hot path carries no handshake a stopper could wait
+    // on). Now that every producer has joined, one inline flush retires any
+    // such straggler; then the accounting must reconcile exactly: every
+    // admitted record was delivered or (kOverwriteOldest) overwritten,
+    // with kDropNewest shedding into `dropped`.
+    rt.async_dispatcher()->flush();
+    const EventRingStats s = rt.async_dispatcher()->stats();
+    EXPECT_EQ(s.submitted, s.delivered + s.overwritten);
+
+    // Stopped machine: no further admission.
+    rt.registry().fire(OMP_EVENT_FORK);
+    EXPECT_EQ(rt.async_dispatcher()->stats().submitted, s.submitted);
+    Runtime::make_current(nullptr);
+  }
+  fi.disarm();
+}
+
+TEST(AsyncDelivery, StopRacesSaturatedRingBlockPolicy) {
+  stop_races_saturated_ring(EventBackpressure::kBlock);
+}
+
+TEST(AsyncDelivery, StopRacesSaturatedRingDropNewestPolicy) {
+  stop_races_saturated_ring(EventBackpressure::kDropNewest);
+}
+
+TEST(AsyncDelivery, StopRacesSaturatedRingOverwriteOldestPolicy) {
+  stop_races_saturated_ring(EventBackpressure::kOverwriteOldest);
 }
 
 }  // namespace

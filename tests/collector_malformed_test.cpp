@@ -1,0 +1,211 @@
+/// Malformed-message suite: a handwritten corpus of adversarial buffers
+/// (truncated/negative sz, unknown and negative request codes, undersized
+/// mem[], zero-length and giant batches, misaligned record boundaries)
+/// plus the seeded randomized fuzzer from orca_testing, run against both
+/// sync- and async-delivery runtimes. Everything asserts the spec'd
+/// errcodes; "no crash / no UB" is asserted by surviving the asan/ubsan
+/// and tsan presets.
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "collector/message.hpp"
+#include "runtime/runtime.hpp"
+#include "testing/conformance.hpp"
+#include "testing/malformed.hpp"
+
+namespace {
+
+using orca::collector::kRecordHeaderSize;
+using orca::collector::MessageBuilder;
+using orca::rt::EventDelivery;
+using orca::rt::Runtime;
+using orca::rt::RuntimeConfig;
+using orca::testing::conformance_seed;
+using orca::testing::MalformedOptions;
+using orca::testing::MalformedReport;
+using orca::testing::run_malformed;
+
+RuntimeConfig sync_cfg() {
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  return cfg;
+}
+
+/// Hand-rolled raw record writer: places a header with arbitrary (possibly
+/// lying) sz/r_req at an arbitrary offset. The buffer always physically
+/// holds at least a full header per record so reads stay in-bounds.
+void put_header(std::vector<char>& bytes, std::size_t off, int sz, int req) {
+  if (bytes.size() < off + kRecordHeaderSize) {
+    bytes.resize(off + kRecordHeaderSize, 0);
+  }
+  std::memcpy(bytes.data() + off + offsetof(omp_collector_message, sz), &sz,
+              sizeof(sz));
+  std::memcpy(bytes.data() + off + offsetof(omp_collector_message, r_req),
+              &req, sizeof(req));
+}
+
+OMP_COLLECTORAPI_EC errcode_at(const std::vector<char>& bytes,
+                               std::size_t off) {
+  int ec = 0;
+  std::memcpy(&ec,
+              bytes.data() + off + offsetof(omp_collector_message, r_errcode),
+              sizeof(ec));
+  return static_cast<OMP_COLLECTORAPI_EC>(ec);
+}
+
+TEST(MalformedCorpus, NullBufferRejected) {
+  Runtime rt(sync_cfg());
+  EXPECT_EQ(rt.collector_api(nullptr), -1);
+}
+
+TEST(MalformedCorpus, ZeroLengthBatchIsANoOpSuccess) {
+  Runtime rt(sync_cfg());
+  std::vector<char> bytes;
+  put_header(bytes, 0, 0, 0);  // just the terminator
+  EXPECT_EQ(rt.collector_api(bytes.data()), 0);
+}
+
+TEST(MalformedCorpus, TruncatedSzRejectsBuffer) {
+  Runtime rt(sync_cfg());
+  for (const int bad_sz : {1, 4, 8, static_cast<int>(kRecordHeaderSize) - 1}) {
+    std::vector<char> bytes;
+    put_header(bytes, 0, bad_sz, OMP_REQ_STATE);
+    EXPECT_EQ(rt.collector_api(bytes.data()), -1) << "sz=" << bad_sz;
+  }
+}
+
+TEST(MalformedCorpus, NegativeSzRejectsBuffer) {
+  Runtime rt(sync_cfg());
+  for (const int bad_sz : {-1, -16, -100000}) {
+    std::vector<char> bytes;
+    put_header(bytes, 0, bad_sz, OMP_REQ_STATE);
+    EXPECT_EQ(rt.collector_api(bytes.data()), -1) << "sz=" << bad_sz;
+  }
+}
+
+TEST(MalformedCorpus, UnknownAndNegativeRequestCodesAnswerUnknown) {
+  Runtime rt(sync_cfg());
+  MessageBuilder msg;
+  for (const int kind :
+       {static_cast<int>(OMP_REQ_LAST), 10, 15, 17, -1, -100, 9999}) {
+    msg.add(kind, 8);
+  }
+  ASSERT_EQ(rt.collector_api(msg.buffer()), 0);
+  for (std::size_t i = 0; i < msg.count(); ++i) {
+    EXPECT_EQ(msg.errcode(i), OMP_ERRCODE_UNKNOWN) << "record " << i;
+  }
+}
+
+TEST(MalformedCorpus, UndersizedMemAnswersMemTooSmall) {
+  Runtime rt(sync_cfg());
+  MessageBuilder msg;
+  // REGISTER and UNREGISTER read their payload before any state check, so
+  // capacity failures surface even while the machine is stopped.
+  msg.add(OMP_REQ_REGISTER, 0);
+  msg.add(OMP_REQ_REGISTER, 8);   // event fits, callback does not
+  msg.add(OMP_REQ_UNREGISTER, 0);
+  msg.add(OMP_REQ_STATE, 0);
+  msg.add(OMP_REQ_CURRENT_PRID, 0);
+  msg.add(ORCA_REQ_EVENT_STATS, 8);
+  ASSERT_EQ(rt.collector_api(msg.buffer()), 0);
+  for (std::size_t i = 0; i < msg.count(); ++i) {
+    EXPECT_EQ(msg.errcode(i), OMP_ERRCODE_MEM_TOO_SMALL) << "record " << i;
+  }
+}
+
+TEST(MalformedCorpus, BrokenRecordMidBatchKeepsEarlierLifecycle) {
+  // START walks (pass 1, inline), then the broken record aborts the batch:
+  // rc == -1, but the machine has started — observable by the next call.
+  Runtime rt(sync_cfg());
+  std::vector<char> bytes;
+  put_header(bytes, 0, static_cast<int>(kRecordHeaderSize), OMP_REQ_START);
+  put_header(bytes, kRecordHeaderSize, 7, OMP_REQ_STATE);  // broken
+  put_header(bytes, 2 * kRecordHeaderSize, 0, 0);          // unreachable term
+  EXPECT_EQ(rt.collector_api(bytes.data()), -1);
+  EXPECT_EQ(errcode_at(bytes, 0), OMP_ERRCODE_OK);  // START was answered
+
+  MessageBuilder probe;
+  probe.add(OMP_REQ_START);  // second START must now be out of sequence
+  ASSERT_EQ(rt.collector_api(probe.buffer()), 0);
+  EXPECT_EQ(probe.errcode(0), OMP_ERRCODE_SEQUENCE_ERR);
+}
+
+TEST(MalformedCorpus, MisalignedRecordBoundariesStillAnswered) {
+  // First record declares sz = header + 1: legal (capacity 1), but it
+  // leaves every following record 1-byte-misaligned. The dispatcher must
+  // answer all of them without alignment faults (ubsan enforces this).
+  Runtime rt(sync_cfg());
+  std::vector<char> bytes;
+  const std::size_t first = 0;
+  const std::size_t second = kRecordHeaderSize + 1;
+  const std::size_t third = second + kRecordHeaderSize + 4;
+  put_header(bytes, first, static_cast<int>(kRecordHeaderSize + 1),
+             OMP_REQ_STATE);  // capacity 1: too small for the state int
+  put_header(bytes, second, static_cast<int>(kRecordHeaderSize + 4),
+             OMP_REQ_STATE);  // capacity 4: exactly fits
+  put_header(bytes, third, 0, 0);
+  ASSERT_EQ(rt.collector_api(bytes.data()), 0);
+  EXPECT_EQ(errcode_at(bytes, first), OMP_ERRCODE_MEM_TOO_SMALL);
+  EXPECT_EQ(errcode_at(bytes, second), OMP_ERRCODE_OK);
+}
+
+TEST(MalformedCorpus, GiantBatchAnswersEveryRecord) {
+  Runtime rt(sync_cfg());
+  MessageBuilder msg;
+  constexpr int kRecords = 500;
+  for (int i = 0; i < kRecords; ++i) msg.add_state_query();
+  ASSERT_EQ(rt.collector_api(msg.buffer()), 0);
+  for (int i = 0; i < kRecords; ++i) {
+    ASSERT_EQ(msg.errcode(static_cast<std::size_t>(i)), OMP_ERRCODE_OK)
+        << "record " << i;
+  }
+}
+
+TEST(MalformedCorpus, GiantRecordRoundTrips) {
+  Runtime rt(sync_cfg());
+  MessageBuilder msg;
+  ASSERT_NE(msg.add(OMP_REQ_STATE, 64 * 1024), MessageBuilder::npos);
+  ASSERT_EQ(rt.collector_api(msg.buffer()), 0);
+  EXPECT_EQ(msg.errcode(0), OMP_ERRCODE_OK);
+}
+
+TEST(MalformedCorpus, OversizedRecordIsRejectedAtBuildTime) {
+  // Regression: append_record used to truncate header.sz through a
+  // static_cast<int> for multi-GiB payloads; it must refuse instead.
+  MessageBuilder msg;
+  const std::size_t huge = static_cast<std::size_t>(INT_MAX);
+  EXPECT_EQ(msg.add(OMP_REQ_STATE, huge), MessageBuilder::npos);
+  EXPECT_EQ(msg.add(OMP_REQ_STATE, SIZE_MAX - 2), MessageBuilder::npos);
+  EXPECT_EQ(msg.count(), 0u);
+  // The builder survives the rejection and still produces a valid buffer.
+  EXPECT_EQ(msg.add(OMP_REQ_STATE, 16), 0u);
+  Runtime rt(sync_cfg());
+  ASSERT_EQ(rt.collector_api(msg.buffer()), 0);
+  EXPECT_EQ(msg.errcode(0), OMP_ERRCODE_OK);
+}
+
+TEST(MalformedFuzz, SyncRuntimeMatchesModel) {
+  MalformedOptions opt;
+  opt.seed = conformance_seed(opt.seed);
+  const MalformedReport report = run_malformed(opt);
+  EXPECT_TRUE(report.ok) << report.failure;
+  EXPECT_EQ(report.buffers_run, static_cast<std::uint64_t>(opt.buffers));
+  EXPECT_GT(report.records_checked, 1000u);
+}
+
+TEST(MalformedFuzz, AsyncRuntimeMatchesModel) {
+  MalformedOptions opt;
+  opt.seed = conformance_seed(opt.seed);
+  opt.async_delivery = true;
+  const MalformedReport report = run_malformed(opt);
+  EXPECT_TRUE(report.ok) << report.failure;
+  EXPECT_EQ(report.buffers_run, static_cast<std::uint64_t>(opt.buffers));
+  EXPECT_GT(report.records_checked, 1000u);
+}
+
+}  // namespace

@@ -77,14 +77,17 @@ TEST(Filtering, MinRegionDurationSkipsSmallRegions) {
   auto& tool = PrototypeCollector::instance();
   tool.reset();
   ToolOptions opts;
-  opts.min_region_seconds = 2e-3;  // 2 ms
+  // Wide margin between "tiny" (empty body) and "long" (50 ms sleep)
+  // regions: sanitized builds on a loaded single-core machine can stretch
+  // an empty fork/join by whole scheduler quanta.
+  opts.min_region_seconds = 20e-3;
   ASSERT_TRUE(tool.attach(opts));
 
-  // 10 tiny regions (well under 2 ms) and 2 long ones.
+  // 10 tiny regions (well under the threshold) and 2 long ones.
   for (int i = 0; i < 10; ++i) orca::omp::parallel([](int) {}, 2);
   for (int i = 0; i < 2; ++i) {
     orca::omp::parallel([](int) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }, 2);
   }
   rt.quiesce();

@@ -95,6 +95,84 @@ void BM_EventFire_Paused(benchmark::State& state) {
 }
 BENCHMARK(BM_EventFire_Paused);
 
+// --- locked registry vs epoch-published snapshot (tentpole ablation) ----------
+
+/// Replica of the rejected lock-based dispatch design: one shared SpinLock
+/// serializes every fire against registration so a callback can never be
+/// torn down mid-invocation. That is the correctness bar the epoch design
+/// meets without any lock — a lock-based table must hold the lock across
+/// admission *and* callback (or take it twice), so every event point pays
+/// a shared-cacheline RMW even when nothing is registered.
+class LockedTableRegistry {
+ public:
+  void start() noexcept {
+    std::scoped_lock lk(mu_);
+    started_ = true;
+  }
+  void register_callback(OMP_COLLECTORAPI_EVENT event,
+                         OMP_COLLECTORAPI_CALLBACK cb) noexcept {
+    std::scoped_lock lk(mu_);
+    table_[static_cast<std::size_t>(event)] = cb;
+  }
+  void fire(OMP_COLLECTORAPI_EVENT event) noexcept {
+    std::scoped_lock lk(mu_);
+    if (!started_) return;
+    const OMP_COLLECTORAPI_CALLBACK cb =
+        table_[static_cast<std::size_t>(event)];
+    if (cb != nullptr) cb(event);
+  }
+
+ private:
+  orca::SpinLock mu_;
+  bool started_ = false;
+  std::array<OMP_COLLECTORAPI_CALLBACK, ORCA_EVENT_EXT_LAST> table_{};
+};
+
+/// Shared fixtures for the ablation: built once (magic static), so every
+/// benchmark thread fires at the same instance — the contention is the
+/// point.
+struct AblationRegistries {
+  Registry epoch_disarmed;
+  Registry epoch_armed;
+  LockedTableRegistry locked_disarmed;
+  LockedTableRegistry locked_armed;
+  AblationRegistries() {
+    epoch_armed.start();
+    epoch_armed.register_callback(OMP_EVENT_FORK, &sink_callback);
+    locked_armed.start();
+    locked_armed.register_callback(OMP_EVENT_FORK, &sink_callback);
+  }
+};
+
+AblationRegistries& ablation() {
+  static AblationRegistries registries;
+  return registries;
+}
+
+void BM_EventFire_LockedRegistry(benchmark::State& state) {
+  const bool armed = state.range(0) != 0;
+  LockedTableRegistry& reg =
+      armed ? ablation().locked_armed : ablation().locked_disarmed;
+  for (auto _ : state) {
+    reg.fire(OMP_EVENT_FORK);
+  }
+  state.SetLabel(armed ? "registered" : "disarmed");
+}
+BENCHMARK(BM_EventFire_LockedRegistry)->Arg(0)->Arg(1)->ThreadRange(1, 64);
+
+void BM_EventFire_EpochSnapshot(benchmark::State& state) {
+  const bool armed = state.range(0) != 0;
+  Registry& reg = armed ? ablation().epoch_armed : ablation().epoch_disarmed;
+  // Each firing thread owns an EmitterCache, as runtime pool threads do.
+  orca::collector::EmitterCache* cache = reg.acquire_emitter();
+  for (auto _ : state) {
+    reg.fire(OMP_EVENT_FORK, cache);
+  }
+  reg.release_emitter(cache);
+  state.SetLabel(armed ? "registered" : "disarmed");
+}
+BENCHMARK(BM_EventFire_EpochSnapshot)->Arg(0)->Arg(1)->ThreadRange(1, 64);
+
 // --- request queue policy (IV-B) ----------------------------------------------
 
 void BM_QueuePolicy(benchmark::State& state) {

@@ -12,7 +12,13 @@
 /// cost covers only what the firing thread pays; the drain/flush cost that
 /// moved off the measured program is listed separately.
 ///
-/// Usage: bench_event_path [--events=20000]
+/// A "disarmed" row fires the same events with no registered callback:
+/// that is the epoch fast path every uninstrumented program pays (one
+/// relaxed mask load + branch through the thread's EmitterCache).
+///
+/// Usage: bench_event_path [--events=20000] [--smoke]
+///   --smoke: 2-second sanity mode for CI (ctest -L perf-smoke) — fewer
+///   events and thread counts, same code paths, no timing claims.
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
@@ -64,6 +70,7 @@ struct ModeSpec {
   EventDelivery delivery;
   EventBackpressure policy;
   std::size_t ring_capacity;
+  bool armed = true;  ///< false: no callback registered (disarmed fast path)
 };
 
 struct Frame {
@@ -74,9 +81,17 @@ struct Frame {
 
 void fire_microtask(int gtid, void* raw) {
   Frame& frame = *static_cast<Frame*>(raw);
+  // Emit through this pool thread's descriptor, exactly like the runtime's
+  // own event points: the disarmed case then costs one relaxed load on the
+  // thread-private EmitterCache mask, not a shared-registry probe.
+  orca::rt::ThreadDescriptor* td = frame.rt->self();
   const std::uint64_t begin = SteadyClock::now();
   for (int i = 0; i < frame.events; ++i) {
-    frame.rt->registry().fire(OMP_EVENT_FORK);
+    if (td != nullptr) {
+      frame.rt->event(*td, OMP_EVENT_FORK);
+    } else {
+      frame.rt->registry().fire(OMP_EVENT_FORK);  // ambient compat path
+    }
   }
   frame.per_thread_ns[static_cast<std::size_t>(gtid)] =
       SteadyClock::now() - begin;
@@ -106,12 +121,14 @@ RowResult run_row(const ModeSpec& mode, int threads, int events) {
                   static_cast<std::size_t>(events));
   }
 
-  MessageBuilder start;
-  start.add(OMP_REQ_START);
-  rt.collector_api(start.buffer());
-  MessageBuilder reg;
-  reg.add_register(OMP_EVENT_FORK, &tracing_callback);
-  rt.collector_api(reg.buffer());
+  if (mode.armed) {
+    MessageBuilder start;
+    start.add(OMP_REQ_START);
+    rt.collector_api(start.buffer());
+    MessageBuilder reg;
+    reg.add_register(OMP_EVENT_FORK, &tracing_callback);
+    rt.collector_api(reg.buffer());
+  }
 
   Frame frame;
   frame.rt = &rt;
@@ -165,17 +182,22 @@ RowResult run_row(const ModeSpec& mode, int threads, int events) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int events = orca::bench::flag_int(argc, argv, "events", 20000);
+  const bool smoke = orca::bench::has_flag(argc, argv, "smoke");
+  const int events =
+      orca::bench::flag_int(argc, argv, "events", smoke ? 2000 : 20000);
   const ModeSpec modes[] = {
+      {"disarmed", EventDelivery::kSync, EventBackpressure::kBlock, 1024,
+       false},
       {"sync", EventDelivery::kSync, EventBackpressure::kBlock, 1024},
       {"async", EventDelivery::kAsync, EventBackpressure::kBlock, 32768},
       {"async+bp", EventDelivery::kAsync, EventBackpressure::kDropNewest, 64},
   };
-  const int thread_counts[] = {1, 2, 4, 8};
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
 
   std::printf("Event-delivery path: app-thread cost per event, %d events "
-              "per thread, tracing-style callback\n\n",
-              events);
+              "per thread, tracing-style callback%s\n\n",
+              events, smoke ? " [smoke mode]" : "");
   orca::TextTable table({"mode", "threads", "app ns/event", "Mev/s",
                          "flush ms", "delivered", "dropped", "overwritten"});
   double sync_ns_8 = 0;

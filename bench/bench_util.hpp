@@ -27,6 +27,15 @@ inline int flag_int(int argc, char** argv, const char* name, int fallback) {
       flag_double(argc, argv, name, static_cast<double>(fallback)));
 }
 
+/// True when a bare "--name" switch is present.
+inline bool has_flag(int argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) return true;
+  }
+  return false;
+}
+
 /// Percentage increase of `with` over `without`, clamped at 0 like the
 /// paper ("outlier cases, where we observed overhead values of less than
 /// 1%, are listed as zero overhead").

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# CI driver: the full verification matrix in one command.
+#
+#   scripts/ci.sh            # default + tsan + asan presets, all labels
+#   scripts/ci.sh default    # just the default preset
+#   scripts/ci.sh tsan asan  # just the sanitizer presets
+#
+# Each preset (CMakePresets.json) configures its own build tree
+# (build/, build-tsan/, build-asan/), builds everything, and runs:
+#   * the full ctest suite (unit + fuzz + stress labels);
+#   * the perf-smoke lane (bench_event_path --smoke): every event-delivery
+#     mode end to end in ~2s, a sanity check that the benches still run —
+#     not a performance gate.
+# The tsan preset is the one that validates the lock-free event fast path
+# (collector_churn_test and friends must be race-free, see DESIGN.md §5.1).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(default tsan asan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "=== [$preset] configure + build ==="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+
+  echo "=== [$preset] ctest (all labels) ==="
+  ctest --preset "$preset" -j "$(nproc)"
+
+  echo "=== [$preset] perf-smoke lane ==="
+  ctest --preset "$preset" -L perf-smoke --output-on-failure
+done
+
+echo "ci.sh: all presets green (${presets[*]})"

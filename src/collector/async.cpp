@@ -116,12 +116,16 @@ bool AsyncDispatcher::publish(std::size_t slot,
   return true;
 }
 
-void AsyncDispatcher::deliver(EventRing& ring, const EventRecord& rec) {
+void AsyncDispatcher::deliver(EventRing& ring, const EventRecord& rec,
+                              EmitterCache& cache) {
   // Resolve the callback at *delivery* time: a record that outlives its
   // registration (UNREGISTER or STOP raced ahead) is retired silently, which
   // is exactly the lifecycle contract — no callback after STOP returns.
-  const OMP_COLLECTORAPI_CALLBACK cb =
-      registry_.callback(static_cast<OMP_COLLECTORAPI_EVENT>(rec.event));
+  // resolve_pinned() pins the current generation through `cache`, so the
+  // table stays alive across the callback without taking the registration
+  // lock (a callback re-entering the API must never deadlock here).
+  const auto ev = static_cast<OMP_COLLECTORAPI_EVENT>(rec.event);
+  const OMP_COLLECTORAPI_CALLBACK cb = registry_.resolve_pinned(ev, cache);
   if (cb != nullptr) {
     ORCA_FAULT_POINT(kAsyncDeliver);
     tls_delivery_record = &rec;
@@ -143,15 +147,20 @@ void AsyncDispatcher::deliver(EventRing& ring, const EventRecord& rec) {
 
 bool AsyncDispatcher::drain_pass() {
   ORCA_FAULT_POINT(kAsyncDrain);
+  // Lease an emitter-cache node for the pass. drain_pass may run on the
+  // drainer *or* on a caller thread retiring records after the drainer is
+  // gone; a per-pass lease keeps the node single-writer either way.
+  EmitterCache* cache = registry_.acquire_emitter();
   bool any = false;
   for (auto& ring_ptr : rings_) {
     EventRing& ring = *ring_ptr;
     EventRecord rec;
     for (int n = 0; n < kDrainBatch && ring.pop(&rec); ++n) {
-      deliver(ring, rec);
+      deliver(ring, rec, *cache);
       any = true;
     }
   }
+  registry_.release_emitter(cache);
   return any;
 }
 

@@ -44,6 +44,7 @@
 
 namespace orca::collector {
 
+class EmitterCache;
 class Registry;
 
 /// What producers enqueue: everything the drainer (or a context-aware
@@ -303,7 +304,13 @@ class AsyncDispatcher {
  private:
   void drain_loop();
   bool drain_pass();
-  void deliver(EventRing& ring, const EventRecord& rec);
+
+  /// Deliver one record through `cache`, the EmitterCache the draining
+  /// thread leased for this pass: the callback is resolved against the
+  /// *currently published* generation (pinned for the duration of the
+  /// call), so UNREGISTER/STOP take effect for records still in flight and
+  /// no generation is reclaimed while its callback runs.
+  void deliver(EventRing& ring, const EventRecord& rec, EmitterCache& cache);
   bool settled() const noexcept;
 
   std::size_t map_slot(std::size_t slot) const noexcept {

@@ -79,14 +79,25 @@ void answer(Registry& registry, const Providers& providers,
       return;
     }
     case ORCA_REQ_EVENT_STATS: {
+      // Capacity gates first, mirroring REGISTER/UNREGISTER: an undersized
+      // mem[] is MEM_TOO_SMALL regardless of whether this runtime supports
+      // the query (the collector asked for a reply it cannot receive).
+      orca_event_stats stats = {};
+      if (cursor.payload_capacity() < sizeof(stats)) {
+        cursor.set_errcode(OMP_ERRCODE_MEM_TOO_SMALL);
+        return;
+      }
       if (providers.event_stats == nullptr) {
         cursor.set_errcode(OMP_ERRCODE_UNKNOWN);
         return;
       }
-      orca_event_stats stats = {};
       const OMP_COLLECTORAPI_EC ec =
           providers.event_stats(providers.ctx, &stats);
-      if (!cursor.write_reply(&stats, sizeof(stats))) return;
+      // UNSUPPORTED (sync-delivery runtimes) carries no payload; only a
+      // successful query writes the stats block back.
+      if (ec == OMP_ERRCODE_OK && !cursor.write_reply(&stats, sizeof(stats))) {
+        return;
+      }
       cursor.set_errcode(ec);
       return;
     }

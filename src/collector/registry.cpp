@@ -3,56 +3,144 @@
 #include <mutex>
 
 namespace orca::collector {
+namespace {
+
+/// Effective armed mask for a staging table under the given lifecycle
+/// flags: zero unless started and not paused.
+std::uint64_t effective_mask(
+    const std::array<OMP_COLLECTORAPI_CALLBACK, ORCA_EVENT_EXT_LAST>& fns,
+    bool live) noexcept {
+  if (!live) return 0;
+  std::uint64_t mask = 0;
+  for (std::size_t i = 1; i < fns.size(); ++i) {
+    if (fns[i] != nullptr) mask |= std::uint64_t{1} << i;
+  }
+  return mask;
+}
+
+}  // namespace
+
+Registry::Registry() : Registry(EventCapabilities::openuh_default()) {}
+
+Registry::Registry(EventCapabilities caps) : caps_(caps) {
+  auto* initial = new Generation;
+  initial->id = next_generation_id_++;
+  published_.store(initial, std::memory_order_release);
+}
+
+Registry::~Registry() {
+  // No emitter may be live at this point (the runtime joins its threads
+  // before destroying the registry), so every generation is reclaimable.
+  delete published_.load(std::memory_order_acquire);
+  for (const Generation* g : retired_) delete g;
+}
+
+void Registry::publish_locked() noexcept {
+  ORCA_FAULT_POINT(kGenerationPublish);
+  const bool live = initialized_.load(std::memory_order_relaxed) &&
+                    !paused_.load(std::memory_order_relaxed);
+  auto* next = new Generation;
+  next->id = next_generation_id_++;
+  next->fn = staging_;
+  next->mask = effective_mask(staging_, live);
+
+  const Generation* old = published_.load(std::memory_order_relaxed);
+  armed_mask_.store(next->mask, std::memory_order_release);
+  published_.store(next, std::memory_order_seq_cst);
+  retired_.push_back(old);
+
+  // Broadcast the new effective mask to every cache node. Publication is
+  // serialized under mu_, and nothing else ever writes a node's mask, so
+  // masks are only ever stale in the enabled direction (an emitter that has
+  // not yet observed this store still sees the previous mask, whose set
+  // bits route it through the slow path, where it re-pins and re-checks).
+  for (EmitterCache& node : nodes_) {
+    node.mask_.store(next->mask, std::memory_order_release);
+  }
+  for (EmitterCache& node : ambient_) {
+    node.mask_.store(next->mask, std::memory_order_release);
+  }
+
+  scan_retired_locked();
+}
+
+void Registry::scan_retired_locked() noexcept {
+  ORCA_FAULT_POINT(kGenerationRetire);
+  auto pinned = [this](const Generation* g) noexcept {
+    for (const EmitterCache& node : nodes_) {
+      if (node.held_.load(std::memory_order_seq_cst) == g) return true;
+    }
+    for (const EmitterCache& node : ambient_) {
+      if (node.held_.load(std::memory_order_seq_cst) == g) return true;
+    }
+    return false;
+  };
+  std::size_t keep = 0;
+  for (const Generation* g : retired_) {
+    if (pinned(g)) {
+      retired_[keep++] = g;  // grace period still open: someone pins it
+    } else {
+      delete g;
+    }
+  }
+  retired_.resize(keep);
+}
 
 OMP_COLLECTORAPI_EC Registry::start() noexcept {
-  bool expected = false;
-  if (!initialized_.compare_exchange_strong(expected, true,
-                                            std::memory_order_acq_rel)) {
+  std::scoped_lock lk(mu_);
+  if (initialized_.load(std::memory_order_relaxed)) {
     return OMP_ERRCODE_SEQUENCE_ERR;  // two STARTs without a STOP in between
   }
+  initialized_.store(true, std::memory_order_release);
   paused_.store(false, std::memory_order_release);
+  publish_locked();
   return OMP_ERRCODE_OK;
 }
 
 OMP_COLLECTORAPI_EC Registry::stop() noexcept {
-  bool expected = true;
-  if (!initialized_.compare_exchange_strong(expected, false,
-                                            std::memory_order_acq_rel)) {
+  std::scoped_lock lk(mu_);
+  if (!initialized_.load(std::memory_order_relaxed)) {
     return OMP_ERRCODE_SEQUENCE_ERR;
   }
+  initialized_.store(false, std::memory_order_release);
   paused_.store(false, std::memory_order_release);
   // A stopped collector must observe no further callbacks; drop them all so
   // a later START begins from a clean table.
-  for (auto& entry : table_) {
-    std::scoped_lock lk(entry->mu);
-    entry->fn.store(nullptr, std::memory_order_release);
-  }
+  staging_.fill(nullptr);
+  publish_locked();
   return OMP_ERRCODE_OK;
 }
 
 OMP_COLLECTORAPI_EC Registry::pause() noexcept {
-  if (!initialized()) return OMP_ERRCODE_SEQUENCE_ERR;
-  bool expected = false;
-  if (!paused_.compare_exchange_strong(expected, true,
-                                       std::memory_order_acq_rel)) {
-    return OMP_ERRCODE_SEQUENCE_ERR;  // already paused
+  std::scoped_lock lk(mu_);
+  if (!initialized_.load(std::memory_order_relaxed) ||
+      paused_.load(std::memory_order_relaxed)) {
+    return OMP_ERRCODE_SEQUENCE_ERR;
   }
+  paused_.store(true, std::memory_order_release);
+  // Callbacks stay in the generation (the async drainer may still resolve
+  // records during the flush); only the armed masks drop to zero.
+  publish_locked();
   return OMP_ERRCODE_OK;
 }
 
 OMP_COLLECTORAPI_EC Registry::resume() noexcept {
-  if (!initialized()) return OMP_ERRCODE_SEQUENCE_ERR;
-  bool expected = true;
-  if (!paused_.compare_exchange_strong(expected, false,
-                                       std::memory_order_acq_rel)) {
-    return OMP_ERRCODE_SEQUENCE_ERR;  // was not paused
+  std::scoped_lock lk(mu_);
+  if (!initialized_.load(std::memory_order_relaxed) ||
+      !paused_.load(std::memory_order_relaxed)) {
+    return OMP_ERRCODE_SEQUENCE_ERR;
   }
+  paused_.store(false, std::memory_order_release);
+  publish_locked();
   return OMP_ERRCODE_OK;
 }
 
 OMP_COLLECTORAPI_EC Registry::register_callback(
     int event, OMP_COLLECTORAPI_CALLBACK cb) noexcept {
-  if (!initialized()) return OMP_ERRCODE_SEQUENCE_ERR;
+  std::scoped_lock lk(mu_);
+  if (!initialized_.load(std::memory_order_relaxed)) {
+    return OMP_ERRCODE_SEQUENCE_ERR;
+  }
   // Range-validate the raw wire value before it ever becomes an enum.
   if (event <= 0 || event == OMP_EVENT_LAST || event >= ORCA_EVENT_EXT_LAST ||
       cb == nullptr) {
@@ -60,31 +148,132 @@ OMP_COLLECTORAPI_EC Registry::register_callback(
   }
   const auto ev = static_cast<OMP_COLLECTORAPI_EVENT>(event);
   if (!caps_.supports(ev)) return OMP_ERRCODE_UNSUPPORTED;
-  Entry& entry = *table_[index(ev)];
-  // Per-entry lock: serializes threads racing to register the same event
-  // with different callbacks (paper IV-C). Last registration wins, but the
-  // table never holds a torn value.
-  std::scoped_lock lk(entry.mu);
-  entry.fn.store(cb, std::memory_order_release);
+  // Last registration wins; serialization under mu_ means the published
+  // table never holds a torn value (paper IV-C).
+  staging_[index(ev)] = cb;
+  publish_locked();
   return OMP_ERRCODE_OK;
 }
 
 OMP_COLLECTORAPI_EC Registry::unregister_callback(int event) noexcept {
-  if (!initialized()) return OMP_ERRCODE_SEQUENCE_ERR;
+  std::scoped_lock lk(mu_);
+  if (!initialized_.load(std::memory_order_relaxed)) {
+    return OMP_ERRCODE_SEQUENCE_ERR;
+  }
   if (event <= 0 || event == OMP_EVENT_LAST || event >= ORCA_EVENT_EXT_LAST) {
     return OMP_ERRCODE_ERROR;
   }
   const auto ev = static_cast<OMP_COLLECTORAPI_EVENT>(event);
   if (!caps_.supports(ev)) return OMP_ERRCODE_UNSUPPORTED;
-  Entry& entry = *table_[index(ev)];
-  std::scoped_lock lk(entry.mu);
-  entry.fn.store(nullptr, std::memory_order_release);
+  staging_[index(ev)] = nullptr;
+  publish_locked();
   return OMP_ERRCODE_OK;
 }
 
 OMP_COLLECTORAPI_CALLBACK Registry::callback(
     OMP_COLLECTORAPI_EVENT event) const noexcept {
-  return table_[index(event)]->fn.load(std::memory_order_acquire);
+  std::scoped_lock lk(mu_);
+  return staging_[index(event)];
+}
+
+EmitterCache* Registry::acquire_emitter() noexcept {
+  std::scoped_lock lk(mu_);
+  for (EmitterCache& node : nodes_) {
+    if (!node.in_use_.load(std::memory_order_acquire)) {
+      node.in_use_.store(true, std::memory_order_release);
+      node.mask_.store(armed_mask_.load(std::memory_order_relaxed),
+                       std::memory_order_release);
+      node.held_.store(nullptr, std::memory_order_release);
+      return &node;
+    }
+  }
+  EmitterCache& node = nodes_.emplace_back();
+  node.in_use_.store(true, std::memory_order_release);
+  node.mask_.store(armed_mask_.load(std::memory_order_relaxed),
+                   std::memory_order_release);
+  return &node;
+}
+
+void Registry::release_emitter(EmitterCache* cache) noexcept {
+  if (cache == nullptr) return;
+  std::scoped_lock lk(mu_);
+  cache->held_.store(nullptr, std::memory_order_seq_cst);
+  cache->in_use_.store(false, std::memory_order_release);
+  scan_retired_locked();
+}
+
+void Registry::synchronize() noexcept {
+  Backoff backoff;
+  for (;;) {
+    {
+      std::scoped_lock lk(mu_);
+      scan_retired_locked();
+      if (retired_.empty()) return;
+    }
+    backoff.pause();
+  }
+}
+
+std::size_t Registry::retired_count() const noexcept {
+  std::scoped_lock lk(mu_);
+  return retired_.size();
+}
+
+void Registry::dispatch(OMP_COLLECTORAPI_EVENT event,
+                        OMP_COLLECTORAPI_CALLBACK cb) noexcept {
+  const AsyncSink sink = async_sink_.load(std::memory_order_acquire);
+  if (sink != nullptr &&
+      sink(async_ctx_.load(std::memory_order_acquire), event)) {
+    return;  // enqueued for asynchronous delivery
+  }
+  cb(event);
+}
+
+void Registry::fire_slow(OMP_COLLECTORAPI_EVENT event,
+                         EmitterCache& cache) noexcept {
+  const std::size_t idx = index(event);
+  // The held generation is usually current; a stale-towards-enabled mask
+  // bit (or a never-pinned node) self-heals here by re-pinning.
+  const Generation* g = cache.held_.load(std::memory_order_relaxed);
+  OMP_COLLECTORAPI_CALLBACK cb = g != nullptr ? g->fn[idx] : nullptr;
+  if (cb == nullptr) {
+    g = pin(cache);
+    cb = g->fn[idx];
+    if (cb == nullptr) return;  // mask was stale; nothing registered now
+  }
+  dispatch(event, cb);
+}
+
+void Registry::fire_ambient(OMP_COLLECTORAPI_EVENT event) noexcept {
+  if ((armed_mask_.load(std::memory_order_relaxed) & event_bit(event)) == 0) {
+    return;
+  }
+  // Claim an ambient hazard slot for the duration of the dispatch. The scan
+  // starts at a per-thread home slot so uncontended claims stay cache-local;
+  // re-entrant fires from inside a callback simply claim another slot. No
+  // lock is taken at any point, so callbacks may re-enter the API freely.
+  static std::atomic<std::uint32_t> next_home{0};
+  thread_local const std::uint32_t home =
+      next_home.fetch_add(1, std::memory_order_relaxed) % kAmbientSlots;
+  EmitterCache* node = nullptr;
+  Backoff backoff;
+  while (node == nullptr) {
+    for (std::size_t i = 0; i < kAmbientSlots; ++i) {
+      EmitterCache& slot = ambient_[(home + i) % kAmbientSlots];
+      bool expected = false;
+      if (slot.in_use_.compare_exchange_strong(expected, true,
+                                               std::memory_order_acquire)) {
+        node = &slot;
+        break;
+      }
+    }
+    if (node == nullptr) backoff.pause();
+  }
+  const Generation* g = pin(*node);
+  const OMP_COLLECTORAPI_CALLBACK cb = g->fn[index(event)];
+  if (cb != nullptr) dispatch(event, cb);
+  node->held_.store(nullptr, std::memory_order_seq_cst);
+  node->in_use_.store(false, std::memory_order_release);
 }
 
 }  // namespace orca::collector

@@ -5,17 +5,28 @@
 /// Paper Sec. IV-B/IV-C design points implemented here:
 ///  * a thread-safe boolean indicates whether the API is initialized; two
 ///    STARTs without a STOP in between return an "out of sync" error;
-///  * the callback table is shared by all threads and each entry carries a
-///    lock "to avoid data races when multiple threads try to register the
-///    same event with different callbacks";
+///  * the callback table is shared by all threads; registration requests
+///    racing on the same event are serialized so the table never holds a
+///    torn value;
 ///  * on the dispatch path "the ordering of the checks is important": the
 ///    registered-callback check runs first so an uninstrumented program
 ///    pays one load + branch per event point.
+///
+/// Dispatch no longer reads the mutable table directly. Every mutation
+/// (REGISTER/UNREGISTER/PAUSE/RESUME/START/STOP) builds an immutable
+/// callback-table *generation* and publishes it with a release store;
+/// superseded generations are retired through grace-period reclamation
+/// (hazard-pointer pins held in per-emitter cache nodes), so emitters never
+/// take a lock and never use-after-free a table a concurrent UNREGISTER
+/// swapped out. An emission site owning an EmitterCache pays one relaxed
+/// 64-bit mask load + predictable branch when its event is not armed.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <vector>
 
 #include "collector/api.h"
 #include "common/cacheline.hpp"
@@ -67,11 +78,50 @@ class EventCapabilities {
   std::uint32_t bits_ = 0;
 };
 
+/// One immutable snapshot of the callback table. Built under the registry
+/// mutation lock, published with a release store, and never written again:
+/// emitters read `fn` through a pinned pointer without synchronization.
+/// `mask` is the *effective* armed set (zero while stopped or paused, even
+/// though `fn` stays populated across PAUSE so the async drainer can still
+/// resolve in-flight records during a flush).
+struct Generation {
+  std::uint64_t id = 0;
+  std::uint64_t mask = 0;
+  std::array<OMP_COLLECTORAPI_CALLBACK, ORCA_EVENT_EXT_LAST> fn{};
+};
+
+/// Per-emitter cached admission state: a 64-bit effective event mask plus a
+/// hazard pin on one Generation. The mask is written only by the registry's
+/// serialized mutation path (broadcast under the mutation lock), so the only
+/// staleness an emitter can observe is *towards enabled* — a set bit whose
+/// generation no longer carries the callback — which the slow path resolves
+/// by re-pinning. `held` is written only by the owning thread (pin/unpin)
+/// and read by the reclaimer; while non-null, the pointed-to generation is
+/// never freed.
+class alignas(kCacheLineSize) EmitterCache {
+ public:
+  EmitterCache() = default;
+  EmitterCache(const EmitterCache&) = delete;
+  EmitterCache& operator=(const EmitterCache&) = delete;
+
+  std::uint64_t mask(std::memory_order order =
+                         std::memory_order_relaxed) const noexcept {
+    return mask_.load(order);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> mask_{0};
+  std::atomic<const Generation*> held_{nullptr};
+  std::atomic<bool> in_use_{false};
+};
+
 /// Lifecycle + callback table for one runtime instance.
 class Registry {
  public:
-  Registry() : caps_(EventCapabilities::openuh_default()) {}
-  explicit Registry(EventCapabilities caps) : caps_(caps) {}
+  Registry();
+  explicit Registry(EventCapabilities caps);
+  ~Registry();
 
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
@@ -117,6 +167,41 @@ class Registry {
 
   const EventCapabilities& capabilities() const noexcept { return caps_; }
 
+  // --- emitter cache management ------------------------------------------
+
+  /// Lease a cache node for one emitting thread. The node's mask starts at
+  /// the current effective armed set and tracks every later publish; only
+  /// the owning thread may subsequently pass the node to fire()/refresh()/
+  /// unpin(). Nodes are pooled and reused across release_emitter() calls;
+  /// their addresses stay stable for the registry's lifetime.
+  EmitterCache* acquire_emitter() noexcept;
+
+  /// Return a leased node to the pool. Drops any held generation pin.
+  void release_emitter(EmitterCache* cache) noexcept;
+
+  /// Quiescent-point hook: re-pin the currently published generation so
+  /// superseded ones become reclaimable. Callable only by the node's owner.
+  void refresh(EmitterCache* cache) noexcept {
+    if (cache != nullptr) pin(*cache);
+  }
+
+  /// Park hook: drop the pin entirely (an idle thread must not hold any
+  /// generation captive). Callable only by the node's owner.
+  void unpin(EmitterCache* cache) noexcept {
+    if (cache != nullptr) {
+      cache->held_.store(nullptr, std::memory_order_release);
+    }
+  }
+
+  /// Grace-period wait: blocks until every generation superseded *before*
+  /// this call has been reclaimed (i.e. no emitter still pins one). Used by
+  /// tests to assert "no callback after UNREGISTER + grace period"; the
+  /// runtime itself never needs to wait.
+  void synchronize() noexcept;
+
+  /// Number of retired-but-not-yet-freed generations (test/bench aid).
+  std::size_t retired_count() const noexcept;
+
   // --- dispatch hot path --------------------------------------------------
 
   /// Asynchronous-delivery hook. When installed, an admitted event is
@@ -134,34 +219,47 @@ class Registry {
     async_sink_.store(sink, std::memory_order_release);
   }
 
-  /// Fire `event` if (in this order) a callback is registered, the API is
-  /// initialized, and event generation is not paused. This is
-  /// `__ompc_event` from the paper; the runtime inserts calls to it at
-  /// every event point.
-  void fire(OMP_COLLECTORAPI_EVENT event) noexcept {
-    // Fault seam ahead of the admission checks so schedule perturbation
-    // reaches even unregistered/paused fires; disarmed cost is one relaxed
-    // load + predicted branch on top of the paper's check sequence.
+  /// Fire `event` through a thread's own cache node. This is the paper's
+  /// `__ompc_event` with the epoch fast path in front: the disarmed case is
+  /// one relaxed 64-bit load and a predictable branch, no shared-cacheline
+  /// traffic. A null cache falls back to the ambient (compat) path.
+  void fire(OMP_COLLECTORAPI_EVENT event, EmitterCache* cache) noexcept {
     ORCA_FAULT_POINT(kEventFire);
-    const OMP_COLLECTORAPI_CALLBACK cb =
-        table_[index(event)]->fn.load(std::memory_order_acquire);
-    if (cb == nullptr) return;                                     // check 1
-    if (!initialized_.load(std::memory_order_acquire)) return;     // check 2
-    if (paused_.load(std::memory_order_acquire)) return;           // check 3
-    const AsyncSink sink = async_sink_.load(std::memory_order_acquire);
-    if (sink != nullptr &&
-        sink(async_ctx_.load(std::memory_order_acquire), event)) {
-      return;  // enqueued for asynchronous delivery
+    if (cache == nullptr) {
+      fire_ambient(event);
+      return;
     }
-    cb(event);
+    if ((cache->mask_.load(std::memory_order_relaxed) & event_bit(event)) ==
+        0) {
+      return;  // disarmed: the only cost an uninstrumented program pays
+    }
+    fire_slow(event, *cache);
+  }
+
+  /// Fire `event` without a leased cache node (foreign threads, tests, the
+  /// pre-epoch compat surface). Gated on the registry-wide armed mask, then
+  /// routed through a claimed ambient hazard slot so the generation stays
+  /// pinned across the callback.
+  void fire(OMP_COLLECTORAPI_EVENT event) noexcept {
+    ORCA_FAULT_POINT(kEventFire);
+    fire_ambient(event);
   }
 
   /// True when `fire(event)` would invoke a callback right now. The runtime
   /// uses this to skip *preparing* expensive event arguments.
   bool armed(OMP_COLLECTORAPI_EVENT event) const noexcept {
-    return table_[index(event)]->fn.load(std::memory_order_acquire) != nullptr &&
-           initialized_.load(std::memory_order_acquire) &&
-           !paused_.load(std::memory_order_acquire);
+    return (armed_mask_.load(std::memory_order_acquire) & event_bit(event)) !=
+           0;
+  }
+
+  /// Async-drainer resolution: pin the current generation through `cache`
+  /// and return the callback registered for `event` *now* (nullptr when the
+  /// collector unregistered/stopped since the record was enqueued). The pin
+  /// stays held until the caller unpin()s, so the returned pointer may be
+  /// invoked safely in between.
+  OMP_COLLECTORAPI_CALLBACK resolve_pinned(OMP_COLLECTORAPI_EVENT event,
+                                           EmitterCache& cache) noexcept {
+    return pin(cache)->fn[index(event)];
   }
 
  private:
@@ -173,20 +271,63 @@ class Registry {
                : 0;
   }
 
-  /// One table entry per event: the atomic function pointer read on the
-  /// dispatch path plus the registration lock (paper IV-C). Padded so
-  /// concurrent registrations of different events do not false-share.
-  struct Entry {
-    std::atomic<OMP_COLLECTORAPI_CALLBACK> fn{nullptr};
-    SpinLock mu;
-  };
+  static std::uint64_t event_bit(OMP_COLLECTORAPI_EVENT event) noexcept {
+    const std::size_t idx = index(event);
+    return idx != 0 ? (std::uint64_t{1} << idx) : 0;
+  }
+  static_assert(ORCA_EVENT_EXT_LAST <= 64, "event mask is 64 bits");
+
+  /// Hazard pin: advertise the published generation in `cache->held_`, then
+  /// re-validate that it is still the published one. Once the seq_cst store
+  /// of `held_` is globally visible *and* `published_` still equals the
+  /// advertised pointer, the reclaimer's scan (which runs strictly after
+  /// swapping `published_`) is guaranteed to see the pin.
+  const Generation* pin(EmitterCache& cache) noexcept {
+    for (;;) {
+      const Generation* g = published_.load(std::memory_order_acquire);
+      cache.held_.store(g, std::memory_order_seq_cst);
+      if (published_.load(std::memory_order_seq_cst) == g) return g;
+    }
+  }
+
+  void fire_slow(OMP_COLLECTORAPI_EVENT event, EmitterCache& cache) noexcept;
+  void fire_ambient(OMP_COLLECTORAPI_EVENT event) noexcept;
+  void dispatch(OMP_COLLECTORAPI_EVENT event,
+                OMP_COLLECTORAPI_CALLBACK cb) noexcept;
+
+  /// Build a generation from the staging table + lifecycle flags, publish
+  /// it, broadcast the new mask to every cache node, retire the old one,
+  /// and opportunistically reclaim. Caller holds mu_.
+  void publish_locked() noexcept;
+
+  /// Free every retired generation no emitter pins anymore. Caller holds
+  /// mu_. Never blocks: still-pinned generations simply stay on the list.
+  void scan_retired_locked() noexcept;
+
+  static constexpr std::size_t kAmbientSlots = 64;
 
   std::atomic<bool> initialized_{false};
   std::atomic<bool> paused_{false};
   std::atomic<AsyncSink> async_sink_{nullptr};
   std::atomic<void*> async_ctx_{nullptr};
   EventCapabilities caps_;
-  std::array<CachePadded<Entry>, ORCA_EVENT_EXT_LAST> table_{};
+
+  /// Registry-wide effective armed mask; mirror of published_->mask for the
+  /// no-cache fire() gate and armed().
+  std::atomic<std::uint64_t> armed_mask_{0};
+  std::atomic<const Generation*> published_{nullptr};
+
+  /// Serializes lifecycle transitions, (un)registration, publication,
+  /// node leasing, and reclamation. Never held while a callback runs.
+  mutable SpinLock mu_;
+  std::array<OMP_COLLECTORAPI_CALLBACK, ORCA_EVENT_EXT_LAST> staging_{};
+  std::uint64_t next_generation_id_ = 1;
+  std::vector<const Generation*> retired_;
+
+  /// Leased nodes (stable addresses; deque never shrinks) and the fixed
+  /// ambient pool compat fires claim per-call.
+  std::deque<EmitterCache> nodes_;
+  std::array<EmitterCache, kAmbientSlots> ambient_{};
 };
 
 }  // namespace orca::collector

@@ -22,6 +22,10 @@
 #include "common/spinlock.hpp"
 #include "runtime/config.hpp"
 
+namespace orca::collector {
+class EmitterCache;
+}  // namespace orca::collector
+
 namespace orca::rt {
 
 class Runtime;
@@ -74,6 +78,13 @@ struct ThreadDescriptor {
 
   /// Owning runtime instance.
   Runtime* runtime = nullptr;
+
+  /// This thread's leased event-admission cache (64-bit armed mask + pinned
+  /// callback generation; see collector/registry.hpp). Owned by the
+  /// registry; the descriptor only carries the lease so emission sites can
+  /// take the one-load fast path. nullptr for ephemeral descriptors
+  /// (serialized scratch teams), which fall back to the ambient path.
+  collector::EmitterCache* emitter = nullptr;
 
   void set_state(OMP_COLLECTOR_API_THR_STATE s) noexcept {
     state.store(static_cast<int>(s), std::memory_order_relaxed);

@@ -28,6 +28,7 @@ struct Runtime::Worker {
     // the slave threads are in the process of being created", so a state
     // query during creation still has an answer.
     desc.set_state(THR_OVHD_STATE);
+    desc.emitter = owner.registry().acquire_emitter();
     thread = std::thread([this] { runtime.worker_main(*this); });
   }
 
@@ -35,6 +36,7 @@ struct Runtime::Worker {
     shutdown.store(true, std::memory_order_release);
     parker.signal();
     if (thread.joinable()) thread.join();
+    runtime.registry().release_emitter(desc.emitter);
   }
 
   Runtime& runtime;
@@ -91,8 +93,10 @@ Runtime::Runtime(RuntimeConfig cfg)
   serial_master_.gtid = 0;
   serial_master_.runtime = this;
   serial_master_.set_state(THR_SERIAL_STATE);
+  serial_master_.emitter = registry_.acquire_emitter();
   parallel_master_.gtid = 0;
   parallel_master_.runtime = this;
+  parallel_master_.emitter = registry_.acquire_emitter();
   team_.runtime = this;
   if (config_.event_delivery == EventDelivery::kAsync) {
     async_ = std::make_unique<collector::AsyncDispatcher>(
@@ -111,6 +115,8 @@ Runtime::~Runtime() {
   // before ~async_ so every event producer is gone when the drainer stops.
   workers_.clear();
   if (async_) async_->stop_and_join();
+  registry_.release_emitter(serial_master_.emitter);
+  registry_.release_emitter(parallel_master_.emitter);
   if (tls_runtime == this) {
     tls_runtime = nullptr;
     tls_descriptor = nullptr;
@@ -186,25 +192,29 @@ void Runtime::worker_main(Worker& w) {
   // (paper IV-C1: "as soon as the threads are created, they are set to be
   // in the THR_IDLE_STATE and OMP_EVENT_THR_BEGIN_IDLE triggers").
   w.desc.set_state(THR_IDLE_STATE);
-  registry_.fire(OMP_EVENT_THR_BEGIN_IDLE);
+  registry_.fire(OMP_EVENT_THR_BEGIN_IDLE, w.desc.emitter);
 
   // Start from epoch 0, not the current epoch: the master may already have
   // signalled this worker's first assignment while the thread was starting
   // up, and that signal must not be lost.
   std::uint64_t seen = 0;
   for (;;) {
+    // A parked thread is quiescent: drop the generation pin so REGISTER
+    // churn between regions never keeps retired callback tables alive.
+    registry_.unpin(w.desc.emitter);
     w.parker.wait(seen);
     seen = w.parker.epoch();
     if (w.shutdown.load(std::memory_order_acquire)) break;
     TeamDescriptor* team = w.inbox.load(std::memory_order_acquire);
     if (team == nullptr) continue;  // spurious wake-up
 
-    registry_.fire(OMP_EVENT_THR_END_IDLE);
+    registry_.refresh(w.desc.emitter);  // wake-up = quiescent point
+    registry_.fire(OMP_EVENT_THR_END_IDLE, w.desc.emitter);
     w.desc.set_state(THR_WORK_STATE);
     run_region(*team, w.desc);
     w.desc.team = nullptr;
     w.desc.set_state(THR_IDLE_STATE);
-    registry_.fire(OMP_EVENT_THR_BEGIN_IDLE);
+    registry_.fire(OMP_EVENT_THR_BEGIN_IDLE, w.desc.emitter);
     // Last store: tells the master's quiesce that this worker has fully
     // departed the team (the team object may be recycled afterwards).
     w.inbox.store(nullptr, std::memory_order_release);
@@ -230,6 +240,10 @@ void Runtime::fork(Microtask fn, void* frame, int num_threads) {
     return;
   }
 
+  // Fork entry is a natural quiescent point: re-pin the caller's emitter
+  // cache on the current generation before any event of this region fires.
+  registry_.refresh(caller->emitter);
+
   if (caller->team != nullptr) {
     if (config_.nested) {
       fork_nested(*caller, fn, frame, num_threads);
@@ -250,7 +264,7 @@ void Runtime::fork(Microtask fn, void* frame, int num_threads) {
 
   // Conceptually every parallel region forks, even when the runtime only
   // wakes sleeping threads; the event precedes thread creation/wake-up.
-  registry_.fire(OMP_EVENT_FORK);
+  registry_.fire(OMP_EVENT_FORK, caller->emitter);
 
   ensure_pool(n - 1);
   quiesce_workers(static_cast<int>(workers_.size()));
@@ -286,7 +300,7 @@ void Runtime::fork(Microtask fn, void* frame, int num_threads) {
   // is set to THR_OVHD_STATE as soon as it leaves the implicit barrier at
   // the end of the parallel region" (paper IV-C1).
   parallel_master_.set_state(THR_OVHD_STATE);
-  registry_.fire(OMP_EVENT_JOIN);
+  registry_.fire(OMP_EVENT_JOIN, parallel_master_.emitter);
   parallel_master_.team = nullptr;
   tls_descriptor = prev_tls;
   serial_master_.set_state(THR_SERIAL_STATE);
@@ -327,7 +341,7 @@ void Runtime::fork_nested(ThreadDescriptor& parent, Microtask fn, void* frame,
   parent.set_state(THR_OVHD_STATE);
   // Future-work behaviour the paper sketches: "a fork event will be
   // generated whenever we create a nested parallel region".
-  registry_.fire(OMP_EVENT_FORK);
+  registry_.fire(OMP_EVENT_FORK, parent.emitter);
 
   auto team = std::make_unique<TeamDescriptor>();
   team->runtime = this;
@@ -372,8 +386,11 @@ void Runtime::fork_nested(ThreadDescriptor& parent, Microtask fn, void* frame,
     threads.emplace_back([this, desc] {
       tls_runtime = this;
       tls_descriptor = desc;
+      desc->emitter = registry_.acquire_emitter();
       desc->set_state(THR_WORK_STATE);
       run_region(*desc->team, *desc);
+      registry_.release_emitter(desc->emitter);
+      desc->emitter = nullptr;
       tls_descriptor = nullptr;
     });
   }
@@ -384,7 +401,7 @@ void Runtime::fork_nested(ThreadDescriptor& parent, Microtask fn, void* frame,
   for (auto& t : threads) t.join();
 
   parent.set_state(THR_OVHD_STATE);
-  registry_.fire(OMP_EVENT_JOIN);
+  registry_.fire(OMP_EVENT_JOIN, parent.emitter);
 
   parent.team = prev_team;
   parent.tid_in_team = prev_tid;
@@ -525,8 +542,10 @@ OMP_COLLECTORAPI_EC Runtime::provider_event_stats(void* ctx,
   auto& rt = *static_cast<Runtime*>(ctx);
   const collector::AsyncDispatcher* async = rt.async_.get();
   if (async == nullptr) {
-    *out = orca_event_stats{};  // sync mode: nothing buffered, ever
-    return OMP_ERRCODE_OK;
+    // Async delivery compiled in but disabled (ORCA_EVENT_DELIVERY=sync):
+    // the runtime recognizes the request but has no delivery engine, so the
+    // honest answer is "not supported here", not fabricated zero counters.
+    return OMP_ERRCODE_UNSUPPORTED;
   }
   const collector::EventRingStats s = async->stats();
   out->submitted = s.submitted;
@@ -546,6 +565,12 @@ bool Runtime::async_sink(void* ctx, OMP_COLLECTORAPI_EVENT event) noexcept {
 }
 
 int Runtime::collector_api(void* arg) {
+  // Dispatch entry is a quiescent point: registration churn arriving here
+  // re-pins the caller's generation so superseded tables get reclaimed even
+  // when no parallel work is running.
+  if (ThreadDescriptor* td = self(); td != nullptr) {
+    registry_.refresh(td->emitter);
+  }
   const collector::Providers providers{
       &Runtime::provider_state,
       &Runtime::provider_current_prid,

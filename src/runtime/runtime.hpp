@@ -201,12 +201,28 @@ class Runtime {
   /// `__omp_collector_api` bound to this runtime instance.
   int collector_api(void* arg);
 
-  /// Fire an event on behalf of `td` — `__ompc_event` from the paper.
+  /// Fire an event — `__ompc_event` from the paper — through the ambient
+  /// (no-descriptor) path. Foreign threads and compat callers only; runtime
+  /// code with a descriptor in hand uses the two-argument overload.
   /// With ORCA_EVENT_DELIVERY=async the registry's sink enqueues the event
   /// on the calling thread's ring and the drainer invokes the callback; the
   /// admission checks (registered/initialized/!paused) stay on this thread
   /// either way.
   void event(OMP_COLLECTORAPI_EVENT e) noexcept { registry_.fire(e); }
+
+  /// Fire an event on behalf of `td` via its leased EmitterCache: the
+  /// disarmed case is one relaxed 64-bit load + predictable branch, no
+  /// shared-state traffic (the epoch fast path).
+  void event(ThreadDescriptor& td, OMP_COLLECTORAPI_EVENT e) noexcept {
+    registry_.fire(e, td.emitter);
+  }
+
+  /// Quiescent-point hook: re-pin `td`'s emitter cache on the currently
+  /// published callback generation so superseded generations can be
+  /// reclaimed. Called at fork, after barriers, and on collector-API entry.
+  void quiescent(ThreadDescriptor& td) noexcept {
+    registry_.refresh(td.emitter);
+  }
 
   /// Asynchronous delivery engine; nullptr when configured for synchronous
   /// dispatch (the default).

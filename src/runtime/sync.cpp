@@ -27,9 +27,13 @@ void barrier_common(Runtime& rt, ThreadDescriptor& td, unsigned long& wait_id) {
   ++wait_id;
   const auto prev = td.get_state();
   td.set_state(State);
-  rt.event(Begin);
+  rt.event(td, Begin);
   if (td.team != nullptr) td.team->barrier.arrive_and_wait();
-  rt.event(End);
+  // Departing a barrier is a natural quiescent point: every thread passes
+  // here between regions/phases, so re-pin the emitter cache before the
+  // END event fires.
+  rt.quiescent(td);
+  rt.event(td, End);
   td.set_state(prev == State ? THR_WORK_STATE : prev);
 }
 
@@ -65,9 +69,9 @@ void Runtime::critical_begin(ThreadDescriptor& td, orca_lock_word* word) {
   ++td.critical_wait_id;
   const auto prev = td.get_state();
   td.set_state(THR_CTWT_STATE);
-  registry_.fire(OMP_EVENT_THR_BEGIN_CTWT);
+  registry_.fire(OMP_EVENT_THR_BEGIN_CTWT, td.emitter);
   lock.lock();
-  registry_.fire(OMP_EVENT_THR_END_CTWT);
+  registry_.fire(OMP_EVENT_THR_END_CTWT, td.emitter);
   td.set_state(prev == THR_CTWT_STATE ? THR_WORK_STATE : prev);
 }
 
@@ -110,9 +114,9 @@ void Runtime::atomic_begin(ThreadDescriptor& td) {
   ++td.atomic_wait_id;
   const auto prev = td.get_state();
   td.set_state(THR_ATWT_STATE);
-  registry_.fire(OMP_EVENT_THR_BEGIN_ATWT);
+  registry_.fire(OMP_EVENT_THR_BEGIN_ATWT, td.emitter);
   atomic_lock_.lock();
-  registry_.fire(OMP_EVENT_THR_END_ATWT);
+  registry_.fire(OMP_EVENT_THR_END_ATWT, td.emitter);
   td.set_state(prev == THR_ATWT_STATE ? THR_WORK_STATE : prev);
 }
 
@@ -139,9 +143,9 @@ void Runtime::lock_acquire(ThreadDescriptor& td, OmpLock& lk) {
   ++td.lock_wait_id;
   const auto prev = td.get_state();
   td.set_state(THR_LKWT_STATE);
-  registry_.fire(OMP_EVENT_THR_BEGIN_LKWT);
+  registry_.fire(OMP_EVENT_THR_BEGIN_LKWT, td.emitter);
   lk.impl.lock();
-  registry_.fire(OMP_EVENT_THR_END_LKWT);
+  registry_.fire(OMP_EVENT_THR_END_LKWT, td.emitter);
   td.set_state(prev == THR_LKWT_STATE ? THR_WORK_STATE : prev);
 }
 
@@ -173,9 +177,9 @@ void Runtime::nest_lock_acquire(ThreadDescriptor& td, OmpNestLock& lk) {
     ++td.lock_wait_id;
     const auto prev = td.get_state();
     td.set_state(THR_LKWT_STATE);
-    registry_.fire(OMP_EVENT_THR_BEGIN_LKWT);
+    registry_.fire(OMP_EVENT_THR_BEGIN_LKWT, td.emitter);
     lk.impl.lock();
-    registry_.fire(OMP_EVENT_THR_END_LKWT);
+    registry_.fire(OMP_EVENT_THR_END_LKWT, td.emitter);
     td.set_state(prev == THR_LKWT_STATE ? THR_WORK_STATE : prev);
   }
   lk.owner.store(&td, std::memory_order_release);

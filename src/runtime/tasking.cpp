@@ -35,9 +35,9 @@ void Runtime::task_spawn(ThreadDescriptor& td, std::function<void()> body) {
     // Undeferred execution: serial context, or tasking disabled (the
     // OpenUH-2009 behaviour). The events still fire when supported so a
     // trace shows *where* task bodies ran.
-    registry_.fire(ORCA_EVENT_TASK_BEGIN);
+    registry_.fire(ORCA_EVENT_TASK_BEGIN, td.emitter);
     body();
-    registry_.fire(ORCA_EVENT_TASK_END);
+    registry_.fire(ORCA_EVENT_TASK_END, td.emitter);
     return;
   }
   std::atomic<int>& parent = children_counter(td);
@@ -66,7 +66,7 @@ bool Runtime::execute_pending_task(ThreadDescriptor& td) {
   std::atomic<int> my_children{0};
   td.task_children = &my_children;
 
-  registry_.fire(ORCA_EVENT_TASK_BEGIN);
+  registry_.fire(ORCA_EVENT_TASK_BEGIN, td.emitter);
   frame.body();
   // Implicit wait for this task's own children: keeps `my_children` (and
   // any stack state the children reference) alive until they finish.
@@ -78,7 +78,7 @@ bool Runtime::execute_pending_task(ThreadDescriptor& td) {
       backoff.pause();
     }
   }
-  registry_.fire(ORCA_EVENT_TASK_END);
+  registry_.fire(ORCA_EVENT_TASK_END, td.emitter);
 
   td.task_children = prev_children;
   // Completion order matters: the parent's counter may only drop after

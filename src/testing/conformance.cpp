@@ -241,6 +241,12 @@ collector::EventCapabilities model_capabilities(const RuntimeConfig& cfg) {
   return caps;
 }
 
+/// Model-side mirror of the EVENT_STATS support decision: the stats query
+/// is answered with counters only when the async delivery engine exists.
+bool stats_supported(const RuntimeConfig& cfg) {
+  return cfg.event_delivery == rt::EventDelivery::kAsync;
+}
+
 struct Divergence {
   std::size_t action = 0;
   std::size_t record = 0;
@@ -295,7 +301,7 @@ std::optional<Divergence> replay(const ConformanceOptions& opt,
                                  const std::vector<Action>& seq) {
   const RuntimeConfig cfg = runtime_config(opt);
   Runtime rt(cfg);
-  ProtocolModel model(model_capabilities(cfg));
+  ProtocolModel model(model_capabilities(cfg), stats_supported(cfg));
   return run_sequence(rt, model, seq, nullptr);
 }
 
@@ -381,7 +387,7 @@ ConformanceReport run_single_threaded(const ConformanceOptions& opt) {
   const RuntimeConfig cfg = runtime_config(opt);
 
   std::unique_ptr<Runtime> rt;
-  ProtocolModel model(model_capabilities(cfg));
+  ProtocolModel model(model_capabilities(cfg), stats_supported(cfg));
   for (int s = 0; s < opt.sequences; ++s) {
     if (!rt || (opt.runtime_recycle > 0 && s % opt.runtime_recycle == 0)) {
       rt = std::make_unique<Runtime>(cfg);
@@ -411,7 +417,7 @@ ConformanceReport run_multi_threaded(const ConformanceOptions& opt) {
   ConformanceReport report;
   report.seed = opt.seed;
   const RuntimeConfig cfg = runtime_config(opt);
-  const ProtocolModel model(model_capabilities(cfg));
+  const ProtocolModel model(model_capabilities(cfg), stats_supported(cfg));
 
   std::mutex failure_mu;
   for (int round = 0; round < opt.sequences && report.ok; ++round) {

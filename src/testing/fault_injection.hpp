@@ -44,6 +44,8 @@ enum class FaultPoint : int {
   kAsyncDrain,        ///< AsyncDispatcher::drain_pass (drainer loop)
   kMessageAppend,     ///< MessageBuilder::append_record allocation
   kSampleRecord,      ///< perf::SampleBuffer::record allocation
+  kGenerationPublish, ///< Registry::publish_locked — new generation swap
+  kGenerationRetire,  ///< Registry::scan_retired_locked — reclamation scan
   kCount_
 };
 
@@ -62,6 +64,8 @@ constexpr const char* fault_point_name(FaultPoint p) noexcept {
     case FaultPoint::kAsyncDrain: return "async_drain";
     case FaultPoint::kMessageAppend: return "message_append";
     case FaultPoint::kSampleRecord: return "sample_record";
+    case FaultPoint::kGenerationPublish: return "generation_publish";
+    case FaultPoint::kGenerationRetire: return "generation_retire";
     case FaultPoint::kCount_: break;
   }
   return "?";

@@ -247,7 +247,8 @@ MalformedReport run_malformed(const MalformedOptions& options) {
     caps.enable(ORCA_EVENT_TASK_BEGIN);
     caps.enable(ORCA_EVENT_TASK_END);
   }
-  ProtocolModel model(caps);
+  // EVENT_STATS is UNSUPPORTED on sync-delivery runtimes (no async engine).
+  ProtocolModel model(caps, options.async_delivery);
 
   // Null buffer: the one malformation that is not even a record.
   if (rt.collector_api(nullptr) != -1) {

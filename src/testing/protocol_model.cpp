@@ -93,10 +93,14 @@ OMP_COLLECTORAPI_EC ProtocolModel::apply_in(
                  ? OMP_ERRCODE_MEM_TOO_SMALL
                  : OMP_ERRCODE_SEQUENCE_ERR;
     case ORCA_REQ_EVENT_STATS:
-      // The runtime under test always supplies the stats provider.
-      return req.capacity < sizeof(orca_event_stats)
-                 ? OMP_ERRCODE_MEM_TOO_SMALL
-                 : OMP_ERRCODE_OK;
+      // Capacity gates first (dispatcher order); a runtime without the
+      // async delivery engine then answers UNSUPPORTED, with counters only
+      // in async mode.
+      if (req.capacity < sizeof(orca_event_stats)) {
+        return OMP_ERRCODE_MEM_TOO_SMALL;
+      }
+      return event_stats_supported_ ? OMP_ERRCODE_OK
+                                    : OMP_ERRCODE_UNSUPPORTED;
     default:
       return OMP_ERRCODE_UNKNOWN;
   }

@@ -55,10 +55,15 @@ std::string describe(const ModelRequest& req);
 /// The reference state machine.
 class ProtocolModel {
  public:
+  /// `event_stats_supported` mirrors the runtime configuration: true when
+  /// async delivery is enabled (ORCA_EVENT_DELIVERY=async), false when the
+  /// runtime answers ORCA_REQ_EVENT_STATS with UNSUPPORTED because no
+  /// delivery engine exists (sync mode).
   explicit ProtocolModel(
       collector::EventCapabilities caps =
-          collector::EventCapabilities::openuh_default()) noexcept
-      : caps_(caps) {}
+          collector::EventCapabilities::openuh_default(),
+      bool event_stats_supported = true) noexcept
+      : caps_(caps), event_stats_supported_(event_stats_supported) {}
 
   /// Hard reset to the stopped state (what a successful STOP leaves).
   void reset() noexcept {
@@ -99,6 +104,7 @@ class ProtocolModel {
                                const ModelRequest& req) const noexcept;
 
   collector::EventCapabilities caps_;
+  bool event_stats_supported_ = true;
   bool started_ = false;
   bool paused_ = false;
 };

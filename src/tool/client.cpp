@@ -1,112 +1,38 @@
 #include "tool/client.hpp"
 
-#include <dlfcn.h>
-
-#include "collector/message.hpp"
-
 namespace orca::tool {
 
-using collector::MessageBuilder;
-
 std::optional<CollectorClient> CollectorClient::discover() {
-  // RTLD_DEFAULT scans every loaded object, exactly like a preloaded tool
-  // probing for an ORA-capable OpenMP runtime.
-  void* sym = ::dlsym(RTLD_DEFAULT, "__omp_collector_api");
-  if (sym == nullptr) sym = ::dlsym(RTLD_DEFAULT, "omp_collector_api");
-  if (sym == nullptr) return std::nullopt;
-  return CollectorClient(reinterpret_cast<ApiFn>(sym));
-}
-
-OMP_COLLECTORAPI_EC CollectorClient::simple_request(
-    OMP_COLLECTORAPI_REQUEST req) {
-  MessageBuilder msg;
-  msg.add(req);
-  if (api_(msg.buffer()) != 0) return OMP_ERRCODE_ERROR;
-  return msg.errcode(0);
-}
-
-OMP_COLLECTORAPI_EC CollectorClient::start() {
-  return simple_request(OMP_REQ_START);
-}
-OMP_COLLECTORAPI_EC CollectorClient::stop() {
-  return simple_request(OMP_REQ_STOP);
-}
-OMP_COLLECTORAPI_EC CollectorClient::pause() {
-  return simple_request(OMP_REQ_PAUSE);
-}
-OMP_COLLECTORAPI_EC CollectorClient::resume() {
-  return simple_request(OMP_REQ_RESUME);
-}
-
-OMP_COLLECTORAPI_EC CollectorClient::register_event(
-    OMP_COLLECTORAPI_EVENT event, OMP_COLLECTORAPI_CALLBACK cb) {
-  MessageBuilder msg;
-  msg.add_register(event, cb);
-  if (api_(msg.buffer()) != 0) return OMP_ERRCODE_ERROR;
-  return msg.errcode(0);
-}
-
-OMP_COLLECTORAPI_EC CollectorClient::unregister_event(
-    OMP_COLLECTORAPI_EVENT event) {
-  MessageBuilder msg;
-  msg.add_unregister(event);
-  if (api_(msg.buffer()) != 0) return OMP_ERRCODE_ERROR;
-  return msg.errcode(0);
+  std::optional<collector::Client> client = collector::Client::discover();
+  if (!client.has_value()) return std::nullopt;
+  return CollectorClient(std::move(*client));
 }
 
 std::optional<StateReply> CollectorClient::query_state() {
-  MessageBuilder msg;
-  msg.add_state_query();
-  if (api_(msg.buffer()) != 0) return std::nullopt;
-  if (msg.errcode(0) != OMP_ERRCODE_OK) return std::nullopt;
-
-  int state_value = 0;
-  if (!msg.reply_value(0, &state_value)) return std::nullopt;
+  const collector::Expected<collector::ThreadState> state = client_.state();
+  if (!state) return std::nullopt;
   StateReply reply;
-  reply.state = static_cast<OMP_COLLECTOR_API_THR_STATE>(state_value);
-  // The wait id follows the state value for wait states (paper IV-D);
-  // r_sz tells us whether the runtime appended one.
-  if (static_cast<std::size_t>(msg.reply_size(0)) >=
-      sizeof(int) + sizeof(unsigned long)) {
-    unsigned long wait_id = 0;
-    if (msg.reply_value(0, &wait_id, sizeof(int))) {
-      reply.wait_id = wait_id;
-      reply.has_wait_id = true;
-    }
-  }
+  reply.state = state->state;
+  reply.wait_id = state->wait_id;
+  reply.has_wait_id = state->has_wait_id;
   return reply;
-}
-
-RegionIdReply CollectorClient::id_request(OMP_COLLECTORAPI_REQUEST req) {
-  MessageBuilder msg;
-  msg.add_id_query(req);
-  RegionIdReply reply;
-  if (api_(msg.buffer()) != 0) {
-    reply.errcode = OMP_ERRCODE_ERROR;
-    return reply;
-  }
-  reply.errcode = msg.errcode(0);
-  unsigned long id = 0;
-  if (msg.reply_value(0, &id)) reply.id = id;
-  return reply;
-}
-
-std::optional<orca_event_stats> CollectorClient::query_event_stats() {
-  MessageBuilder msg;
-  msg.add_event_stats_query();
-  if (api_(msg.buffer()) != 0) return std::nullopt;
-  if (msg.errcode(0) != OMP_ERRCODE_OK) return std::nullopt;
-  orca_event_stats stats = {};
-  if (!msg.reply_value(0, &stats)) return std::nullopt;
-  return stats;
 }
 
 RegionIdReply CollectorClient::current_region_id() {
-  return id_request(OMP_REQ_CURRENT_PRID);
+  const collector::Expected<unsigned long> id = client_.current_prid();
+  // v1 contract: the id rides next to the errcode (0 when denied).
+  return RegionIdReply{id.value_or(0), id ? OMP_ERRCODE_OK : id.error()};
 }
 
 RegionIdReply CollectorClient::parent_region_id() {
-  return id_request(OMP_REQ_PARENT_PRID);
+  const collector::Expected<unsigned long> id = client_.parent_prid();
+  return RegionIdReply{id.value_or(0), id ? OMP_ERRCODE_OK : id.error()};
+}
+
+std::optional<orca_event_stats> CollectorClient::query_event_stats() {
+  const collector::Expected<orca_event_stats> stats = client_.event_stats();
+  if (!stats) return std::nullopt;
+  return *stats;
 }
 
 }  // namespace orca::tool

@@ -1,16 +1,22 @@
 /// \file client.hpp
-/// Collector-side access to the ORA entry point.
+/// Legacy v1 collector client — thin shim over tool/client2.hpp.
 ///
 /// Paper Sec. IV: "The collector may then query the dynamic linker to
 /// determine whether the symbol is present. If it is, then it may initiate
 /// communications with the runtime." `CollectorClient::discover()` performs
-/// exactly that `dlsym` probe; the instance methods wrap each request kind
-/// in the white-paper message format (collector/message.hpp).
+/// exactly that `dlsym` probe.
+///
+/// New code should use `orca::collector::Client` (tool/client2.hpp)
+/// directly: typed `Expected<T>` queries, RAII `Session`, and owning event
+/// registrations. This header keeps the original optional/struct-reply
+/// surface for existing callers by delegating every request to the v2
+/// client; the wire format underneath is identical.
 #pragma once
 
 #include <optional>
 
 #include "collector/api.h"
+#include "tool/client2.hpp"
 
 namespace orca::tool {
 
@@ -27,7 +33,7 @@ struct RegionIdReply {
   OMP_COLLECTORAPI_EC errcode = OMP_ERRCODE_OK;
 };
 
-/// Typed wrapper around `__omp_collector_api`.
+/// Typed wrapper around `__omp_collector_api` (v1 surface).
 class CollectorClient {
  public:
   using ApiFn = int (*)(void*);
@@ -37,18 +43,22 @@ class CollectorClient {
   static std::optional<CollectorClient> discover();
 
   /// Bind to a known entry point (testing / multi-runtime setups).
-  explicit CollectorClient(ApiFn fn) noexcept : api_(fn) {}
+  explicit CollectorClient(ApiFn fn) : client_(collector::Client::ApiFn(fn)) {}
 
   /// Lifecycle requests. Each returns the per-request error code.
-  OMP_COLLECTORAPI_EC start();
-  OMP_COLLECTORAPI_EC stop();
-  OMP_COLLECTORAPI_EC pause();
-  OMP_COLLECTORAPI_EC resume();
+  OMP_COLLECTORAPI_EC start() { return client_.start(); }
+  OMP_COLLECTORAPI_EC stop() { return client_.stop(); }
+  OMP_COLLECTORAPI_EC pause() { return client_.pause(); }
+  OMP_COLLECTORAPI_EC resume() { return client_.resume(); }
 
   /// Event (un)registration.
   OMP_COLLECTORAPI_EC register_event(OMP_COLLECTORAPI_EVENT event,
-                                     OMP_COLLECTORAPI_CALLBACK cb);
-  OMP_COLLECTORAPI_EC unregister_event(OMP_COLLECTORAPI_EVENT event);
+                                     OMP_COLLECTORAPI_CALLBACK cb) {
+    return client_.register_event(event, cb);
+  }
+  OMP_COLLECTORAPI_EC unregister_event(OMP_COLLECTORAPI_EVENT event) {
+    return client_.unregister_event(event);
+  }
 
   /// Query the calling thread's state (+ wait id for wait states).
   std::optional<StateReply> query_state();
@@ -64,13 +74,16 @@ class CollectorClient {
   std::optional<orca_event_stats> query_event_stats();
 
   /// Raw access for composite request buffers.
-  int raw(void* buffer) { return api_(buffer); }
+  int raw(void* buffer) { return client_.raw(buffer); }
+
+  /// The v2 client this shim delegates to.
+  collector::Client& typed() noexcept { return client_; }
 
  private:
-  OMP_COLLECTORAPI_EC simple_request(OMP_COLLECTORAPI_REQUEST req);
-  RegionIdReply id_request(OMP_COLLECTORAPI_REQUEST req);
+  explicit CollectorClient(collector::Client client)
+      : client_(std::move(client)) {}
 
-  ApiFn api_;
+  collector::Client client_;
 };
 
 }  // namespace orca::tool

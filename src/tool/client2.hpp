@@ -1,0 +1,200 @@
+/// \file client2.hpp
+/// Typed collector client API v2: `orca::collector::Client`.
+///
+/// Two-layer story (docs/PROTOCOL.md): the *wire format* stays the ORA
+/// white-paper byte protocol — `omp_collector_message` records handed to
+/// `__omp_collector_api` — unchanged and ABI-stable. This header is the
+/// sanctioned *typed* layer on top: RAII lifecycle (`Session`),
+/// `Expected<T>`-style queries that cannot be read without checking the
+/// errcode, and `register_event` overloads that own the callback's
+/// lifetime. Tools should speak this layer; only protocol tests and
+/// foreign-language collectors need `MessageBuilder` directly.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "collector/api.h"
+
+namespace orca::collector {
+
+/// Minimal `std::expected`-alike (the repo targets C++20; std::expected is
+/// C++23): either a value or the per-record errcode the runtime answered.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) noexcept(std::is_nothrow_move_constructible_v<T>)
+      : value_(std::move(value)), ec_(OMP_ERRCODE_OK) {}
+  Expected(OMP_COLLECTORAPI_EC ec) noexcept : ec_(ec) {}
+
+  bool has_value() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  /// Precondition: has_value().
+  T& value() noexcept { return *value_; }
+  const T& value() const noexcept { return *value_; }
+  T& operator*() noexcept { return *value_; }
+  const T& operator*() const noexcept { return *value_; }
+  const T* operator->() const noexcept { return &*value_; }
+
+  /// The errcode that denied the value (OMP_ERRCODE_OK iff has_value()).
+  OMP_COLLECTORAPI_EC error() const noexcept { return ec_; }
+
+  T value_or(T alt) const { return has_value() ? *value_ : std::move(alt); }
+
+ private:
+  std::optional<T> value_;
+  OMP_COLLECTORAPI_EC ec_ = OMP_ERRCODE_OK;
+};
+
+/// Reply of Client::state(): the thread state plus, for wait states, the
+/// wait id the runtime appended (paper IV-D).
+struct ThreadState {
+  OMP_COLLECTOR_API_THR_STATE state = THR_SERIAL_STATE;
+  unsigned long wait_id = 0;
+  bool has_wait_id = false;
+};
+
+/// RAII handle for an owning event registration (Client::register_event
+/// with a std::function). Destroying (or reset()ing) the handle sends
+/// OMP_REQ_UNREGISTER and releases the owned callable. Move-only.
+///
+/// Owned handlers are routed through one process-wide trampoline table
+/// keyed by event kind (the ORA callback ABI carries no context pointer),
+/// so at most one owning registration per event kind exists per process;
+/// a newer one displaces the older handler, exactly like the runtime's
+/// last-registration-wins table.
+class Registration {
+ public:
+  Registration() = default;
+  Registration(Registration&& other) noexcept { *this = std::move(other); }
+  Registration& operator=(Registration&& other) noexcept {
+    if (this != &other) {
+      reset();
+      api_ = std::move(other.api_);
+      event_ = other.event_;
+      other.event_ = 0;
+    }
+    return *this;
+  }
+  Registration(const Registration&) = delete;
+  Registration& operator=(const Registration&) = delete;
+  ~Registration() { reset(); }
+
+  explicit operator bool() const noexcept { return event_ != 0; }
+  OMP_COLLECTORAPI_EVENT event() const noexcept {
+    return static_cast<OMP_COLLECTORAPI_EVENT>(event_);
+  }
+
+  /// Unregister on the wire and drop the owned handler. Idempotent.
+  void reset() noexcept;
+
+ private:
+  friend class Client;
+  Registration(std::function<int(void*)> api, int event)
+      : api_(std::move(api)), event_(event) {}
+
+  std::function<int(void*)> api_;
+  int event_ = 0;  ///< 0 = empty handle
+};
+
+/// Typed wrapper around one `__omp_collector_api` entry point. Copyable;
+/// every request builds a fresh single-record message, so a Client has no
+/// mutable state of its own.
+class Client {
+ public:
+  /// Transport to the runtime: usually the dlsym'd function pointer, or a
+  /// lambda binding a Runtime instance in tests/multi-runtime setups.
+  using ApiFn = std::function<int(void*)>;
+
+  /// Probe the dynamic linker for the ORA symbol (paper Sec. IV); empty
+  /// when no ORA-capable runtime is loaded.
+  static std::optional<Client> discover();
+
+  explicit Client(ApiFn api) : api_(std::move(api)) {}
+
+  // --- lifecycle (prefer Session for paired START/STOP) -------------------
+  OMP_COLLECTORAPI_EC start() const;
+  OMP_COLLECTORAPI_EC stop() const;
+  OMP_COLLECTORAPI_EC pause() const;
+  OMP_COLLECTORAPI_EC resume() const;
+
+  // --- typed queries -------------------------------------------------------
+
+  /// OMP_REQ_STATE for the calling thread.
+  Expected<ThreadState> state() const;
+
+  /// OMP_REQ_CURRENT_PRID / OMP_REQ_PARENT_PRID. Outside any parallel
+  /// region the runtime answers SEQUENCE_ERR (paper IV-E), which surfaces
+  /// here as the error, not as a fake id 0.
+  Expected<unsigned long> current_prid() const;
+  Expected<unsigned long> parent_prid() const;
+
+  /// ORCA_REQ_EVENT_STATS. UNSUPPORTED on sync-delivery runtimes.
+  Expected<orca_event_stats> event_stats() const;
+
+  // --- event registration --------------------------------------------------
+
+  /// Raw-ABI registration: the caller guarantees `cb` outlives it.
+  OMP_COLLECTORAPI_EC register_event(OMP_COLLECTORAPI_EVENT event,
+                                     OMP_COLLECTORAPI_CALLBACK cb) const;
+
+  /// Owning registration: the returned handle keeps `fn` alive and
+  /// unregisters on destruction. See Registration for the one-per-event
+  /// trampoline contract.
+  Expected<Registration> register_event(
+      OMP_COLLECTORAPI_EVENT event,
+      std::function<void(OMP_COLLECTORAPI_EVENT)> fn) const;
+
+  OMP_COLLECTORAPI_EC unregister_event(OMP_COLLECTORAPI_EVENT event) const;
+
+  // --- escape hatch ---------------------------------------------------------
+
+  /// Hand a raw composite buffer to the runtime (wire-format layer).
+  int raw(void* buffer) const { return api_(buffer); }
+
+  const ApiFn& api() const noexcept { return api_; }
+
+ private:
+  OMP_COLLECTORAPI_EC simple_request(int req) const;
+  Expected<unsigned long> id_request(int req) const;
+
+  ApiFn api_;
+};
+
+/// RAII collector session: OMP_REQ_START on construction, OMP_REQ_STOP on
+/// destruction (when START succeeded). Move-only.
+class Session {
+ public:
+  explicit Session(const Client& client)
+      : api_(client.api()), start_ec_(client.start()) {}
+
+  Session(Session&& other) noexcept { *this = std::move(other); }
+  Session& operator=(Session&& other) noexcept {
+    if (this != &other) {
+      stop();
+      api_ = std::move(other.api_);
+      start_ec_ = other.start_ec_;
+      other.start_ec_ = OMP_ERRCODE_SEQUENCE_ERR;
+    }
+    return *this;
+  }
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  ~Session() { stop(); }
+
+  /// True when this session owns a running collector lifecycle.
+  bool active() const noexcept { return start_ec_ == OMP_ERRCODE_OK; }
+  OMP_COLLECTORAPI_EC start_errcode() const noexcept { return start_ec_; }
+
+  /// Early STOP; the destructor then does nothing. Returns the STOP
+  /// errcode (SEQUENCE_ERR when the session never started).
+  OMP_COLLECTORAPI_EC stop() noexcept;
+
+ private:
+  Client::ApiFn api_;
+  OMP_COLLECTORAPI_EC start_ec_ = OMP_ERRCODE_SEQUENCE_ERR;
+};
+
+}  // namespace orca::collector

@@ -43,10 +43,16 @@ void TracingCollector::event_callback(OMP_COLLECTORAPI_EVENT event) {
 }
 
 bool TracingCollector::attach(std::vector<OMP_COLLECTORAPI_EVENT> events) {
-  if (attached_) return false;
-  client_ = CollectorClient::discover();
+  if (attached()) return false;
+  client_ = collector::Client::discover();
   if (!client_) return false;
-  if (client_->start() != OMP_ERRCODE_OK) return false;
+  // Session issues OMP_REQ_START on construction; a failed START leaves it
+  // inactive and the destructor then sends nothing.
+  session_.emplace(*client_);
+  if (!session_->active()) {
+    session_.reset();
+    return false;
+  }
 
   if (events.empty()) {
     for (int e = 1; e < OMP_EVENT_LAST; ++e) {
@@ -55,17 +61,17 @@ bool TracingCollector::attach(std::vector<OMP_COLLECTORAPI_EVENT> events) {
   }
   for (const OMP_COLLECTORAPI_EVENT event : events) {
     // Optional events may come back OMP_ERRCODE_UNSUPPORTED; a tracer
-    // simply records whatever the runtime can provide.
+    // simply records whatever the runtime can provide. The raw-callback
+    // overload is deliberate: the callback is a static function, so the
+    // owning Registration machinery would buy nothing here.
     (void)client_->register_event(event, &TracingCollector::event_callback);
   }
-  attached_ = true;
   return true;
 }
 
 void TracingCollector::detach() {
-  if (!attached_) return;
-  client_->stop();
-  attached_ = false;
+  // Session's stop() sends OMP_REQ_STOP exactly once per successful START.
+  session_.reset();
 }
 
 std::vector<TraceEvent> TracingCollector::log() const {

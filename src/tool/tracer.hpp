@@ -22,7 +22,7 @@
 #include "collector/api.h"
 #include "common/cacheline.hpp"
 #include "common/spinlock.hpp"
-#include "tool/client.hpp"
+#include "tool/client2.hpp"
 
 namespace orca::tool {
 
@@ -42,13 +42,16 @@ class TracingCollector {
   TracingCollector(const TracingCollector&) = delete;
   TracingCollector& operator=(const TracingCollector&) = delete;
 
-  /// Discover + START + register every event the runtime accepts.
-  /// `events` empty means "all known events"; unsupported ones are
-  /// skipped (their registration returns OMP_ERRCODE_UNSUPPORTED).
+  /// Discover + START (via an RAII collector::Session) + register every
+  /// event the runtime accepts. `events` empty means "all known events";
+  /// unsupported ones are skipped (their registration returns
+  /// OMP_ERRCODE_UNSUPPORTED).
   bool attach(std::vector<OMP_COLLECTORAPI_EVENT> events = {});
 
   void detach();
-  bool attached() const noexcept { return attached_; }
+  bool attached() const noexcept {
+    return session_.has_value() && session_->active();
+  }
 
   /// Snapshot of the log in arrival order (merged across stages).
   std::vector<TraceEvent> log() const;
@@ -77,8 +80,8 @@ class TracingCollector {
 
   std::array<CachePadded<Stage>, kStages> stages_;
   std::atomic<std::uint64_t> next_seq_{0};
-  std::optional<CollectorClient> client_;
-  bool attached_ = false;
+  std::optional<collector::Client> client_;
+  std::optional<collector::Session> session_;
 };
 
 }  // namespace orca::tool

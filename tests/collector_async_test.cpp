@@ -266,14 +266,12 @@ TEST(AsyncDelivery, SyncModeStaysInlineAndReportsInactive) {
   EXPECT_EQ(g_count.load(), 1u);
   EXPECT_EQ(g_with_context.load(), 0u);
 
+  // With no delivery engine the stats query is recognized but not
+  // supported: UNSUPPORTED, no fabricated zero counters.
   MessageBuilder query;
   query.add_event_stats_query();
   ASSERT_EQ(rt.collector_api(query.buffer()), 0);
-  ASSERT_EQ(query.errcode(0), OMP_ERRCODE_OK);
-  orca_event_stats stats = {};
-  ASSERT_TRUE(query.reply_value(0, &stats));
-  EXPECT_EQ(stats.active, 0);
-  EXPECT_EQ(stats.submitted, 0u);
+  EXPECT_EQ(query.errcode(0), OMP_ERRCODE_UNSUPPORTED);
 
   ASSERT_EQ(lifecycle(rt, OMP_REQ_STOP), OMP_ERRCODE_OK);
   Runtime::make_current(nullptr);

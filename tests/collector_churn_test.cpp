@@ -1,0 +1,190 @@
+/// Registration-churn stress for the epoch-published callback table
+/// (registry.hpp): emitters fire through leased EmitterCache nodes and the
+/// ambient compat path while other threads storm
+/// REGISTER/UNREGISTER/PAUSE/RESUME, with FaultInjector schedule
+/// perturbation armed at the generation publish/retire seams. Run under
+/// the tsan preset this suite must be clean: the emission fast path takes
+/// no lock, so every ordering claim in the hazard-pin protocol is
+/// exercised here.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "collector/registry.hpp"
+#include "testing/fault_injection.hpp"
+
+namespace {
+
+using orca::collector::EmitterCache;
+using orca::collector::EventCapabilities;
+using orca::collector::Registry;
+using orca::testing::FaultInjector;
+using orca::testing::FaultPoint;
+
+std::atomic<std::uint64_t> g_hits{0};
+void counting_callback(OMP_COLLECTORAPI_EVENT) {
+  g_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Spin flag pair for the pinned-generation test.
+std::atomic<bool> g_in_callback{false};
+std::atomic<bool> g_release_callback{false};
+void blocking_callback(OMP_COLLECTORAPI_EVENT) {
+  g_in_callback.store(true, std::memory_order_release);
+  while (!g_release_callback.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+}
+
+/// Phase 1: emitters (cached + ambient) race a registration/lifecycle
+/// storm. The test asserts termination, full reclamation afterwards, and —
+/// under tsan — the absence of any data race on the lock-free fast path.
+TEST(CollectorChurn, EmittersSurviveRegistrationStorm) {
+  Registry registry(EventCapabilities::all());
+  ASSERT_EQ(registry.start(), OMP_ERRCODE_OK);
+  g_hits.store(0);
+
+  // Perturb every armed seam (1-in-4 yield) so publishes/retires interleave
+  // adversarially with pins instead of winning every race by timing.
+  FaultInjector& inj = FaultInjector::instance();
+  inj.perturb(0xC0FFEE, 4);
+  inj.arm();
+
+  constexpr int kCachedEmitters = 4;
+  constexpr int kAmbientEmitters = 2;
+  constexpr int kChurners = 3;
+  constexpr int kFires = 20000;
+  constexpr int kChurnRounds = 2000;
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kCachedEmitters + kAmbientEmitters + kChurners);
+
+  for (int i = 0; i < kCachedEmitters; ++i) {
+    threads.emplace_back([&registry] {
+      EmitterCache* cache = registry.acquire_emitter();
+      for (int n = 0; n < kFires; ++n) {
+        registry.fire(OMP_EVENT_FORK, cache);
+        registry.fire(ORCA_EVENT_TASK_BEGIN, cache);
+        // Natural quiescent point every few fires, as the runtime's
+        // barriers/dispatch entries provide: re-pin so old generations
+        // never stay captive for the storm's whole lifetime.
+        if (n % 64 == 0) registry.refresh(cache);
+      }
+      registry.release_emitter(cache);
+    });
+  }
+  for (int i = 0; i < kAmbientEmitters; ++i) {
+    threads.emplace_back([&registry] {
+      for (int n = 0; n < kFires; ++n) {
+        registry.fire(OMP_EVENT_JOIN);  // compat path: ambient hazard slot
+      }
+    });
+  }
+  for (int i = 0; i < kChurners; ++i) {
+    threads.emplace_back([&registry, &stop, i] {
+      const OMP_COLLECTORAPI_EVENT mine =
+          i % 2 == 0 ? OMP_EVENT_FORK : OMP_EVENT_JOIN;
+      for (int n = 0; n < kChurnRounds && !stop.load(); ++n) {
+        (void)registry.register_callback(mine, &counting_callback);
+        (void)registry.register_callback(ORCA_EVENT_TASK_BEGIN,
+                                         &counting_callback);
+        if (n % 8 == 3) (void)registry.pause();
+        if (n % 8 == 5) (void)registry.resume();
+        (void)registry.unregister_callback(mine);
+        (void)registry.unregister_callback(ORCA_EVENT_TASK_BEGIN);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stop.store(true);
+
+  EXPECT_GT(inj.hits(FaultPoint::kGenerationPublish), 0u);
+  EXPECT_GT(inj.hits(FaultPoint::kGenerationRetire), 0u);
+  inj.disarm();
+
+  // Lifecycle may be left paused by the storm; resume is then legal.
+  (void)registry.resume();
+  EXPECT_EQ(registry.stop(), OMP_ERRCODE_OK);
+
+  // Every emitter released its lease, so the grace period must complete
+  // and reclaim every superseded generation.
+  registry.synchronize();
+  EXPECT_EQ(registry.retired_count(), 0u);
+}
+
+/// Phase 2: deterministic grace-period contract — after UNREGISTER and a
+/// completed synchronize(), no further fire may invoke the callback, on
+/// either the cached or the ambient path.
+TEST(CollectorChurn, NoCallbackAfterUnregisterGracePeriod) {
+  Registry registry(EventCapabilities::all());
+  ASSERT_EQ(registry.start(), OMP_ERRCODE_OK);
+  ASSERT_EQ(registry.register_callback(OMP_EVENT_FORK, &counting_callback),
+            OMP_ERRCODE_OK);
+  g_hits.store(0);
+
+  EmitterCache* cache = registry.acquire_emitter();
+  registry.fire(OMP_EVENT_FORK, cache);
+  EXPECT_EQ(g_hits.load(), 1u);
+
+  ASSERT_EQ(registry.unregister_callback(OMP_EVENT_FORK), OMP_ERRCODE_OK);
+  // The fire above left this emitter pinning the pre-unregister
+  // generation; a quiescent-point refresh moves the pin forward so the
+  // grace period can complete (exactly what barriers/fork entry do in the
+  // runtime).
+  registry.refresh(cache);
+  registry.synchronize();
+  EXPECT_EQ(registry.retired_count(), 0u);
+
+  const std::uint64_t before = g_hits.load();
+  registry.fire(OMP_EVENT_FORK, cache);  // cached fast path
+  registry.fire(OMP_EVENT_FORK);         // ambient compat path
+  EXPECT_EQ(g_hits.load(), before) << "callback fired after grace period";
+
+  registry.release_emitter(cache);
+  EXPECT_EQ(registry.stop(), OMP_ERRCODE_OK);
+}
+
+/// Phase 3: a generation stays alive while a callback resolved from it is
+/// still running, no matter how many newer generations churn past it.
+/// Under the asan preset a premature free is a hard failure here.
+TEST(CollectorChurn, PinnedGenerationOutlivesChurn) {
+  Registry registry(EventCapabilities::all());
+  ASSERT_EQ(registry.start(), OMP_ERRCODE_OK);
+  ASSERT_EQ(registry.register_callback(OMP_EVENT_FORK, &blocking_callback),
+            OMP_ERRCODE_OK);
+  g_in_callback.store(false);
+  g_release_callback.store(false);
+
+  std::thread emitter([&registry] {
+    EmitterCache* cache = registry.acquire_emitter();
+    registry.fire(OMP_EVENT_FORK, cache);  // blocks inside the callback
+    registry.release_emitter(cache);
+  });
+
+  while (!g_in_callback.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // The emitter is parked inside the callback, pinning its generation.
+  // Churn a stream of newer generations past it: none of the superseded
+  // ones the pin covers may be freed.
+  for (int n = 0; n < 100; ++n) {
+    ASSERT_EQ(registry.register_callback(OMP_EVENT_JOIN, &counting_callback),
+              OMP_ERRCODE_OK);
+    ASSERT_EQ(registry.unregister_callback(OMP_EVENT_JOIN), OMP_ERRCODE_OK);
+  }
+  EXPECT_GE(registry.retired_count(), 1u)
+      << "pinned generation was reclaimed while its callback ran";
+
+  g_release_callback.store(true, std::memory_order_release);
+  emitter.join();
+
+  registry.synchronize();
+  EXPECT_EQ(registry.retired_count(), 0u);
+  EXPECT_EQ(registry.stop(), OMP_ERRCODE_OK);
+}
+
+}  // namespace

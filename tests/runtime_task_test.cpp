@@ -6,14 +6,15 @@
 #include <atomic>
 #include <vector>
 
-#include "collector/message.hpp"
 #include "runtime/ompc_api.h"
 #include "runtime/runtime.hpp"
+#include "tool/client2.hpp"
 #include "translate/omp.hpp"
 
 namespace {
 
-using orca::collector::MessageBuilder;
+using orca::collector::Client;
+using orca::collector::Session;
 using orca::rt::Runtime;
 using orca::rt::RuntimeConfig;
 
@@ -125,30 +126,31 @@ TEST(TaskEvents, ExtensionEventsFirePerTask) {
   Runtime rt(threads(4));
   Runtime::make_current(&rt);
 
-  MessageBuilder msg;
-  msg.add(OMP_REQ_START);
-  msg.add_register(ORCA_EVENT_TASK_BEGIN, &task_counter);
-  msg.add_register(ORCA_EVENT_TASK_END, &task_counter);
-  ASSERT_EQ(rt.collector_api(msg.buffer()), 0);
-  ASSERT_EQ(msg.errcode(1), OMP_ERRCODE_OK);
-  g_task_begin = 0;
-  g_task_end = 0;
+  // Typed client façade (tool/client2.hpp) bound to this runtime instance;
+  // the Session issues START here and STOP when it leaves scope.
+  Client client([&rt](void* buffer) { return rt.collector_api(buffer); });
+  {
+    Session session(client);
+    ASSERT_TRUE(session.active());
+    ASSERT_EQ(client.register_event(ORCA_EVENT_TASK_BEGIN, &task_counter),
+              OMP_ERRCODE_OK);
+    ASSERT_EQ(client.register_event(ORCA_EVENT_TASK_END, &task_counter),
+              OMP_ERRCODE_OK);
+    g_task_begin = 0;
+    g_task_end = 0;
 
-  orca::omp::parallel([&](int) {
-    orca::omp::single([&] {
-      for (int t = 0; t < 25; ++t) {
-        orca::omp::task([] {});
-      }
-      orca::omp::taskwait();
-    });
-  }, 4);
-  rt.quiesce();
-  EXPECT_EQ(g_task_begin.load(), 25);
-  EXPECT_EQ(g_task_end.load(), 25);
-
-  MessageBuilder stop;
-  stop.add(OMP_REQ_STOP);
-  rt.collector_api(stop.buffer());
+    orca::omp::parallel([&](int) {
+      orca::omp::single([&] {
+        for (int t = 0; t < 25; ++t) {
+          orca::omp::task([] {});
+        }
+        orca::omp::taskwait();
+      });
+    }, 4);
+    rt.quiesce();
+    EXPECT_EQ(g_task_begin.load(), 25);
+    EXPECT_EQ(g_task_end.load(), 25);
+  }
   Runtime::make_current(nullptr);
 }
 
@@ -157,11 +159,11 @@ TEST(TaskEvents, UnsupportedWhenTaskingDisabled) {
   cfg.tasking = false;
   Runtime rt(cfg);
   Runtime::make_current(&rt);
-  MessageBuilder msg;
-  msg.add(OMP_REQ_START);
-  msg.add_register(ORCA_EVENT_TASK_BEGIN, &task_counter);
-  ASSERT_EQ(rt.collector_api(msg.buffer()), 0);
-  EXPECT_EQ(msg.errcode(1), OMP_ERRCODE_UNSUPPORTED);
+  Client client([&rt](void* buffer) { return rt.collector_api(buffer); });
+  Session session(client);
+  ASSERT_TRUE(session.active());
+  EXPECT_EQ(client.register_event(ORCA_EVENT_TASK_BEGIN, &task_counter),
+            OMP_ERRCODE_UNSUPPORTED);
   Runtime::make_current(nullptr);
 }
 

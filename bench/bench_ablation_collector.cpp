@@ -19,6 +19,7 @@
 #include "collector/registry.hpp"
 #include "runtime/ompc_api.h"
 #include "runtime/runtime.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace {
 
@@ -243,6 +244,38 @@ void BM_UncontendedLock(benchmark::State& state) {
   orca::rt::Runtime::make_current(nullptr);
 }
 BENCHMARK(BM_UncontendedLock)->Arg(0)->Arg(1);
+
+// --- runtime self-telemetry ------------------------------------------------------
+//
+// The telemetry hooks ride the hottest runtime paths (every set_state, every
+// fork), so disarmed they must cost what the event fast path costs: one
+// relaxed load + branch. Armed rows price the full hook — a 16-byte ring
+// store for the timeline, a cacheline-padded per-thread shard RMW for
+// counters.
+
+void BM_TelemetryStateRecord(benchmark::State& state) {
+  const bool armed = state.range(0) != 0;
+  if (armed) orca::telemetry::arm(orca::telemetry::kTimelineBit);
+  int v = THR_WORK_STATE;
+  for (auto _ : state) {
+    orca::telemetry::record_state(v);
+    v = v == THR_WORK_STATE ? THR_IBAR_STATE : THR_WORK_STATE;
+  }
+  if (armed) orca::telemetry::disarm(orca::telemetry::kTimelineBit);
+  state.SetLabel(armed ? "armed" : "disarmed");
+}
+BENCHMARK(BM_TelemetryStateRecord)->Arg(0)->Arg(1)->ThreadRange(1, 8);
+
+void BM_TelemetryCounter(benchmark::State& state) {
+  const bool armed = state.range(0) != 0;
+  if (armed) orca::telemetry::arm(orca::telemetry::kMetricsBit);
+  for (auto _ : state) {
+    orca::telemetry::count(orca::telemetry::Counter::kForks);
+  }
+  if (armed) orca::telemetry::disarm(orca::telemetry::kMetricsBit);
+  state.SetLabel(armed ? "armed" : "disarmed");
+}
+BENCHMARK(BM_TelemetryCounter)->Arg(0)->Arg(1)->ThreadRange(1, 8);
 
 // --- fork/join latency -----------------------------------------------------------
 

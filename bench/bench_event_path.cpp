@@ -99,6 +99,8 @@ void fire_microtask(int gtid, void* raw) {
 
 struct RowResult {
   double app_ns_per_event = 0;
+  double p50_ns_per_event = 0;  // per-thread distribution: median thread
+  double p99_ns_per_event = 0;  // ... and the straggler tail
   double throughput_mev = 0;  // events/s the app threads sustained, in M
   double flush_ms = 0;
   unsigned long long delivered = 0;
@@ -148,11 +150,20 @@ RowResult run_row(const ModeSpec& mode, int threads, int events) {
   RowResult row;
   std::uint64_t total_ns = 0;
   int counted = 0;
+  std::vector<double> thread_samples;  // each thread's ns/event
   for (const std::uint64_t ns : frame.per_thread_ns) {
     if (ns == 0) continue;
     total_ns += ns;
     ++counted;
+    thread_samples.push_back(static_cast<double>(ns) /
+                             static_cast<double>(events));
   }
+  // Tails across the team, not just the mean: p99 exposes the straggler
+  // thread (lock convoy on the shared log, ring backpressure) that the
+  // pooled average hides.
+  const orca::bench::Summary dist = orca::bench::summarize(thread_samples);
+  row.p50_ns_per_event = dist.p50;
+  row.p99_ns_per_event = dist.p99;
   const double total_events =
       static_cast<double>(events) * static_cast<double>(counted);
   row.app_ns_per_event =
@@ -221,9 +232,11 @@ int main(int argc, char** argv) {
       std::printf(
           "{\"bench\":\"event_path\",\"mode\":\"%s\",\"threads\":%d,"
           "\"events_per_thread\":%d,\"app_ns_per_event\":%.2f,"
+          "\"p50_ns_per_event\":%.2f,\"p99_ns_per_event\":%.2f,"
           "\"mev_per_s\":%.3f,\"flush_ms\":%.3f,\"delivered\":%llu,"
           "\"dropped\":%llu,\"overwritten\":%llu}\n",
           mode.name, threads, events, row.app_ns_per_event,
+          row.p50_ns_per_event, row.p99_ns_per_event,
           row.throughput_mev, row.flush_ms, row.delivered, row.dropped,
           row.overwritten);
     }

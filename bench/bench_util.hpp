@@ -1,12 +1,15 @@
 /// \file bench_util.hpp
 /// Small shared helpers for the figure/table bench drivers: flag parsing
-/// ("--key=value") and best-of-N timing.
+/// ("--key=value"), best-of-N timing, and sample summary statistics.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace orca::bench {
 
@@ -48,6 +51,48 @@ inline double overhead_percent(double without, double with) {
 /// Raw (unclamped) percentage, for detail columns.
 inline double overhead_percent_raw(double without, double with) {
   return without > 0 ? (with - without) / without * 100.0 : 0;
+}
+
+/// Linear-interpolated percentile of `samples`, q in [0, 1]. Copies and
+/// sorts; fine at bench sample counts.
+inline double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  if (q <= 0) return samples.front();
+  if (q >= 1) return samples.back();
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= samples.size()) return samples.back();
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+/// Order statistics for one bench metric. Latency-style samples are judged
+/// by their tails, not their means: JSON emitters should print p50/p99
+/// alongside (or instead of) the mean.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p99 = 0;
+  double max = 0;
+};
+
+inline Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  double total = 0;
+  for (const double v : sorted) total += v;
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = total / static_cast<double>(sorted.size());
+  s.p50 = percentile(sorted, 0.5);
+  s.p99 = percentile(sorted, 0.99);
+  return s;
 }
 
 }  // namespace orca::bench

@@ -5,14 +5,23 @@
 ///      (#pragma omp parallel for reduction(+:sum) -> parallel_reduce);
 ///   2. attach the collector tool (dlsym discovery + OMP_REQ_START +
 ///      fork/join/barrier event registration);
-///   3. run, detach, and print the measurement report.
+///   3. run, detach, and print the measurement report — plus a Perfetto
+///      trace of the runtime's own telemetry (quickstart_trace.json, or
+///      argv[1]; load it in https://ui.perfetto.dev).
 #include <cstdio>
+#include <cstdlib>
 
 #include "runtime/ompc_api.h"
+#include "telemetry/export.hpp"
 #include "tool/collector_tool.hpp"
 #include "translate/omp.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const char* trace_path = argc > 1 ? argv[1] : "quickstart_trace.json";
+  // Arm runtime self-telemetry before the runtime exists (first parallel
+  // region constructs it); an ORCA_TELEMETRY already in the env wins.
+  ::setenv("ORCA_TELEMETRY", "full", /*overwrite=*/0);
+
   auto& tool = orca::tool::PrototypeCollector::instance();
   if (!tool.attach()) {
     std::fprintf(stderr, "no ORA-capable OpenMP runtime found\n");
@@ -35,5 +44,13 @@ int main() {
   tool.detach();
   const orca::tool::Report report = tool.finalize();
   std::printf("\n%s\n", report.render().c_str());
+
+  if (orca::telemetry::write_chrome_trace(trace_path)) {
+    std::printf("telemetry trace written to %s (open in ui.perfetto.dev)\n",
+                trace_path);
+  } else {
+    std::fprintf(stderr, "failed to write telemetry trace %s\n", trace_path);
+    return 1;
+  }
   return sum == kN ? 0 : 1;
 }

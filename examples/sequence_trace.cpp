@@ -7,6 +7,9 @@
 /// region, PAUSE/RESUME, OMP_REQ_STOP — and finally prints the ordered
 /// event trace the runtime generated in between.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "collector/names.hpp"
 #include "runtime/ompc_api.h"
@@ -23,7 +26,24 @@ void show(const char* request, OMP_COLLECTORAPI_EC ec) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // --telemetry-out=<path>: also write the merged Chrome/Perfetto trace —
+  // runtime self-telemetry timelines + the collector event log — to <path>.
+  std::string telemetry_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--telemetry-out=", 16) == 0) {
+      telemetry_out = argv[i] + 16;
+    } else {
+      std::fprintf(stderr, "usage: %s [--telemetry-out=<path>]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (!telemetry_out.empty()) {
+    // Arm the runtime's timeline recorder before it is constructed (first
+    // parallel region); an explicit ORCA_TELEMETRY in the environment wins.
+    ::setenv("ORCA_TELEMETRY", "timeline", /*overwrite=*/0);
+  }
+
   std::printf("Figure 3: collector / OpenMP runtime interaction sequence\n\n");
 
   auto probe = orca::tool::CollectorClient::discover();
@@ -85,5 +105,16 @@ int main() {
 
   std::printf("\nevent trace (runtime -> collector callbacks):\n%s",
               tracer.render().c_str());
+
+  if (!telemetry_out.empty()) {
+    if (tracer.write_chrome_trace(telemetry_out)) {
+      std::printf("\nwrote merged telemetry trace to %s "
+                  "(load in https://ui.perfetto.dev)\n",
+                  telemetry_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", telemetry_out.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

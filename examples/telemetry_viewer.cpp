@@ -1,0 +1,128 @@
+/// Telemetry viewer: the EPCC syncbench workload run under the runtime's
+/// own self-telemetry, producing
+///
+///   1. a ready-to-load Chrome/Perfetto trace (per-thread state timelines,
+///      barrier/ring/drainer internal spans) — open the emitted JSON in
+///      https://ui.perfetto.dev;
+///   2. a typed ORCA_REQ_TELEMETRY_SNAPSHOT readout over the collector
+///      protocol (client API v2);
+///   3. JSON lines comparing per-directive overhead with telemetry off vs
+///      fully armed — the E9 ablation's measurement harness.
+///
+/// Usage: telemetry_viewer [--out=telemetry_viewer_trace.json]
+///          [--threads=4] [--reps=5] [--inner=64] [--delay=200]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/strutil.hpp"
+#include "epcc/syncbench.hpp"
+#include "runtime/runtime.hpp"
+#include "telemetry/export.hpp"
+#include "tool/client2.hpp"
+
+namespace {
+
+using orca::bench::flag_int;
+using orca::epcc::Directive;
+using orca::epcc::SyncBench;
+
+std::string flag_string(int argc, char** argv, const char* name,
+                        const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+/// Measure the directive set on a fresh runtime; `telemetry` arms both
+/// the timeline recorder and the metrics registry via the runtime config.
+std::vector<orca::epcc::Result> measure(const orca::epcc::Options& opts,
+                                        bool telemetry) {
+  orca::rt::RuntimeConfig cfg;
+  cfg.num_threads = opts.num_threads;
+  cfg.telemetry_timeline = telemetry;
+  cfg.telemetry_metrics = telemetry;
+  orca::rt::Runtime rt(cfg);
+  orca::rt::Runtime::make_current(&rt);
+  SyncBench bench(opts);
+  std::vector<orca::epcc::Result> out;
+  for (const Directive d : orca::epcc::all_directives()) {
+    out.push_back(bench.measure(d));
+  }
+
+  if (telemetry) {
+    // Typed snapshot over the wire protocol, exactly what an attached
+    // tool would issue (ORCA_REQ_TELEMETRY_SNAPSHOT via client API v2).
+    orca::collector::Client client(
+        [&rt](void* buffer) { return rt.collector_api(buffer); });
+    const auto snap = client.telemetry_snapshot();
+    if (snap) {
+      std::printf(
+          "\ntelemetry snapshot (over ORCA_REQ_TELEMETRY_SNAPSHOT):\n"
+          "  forks=%llu joins=%llu barrier_waits=%llu barrier_wait_ns=%llu\n"
+          "  threads_tracked=%llu timeline_records=%llu dropped=%llu\n",
+          snap->forks, snap->joins, snap->barrier_waits,
+          snap->barrier_wait_ns, snap->threads_tracked,
+          snap->timeline_records, snap->timeline_dropped);
+    }
+  }
+  orca::rt::Runtime::make_current(nullptr);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path =
+      flag_string(argc, argv, "out", "telemetry_viewer_trace.json");
+  orca::epcc::Options opts;
+  opts.num_threads = flag_int(argc, argv, "threads", 4);
+  opts.outer_reps = flag_int(argc, argv, "reps", 5);
+  opts.inner_reps = flag_int(argc, argv, "inner", 64);
+  opts.delay_length = flag_int(argc, argv, "delay", 200);
+
+  std::printf("EPCC syncbench under runtime self-telemetry "
+              "(%d threads, outer=%d inner=%d delay=%d)\n\n",
+              opts.num_threads, opts.outer_reps, opts.inner_reps,
+              opts.delay_length);
+
+  // Baseline first: its runtime never arms, so the armed run's rings and
+  // metric shards describe only the telemetry-on workload.
+  const std::vector<orca::epcc::Result> off = measure(opts, false);
+  orca::telemetry::reset_for_testing();
+  const std::vector<orca::epcc::Result> on = measure(opts, true);
+
+  orca::TextTable table(
+      {"directive", "off us", "telemetry us", "overhead %"});
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    const double pct = orca::bench::overhead_percent_raw(
+        off[i].min_overhead_us, on[i].min_overhead_us);
+    table.add_row({orca::epcc::name(off[i].directive),
+                   orca::strfmt("%.2f", off[i].min_overhead_us),
+                   orca::strfmt("%.2f", on[i].min_overhead_us),
+                   orca::strfmt("%.1f", pct)});
+    std::printf(
+        "{\"bench\":\"telemetry_overhead\",\"directive\":\"%s\","
+        "\"threads\":%d,\"off_us\":%.3f,\"telemetry_us\":%.3f,"
+        "\"overhead_pct\":%.2f}\n",
+        orca::epcc::name(off[i].directive), opts.num_threads,
+        off[i].min_overhead_us, on[i].min_overhead_us, pct);
+  }
+  std::printf("\n%s\n", table.render().c_str());
+
+  // The armed runtime has been destroyed (its shutdown hooks already ran),
+  // but the telemetry globals still hold its timelines; export them now.
+  if (!orca::telemetry::write_chrome_trace(out_path)) {
+    std::fprintf(stderr, "failed to write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("trace written to %s — load it in https://ui.perfetto.dev\n",
+              out_path.c_str());
+  return 0;
+}

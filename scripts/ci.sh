@@ -13,6 +13,12 @@
 #     not a performance gate.
 # The tsan preset is the one that validates the lock-free event fast path
 # (collector_churn_test and friends must be race-free, see DESIGN.md §5.1).
+#
+# The default preset additionally archives machine-readable bench output
+# into build/artifacts/ (BENCH_*.json, one JSON object per line) so a CI
+# run leaves a perf paper trail to diff across commits:
+#   BENCH_event_path.json          — bench_event_path --smoke rows
+#   BENCH_telemetry_overhead.json  — telemetry_viewer armed-vs-off rows
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,6 +38,18 @@ for preset in "${presets[@]}"; do
 
   echo "=== [$preset] perf-smoke lane ==="
   ctest --preset "$preset" -L perf-smoke --output-on-failure
+
+  if [ "$preset" = default ]; then
+    echo "=== [$preset] archive bench artifacts ==="
+    artifacts=build/artifacts
+    mkdir -p "$artifacts"
+    ./build/bench/bench_event_path --smoke \
+      | grep '^{' > "$artifacts/BENCH_event_path.json"
+    ./build/examples/telemetry_viewer --reps=200 --inner=8 \
+      "--out=$artifacts/telemetry_viewer_trace.json" \
+      | grep '^{' > "$artifacts/BENCH_telemetry_overhead.json"
+    wc -l "$artifacts"/BENCH_*.json
+  fi
 done
 
 echo "ci.sh: all presets green (${presets[*]})"

@@ -36,8 +36,11 @@ typedef enum {
      white paper cannot collide. A strictly conforming runtime answers
      unknown kinds with OMP_ERRCODE_UNKNOWN, which is also what ORCA
      returns for these when the corresponding subsystem is absent.         */
-  ORCA_REQ_EVENT_STATS = 16  /**< query asynchronous event-delivery stats;
+  ORCA_REQ_EVENT_STATS = 16, /**< query asynchronous event-delivery stats;
                                   reply payload is one orca_event_stats     */
+  ORCA_REQ_TELEMETRY_SNAPSHOT = 17 /**< query the runtime's self-telemetry
+                                  aggregates; reply payload is one
+                                  orca_telemetry_snapshot                   */
 } OMP_COLLECTORAPI_REQUEST;
 
 /// Error codes returned per-request in `r_errcode`.
@@ -134,6 +137,32 @@ typedef struct orca_event_stats {
   unsigned long long ring_capacity;/**< per-ring capacity in records        */
   int active;                      /**< 1 while the drainer thread runs     */
 } orca_event_stats;
+
+/// Reply payload of ORCA_REQ_TELEMETRY_SNAPSHOT: aggregate self-telemetry
+/// of the runtime's own internals (fork/join, barriers, tasking, the async
+/// delivery engine, and the epoch-published callback table), summed over
+/// every thread's telemetry shard. Answered with OMP_ERRCODE_UNSUPPORTED
+/// on a runtime whose configuration never armed telemetry (ORCA_TELEMETRY
+/// unset or "off") — a collector can distinguish "no telemetry" from
+/// "telemetry says zero".
+typedef struct orca_telemetry_snapshot {
+  unsigned long long armed_mask;        /**< bit 0 timeline, bit 1 metrics  */
+  unsigned long long threads_tracked;   /**< telemetry thread slots created */
+  unsigned long long timeline_records;  /**< records currently held         */
+  unsigned long long timeline_dropped;  /**< records lost to ring wraparound*/
+  unsigned long long forks;             /**< parallel regions forked        */
+  unsigned long long joins;             /**< parallel regions joined        */
+  unsigned long long barrier_waits;     /**< barrier episodes recorded      */
+  unsigned long long barrier_wait_ns;   /**< total ns spent in barriers     */
+  unsigned long long tasks_executed;    /**< deferred tasks completed       */
+  unsigned long long task_queue_depth_hwm;  /**< deepest task queue seen    */
+  unsigned long long ring_enqueue_stalls;   /**< blocked full-ring pushes   */
+  unsigned long long ring_occupancy_hwm;    /**< fullest event ring seen    */
+  unsigned long long callback_failures;     /**< async callbacks that threw */
+  unsigned long long generations_published; /**< callback-table publishes   */
+  unsigned long long generations_retired;   /**< generations freed          */
+  unsigned long long retire_latency_ns_max; /**< worst grace-period latency */
+} orca_telemetry_snapshot;
 
 /// One request record inside the byte array handed to the API. Records are
 /// laid out back-to-back; the array is terminated by a record with sz == 0.

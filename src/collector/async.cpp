@@ -112,6 +112,9 @@ bool AsyncDispatcher::publish(std::size_t slot,
   rec.event = static_cast<std::int32_t>(event);
   rec.origin_slot = static_cast<std::int32_t>(map_slot(slot));
   (void)ring.push(rec, policy_);  // shed-per-policy still counts as handled
+  if (telemetry::metrics_armed()) {
+    telemetry::gauge_max(telemetry::Gauge::kRingOccupancy, ring.size());
+  }
   if (sleeping_.load(std::memory_order_acquire)) parker_.signal();
   return true;
 }
@@ -136,6 +139,7 @@ void AsyncDispatcher::deliver(EventRing& ring, const EventRecord& rec,
       cb(static_cast<OMP_COLLECTORAPI_EVENT>(rec.event));
     } catch (...) {
       callback_failures_.fetch_add(1, std::memory_order_acq_rel);
+      telemetry::count(telemetry::Counter::kCallbackFailures);
     }
     tls_delivery_record = nullptr;
   }
@@ -147,25 +151,40 @@ void AsyncDispatcher::deliver(EventRing& ring, const EventRecord& rec,
 
 bool AsyncDispatcher::drain_pass() {
   ORCA_FAULT_POINT(kAsyncDrain);
+  const std::uint64_t pass_begin =
+      telemetry::armed_mask() != 0 ? SteadyClock::now() : 0;
   // Lease an emitter-cache node for the pass. drain_pass may run on the
   // drainer *or* on a caller thread retiring records after the drainer is
   // gone; a per-pass lease keeps the node single-writer either way.
   EmitterCache* cache = registry_.acquire_emitter();
-  bool any = false;
+  std::uint32_t drained = 0;
   for (auto& ring_ptr : rings_) {
     EventRing& ring = *ring_ptr;
     EventRecord rec;
     for (int n = 0; n < kDrainBatch && ring.pop(&rec); ++n) {
       deliver(ring, rec, *cache);
-      any = true;
+      ++drained;
     }
   }
   registry_.release_emitter(cache);
-  return any;
+  // Empty passes (the idle poll) are not interesting; only batches that
+  // moved records show up in the telemetry.
+  if (drained > 0 && pass_begin != 0) {
+    const std::uint64_t pass_end = SteadyClock::now();
+    telemetry::count(telemetry::Counter::kDrainPasses);
+    telemetry::observe(telemetry::Histogram::kDrainPassNs,
+                       pass_end - pass_begin);
+    telemetry::record_span_at(pass_begin, telemetry::SpanKind::kDrainPass,
+                              telemetry::Phase::kBegin, drained);
+    telemetry::record_span_at(pass_end, telemetry::SpanKind::kDrainPass,
+                              telemetry::Phase::kEnd, drained);
+  }
+  return drained > 0;
 }
 
 void AsyncDispatcher::drain_loop() {
   tls_on_drainer = true;
+  telemetry::name_thread("drainer");
   for (;;) {
     const bool any = drain_pass();
     if (stop_requested_.load(std::memory_order_acquire)) {

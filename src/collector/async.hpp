@@ -39,8 +39,10 @@
 
 #include "collector/api.h"
 #include "common/cacheline.hpp"
+#include "common/clock.hpp"
 #include "common/parking.hpp"
 #include "common/spinlock.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace orca::collector {
 
@@ -109,6 +111,10 @@ class EventRing {
   /// Counters are updated either way.
   bool push(const EventRecord& rec, Backpressure policy) noexcept {
     Backoff backoff;
+    // Lazily stamped the first time this push finds the ring full under
+    // kBlock and telemetry is armed: the common (non-full) push must not
+    // read the clock.
+    std::uint64_t stall_begin = 0;
     std::uint64_t pos = tail_.load(std::memory_order_relaxed);
     for (;;) {
       Cell& cell = cells_[pos & mask_];
@@ -121,6 +127,18 @@ class EventRing {
           cell.rec = rec;
           cell.seq.store(pos + 1, std::memory_order_release);
           submitted_.fetch_add(1, std::memory_order_acq_rel);
+          if (stall_begin != 0) {
+            const std::uint64_t stall_end = SteadyClock::now();
+            telemetry::count(telemetry::Counter::kRingEnqueueStalls);
+            telemetry::observe(telemetry::Histogram::kEnqueueStallNs,
+                               stall_end - stall_begin);
+            telemetry::record_span_at(stall_begin,
+                                      telemetry::SpanKind::kRingEnqueueStall,
+                                      telemetry::Phase::kBegin);
+            telemetry::record_span_at(stall_end,
+                                      telemetry::SpanKind::kRingEnqueueStall,
+                                      telemetry::Phase::kEnd);
+          }
           return true;
         }
         // CAS failure reloaded `pos`; retry with the new tail.
@@ -142,6 +160,9 @@ class EventRing {
             if (closed_.load(std::memory_order_acquire)) {
               dropped_.fetch_add(1, std::memory_order_acq_rel);
               return false;
+            }
+            if (stall_begin == 0 && telemetry::armed_mask() != 0) {
+              stall_begin = SteadyClock::now();
             }
             backoff.pause();
             pos = tail_.load(std::memory_order_relaxed);

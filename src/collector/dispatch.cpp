@@ -101,6 +101,28 @@ void answer(Registry& registry, const Providers& providers,
       cursor.set_errcode(ec);
       return;
     }
+    case ORCA_REQ_TELEMETRY_SNAPSHOT: {
+      // Same discipline as ORCA_REQ_EVENT_STATS: capacity gates first, then
+      // provider presence, then the provider's own verdict (UNSUPPORTED on
+      // runtimes whose configuration never armed telemetry).
+      orca_telemetry_snapshot snapshot = {};
+      if (cursor.payload_capacity() < sizeof(snapshot)) {
+        cursor.set_errcode(OMP_ERRCODE_MEM_TOO_SMALL);
+        return;
+      }
+      if (providers.telemetry_snapshot == nullptr) {
+        cursor.set_errcode(OMP_ERRCODE_UNKNOWN);
+        return;
+      }
+      const OMP_COLLECTORAPI_EC ec =
+          providers.telemetry_snapshot(providers.ctx, &snapshot);
+      if (ec == OMP_ERRCODE_OK &&
+          !cursor.write_reply(&snapshot, sizeof(snapshot))) {
+        return;
+      }
+      cursor.set_errcode(ec);
+      return;
+    }
     default:
       cursor.set_errcode(OMP_ERRCODE_UNKNOWN);
       return;

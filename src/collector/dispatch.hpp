@@ -51,6 +51,13 @@ struct Providers {
   /// other unrecognized kind.
   OMP_COLLECTORAPI_EC (*event_stats)(void* ctx, orca_event_stats* out) =
       nullptr;
+
+  /// Optional: answer ORCA_REQ_TELEMETRY_SNAPSHOT by filling `*out`. Same
+  /// convention as event_stats: nullptr degrades the request to
+  /// OMP_ERRCODE_UNKNOWN.
+  OMP_COLLECTORAPI_EC (*telemetry_snapshot)(void* ctx,
+                                            orca_telemetry_snapshot* out) =
+      nullptr;
 };
 
 /// Process one request buffer (`arg` as handed to `__omp_collector_api`).

@@ -89,6 +89,11 @@ std::size_t MessageBuilder::add_event_stats_query() {
                        sizeof(orca_event_stats));
 }
 
+std::size_t MessageBuilder::add_telemetry_query() {
+  return append_record(ORCA_REQ_TELEMETRY_SNAPSHOT, nullptr, 0,
+                       sizeof(orca_telemetry_snapshot));
+}
+
 void* MessageBuilder::buffer() {
   if (!terminated_) {
     const std::size_t offset = bytes_.size();

@@ -60,6 +60,10 @@ class MessageBuilder {
   /// Append ORCA_REQ_EVENT_STATS with room for one orca_event_stats reply.
   std::size_t add_event_stats_query();
 
+  /// Append ORCA_REQ_TELEMETRY_SNAPSHOT with room for one
+  /// orca_telemetry_snapshot reply.
+  std::size_t add_telemetry_query();
+
   /// Finalized buffer (appends the sz==0 terminator once). The pointer is
   /// valid until the builder is mutated or destroyed.
   void* buffer();

@@ -14,6 +14,7 @@ std::string_view to_string(OMP_COLLECTORAPI_REQUEST req) noexcept {
     case OMP_REQ_PAUSE: return "OMP_REQ_PAUSE";
     case OMP_REQ_RESUME: return "OMP_REQ_RESUME";
     case ORCA_REQ_EVENT_STATS: return "ORCA_REQ_EVENT_STATS";
+    case ORCA_REQ_TELEMETRY_SNAPSHOT: return "ORCA_REQ_TELEMETRY_SNAPSHOT";
     case OMP_REQ_LAST: break;
   }
   return "?";
@@ -82,6 +83,47 @@ std::string_view to_string(OMP_COLLECTOR_API_THR_STATE state) noexcept {
     case THR_LAST_STATE: break;
   }
   return "?";
+}
+
+namespace {
+
+/// Generic inverse: scan candidate codes, return the one whose name
+/// matches. Works for any enum covered by a to_string overload; "?" never
+/// matches because callers never pass it.
+template <typename Enum>
+std::optional<Enum> scan(std::string_view name, int first, int last) noexcept {
+  if (name == "?" || name.empty()) return std::nullopt;
+  for (int code = first; code <= last; ++code) {
+    const auto candidate = static_cast<Enum>(code);
+    if (to_string(candidate) == name) return candidate;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<OMP_COLLECTORAPI_REQUEST> request_from_name(
+    std::string_view name) noexcept {
+  return scan<OMP_COLLECTORAPI_REQUEST>(name, OMP_REQ_START,
+                                        ORCA_REQ_TELEMETRY_SNAPSHOT);
+}
+
+std::optional<OMP_COLLECTORAPI_EC> errcode_from_name(
+    std::string_view name) noexcept {
+  return scan<OMP_COLLECTORAPI_EC>(name, OMP_ERRCODE_OK,
+                                   OMP_ERRCODE_MEM_TOO_SMALL);
+}
+
+std::optional<OMP_COLLECTORAPI_EVENT> event_from_name(
+    std::string_view name) noexcept {
+  return scan<OMP_COLLECTORAPI_EVENT>(name, OMP_EVENT_FORK,
+                                      ORCA_EVENT_EXT_LAST - 1);
+}
+
+std::optional<OMP_COLLECTOR_API_THR_STATE> state_from_name(
+    std::string_view name) noexcept {
+  return scan<OMP_COLLECTOR_API_THR_STATE>(name, THR_OVHD_STATE,
+                                           THR_LAST_STATE - 1);
 }
 
 bool state_has_wait_id(OMP_COLLECTOR_API_THR_STATE state) noexcept {

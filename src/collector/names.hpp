@@ -3,6 +3,7 @@
 /// Figure-3 sequence example, error messages, and tests.
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 #include "collector/api.h"
@@ -20,6 +21,19 @@ std::string_view to_string(OMP_COLLECTORAPI_EVENT event) noexcept;
 
 /// Name of a thread state, e.g. "THR_WORK_STATE".
 std::string_view to_string(OMP_COLLECTOR_API_THR_STATE state) noexcept;
+
+/// Inverse lookups: the code whose to_string() equals `name`, or an empty
+/// optional for unrecognized names. Exhaustive round-tripping of these
+/// against to_string() is what keeps new codes from shipping nameless
+/// (collector_names_test).
+std::optional<OMP_COLLECTORAPI_REQUEST> request_from_name(
+    std::string_view name) noexcept;
+std::optional<OMP_COLLECTORAPI_EC> errcode_from_name(
+    std::string_view name) noexcept;
+std::optional<OMP_COLLECTORAPI_EVENT> event_from_name(
+    std::string_view name) noexcept;
+std::optional<OMP_COLLECTOR_API_THR_STATE> state_from_name(
+    std::string_view name) noexcept;
 
 /// True for the states that carry a wait id (barrier / lock / critical /
 /// ordered / atomic waits) in the OMP_REQ_STATE reply.

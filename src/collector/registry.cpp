@@ -2,6 +2,9 @@
 
 #include <mutex>
 
+#include "common/clock.hpp"
+#include "telemetry/telemetry.hpp"
+
 namespace orca::collector {
 namespace {
 
@@ -37,6 +40,8 @@ Registry::~Registry() {
 
 void Registry::publish_locked() noexcept {
   ORCA_FAULT_POINT(kGenerationPublish);
+  const std::uint64_t publish_begin =
+      telemetry::timeline_armed() ? SteadyClock::now() : 0;
   const bool live = initialized_.load(std::memory_order_relaxed) &&
                     !paused_.load(std::memory_order_relaxed);
   auto* next = new Generation;
@@ -47,6 +52,7 @@ void Registry::publish_locked() noexcept {
   const Generation* old = published_.load(std::memory_order_relaxed);
   armed_mask_.store(next->mask, std::memory_order_release);
   published_.store(next, std::memory_order_seq_cst);
+  if (telemetry::metrics_armed()) old->retired_at_ns = SteadyClock::now();
   retired_.push_back(old);
 
   // Broadcast the new effective mask to every cache node. Publication is
@@ -62,10 +68,24 @@ void Registry::publish_locked() noexcept {
   }
 
   scan_retired_locked();
+
+  telemetry::count(telemetry::Counter::kGenerationsPublished);
+  if (publish_begin != 0) {
+    const auto id = static_cast<std::uint32_t>(next->id);
+    telemetry::record_span_at(publish_begin,
+                              telemetry::SpanKind::kGenerationPublish,
+                              telemetry::Phase::kBegin, id);
+    telemetry::record_span(telemetry::SpanKind::kGenerationPublish,
+                           telemetry::Phase::kEnd, id);
+  }
 }
 
 void Registry::scan_retired_locked() noexcept {
   ORCA_FAULT_POINT(kGenerationRetire);
+  const std::uint64_t sweep_begin =
+      telemetry::timeline_armed() || telemetry::metrics_armed()
+          ? SteadyClock::now()
+          : 0;
   auto pinned = [this](const Generation* g) noexcept {
     for (const EmitterCache& node : nodes_) {
       if (node.held_.load(std::memory_order_seq_cst) == g) return true;
@@ -76,14 +96,31 @@ void Registry::scan_retired_locked() noexcept {
     return false;
   };
   std::size_t keep = 0;
+  std::uint64_t freed = 0;
   for (const Generation* g : retired_) {
     if (pinned(g)) {
       retired_[keep++] = g;  // grace period still open: someone pins it
     } else {
+      if (g->retired_at_ns != 0 && sweep_begin > g->retired_at_ns) {
+        telemetry::observe(telemetry::Histogram::kRetireLatencyNs,
+                           sweep_begin - g->retired_at_ns);
+      }
       delete g;
+      ++freed;
     }
   }
   retired_.resize(keep);
+  if (freed > 0) {
+    telemetry::count(telemetry::Counter::kGenerationsRetired, freed);
+    const auto arg = static_cast<std::uint32_t>(freed);
+    if (sweep_begin != 0) {
+      telemetry::record_span_at(sweep_begin,
+                                telemetry::SpanKind::kGenerationRetire,
+                                telemetry::Phase::kBegin, arg);
+      telemetry::record_span(telemetry::SpanKind::kGenerationRetire,
+                             telemetry::Phase::kEnd, arg);
+    }
+  }
 }
 
 OMP_COLLECTORAPI_EC Registry::start() noexcept {

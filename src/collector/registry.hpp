@@ -88,6 +88,10 @@ struct Generation {
   std::uint64_t id = 0;
   std::uint64_t mask = 0;
   std::array<OMP_COLLECTORAPI_CALLBACK, ORCA_EVENT_EXT_LAST> fn{};
+  /// Telemetry stamp: when this generation was superseded (0 = never
+  /// stamped, metrics disarmed). Mutable because the retired list holds
+  /// const pointers — the stamp is bookkeeping, not table state.
+  mutable std::uint64_t retired_at_ns = 0;
 };
 
 /// Per-emitter cached admission state: a 64-bit effective event mask plus a

@@ -1,6 +1,8 @@
 #include "runtime/config.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "common/env.hpp"
@@ -69,6 +71,27 @@ EventBackpressure RuntimeConfig::parse_backpressure(
   return fallback;
 }
 
+bool RuntimeConfig::parse_telemetry_mode(const std::string& text,
+                                         bool* timeline, bool* metrics) {
+  const std::string s = ascii_lower(text);
+  if (s == "off" || s == "none" || s == "0") {
+    *timeline = false;
+    *metrics = false;
+  } else if (s == "metrics") {
+    *timeline = false;
+    *metrics = true;
+  } else if (s == "timeline") {
+    *timeline = true;
+    *metrics = false;
+  } else if (s == "full" || s == "on" || s == "1") {
+    *timeline = true;
+    *metrics = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 RuntimeConfig RuntimeConfig::from_env() {
   RuntimeConfig cfg;
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
@@ -96,6 +119,37 @@ RuntimeConfig RuntimeConfig::from_env() {
   }
   if (const auto sched = env::get("OMP_SCHEDULE")) {
     cfg.runtime_schedule = parse_schedule(*sched);
+  }
+  // Telemetry knobs warn-and-default instead of silently falling back: a
+  // profiling run with a typo'd mode would otherwise record nothing and
+  // look like a runtime bug.
+  if (const auto mode = env::get("ORCA_TELEMETRY")) {
+    if (!parse_telemetry_mode(*mode, &cfg.telemetry_timeline,
+                              &cfg.telemetry_metrics)) {
+      std::fprintf(stderr,
+                   "ORCA: ignoring invalid ORCA_TELEMETRY=\"%s\" "
+                   "(expected off|metrics|timeline|full); telemetry stays "
+                   "off\n",
+                   mode->c_str());
+    }
+  }
+  if (const auto ring = env::get("ORCA_TELEMETRY_RING")) {
+    char* end = nullptr;
+    const long records = std::strtol(ring->c_str(), &end, 10);
+    if (end == ring->c_str() || *end != '\0' || records <= 0) {
+      std::fprintf(stderr,
+                   "ORCA: ignoring invalid ORCA_TELEMETRY_RING=\"%s\" "
+                   "(expected a positive record count); keeping %zu\n",
+                   ring->c_str(), cfg.telemetry_ring_capacity);
+    } else {
+      cfg.telemetry_ring_capacity = static_cast<std::size_t>(records);
+    }
+  }
+  if (const auto report = env::get("ORCA_TELEMETRY_REPORT")) {
+    cfg.telemetry_report = *report;
+  }
+  if (const auto trace = env::get("ORCA_TELEMETRY_TRACE")) {
+    cfg.telemetry_trace = *trace;
   }
   return cfg;
 }

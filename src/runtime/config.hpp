@@ -88,6 +88,28 @@ struct RuntimeConfig {
   /// (ORCA_EVENT_BACKPRESSURE=block|drop_newest|overwrite_oldest).
   EventBackpressure event_backpressure = EventBackpressure::kBlock;
 
+  /// Record per-thread state/span timelines into the telemetry rings
+  /// (ORCA_TELEMETRY=timeline|full). Off by default: the disarmed cost is
+  /// one relaxed load per hook.
+  bool telemetry_timeline = false;
+
+  /// Maintain the sharded self-telemetry metrics registry
+  /// (ORCA_TELEMETRY=metrics|full).
+  bool telemetry_metrics = false;
+
+  /// Per-thread timeline ring capacity in 16-byte records, rounded up to a
+  /// power of two (ORCA_TELEMETRY_RING). Only meaningful with the timeline
+  /// armed.
+  std::size_t telemetry_ring_capacity = 4096;
+
+  /// Where the human-readable telemetry report goes at runtime shutdown:
+  /// "stderr", a file path, or empty for no report (ORCA_TELEMETRY_REPORT).
+  std::string telemetry_report;
+
+  /// Chrome/Perfetto trace_event JSON written at runtime shutdown; empty
+  /// for no trace (ORCA_TELEMETRY_TRACE).
+  std::string telemetry_trace;
+
   /// Schedule applied when a loop asks for Schedule::kRuntime.
   ScheduleSpec runtime_schedule{};
 
@@ -108,6 +130,13 @@ struct RuntimeConfig {
   /// "overwrite_oldest"). Unrecognized strings yield `fallback`.
   static EventBackpressure parse_backpressure(const std::string& text,
                                               EventBackpressure fallback);
+
+  /// Parse an ORCA_TELEMETRY mode string ("off" / "metrics" / "timeline" /
+  /// "full", case-insensitive) into the two arming flags. Returns false —
+  /// leaving the flags untouched — when the string is unrecognized, so the
+  /// caller can warn and keep its defaults.
+  static bool parse_telemetry_mode(const std::string& text, bool* timeline,
+                                   bool* metrics);
 };
 
 }  // namespace orca::rt

@@ -21,6 +21,7 @@
 #include "common/cacheline.hpp"
 #include "common/spinlock.hpp"
 #include "runtime/config.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace orca::collector {
 class EmitterCache;
@@ -88,6 +89,9 @@ struct ThreadDescriptor {
 
   void set_state(OMP_COLLECTOR_API_THR_STATE s) noexcept {
     state.store(static_cast<int>(s), std::memory_order_relaxed);
+    // Timeline piggyback on the paper's "one assignment per state" point:
+    // disarmed this is one relaxed load + branch on top of the store.
+    telemetry::record_state(static_cast<int>(s));
   }
   OMP_COLLECTOR_API_THR_STATE get_state() const noexcept {
     return static_cast<OMP_COLLECTOR_API_THR_STATE>(

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <mutex>
+#include <string>
 
+#include "telemetry/export.hpp"
+#include "telemetry/telemetry.hpp"
 #include "testing/fault_injection.hpp"
 
 namespace orca::rt {
@@ -90,6 +93,19 @@ Runtime::Runtime(RuntimeConfig cfg)
               cfg.per_thread_queues ? collector::QueuePolicy::kPerThread
                                     : collector::QueuePolicy::kGlobal) {
   config_.num_threads = std::clamp(config_.num_threads, 1, config_.max_threads);
+  // Arm self-telemetry before any state store or worker spawn so the very
+  // first transitions are captured. Reference-counted: the destructor
+  // disarms the same bits, so runtime-per-test storms compose.
+  if (config_.telemetry_timeline || config_.telemetry_metrics) {
+    if (config_.telemetry_timeline) {
+      telemetry::set_ring_capacity(config_.telemetry_ring_capacity);
+    }
+    telemetry_bits_ =
+        (config_.telemetry_timeline ? telemetry::kTimelineBit : 0) |
+        (config_.telemetry_metrics ? telemetry::kMetricsBit : 0);
+    telemetry::arm(telemetry_bits_);
+    telemetry::name_thread("master");
+  }
   serial_master_.gtid = 0;
   serial_master_.runtime = this;
   serial_master_.set_state(THR_SERIAL_STATE);
@@ -117,6 +133,15 @@ Runtime::~Runtime() {
   if (async_) async_->stop_and_join();
   registry_.release_emitter(serial_master_.emitter);
   registry_.release_emitter(parallel_master_.emitter);
+  // Export before disarming: workers and the drainer are quiescent, so the
+  // timeline/metric reads are exact.
+  if (telemetry_bits_ != 0) {
+    if (!config_.telemetry_trace.empty()) {
+      telemetry::write_chrome_trace(config_.telemetry_trace, {});
+    }
+    telemetry::shutdown_report(config_.telemetry_report);
+    telemetry::disarm(telemetry_bits_);
+  }
   if (tls_runtime == this) {
     tls_runtime = nullptr;
     tls_descriptor = nullptr;
@@ -188,6 +213,7 @@ void Runtime::quiesce_workers(int count) {
 void Runtime::worker_main(Worker& w) {
   tls_runtime = this;
   tls_descriptor = &w.desc;
+  telemetry::name_thread("worker-" + std::to_string(w.desc.gtid));
   // Creation complete: the slave parks between regions in the idle state
   // (paper IV-C1: "as soon as the threads are created, they are set to be
   // in the THR_IDLE_STATE and OMP_EVENT_THR_BEGIN_IDLE triggers").
@@ -265,12 +291,16 @@ void Runtime::fork(Microtask fn, void* frame, int num_threads) {
   // Conceptually every parallel region forks, even when the runtime only
   // wakes sleeping threads; the event precedes thread creation/wake-up.
   registry_.fire(OMP_EVENT_FORK, caller->emitter);
+  telemetry::count(telemetry::Counter::kForks);
 
   ensure_pool(n - 1);
   quiesce_workers(static_cast<int>(workers_.size()));
 
   const auto rid =
       static_cast<unsigned long>(next_region_id_.fetch_add(1, std::memory_order_relaxed));
+  telemetry::record_span(telemetry::SpanKind::kParallelRegion,
+                         telemetry::Phase::kBegin,
+                         static_cast<std::uint32_t>(rid));
   team_.reset_for_region(rid, 0UL, n, fn, frame);
   {
     std::scoped_lock lk(regions_mu_);
@@ -301,6 +331,10 @@ void Runtime::fork(Microtask fn, void* frame, int num_threads) {
   // the end of the parallel region" (paper IV-C1).
   parallel_master_.set_state(THR_OVHD_STATE);
   registry_.fire(OMP_EVENT_JOIN, parallel_master_.emitter);
+  telemetry::count(telemetry::Counter::kJoins);
+  telemetry::record_span(telemetry::SpanKind::kParallelRegion,
+                         telemetry::Phase::kEnd,
+                         static_cast<std::uint32_t>(rid));
   parallel_master_.team = nullptr;
   tls_descriptor = prev_tls;
   serial_master_.set_state(THR_SERIAL_STATE);
@@ -342,6 +376,7 @@ void Runtime::fork_nested(ThreadDescriptor& parent, Microtask fn, void* frame,
   // Future-work behaviour the paper sketches: "a fork event will be
   // generated whenever we create a nested parallel region".
   registry_.fire(OMP_EVENT_FORK, parent.emitter);
+  telemetry::count(telemetry::Counter::kForks);
 
   auto team = std::make_unique<TeamDescriptor>();
   team->runtime = this;
@@ -402,6 +437,7 @@ void Runtime::fork_nested(ThreadDescriptor& parent, Microtask fn, void* frame,
 
   parent.set_state(THR_OVHD_STATE);
   registry_.fire(OMP_EVENT_JOIN, parent.emitter);
+  telemetry::count(telemetry::Counter::kJoins);
 
   parent.team = prev_team;
   parent.tid_in_team = prev_tid;
@@ -557,6 +593,50 @@ OMP_COLLECTORAPI_EC Runtime::provider_event_stats(void* ctx,
   return OMP_ERRCODE_OK;
 }
 
+OMP_COLLECTORAPI_EC Runtime::provider_telemetry_snapshot(
+    void* ctx, orca_telemetry_snapshot* out) {
+  auto& rt = *static_cast<Runtime*>(ctx);
+  // Deterministic per *this runtime's* configuration, not the volatile
+  // global armed mask: another runtime arming telemetry concurrently must
+  // not flip this answer (the conformance model mirrors the config).
+  if (!rt.config_.telemetry_timeline && !rt.config_.telemetry_metrics) {
+    return OMP_ERRCODE_UNSUPPORTED;
+  }
+  const telemetry::MetricsView m = telemetry::metrics();
+  const auto counter = [&m](telemetry::Counter c) {
+    return static_cast<unsigned long long>(
+        m.counters[static_cast<std::size_t>(c)]);
+  };
+  const auto gauge = [&m](telemetry::Gauge g) {
+    return static_cast<unsigned long long>(
+        m.gauges[static_cast<std::size_t>(g)]);
+  };
+  out->armed_mask = m.armed;
+  out->threads_tracked = m.threads_tracked;
+  out->timeline_records = m.timeline_records;
+  out->timeline_dropped = counter(telemetry::Counter::kTimelineOverwrites);
+  out->forks = counter(telemetry::Counter::kForks);
+  out->joins = counter(telemetry::Counter::kJoins);
+  out->barrier_waits = counter(telemetry::Counter::kBarrierWaits);
+  out->barrier_wait_ns =
+      m.histograms[static_cast<std::size_t>(
+                       telemetry::Histogram::kBarrierWaitNs)]
+          .sum_ns;
+  out->tasks_executed = counter(telemetry::Counter::kTasksExecuted);
+  out->task_queue_depth_hwm = gauge(telemetry::Gauge::kTaskQueueDepth);
+  out->ring_enqueue_stalls = counter(telemetry::Counter::kRingEnqueueStalls);
+  out->ring_occupancy_hwm = gauge(telemetry::Gauge::kRingOccupancy);
+  out->callback_failures = counter(telemetry::Counter::kCallbackFailures);
+  out->generations_published =
+      counter(telemetry::Counter::kGenerationsPublished);
+  out->generations_retired = counter(telemetry::Counter::kGenerationsRetired);
+  out->retire_latency_ns_max =
+      m.histograms[static_cast<std::size_t>(
+                       telemetry::Histogram::kRetireLatencyNs)]
+          .max_ns;
+  return OMP_ERRCODE_OK;
+}
+
 bool Runtime::async_sink(void* ctx, OMP_COLLECTORAPI_EVENT event) noexcept {
   auto& rt = *static_cast<Runtime*>(ctx);
   collector::AsyncDispatcher* async = rt.async_.get();
@@ -579,6 +659,7 @@ int Runtime::collector_api(void* arg) {
       this,
       &Runtime::provider_lifecycle,
       &Runtime::provider_event_stats,
+      &Runtime::provider_telemetry_snapshot,
   };
   return collector::process_messages(registry_, queues_, providers, arg);
 }

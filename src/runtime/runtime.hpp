@@ -275,12 +275,20 @@ class Runtime {
                                  int before, OMP_COLLECTORAPI_EC ec);
   static OMP_COLLECTORAPI_EC provider_event_stats(void* ctx,
                                                   orca_event_stats* out);
+  static OMP_COLLECTORAPI_EC provider_telemetry_snapshot(
+      void* ctx, orca_telemetry_snapshot* out);
 
   /// Registry::AsyncSink trampoline: enqueue an admitted event on the
   /// calling thread's ring.
   static bool async_sink(void* ctx, OMP_COLLECTORAPI_EVENT event) noexcept;
 
   RuntimeConfig config_;
+
+  /// Telemetry bits this instance armed at construction (0 = none); the
+  /// destructor disarms exactly these, so concurrently-live runtimes with
+  /// different configs compose through the refcounted global mask.
+  std::uint64_t telemetry_bits_ = 0;
+
   collector::Registry registry_;
   collector::RequestQueues queues_;
 

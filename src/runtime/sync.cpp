@@ -1,6 +1,8 @@
 #include <mutex>
 
+#include "common/clock.hpp"
 #include "runtime/runtime.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace orca::rt {
 
@@ -28,7 +30,16 @@ void barrier_common(Runtime& rt, ThreadDescriptor& td, unsigned long& wait_id) {
   const auto prev = td.get_state();
   td.set_state(State);
   rt.event(td, Begin);
+  // Self-telemetry: time the arrive..release window. The clock reads are
+  // gated so a metrics-disarmed barrier pays only the relaxed-load checks.
+  const std::uint64_t wait_begin =
+      telemetry::metrics_armed() ? SteadyClock::now() : 0;
   if (td.team != nullptr) td.team->barrier.arrive_and_wait();
+  if (wait_begin != 0) {
+    telemetry::count(telemetry::Counter::kBarrierWaits);
+    telemetry::observe(telemetry::Histogram::kBarrierWaitNs,
+                       SteadyClock::now() - wait_begin);
+  }
   // Departing a barrier is a natural quiescent point: every thread passes
   // here between regions/phases, so re-pin the emitter cache before the
   // END event fires.

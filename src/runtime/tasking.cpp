@@ -18,6 +18,7 @@
 #include <mutex>
 
 #include "runtime/runtime.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace orca::rt {
 namespace {
@@ -43,11 +44,15 @@ void Runtime::task_spawn(ThreadDescriptor& td, std::function<void()> body) {
   std::atomic<int>& parent = children_counter(td);
   parent.fetch_add(1, std::memory_order_acq_rel);
   team->tasks_in_flight.fetch_add(1, std::memory_order_acq_rel);
+  std::size_t depth = 0;
   {
     std::scoped_lock lk(team->task_mu);
     team->task_queue.push_back(
         TeamDescriptor::TaskFrame{std::move(body), &parent});
+    depth = team->task_queue.size();
   }
+  telemetry::count(telemetry::Counter::kTasksSpawned);
+  telemetry::gauge_max(telemetry::Gauge::kTaskQueueDepth, depth);
 }
 
 bool Runtime::execute_pending_task(ThreadDescriptor& td) {
@@ -79,6 +84,7 @@ bool Runtime::execute_pending_task(ThreadDescriptor& td) {
     }
   }
   registry_.fire(ORCA_EVENT_TASK_END, td.emitter);
+  telemetry::count(telemetry::Counter::kTasksExecuted);
 
   td.task_children = prev_children;
   // Completion order matters: the parent's counter may only drop after

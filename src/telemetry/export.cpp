@@ -1,0 +1,280 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/strutil.hpp"
+
+namespace orca::telemetry {
+namespace {
+
+/// Escape a string for a JSON string literal (control chars, quote, slash).
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (const char ch : in) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += strfmt("\\u%04x", ch);
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+/// Microsecond timestamp for trace_event, relative to `base` ns.
+double to_us(std::uint64_t ns, std::uint64_t base) {
+  return static_cast<double>(ns - base) / 1000.0;
+}
+
+struct TraceWriter {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+
+  void add(const std::string& event_json) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\n";
+    out += event_json;
+  }
+
+  std::string finish() {
+    out += "\n]}\n";
+    return std::move(out);
+  }
+};
+
+void add_metadata(TraceWriter& w, int tid, const std::string& thread_name) {
+  w.add(strfmt("{\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+               "\"name\":\"thread_name\",\"args\":{\"name\":\"%s\"}}",
+               tid, json_escape(thread_name).c_str()));
+}
+
+void add_complete(TraceWriter& w, int tid, const std::string& name,
+                  const char* cat, std::uint64_t begin_ns,
+                  std::uint64_t end_ns, std::uint64_t base) {
+  const std::uint64_t dur = end_ns > begin_ns ? end_ns - begin_ns : 0;
+  w.add(strfmt("{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\","
+               "\"cat\":\"%s\",\"ts\":%.3f,\"dur\":%.3f}",
+               tid, json_escape(name).c_str(), cat, to_us(begin_ns, base),
+               static_cast<double>(dur) / 1000.0));
+}
+
+void add_instant(TraceWriter& w, int tid, const std::string& name,
+                 const char* cat, std::uint64_t ns, std::uint64_t base) {
+  w.add(strfmt("{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"name\":\"%s\","
+               "\"cat\":\"%s\",\"ts\":%.3f,\"s\":\"t\"}",
+               tid, json_escape(name).c_str(), cat, to_us(ns, base)));
+}
+
+/// A span kind in flight (open B waiting for its E).
+struct OpenSpan {
+  std::uint64_t begin_ns = 0;
+  std::uint32_t arg = 0;
+};
+
+bool plausible_record(const TimelineRecord& rec) {
+  // Torn or zeroed cells decode to out-of-range kinds/phases; drop them.
+  return static_cast<std::uint16_t>(rec.kind) <=
+             static_cast<std::uint16_t>(SpanKind::kParallelRegion) &&
+         static_cast<std::uint8_t>(rec.phase) <= 2 && rec.ns != 0;
+}
+
+}  // namespace
+
+std::string render_chrome_trace(const std::vector<ExternalEvent>& extra) {
+  const std::vector<ThreadTimeline> threads = timelines();
+
+  // Base timestamp: the earliest nanosecond anywhere, so the trace starts
+  // near t=0 and double microseconds keep full precision.
+  std::uint64_t base = std::numeric_limits<std::uint64_t>::max();
+  for (const ThreadTimeline& t : threads) {
+    for (const TimelineRecord& rec : t.records) {
+      if (plausible_record(rec)) base = std::min(base, rec.ns);
+    }
+  }
+  for (const ExternalEvent& e : extra) {
+    if (e.ns != 0) base = std::min(base, e.ns);
+  }
+  if (base == std::numeric_limits<std::uint64_t>::max()) base = 0;
+
+  TraceWriter w;
+  w.add("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+        "\"args\":{\"name\":\"orca-runtime\"}}");
+
+  constexpr int kExternalTid = 999;
+  bool external_track = false;
+  for (const ExternalEvent& e : extra) {
+    if (e.tid < 0) external_track = true;
+  }
+  if (external_track) add_metadata(w, kExternalTid, "external");
+
+  for (const ThreadTimeline& t : threads) {
+    add_metadata(w, t.tid, t.name.empty() ? strfmt("thread-%d", t.tid)
+                                          : t.name);
+
+    std::uint64_t last_ns = 0;
+    for (const TimelineRecord& rec : t.records) {
+      if (plausible_record(rec)) last_ns = std::max(last_ns, rec.ns);
+    }
+
+    // Pass 1: state instants become wall-to-wall X spans: each state runs
+    // until the next state record on the same thread (the final state is
+    // closed at the thread's last timestamp).
+    const TimelineRecord* prev_state = nullptr;
+    for (const TimelineRecord& rec : t.records) {
+      if (!plausible_record(rec) || rec.kind != SpanKind::kState) continue;
+      if (prev_state != nullptr) {
+        add_complete(w, t.tid, state_name(static_cast<int>(prev_state->arg)),
+                     "thread-state", prev_state->ns, rec.ns, base);
+      }
+      prev_state = &rec;
+    }
+    if (prev_state != nullptr) {
+      add_complete(w, t.tid, state_name(static_cast<int>(prev_state->arg)),
+                   "thread-state", prev_state->ns,
+                   std::max(last_ns, prev_state->ns), base);
+    }
+
+    // Pass 2: explicit B/E pairs become X spans; a lone E (its B was
+    // overwritten) is dropped, a lone B (span still open, or its E lost to
+    // wraparound) becomes an instant marker.
+    OpenSpan open[6];
+    bool is_open[6] = {};
+    for (const TimelineRecord& rec : t.records) {
+      if (!plausible_record(rec) || rec.kind == SpanKind::kState) continue;
+      const auto k = static_cast<std::size_t>(rec.kind);
+      if (rec.phase == Phase::kBegin) {
+        if (is_open[k]) {
+          add_instant(w, t.tid, span_name(rec.kind), "runtime-internal",
+                      open[k].begin_ns, base);
+        }
+        open[k] = OpenSpan{rec.ns, rec.arg};
+        is_open[k] = true;
+      } else if (rec.phase == Phase::kEnd) {
+        if (!is_open[k]) continue;
+        add_complete(w, t.tid, span_name(rec.kind), "runtime-internal",
+                     open[k].begin_ns, rec.ns, base);
+        is_open[k] = false;
+      } else {
+        add_instant(w, t.tid, span_name(rec.kind), "runtime-internal",
+                    rec.ns, base);
+      }
+    }
+    for (std::size_t k = 0; k < 6; ++k) {
+      if (is_open[k]) {
+        add_instant(w, t.tid, span_name(static_cast<SpanKind>(k)),
+                    "runtime-internal", open[k].begin_ns, base);
+      }
+    }
+  }
+
+  for (const ExternalEvent& e : extra) {
+    const int tid = e.tid < 0 ? kExternalTid : e.tid;
+    const char* cat = e.category.empty() ? "external" : e.category.c_str();
+    if (e.dur_ns > 0) {
+      add_complete(w, tid, e.name, cat, e.ns, e.ns + e.dur_ns, base);
+    } else {
+      add_instant(w, tid, e.name, cat, e.ns, base);
+    }
+  }
+
+  return w.finish();
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<ExternalEvent>& extra) {
+  const std::string json = render_chrome_trace(extra);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = written == json.size() && std::fclose(f) == 0;
+  if (!ok && written != json.size()) std::fclose(f);
+  return ok;
+}
+
+std::string render_text_report() {
+  const MetricsView view = metrics();
+  std::string out = "== ORCA telemetry report ==\n";
+  out += strfmt("armed: timeline=%d metrics=%d  threads tracked: %llu  "
+                "timeline records held: %llu\n\n",
+                (view.armed & kTimelineBit) != 0 ? 1 : 0,
+                (view.armed & kMetricsBit) != 0 ? 1 : 0,
+                static_cast<unsigned long long>(view.threads_tracked),
+                static_cast<unsigned long long>(view.timeline_records));
+
+  TextTable counters({"counter", "value"});
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    counters.add_row({counter_name(static_cast<Counter>(i)),
+                      strfmt("%llu", static_cast<unsigned long long>(
+                                         view.counters[i]))});
+  }
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    counters.add_row({gauge_name(static_cast<Gauge>(i)),
+                      strfmt("%llu", static_cast<unsigned long long>(
+                                         view.gauges[i]))});
+  }
+  out += counters.render();
+
+  TextTable hists({"histogram", "count", "mean ns", "p50 ns", "p99 ns",
+                   "max ns"});
+  for (std::size_t i = 0; i < kHistogramCount; ++i) {
+    const HistogramView& h = view.histograms[i];
+    const double mean =
+        h.count > 0 ? static_cast<double>(h.sum_ns) /
+                          static_cast<double>(h.count)
+                    : 0.0;
+    hists.add_row({histogram_name(static_cast<Histogram>(i)),
+                   strfmt("%llu", static_cast<unsigned long long>(h.count)),
+                   strfmt("%.0f", mean), strfmt("%.0f", h.quantile(0.5)),
+                   strfmt("%.0f", h.quantile(0.99)),
+                   strfmt("%llu", static_cast<unsigned long long>(h.max_ns))});
+  }
+  out += "\n";
+  out += hists.render();
+
+  const std::vector<ThreadTimeline> threads = timelines();
+  if (!threads.empty()) {
+    TextTable tl({"tid", "thread", "records", "overwritten"});
+    for (const ThreadTimeline& t : threads) {
+      tl.add_row({strfmt("%d", t.tid), t.name,
+                  strfmt("%zu", t.records.size()),
+                  strfmt("%llu",
+                         static_cast<unsigned long long>(t.overwritten))});
+    }
+    out += "\n";
+    out += tl.render();
+  }
+  return out;
+}
+
+void shutdown_report(const std::string& destination) {
+  if (destination.empty()) return;
+  const std::string report = render_text_report();
+  if (destination == "stderr") {
+    std::fputs(report.c_str(), stderr);
+    return;
+  }
+  std::FILE* f = std::fopen(destination.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr,
+                 "ORCA: cannot open ORCA_TELEMETRY_REPORT path \"%s\"; "
+                 "writing report to stderr instead\n",
+                 destination.c_str());
+    std::fputs(report.c_str(), stderr);
+    return;
+  }
+  std::fwrite(report.data(), 1, report.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace orca::telemetry

@@ -1,0 +1,47 @@
+/// \file export.hpp
+/// Telemetry exporters: Chrome/Perfetto `trace_event` JSON (load the file
+/// in https://ui.perfetto.dev or chrome://tracing) and a human-readable
+/// text report for `ORCA_TELEMETRY_REPORT=stderr|<path>` at shutdown.
+///
+/// Higher layers (the collector tool, examples) merge their own streams —
+/// ORA collector events, perf callstack samples — into the trace by
+/// converting them to `ExternalEvent`s; this module stays dependent on
+/// `src/common` only, so both the collector and the runtime can link it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace orca::telemetry {
+
+/// An event contributed by another subsystem (collector event trace, perf
+/// callstack sample, ...) to merge into the exported timeline.
+struct ExternalEvent {
+  std::uint64_t ns = 0;      ///< SteadyClock timestamp
+  std::uint64_t dur_ns = 0;  ///< 0 => instant marker, else a complete span
+  int tid = -1;              ///< telemetry slot id; -1 => "external" track
+  std::string name;
+  std::string category;      ///< trace_event "cat", e.g. "collector"
+};
+
+/// Render the current telemetry state (all thread timelines + any extra
+/// streams) as Chrome `trace_event` JSON: one process, one track per
+/// thread with `thread_name` metadata, complete (`X`) spans for states and
+/// internal spans, instant (`i`) markers for unpaired points.
+std::string render_chrome_trace(const std::vector<ExternalEvent>& extra = {});
+
+/// Write render_chrome_trace() to `path`; false on I/O failure.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<ExternalEvent>& extra = {});
+
+/// Human-readable metric catalog + per-thread timeline summary.
+std::string render_text_report();
+
+/// Emit render_text_report() to `destination`: "stderr", or a file path.
+/// Empty destination is a no-op.
+void shutdown_report(const std::string& destination);
+
+}  // namespace orca::telemetry

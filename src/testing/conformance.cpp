@@ -44,6 +44,8 @@ constexpr std::size_t kStateCap =
     encoded_capacity(sizeof(int) + sizeof(unsigned long));
 constexpr std::size_t kPridCap = encoded_capacity(sizeof(unsigned long));
 constexpr std::size_t kStatsCap = encoded_capacity(sizeof(orca_event_stats));
+constexpr std::size_t kTelemetryCap =
+    encoded_capacity(sizeof(orca_telemetry_snapshot));
 
 /// One driver step: either a request batch sent through one API call, or a
 /// bare event firing (exercises PAUSE gating and async flush edges without
@@ -95,6 +97,13 @@ void encode(MessageBuilder& msg, const ModelRequest& r) {
         msg.add(r.kind, r.capacity);
       }
       return;
+    case ORCA_REQ_TELEMETRY_SNAPSHOT:
+      if (r.capacity >= kTelemetryCap) {
+        msg.add_telemetry_query();
+      } else {
+        msg.add(r.kind, r.capacity);
+      }
+      return;
     default:
       msg.add(r.kind, r.capacity);
       return;
@@ -112,7 +121,7 @@ constexpr OMP_COLLECTORAPI_EVENT kSupportedEvents[] = {
 };
 constexpr int kInvalidEvents[] = {0, -3, OMP_EVENT_LAST,
                                   ORCA_EVENT_EXT_LAST + 14};
-constexpr int kUnknownKinds[] = {OMP_REQ_LAST, 11, 15, 17, -2, 1000};
+constexpr int kUnknownKinds[] = {OMP_REQ_LAST, 11, 15, 18, -2, 1000};
 
 /// Draw one random request from the weighted protocol mix.
 ModelRequest random_request(SplitMix64& rng) {
@@ -177,12 +186,18 @@ ModelRequest random_request(SplitMix64& rng) {
     r.kind = (rng.next() & 1) != 0 ? OMP_REQ_CURRENT_PRID
                                    : OMP_REQ_PARENT_PRID;
     r.capacity = 0;
-  } else if (roll < 89) {
+  } else if (roll < 87) {
     r.kind = ORCA_REQ_EVENT_STATS;
     r.capacity = kStatsCap;
-  } else if (roll < 91) {  // stats reply cannot fit
+  } else if (roll < 89) {  // stats reply cannot fit
     r.kind = ORCA_REQ_EVENT_STATS;
     r.capacity = 8;
+  } else if (roll < 92) {
+    r.kind = ORCA_REQ_TELEMETRY_SNAPSHOT;
+    r.capacity = kTelemetryCap;
+  } else if (roll < 94) {  // telemetry reply cannot fit
+    r.kind = ORCA_REQ_TELEMETRY_SNAPSHOT;
+    r.capacity = (rng.next() & 1) != 0 ? 16 : 0;
   } else {  // unknown request kinds
     r.kind = kUnknownKinds[rng.next() % std::size(kUnknownKinds)];
     r.capacity = (rng.next() & 1) != 0 ? 16 : 0;
@@ -217,6 +232,7 @@ RuntimeConfig runtime_config(const ConformanceOptions& opt) {
   cfg.num_threads = 2;
   cfg.tasking = true;        // task extension events registerable
   cfg.atomic_events = false; // ATWT pair stays the UNSUPPORTED probe
+  cfg.telemetry_metrics = true;  // TELEMETRY_SNAPSHOT answers with data
   if (opt.async_delivery) {
     cfg.event_delivery = rt::EventDelivery::kAsync;
     cfg.event_backpressure = opt.backpressure;
@@ -245,6 +261,12 @@ collector::EventCapabilities model_capabilities(const RuntimeConfig& cfg) {
 /// is answered with counters only when the async delivery engine exists.
 bool stats_supported(const RuntimeConfig& cfg) {
   return cfg.event_delivery == rt::EventDelivery::kAsync;
+}
+
+/// Model-side mirror of the TELEMETRY_SNAPSHOT support decision: the
+/// runtime answers with a snapshot iff its own config armed either bit.
+bool telemetry_supported(const RuntimeConfig& cfg) {
+  return cfg.telemetry_metrics || cfg.telemetry_timeline;
 }
 
 struct Divergence {
@@ -301,7 +323,8 @@ std::optional<Divergence> replay(const ConformanceOptions& opt,
                                  const std::vector<Action>& seq) {
   const RuntimeConfig cfg = runtime_config(opt);
   Runtime rt(cfg);
-  ProtocolModel model(model_capabilities(cfg), stats_supported(cfg));
+  ProtocolModel model(model_capabilities(cfg), stats_supported(cfg),
+                      telemetry_supported(cfg));
   return run_sequence(rt, model, seq, nullptr);
 }
 
@@ -387,7 +410,8 @@ ConformanceReport run_single_threaded(const ConformanceOptions& opt) {
   const RuntimeConfig cfg = runtime_config(opt);
 
   std::unique_ptr<Runtime> rt;
-  ProtocolModel model(model_capabilities(cfg), stats_supported(cfg));
+  ProtocolModel model(model_capabilities(cfg), stats_supported(cfg),
+                      telemetry_supported(cfg));
   for (int s = 0; s < opt.sequences; ++s) {
     if (!rt || (opt.runtime_recycle > 0 && s % opt.runtime_recycle == 0)) {
       rt = std::make_unique<Runtime>(cfg);
@@ -417,7 +441,8 @@ ConformanceReport run_multi_threaded(const ConformanceOptions& opt) {
   ConformanceReport report;
   report.seed = opt.seed;
   const RuntimeConfig cfg = runtime_config(opt);
-  const ProtocolModel model(model_capabilities(cfg), stats_supported(cfg));
+  const ProtocolModel model(model_capabilities(cfg), stats_supported(cfg),
+                            telemetry_supported(cfg));
 
   std::mutex failure_mu;
   for (int round = 0; round < opt.sequences && report.ok; ++round) {

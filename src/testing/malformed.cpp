@@ -83,7 +83,7 @@ std::vector<char> serialize(const std::vector<PlannedRecord>& plan,
 
 constexpr int kLifecycleKinds[] = {OMP_REQ_START, OMP_REQ_STOP, OMP_REQ_PAUSE,
                                    OMP_REQ_RESUME};
-constexpr int kUnknownKinds[] = {OMP_REQ_LAST, 10, 12, 15, 17,
+constexpr int kUnknownKinds[] = {OMP_REQ_LAST, 10, 12, 15, 18,
                                  -1, -100, 9999};
 constexpr std::size_t kSmallCaps[] = {0, 1, 2, 4, 5, 8, 11, 12,
                                       16, 17, 24, 33, 48, 64};
@@ -112,8 +112,17 @@ PlannedRecord random_record(SplitMix64& rng) {
   } else if (roll < 80) {
     rec.kind = (rng.next() & 1) != 0 ? OMP_REQ_CURRENT_PRID
                                      : OMP_REQ_PARENT_PRID;
-  } else if (roll < 90) {
+  } else if (roll < 87) {
     rec.kind = ORCA_REQ_EVENT_STATS;
+  } else if (roll < 93) {
+    rec.kind = ORCA_REQ_TELEMETRY_SNAPSHOT;
+    if ((rng.next() & 1) != 0) {
+      // kSmallCaps never fits a snapshot; widen half the records so the
+      // capacity gate passes and the UNSUPPORTED answer is exercised too.
+      rec.sz = static_cast<int>(kRecordHeaderSize +
+                                sizeof(orca_telemetry_snapshot) +
+                                rng.next() % 32);
+    }
   } else {
     rec.kind = kUnknownKinds[rng.next() % std::size(kUnknownKinds)];
   }
@@ -247,8 +256,11 @@ MalformedReport run_malformed(const MalformedOptions& options) {
     caps.enable(ORCA_EVENT_TASK_BEGIN);
     caps.enable(ORCA_EVENT_TASK_END);
   }
-  // EVENT_STATS is UNSUPPORTED on sync-delivery runtimes (no async engine).
-  ProtocolModel model(caps, options.async_delivery);
+  // EVENT_STATS is UNSUPPORTED on sync-delivery runtimes (no async engine);
+  // TELEMETRY_SNAPSHOT is UNSUPPORTED because this config never arms
+  // telemetry — the fuzzer exercises the MEM_TOO_SMALL/UNSUPPORTED edges.
+  ProtocolModel model(caps, options.async_delivery,
+                      /*telemetry_supported=*/false);
 
   // Null buffer: the one malformation that is not even a record.
   if (rt.collector_api(nullptr) != -1) {

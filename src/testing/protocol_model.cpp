@@ -21,7 +21,7 @@ bool event_in_range(int event) noexcept {
 
 std::string describe(const ModelRequest& req) {
   // Guarded cast: only in-range values may become the enum for naming.
-  std::string out = req.kind >= 0 && req.kind <= ORCA_REQ_EVENT_STATS
+  std::string out = req.kind >= 0 && req.kind <= ORCA_REQ_TELEMETRY_SNAPSHOT
                         ? std::string(collector::to_string(
                               static_cast<OMP_COLLECTORAPI_REQUEST>(req.kind)))
                         : std::string("?");
@@ -101,6 +101,13 @@ OMP_COLLECTORAPI_EC ProtocolModel::apply_in(
       }
       return event_stats_supported_ ? OMP_ERRCODE_OK
                                     : OMP_ERRCODE_UNSUPPORTED;
+    case ORCA_REQ_TELEMETRY_SNAPSHOT:
+      // Same two-step contract as EVENT_STATS: capacity first, then the
+      // runtime's own configuration decides supported/unsupported.
+      if (req.capacity < sizeof(orca_telemetry_snapshot)) {
+        return OMP_ERRCODE_MEM_TOO_SMALL;
+      }
+      return telemetry_supported_ ? OMP_ERRCODE_OK : OMP_ERRCODE_UNSUPPORTED;
     default:
       return OMP_ERRCODE_UNKNOWN;
   }

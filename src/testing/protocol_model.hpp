@@ -58,12 +58,17 @@ class ProtocolModel {
   /// `event_stats_supported` mirrors the runtime configuration: true when
   /// async delivery is enabled (ORCA_EVENT_DELIVERY=async), false when the
   /// runtime answers ORCA_REQ_EVENT_STATS with UNSUPPORTED because no
-  /// delivery engine exists (sync mode).
+  /// delivery engine exists (sync mode). `telemetry_supported` mirrors it
+  /// for ORCA_REQ_TELEMETRY_SNAPSHOT: true when the runtime's config armed
+  /// either telemetry bit, false when the runtime answers UNSUPPORTED.
   explicit ProtocolModel(
       collector::EventCapabilities caps =
           collector::EventCapabilities::openuh_default(),
-      bool event_stats_supported = true) noexcept
-      : caps_(caps), event_stats_supported_(event_stats_supported) {}
+      bool event_stats_supported = true,
+      bool telemetry_supported = false) noexcept
+      : caps_(caps),
+        event_stats_supported_(event_stats_supported),
+        telemetry_supported_(telemetry_supported) {}
 
   /// Hard reset to the stopped state (what a successful STOP leaves).
   void reset() noexcept {
@@ -105,6 +110,7 @@ class ProtocolModel {
 
   collector::EventCapabilities caps_;
   bool event_stats_supported_ = true;
+  bool telemetry_supported_ = false;
   bool started_ = false;
   bool paused_ = false;
 };

@@ -154,6 +154,16 @@ Expected<orca_event_stats> Client::event_stats() const {
   return stats;
 }
 
+Expected<orca_telemetry_snapshot> Client::telemetry_snapshot() const {
+  MessageBuilder msg;
+  msg.add_telemetry_query();
+  if (api_(msg.buffer()) != 0) return OMP_ERRCODE_ERROR;
+  if (msg.errcode(0) != OMP_ERRCODE_OK) return msg.errcode(0);
+  orca_telemetry_snapshot snap = {};
+  if (!msg.reply_value(0, &snap)) return OMP_ERRCODE_ERROR;
+  return snap;
+}
+
 OMP_COLLECTORAPI_EC Client::register_event(OMP_COLLECTORAPI_EVENT event,
                                            OMP_COLLECTORAPI_CALLBACK cb)
     const {

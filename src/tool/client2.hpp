@@ -134,6 +134,10 @@ class Client {
   /// ORCA_REQ_EVENT_STATS. UNSUPPORTED on sync-delivery runtimes.
   Expected<orca_event_stats> event_stats() const;
 
+  /// ORCA_REQ_TELEMETRY_SNAPSHOT. UNSUPPORTED on runtimes whose config
+  /// never armed self-telemetry (ORCA_TELEMETRY=off, the default).
+  Expected<orca_telemetry_snapshot> telemetry_snapshot() const;
+
   // --- event registration --------------------------------------------------
 
   /// Raw-ABI registration: the caller guarantees `cb` outlives it.

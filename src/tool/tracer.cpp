@@ -21,6 +21,10 @@ void TracingCollector::record(int tid, std::uint64_t ticks,
   TraceEvent entry;
   entry.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   entry.ticks = ticks;
+  // Export timestamp in the telemetry clock domain (ticks may be TSC under
+  // async delivery). Under async this is delivery time, not origin time —
+  // honest for a merged trace, where the drainer IS when the tool saw it.
+  entry.ns = SteadyClock::now();
   entry.event = event;
   entry.tid = tid;
   Stage& stage = *stages_[tid >= 0 ? static_cast<std::size_t>(tid) % kStages
@@ -106,6 +110,26 @@ void TracingCollector::clear() {
     std::scoped_lock lk(stage.mu);
     stage.events.clear();
   }
+}
+
+std::vector<telemetry::ExternalEvent> TracingCollector::external_events()
+    const {
+  const std::vector<TraceEvent> snapshot = log();
+  std::vector<telemetry::ExternalEvent> out;
+  out.reserve(snapshot.size());
+  for (const TraceEvent& e : snapshot) {
+    telemetry::ExternalEvent ext;
+    ext.ns = e.ns;
+    ext.tid = e.tid;
+    ext.name = std::string(collector::to_string(e.event));
+    ext.category = "collector";
+    out.push_back(std::move(ext));
+  }
+  return out;
+}
+
+bool TracingCollector::write_chrome_trace(const std::string& path) const {
+  return telemetry::write_chrome_trace(path, external_events());
 }
 
 std::string TracingCollector::render() const {

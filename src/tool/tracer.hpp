@@ -22,6 +22,7 @@
 #include "collector/api.h"
 #include "common/cacheline.hpp"
 #include "common/spinlock.hpp"
+#include "telemetry/export.hpp"
 #include "tool/client2.hpp"
 
 namespace orca::tool {
@@ -30,6 +31,7 @@ namespace orca::tool {
 struct TraceEvent {
   std::uint64_t seq = 0;  ///< global arrival order across all stages
   std::uint64_t ticks = 0;
+  std::uint64_t ns = 0;   ///< SteadyClock stamp at record time (for export)
   OMP_COLLECTORAPI_EVENT event = OMP_EVENT_LAST;
   int tid = -1;
 };
@@ -63,6 +65,15 @@ class TracingCollector {
 
   /// Multi-line rendering: "tick  tid  EVENT_NAME" per entry.
   std::string render() const;
+
+  /// The log converted to telemetry ExternalEvents (instant markers,
+  /// category "collector", keyed by origin thread id) so collector events
+  /// merge onto the runtime's self-telemetry tracks in an exported trace.
+  std::vector<telemetry::ExternalEvent> external_events() const;
+
+  /// Write the merged Chrome/Perfetto trace — runtime telemetry timelines
+  /// plus this collector event log — to `path`. False on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
 
  private:
   /// Stripe count for the staging buffers. Thread ids map onto stripes

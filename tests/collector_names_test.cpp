@@ -1,0 +1,115 @@
+/// Exhaustive name round-trips for every ORA enum: to_string() must give
+/// each live code a unique real name, and *_from_name() must invert it.
+/// This is the test that keeps a newly added code (request, errcode,
+/// event, state) from shipping nameless or colliding — the inverse scans
+/// walk the full numeric range, so a missing switch case shows up here.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "collector/names.hpp"
+
+namespace {
+
+using namespace orca::collector;
+
+/// Every request code the protocol can answer by name: the sanctioned
+/// white-paper set plus the ORCA extensions.
+std::vector<OMP_COLLECTORAPI_REQUEST> all_requests() {
+  std::vector<OMP_COLLECTORAPI_REQUEST> out;
+  for (int code = OMP_REQ_START; code < OMP_REQ_LAST; ++code) {
+    out.push_back(static_cast<OMP_COLLECTORAPI_REQUEST>(code));
+  }
+  out.push_back(ORCA_REQ_EVENT_STATS);
+  out.push_back(ORCA_REQ_TELEMETRY_SNAPSHOT);
+  return out;
+}
+
+std::vector<OMP_COLLECTORAPI_EVENT> all_events() {
+  std::vector<OMP_COLLECTORAPI_EVENT> out;
+  for (int code = OMP_EVENT_FORK; code < OMP_EVENT_LAST; ++code) {
+    out.push_back(static_cast<OMP_COLLECTORAPI_EVENT>(code));
+  }
+  for (int code = ORCA_EVENT_TASK_BEGIN; code < ORCA_EVENT_EXT_LAST; ++code) {
+    out.push_back(static_cast<OMP_COLLECTORAPI_EVENT>(code));
+  }
+  return out;
+}
+
+TEST(CollectorNames, RequestRoundTripExhaustive) {
+  std::set<std::string> seen;
+  for (const OMP_COLLECTORAPI_REQUEST req : all_requests()) {
+    const std::string name(to_string(req));
+    EXPECT_NE(name, "?") << "request " << req << " has no name";
+    EXPECT_TRUE(seen.insert(name).second) << name << " is duplicated";
+    const auto back = request_from_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, req) << name;
+  }
+  EXPECT_EQ(seen.size(), all_requests().size());
+}
+
+TEST(CollectorNames, TelemetrySnapshotIsNamed) {
+  EXPECT_EQ(to_string(ORCA_REQ_TELEMETRY_SNAPSHOT),
+            "ORCA_REQ_TELEMETRY_SNAPSHOT");
+  const auto back = request_from_name("ORCA_REQ_TELEMETRY_SNAPSHOT");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, ORCA_REQ_TELEMETRY_SNAPSHOT);
+}
+
+TEST(CollectorNames, ErrcodeRoundTripExhaustive) {
+  std::set<std::string> seen;
+  for (int code = OMP_ERRCODE_OK; code <= OMP_ERRCODE_MEM_TOO_SMALL; ++code) {
+    const auto ec = static_cast<OMP_COLLECTORAPI_EC>(code);
+    const std::string name(to_string(ec));
+    EXPECT_NE(name, "?") << "errcode " << code << " has no name";
+    EXPECT_TRUE(seen.insert(name).second) << name << " is duplicated";
+    const auto back = errcode_from_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, ec) << name;
+  }
+}
+
+TEST(CollectorNames, EventRoundTripExhaustive) {
+  std::set<std::string> seen;
+  for (const OMP_COLLECTORAPI_EVENT event : all_events()) {
+    const std::string name(to_string(event));
+    EXPECT_NE(name, "?") << "event " << event << " has no name";
+    EXPECT_TRUE(seen.insert(name).second) << name << " is duplicated";
+    const auto back = event_from_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, event) << name;
+  }
+  EXPECT_EQ(seen.size(), all_events().size());
+}
+
+TEST(CollectorNames, StateRoundTripExhaustive) {
+  std::set<std::string> seen;
+  for (int code = THR_OVHD_STATE; code < THR_LAST_STATE; ++code) {
+    const auto state = static_cast<OMP_COLLECTOR_API_THR_STATE>(code);
+    const std::string name(to_string(state));
+    EXPECT_NE(name, "?") << "state " << code << " has no name";
+    EXPECT_TRUE(seen.insert(name).second) << name << " is duplicated";
+    const auto back = state_from_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, state) << name;
+  }
+}
+
+TEST(CollectorNames, SentinelsAndGarbageStayNameless) {
+  EXPECT_EQ(to_string(OMP_REQ_LAST), "?");
+  EXPECT_EQ(to_string(OMP_EVENT_LAST), "?");
+  EXPECT_EQ(to_string(ORCA_EVENT_EXT_LAST), "?");
+  EXPECT_EQ(to_string(THR_LAST_STATE), "?");
+
+  EXPECT_FALSE(request_from_name("?").has_value());
+  EXPECT_FALSE(request_from_name("").has_value());
+  EXPECT_FALSE(request_from_name("OMP_REQ_LAST").has_value());
+  EXPECT_FALSE(errcode_from_name("OMP_ERRCODE_BOGUS").has_value());
+  EXPECT_FALSE(event_from_name("omp_event_fork").has_value());
+  EXPECT_FALSE(state_from_name("THR_LAST_STATE").has_value());
+}
+
+}  // namespace

@@ -77,6 +77,97 @@ TEST(ConfigFromEnv, ClampsInsaneValues) {
   ::unsetenv("OMP_THREAD_LIMIT");
 }
 
+TEST(TelemetryMode, ParsesEveryKeyword) {
+  bool timeline = true;
+  bool metrics = true;
+  EXPECT_TRUE(RuntimeConfig::parse_telemetry_mode("off", &timeline, &metrics));
+  EXPECT_FALSE(timeline);
+  EXPECT_FALSE(metrics);
+  EXPECT_TRUE(RuntimeConfig::parse_telemetry_mode("none", &timeline, &metrics));
+  EXPECT_TRUE(RuntimeConfig::parse_telemetry_mode("0", &timeline, &metrics));
+
+  EXPECT_TRUE(
+      RuntimeConfig::parse_telemetry_mode("metrics", &timeline, &metrics));
+  EXPECT_FALSE(timeline);
+  EXPECT_TRUE(metrics);
+
+  EXPECT_TRUE(
+      RuntimeConfig::parse_telemetry_mode("timeline", &timeline, &metrics));
+  EXPECT_TRUE(timeline);
+  EXPECT_FALSE(metrics);
+
+  for (const char* full : {"full", "on", "1"}) {
+    timeline = metrics = false;
+    EXPECT_TRUE(RuntimeConfig::parse_telemetry_mode(full, &timeline, &metrics))
+        << full;
+    EXPECT_TRUE(timeline) << full;
+    EXPECT_TRUE(metrics) << full;
+  }
+}
+
+TEST(TelemetryMode, RejectsGarbageLeavingFlagsUntouched) {
+  bool timeline = true;
+  bool metrics = false;
+  EXPECT_FALSE(
+      RuntimeConfig::parse_telemetry_mode("bogus", &timeline, &metrics));
+  EXPECT_TRUE(timeline);   // untouched on failure
+  EXPECT_FALSE(metrics);
+  EXPECT_FALSE(RuntimeConfig::parse_telemetry_mode("", &timeline, &metrics));
+  EXPECT_FALSE(
+      RuntimeConfig::parse_telemetry_mode("FULL ", &timeline, &metrics));
+}
+
+TEST(ConfigFromEnv, ReadsTelemetryKnobs) {
+  ::setenv("ORCA_TELEMETRY", "full", 1);
+  ::setenv("ORCA_TELEMETRY_RING", "8192", 1);
+  ::setenv("ORCA_TELEMETRY_REPORT", "stderr", 1);
+  ::setenv("ORCA_TELEMETRY_TRACE", "/tmp/trace.json", 1);
+
+  const RuntimeConfig cfg = RuntimeConfig::from_env();
+  EXPECT_TRUE(cfg.telemetry_timeline);
+  EXPECT_TRUE(cfg.telemetry_metrics);
+  EXPECT_EQ(cfg.telemetry_ring_capacity, 8192u);
+  EXPECT_EQ(cfg.telemetry_report, "stderr");
+  EXPECT_EQ(cfg.telemetry_trace, "/tmp/trace.json");
+
+  ::setenv("ORCA_TELEMETRY", "metrics", 1);
+  const RuntimeConfig metrics_only = RuntimeConfig::from_env();
+  EXPECT_FALSE(metrics_only.telemetry_timeline);
+  EXPECT_TRUE(metrics_only.telemetry_metrics);
+
+  ::unsetenv("ORCA_TELEMETRY");
+  ::unsetenv("ORCA_TELEMETRY_RING");
+  ::unsetenv("ORCA_TELEMETRY_REPORT");
+  ::unsetenv("ORCA_TELEMETRY_TRACE");
+}
+
+TEST(ConfigFromEnv, WarnsAndDefaultsOnBadTelemetryValues) {
+  // Invalid mode: telemetry stays off (the default), run continues.
+  ::setenv("ORCA_TELEMETRY", "everything", 1);
+  const RuntimeConfig bad_mode = RuntimeConfig::from_env();
+  EXPECT_FALSE(bad_mode.telemetry_timeline);
+  EXPECT_FALSE(bad_mode.telemetry_metrics);
+  ::unsetenv("ORCA_TELEMETRY");
+
+  // Invalid ring sizes: keep the compiled-in default capacity.
+  const std::size_t fallback = RuntimeConfig().telemetry_ring_capacity;
+  for (const char* bad : {"0", "-64", "huge", "4k", ""}) {
+    ::setenv("ORCA_TELEMETRY_RING", bad, 1);
+    const RuntimeConfig cfg = RuntimeConfig::from_env();
+    EXPECT_EQ(cfg.telemetry_ring_capacity, fallback) << bad;
+  }
+  ::unsetenv("ORCA_TELEMETRY_RING");
+}
+
+TEST(ConfigDefaults, TelemetryOff) {
+  const RuntimeConfig cfg;
+  EXPECT_FALSE(cfg.telemetry_timeline);
+  EXPECT_FALSE(cfg.telemetry_metrics);
+  EXPECT_TRUE(cfg.telemetry_report.empty());
+  EXPECT_TRUE(cfg.telemetry_trace.empty());
+  EXPECT_GT(cfg.telemetry_ring_capacity, 0u);
+}
+
 TEST(ConfigDefaults, MatchOpenUh) {
   const RuntimeConfig cfg;
   EXPECT_FALSE(cfg.nested);          // nested regions serialized

@@ -190,6 +190,57 @@ RowResult run_row(const ModeSpec& mode, int threads, int events) {
   return row;
 }
 
+/// Signal-path query cost: one STATE + CURRENT_PRID buffer answered
+/// entirely on the async-signal-safe fast path (what a SIGPROF handler
+/// pays per tick). "disarmed" is the default runtime; "armed" runs with
+/// the whole resilience layer on — crash-dump handlers installed, async
+/// delivery plus callback watchdog — to show arming does not tax the
+/// query path.
+struct SignalRow {
+  double ns_per_query = 0;
+  double p50_ns = 0;  // across timing batches
+  double p99_ns = 0;
+};
+
+SignalRow run_signal_row(bool armed, int queries) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  if (armed) {
+    cfg.crash_dump = "bench_event_path_never_written.dump";
+    cfg.event_delivery = EventDelivery::kAsync;
+    cfg.callback_deadline_ms = 100;
+  }
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  MessageBuilder msg;
+  msg.add_state_query();
+  msg.add_id_query(OMP_REQ_CURRENT_PRID);
+
+  constexpr int kBatches = 50;
+  const int per_batch = queries / kBatches > 0 ? queries / kBatches : 1;
+  for (int i = 0; i < per_batch; ++i) rt.collector_api(msg.buffer());  // warm
+
+  std::vector<double> batch_ns;
+  batch_ns.reserve(kBatches);
+  for (int b = 0; b < kBatches; ++b) {
+    const std::uint64_t begin = SteadyClock::now();
+    for (int i = 0; i < per_batch; ++i) rt.collector_api(msg.buffer());
+    batch_ns.push_back(static_cast<double>(SteadyClock::now() - begin) /
+                       static_cast<double>(per_batch));
+  }
+  Runtime::make_current(nullptr);
+
+  const orca::bench::Summary dist = orca::bench::summarize(batch_ns);
+  SignalRow row;
+  row.p50_ns = dist.p50;
+  row.p99_ns = dist.p99;
+  double total = 0;
+  for (const double ns : batch_ns) total += ns;
+  row.ns_per_query = total / static_cast<double>(batch_ns.size());
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -246,5 +297,27 @@ int main(int argc, char** argv) {
     std::printf("8-thread app-path speedup (sync / async): %.2fx\n",
                 sync_ns_8 / async_ns_8);
   }
+
+  // Signal-path query cost (the SIGPROF handler's per-tick budget):
+  // disarmed baseline first so the armed row's process-wide crash-handler
+  // installation cannot precede it.
+  const int queries = smoke ? 20000 : 200000;
+  std::printf("\nSignal-path query (STATE + CURRENT_PRID per call, %d "
+              "calls)\n\n", queries);
+  orca::TextTable sig_table(
+      {"resilience", "ns/query", "p50 ns", "p99 ns"});
+  for (const bool armed : {false, true}) {
+    const SignalRow row = run_signal_row(armed, queries);
+    const char* name = armed ? "armed" : "disarmed";
+    sig_table.add_row({name, orca::strfmt("%.1f", row.ns_per_query),
+                       orca::strfmt("%.1f", row.p50_ns),
+                       orca::strfmt("%.1f", row.p99_ns)});
+    std::printf(
+        "{\"bench\":\"signal_query_path\",\"resilience\":\"%s\","
+        "\"queries\":%d,\"ns_per_query\":%.2f,\"p50_ns\":%.2f,"
+        "\"p99_ns\":%.2f}\n",
+        name, queries, row.ns_per_query, row.p50_ns, row.p99_ns);
+  }
+  std::printf("\n%s\n", sig_table.render().c_str());
   return 0;
 }

@@ -1,0 +1,188 @@
+/// Resilience smoke driver: the crash-safe profiling layer exercised over
+/// the EPCC syncbench workload (docs/RESILIENCE.md).
+///
+/// Modes:
+///   --smoke (default)  SIGPROF sampling collector over syncbench; prints
+///                      sample/drop counters and the typed
+///                      ORCA_REQ_RESILIENCE_STATS readout. Exit 1 when the
+///                      run produced no samples.
+///   --crash            arms ORCA_CRASH_DUMP, samples briefly, then dies
+///                      on a real SIGSEGV — the postmortem handler flushes
+///                      the dump before the default disposition re-raises.
+///                      (The process exits by signal; inspect the dump.)
+///   --stall            async delivery + callback watchdog: a registered
+///                      FORK callback stalls past ORCA_CALLBACK_DEADLINE_MS,
+///                      the watchdog quarantines it, and the benchmark
+///                      still completes. Exit 1 when nothing was
+///                      quarantined.
+///
+/// Usage: resilience_smoke [--smoke|--crash|--stall] [--hz=1000]
+///          [--threads=4] [--reps=3] [--inner=64] [--delay=200]
+///          [--dump=resilience_crash.dump] [--deadline-ms=50]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "collector/api.h"
+#include "epcc/syncbench.hpp"
+#include "runtime/runtime.hpp"
+#include "tool/client2.hpp"
+#include "tool/sampling_collector.hpp"
+
+namespace {
+
+using orca::bench::flag_int;
+using orca::bench::has_flag;
+using orca::epcc::Directive;
+using orca::epcc::SyncBench;
+using orca::tool::SamplingCollector;
+using orca::tool::SamplingOptions;
+
+std::string flag_string(int argc, char** argv, const char* name,
+                        const char* fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+void print_resilience(const orca::collector::Client& client) {
+  const auto stats = client.resilience_stats();
+  if (!stats) {
+    std::printf("resilience stats: errcode %d\n",
+                static_cast<int>(stats.error()));
+    return;
+  }
+  std::printf(
+      "resilience stats (over ORCA_REQ_RESILIENCE_STATS):\n"
+      "  quarantined_collectors=%llu crash_dump_armed=%llu\n"
+      "  signal_queries_served=%llu fork_events=%llu\n",
+      stats->quarantined_collectors, stats->crash_dump_armed,
+      stats->signal_queries_served, stats->fork_events);
+}
+
+/// Run the syncbench directive subset while SIGPROF sampling is armed.
+void run_workload(const orca::epcc::Options& opts) {
+  SyncBench bench(opts);
+  for (const Directive d : {Directive::kParallel, Directive::kBarrier,
+                            Directive::kCritical}) {
+    const auto r = bench.measure(d);
+    std::printf("  %-14s %8.2f us/call\n", orca::epcc::name(d),
+                r.min_overhead_us);
+  }
+}
+
+/// The stalling collector callback for --stall: the first FORK delivery
+/// sleeps far past the watchdog deadline (the ORA callback ABI carries no
+/// context, so the knob is a file-scope atomic).
+std::atomic<int> g_stall_ms{0};
+std::atomic<std::uint64_t> g_callbacks_seen{0};
+
+void stalling_callback(OMP_COLLECTORAPI_EVENT) {
+  g_callbacks_seen.fetch_add(1, std::memory_order_relaxed);
+  const int ms = g_stall_ms.exchange(0, std::memory_order_relaxed);
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+int run_smoke(const orca::epcc::Options& opts, int hz, bool crash,
+              const std::string& dump) {
+  orca::rt::RuntimeConfig cfg;
+  cfg.num_threads = opts.num_threads;
+  if (crash) cfg.crash_dump = dump;
+  orca::rt::Runtime rt(cfg);
+  orca::rt::Runtime::make_current(&rt);
+
+  SamplingOptions sopts;
+  sopts.hz = hz;
+  if (!SamplingCollector::instance().start(&__omp_collector_api, sopts)) {
+    std::fprintf(stderr, "failed to arm SIGPROF sampling\n");
+    return 1;
+  }
+  std::printf("SIGPROF sampling at %d Hz over syncbench (%d threads)\n", hz,
+              opts.num_threads);
+  run_workload(opts);
+
+  if (crash) {
+    std::printf("crashing now; postmortem dump goes to %s\n", dump.c_str());
+    std::fflush(stdout);
+    volatile int* null_page = nullptr;
+    *null_page = 42;  // real SIGSEGV: the dump path, not a simulation
+  }
+
+  SamplingCollector::instance().stop();
+  const auto stats = SamplingCollector::instance().stats();
+  std::printf(
+      "\nsampling: handler_invocations=%llu samples=%llu dropped=%llu "
+      "api_failures=%llu\n",
+      static_cast<unsigned long long>(stats.handler_invocations),
+      static_cast<unsigned long long>(stats.samples),
+      static_cast<unsigned long long>(stats.dropped),
+      static_cast<unsigned long long>(stats.api_failures));
+  std::printf(
+      "{\"bench\":\"resilience_smoke\",\"hz\":%d,\"samples\":%llu,"
+      "\"dropped\":%llu,\"api_failures\":%llu}\n",
+      hz, static_cast<unsigned long long>(stats.samples),
+      static_cast<unsigned long long>(stats.dropped),
+      static_cast<unsigned long long>(stats.api_failures));
+
+  orca::collector::Client client(
+      [&rt](void* buffer) { return rt.collector_api(buffer); });
+  print_resilience(client);
+  orca::rt::Runtime::make_current(nullptr);
+  return stats.samples > 0 ? 0 : 1;
+}
+
+int run_stall(const orca::epcc::Options& opts, int deadline_ms) {
+  orca::rt::RuntimeConfig cfg;
+  cfg.num_threads = opts.num_threads;
+  cfg.event_delivery = orca::rt::EventDelivery::kAsync;
+  cfg.callback_deadline_ms = deadline_ms;
+  orca::rt::Runtime rt(cfg);
+  orca::rt::Runtime::make_current(&rt);
+
+  orca::collector::Client client(
+      [&rt](void* buffer) { return rt.collector_api(buffer); });
+  client.start();
+  g_stall_ms.store(deadline_ms * 4, std::memory_order_relaxed);
+  client.register_event(OMP_EVENT_FORK, &stalling_callback);
+
+  std::printf(
+      "callback watchdog: FORK callback stalls %d ms against a %d ms "
+      "deadline\n",
+      deadline_ms * 4, deadline_ms);
+  run_workload(opts);
+
+  print_resilience(client);
+  const auto stats = client.resilience_stats();
+  const bool quarantined = stats && stats->quarantined_collectors > 0;
+  std::printf("benchmark completed; collector %s\n",
+              quarantined ? "quarantined" : "NOT quarantined");
+  client.stop();
+  orca::rt::Runtime::make_current(nullptr);
+  return quarantined ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  orca::epcc::Options opts;
+  opts.num_threads = flag_int(argc, argv, "threads", 4);
+  opts.outer_reps = flag_int(argc, argv, "reps", 10);
+  opts.inner_reps = flag_int(argc, argv, "inner", 256);
+  opts.delay_length = flag_int(argc, argv, "delay", 500);
+  const int hz = flag_int(argc, argv, "hz", 1000);
+
+  if (has_flag(argc, argv, "stall")) {
+    return run_stall(opts, flag_int(argc, argv, "deadline-ms", 50));
+  }
+  const bool crash = has_flag(argc, argv, "crash");
+  return run_smoke(opts, hz, crash,
+                   flag_string(argc, argv, "dump", "resilience_crash.dump"));
+}

@@ -1,18 +1,24 @@
 #!/usr/bin/env bash
 # CI driver: the full verification matrix in one command.
 #
-#   scripts/ci.sh            # default + tsan + asan presets, all labels
+#   scripts/ci.sh            # default + tsan + asan + ubsan presets
 #   scripts/ci.sh default    # just the default preset
 #   scripts/ci.sh tsan asan  # just the sanitizer presets
 #
 # Each preset (CMakePresets.json) configures its own build tree
-# (build/, build-tsan/, build-asan/), builds everything, and runs:
-#   * the full ctest suite (unit + fuzz + stress labels);
+# (build/, build-tsan/, build-asan/, build-ubsan/), builds everything,
+# and runs:
+#   * the full ctest suite (unit + fuzz + stress + resilience labels) —
+#     which includes the conformance differ re-run with the resilience
+#     fault seams (signal_during_query / callback_stall / fork_race)
+#     armed, inside resilience_test (the seams have no env interface,
+#     so the armed run lives in-process there);
 #   * the perf-smoke lane (bench_event_path --smoke): every event-delivery
 #     mode end to end in ~2s, a sanity check that the benches still run —
 #     not a performance gate.
 # The tsan preset is the one that validates the lock-free event fast path
-# (collector_churn_test and friends must be race-free, see DESIGN.md §5.1).
+# (collector_churn_test and friends must be race-free, see DESIGN.md §5.1)
+# and the SIGPROF signal-storm lane (signal_storm_test).
 #
 # The default preset additionally archives machine-readable bench output
 # into build/artifacts/ (BENCH_*.json, one JSON object per line) so a CI
@@ -25,7 +31,7 @@ cd "$(dirname "$0")/.."
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(default tsan asan)
+  presets=(default tsan asan ubsan)
 fi
 
 for preset in "${presets[@]}"; do
@@ -48,6 +54,10 @@ for preset in "${presets[@]}"; do
     ./build/examples/telemetry_viewer --reps=200 --inner=8 \
       "--out=$artifacts/telemetry_viewer_trace.json" \
       | grep '^{' > "$artifacts/BENCH_telemetry_overhead.json"
+    # SIGPROF sampling over syncbench; exits nonzero when no samples
+    # landed, so a broken signal path fails CI here.
+    ./build/examples/resilience_smoke --smoke \
+      | grep '^{' > "$artifacts/BENCH_resilience_smoke.json"
     wc -l "$artifacts"/BENCH_*.json
   fi
 done

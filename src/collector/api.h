@@ -38,9 +38,13 @@ typedef enum {
      returns for these when the corresponding subsystem is absent.         */
   ORCA_REQ_EVENT_STATS = 16, /**< query asynchronous event-delivery stats;
                                   reply payload is one orca_event_stats     */
-  ORCA_REQ_TELEMETRY_SNAPSHOT = 17 /**< query the runtime's self-telemetry
+  ORCA_REQ_TELEMETRY_SNAPSHOT = 17, /**< query the runtime's self-telemetry
                                   aggregates; reply payload is one
                                   orca_telemetry_snapshot                   */
+  ORCA_REQ_RESILIENCE_STATS = 18 /**< query the resilience layer's counters
+                                  (quarantined callbacks, crash-dump arming,
+                                  signal-path queries, fork events); reply
+                                  payload is one orca_resilience_stats      */
 } OMP_COLLECTORAPI_REQUEST;
 
 /// Error codes returned per-request in `r_errcode`.
@@ -163,6 +167,25 @@ typedef struct orca_telemetry_snapshot {
   unsigned long long generations_retired;   /**< generations freed          */
   unsigned long long retire_latency_ns_max; /**< worst grace-period latency */
 } orca_telemetry_snapshot;
+
+/// Reply payload of ORCA_REQ_RESILIENCE_STATS: counters of the resilience
+/// layer guarding the profile against hostile conditions — stuck collector
+/// callbacks, signal-context queries, process fork(), and application
+/// crashes. Unlike the other extension queries this one is answered on the
+/// async-signal-safe fast path, so a sampling collector may issue it from
+/// a SIGPROF handler (docs/RESILIENCE.md).
+typedef struct orca_resilience_stats {
+  unsigned long long quarantined_collectors; /**< callbacks retired by the
+                                                  watchdog for exceeding the
+                                                  deadline                  */
+  unsigned long long crash_dump_armed;       /**< 1 when SIGSEGV/SIGBUS/
+                                                  SIGABRT postmortem handlers
+                                                  are installed             */
+  unsigned long long signal_queries_served;  /**< API calls answered entirely
+                                                  on the lock-free fast path */
+  unsigned long long fork_events;            /**< child-side fork() episodes
+                                                  the atfork handlers saw    */
+} orca_resilience_stats;
 
 /// One request record inside the byte array handed to the API. Records are
 /// laid out back-to-back; the array is terminated by a record with sz == 0.

@@ -1,7 +1,9 @@
 #include "collector/async.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <mutex>
+#include <thread>
 
 #include "collector/registry.hpp"
 #include "common/clock.hpp"
@@ -49,10 +51,15 @@ void AsyncDispatcher::start() {
   std::scoped_lock lk(lifecycle_mu_);
   if (running_.load(std::memory_order_acquire)) return;
   if (drainer_.joinable()) drainer_.join();  // reap a finished drainer
+  if (watchdog_.joinable()) watchdog_.join();
   stop_requested_.store(false, std::memory_order_release);
   for (auto& ring : rings_) ring->reopen();
   running_.store(true, std::memory_order_release);
   drainer_ = std::thread([this] { drain_loop(); });
+  if (deadline_ms_ > 0) {
+    watchdog_stop_.store(false, std::memory_order_release);
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 void AsyncDispatcher::stop_and_join() {
@@ -67,6 +74,10 @@ void AsyncDispatcher::stop_and_join() {
   for (auto& ring : rings_) ring->close();
   parker_.signal();
   drainer_.join();
+  if (watchdog_.joinable()) {
+    watchdog_stop_.store(true, std::memory_order_release);
+    watchdog_.join();
+  }
   running_.store(false, std::memory_order_release);
   // Retire records that raced past the drainer's final sweep: pushed after
   // its last empty pass but before the ring closed. Registrations are gone
@@ -132,6 +143,14 @@ void AsyncDispatcher::deliver(EventRing& ring, const EventRecord& rec,
   if (cb != nullptr) {
     ORCA_FAULT_POINT(kAsyncDeliver);
     tls_delivery_record = &rec;
+    // Watchdog stamp: publish the event + start time before entering foreign
+    // code, clear it after. The 0-stamp doubles as the "nothing in flight"
+    // sentinel, so the watchdog never needs a lock to read the pair.
+    if (deadline_ms_ > 0) {
+      ORCA_FAULT_POINT(kCallbackStall);
+      inflight_event_.store(rec.event, std::memory_order_relaxed);
+      inflight_since_ns_.store(SteadyClock::now(), std::memory_order_release);
+    }
     // Contain a throwing collector callback: the drainer must outlive any
     // single bad delivery, or one collector bug stalls every ring and
     // deadlocks the next flush barrier. Counted, never silent.
@@ -140,6 +159,9 @@ void AsyncDispatcher::deliver(EventRing& ring, const EventRecord& rec,
     } catch (...) {
       callback_failures_.fetch_add(1, std::memory_order_acq_rel);
       telemetry::count(telemetry::Counter::kCallbackFailures);
+    }
+    if (deadline_ms_ > 0) {
+      inflight_since_ns_.store(0, std::memory_order_release);
     }
     tls_delivery_record = nullptr;
   }
@@ -211,6 +233,58 @@ void AsyncDispatcher::drain_loop() {
     }
   }
   tls_on_drainer = false;
+}
+
+void AsyncDispatcher::watchdog_loop() {
+  telemetry::name_thread("watchdog");
+  const std::uint64_t deadline_ns =
+      static_cast<std::uint64_t>(deadline_ms_) * 1'000'000ull;
+  const auto poll = std::chrono::milliseconds(std::max(1, deadline_ms_ / 4));
+  // One quarantine per stalled delivery: the since-stamp is unique per
+  // delivery (monotonic clock), so remembering the last acted-on stamp
+  // prevents re-quarantining while the same callback keeps running.
+  std::uint64_t last_acted = 0;
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    const std::uint64_t since =
+        inflight_since_ns_.load(std::memory_order_acquire);
+    if (since != 0 && since != last_acted &&
+        SteadyClock::now() - since > deadline_ns) {
+      // The stalled invocation itself cannot be cancelled — foreign code —
+      // but quarantining unhooks the registration so no further events
+      // reach it, and the application proceeds.
+      registry_.quarantine(inflight_event_.load(std::memory_order_relaxed));
+      last_acted = since;
+    }
+    std::this_thread::sleep_for(poll);
+  }
+}
+
+void AsyncDispatcher::quiesce_for_fork() {
+  if (tls_on_drainer) return;  // forking from a callback: nothing sane to do
+  flush();
+  // Hold the lifecycle lock across fork() so the child never inherits it
+  // mid-held and no start/stop can interleave with the kernel snapshot.
+  lifecycle_mu_.lock();
+}
+
+void AsyncDispatcher::resume_parent_after_fork() noexcept {
+  lifecycle_mu_.unlock();
+}
+
+void AsyncDispatcher::reset_after_fork(bool rearm) {
+  // The drainer/watchdog threads do not exist in the child — only the
+  // forking thread survives. Joining would hang forever; detach the stale
+  // handles and rebuild state as if never started.
+  if (drainer_.joinable()) drainer_.detach();
+  if (watchdog_.joinable()) watchdog_.detach();
+  running_.store(false, std::memory_order_relaxed);
+  stop_requested_.store(false, std::memory_order_relaxed);
+  sleeping_.store(false, std::memory_order_relaxed);
+  watchdog_stop_.store(false, std::memory_order_relaxed);
+  inflight_event_.store(0, std::memory_order_relaxed);
+  inflight_since_ns_.store(0, std::memory_order_relaxed);
+  lifecycle_mu_.unlock();  // taken pre-fork by quiesce_for_fork()
+  if (rearm) start();
 }
 
 EventRingStats AsyncDispatcher::stats() const noexcept {

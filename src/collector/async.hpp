@@ -273,12 +273,39 @@ class AsyncDispatcher {
   AsyncDispatcher(const AsyncDispatcher&) = delete;
   AsyncDispatcher& operator=(const AsyncDispatcher&) = delete;
 
-  /// Spawn the drainer if it is not running (idempotent).
+  /// Spawn the drainer if it is not running (idempotent). Also spawns the
+  /// callback watchdog when a deadline is set.
   void start();
 
   /// Flush everything admitted so far, then stop and join the drainer.
   /// Safe to call repeatedly; `start()` can revive the dispatcher after.
   void stop_and_join();
+
+  /// Arm the callback watchdog: a delivery whose callback runs longer than
+  /// `ms` milliseconds is quarantined through Registry::quarantine() (the
+  /// generation retire path) so no *further* events reach it; the stalled
+  /// invocation itself still runs to completion — the watchdog protects
+  /// the application's forward progress, it cannot cancel foreign code,
+  /// so a callback that never returns will still stall shutdown's flush
+  /// barrier. 0 (the default) disables the watchdog. Call before start().
+  void set_callback_deadline(int ms) noexcept { deadline_ms_ = ms; }
+  int callback_deadline_ms() const noexcept { return deadline_ms_; }
+
+  // --- fork() support (pthread_atfork; see runtime/resilience.cpp) --------
+
+  /// Prepare handler: flush everything admitted so far, then hold the
+  /// lifecycle lock across the fork so the child cannot inherit it locked.
+  void quiesce_for_fork();
+
+  /// Parent-side handler: release the lock taken by quiesce_for_fork().
+  void resume_parent_after_fork() noexcept;
+
+  /// Child-side handler. The drainer and watchdog threads do not exist in
+  /// the child, so their handles are detached (never joined) and all
+  /// lifecycle state is rebuilt; with `rearm` a fresh drainer is started,
+  /// otherwise the dispatcher stays down (publish() returns false and
+  /// emission falls back to the registry's synchronous path).
+  void reset_after_fork(bool rearm);
 
   /// Barrier: returns once every record accepted so far has been delivered
   /// (its callback returned) or evicted. No-op from inside a delivery
@@ -325,6 +352,7 @@ class AsyncDispatcher {
  private:
   void drain_loop();
   bool drain_pass();
+  void watchdog_loop();
 
   /// Deliver one record through `cache`, the EmitterCache the draining
   /// thread leased for this pass: the callback is resolved against the
@@ -350,6 +378,17 @@ class AsyncDispatcher {
   std::atomic<std::uint64_t> drainer_tid_{0};  ///< hashed id of the drainer
   std::thread drainer_;
   SpinLock lifecycle_mu_;  ///< serializes start()/stop_and_join()
+
+  /// Watchdog state. The in-flight stamp pair is written by whichever
+  /// thread is delivering (the drainer in steady state) around each
+  /// callback: event first, then the begin timestamp with release, cleared
+  /// to 0 after the callback returns. The watchdog thread polls it and
+  /// quarantines at most once per stalled delivery (keyed by the stamp).
+  int deadline_ms_ = 0;  ///< set before start(); 0 = watchdog off
+  std::atomic<std::int32_t> inflight_event_{0};
+  std::atomic<std::uint64_t> inflight_since_ns_{0};  ///< 0 = none in flight
+  std::atomic<bool> watchdog_stop_{false};
+  std::thread watchdog_;
 };
 
 }  // namespace orca::collector

@@ -123,6 +123,27 @@ void answer(Registry& registry, const Providers& providers,
       cursor.set_errcode(ec);
       return;
     }
+    case ORCA_REQ_RESILIENCE_STATS: {
+      // Same discipline again: capacity, then provider presence, then the
+      // provider's verdict. The counters always exist once the runtime is
+      // constructed, so a present provider answers OK.
+      orca_resilience_stats stats = {};
+      if (cursor.payload_capacity() < sizeof(stats)) {
+        cursor.set_errcode(OMP_ERRCODE_MEM_TOO_SMALL);
+        return;
+      }
+      if (providers.resilience_stats == nullptr) {
+        cursor.set_errcode(OMP_ERRCODE_UNKNOWN);
+        return;
+      }
+      const OMP_COLLECTORAPI_EC ec =
+          providers.resilience_stats(providers.ctx, &stats);
+      if (ec == OMP_ERRCODE_OK && !cursor.write_reply(&stats, sizeof(stats))) {
+        return;
+      }
+      cursor.set_errcode(ec);
+      return;
+    }
     default:
       cursor.set_errcode(OMP_ERRCODE_UNKNOWN);
       return;

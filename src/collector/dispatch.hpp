@@ -58,6 +58,13 @@ struct Providers {
   OMP_COLLECTORAPI_EC (*telemetry_snapshot)(void* ctx,
                                             orca_telemetry_snapshot* out) =
       nullptr;
+
+  /// Optional: answer ORCA_REQ_RESILIENCE_STATS by filling `*out`. Same
+  /// convention as event_stats: nullptr degrades the request to
+  /// OMP_ERRCODE_UNKNOWN.
+  OMP_COLLECTORAPI_EC (*resilience_stats)(void* ctx,
+                                          orca_resilience_stats* out) =
+      nullptr;
 };
 
 /// Process one request buffer (`arg` as handed to `__omp_collector_api`).

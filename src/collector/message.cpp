@@ -94,6 +94,11 @@ std::size_t MessageBuilder::add_telemetry_query() {
                        sizeof(orca_telemetry_snapshot));
 }
 
+std::size_t MessageBuilder::add_resilience_stats_query() {
+  return append_record(ORCA_REQ_RESILIENCE_STATS, nullptr, 0,
+                       sizeof(orca_resilience_stats));
+}
+
 void* MessageBuilder::buffer() {
   if (!terminated_) {
     const std::size_t offset = bytes_.size();

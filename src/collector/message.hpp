@@ -64,6 +64,10 @@ class MessageBuilder {
   /// orca_telemetry_snapshot reply.
   std::size_t add_telemetry_query();
 
+  /// Append ORCA_REQ_RESILIENCE_STATS with room for one
+  /// orca_resilience_stats reply.
+  std::size_t add_resilience_stats_query();
+
   /// Finalized buffer (appends the sz==0 terminator once). The pointer is
   /// valid until the builder is mutated or destroyed.
   void* buffer();

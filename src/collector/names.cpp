@@ -15,6 +15,7 @@ std::string_view to_string(OMP_COLLECTORAPI_REQUEST req) noexcept {
     case OMP_REQ_RESUME: return "OMP_REQ_RESUME";
     case ORCA_REQ_EVENT_STATS: return "ORCA_REQ_EVENT_STATS";
     case ORCA_REQ_TELEMETRY_SNAPSHOT: return "ORCA_REQ_TELEMETRY_SNAPSHOT";
+    case ORCA_REQ_RESILIENCE_STATS: return "ORCA_REQ_RESILIENCE_STATS";
     case OMP_REQ_LAST: break;
   }
   return "?";
@@ -105,7 +106,7 @@ std::optional<Enum> scan(std::string_view name, int first, int last) noexcept {
 std::optional<OMP_COLLECTORAPI_REQUEST> request_from_name(
     std::string_view name) noexcept {
   return scan<OMP_COLLECTORAPI_REQUEST>(name, OMP_REQ_START,
-                                        ORCA_REQ_TELEMETRY_SNAPSHOT);
+                                        ORCA_REQ_RESILIENCE_STATS);
 }
 
 std::optional<OMP_COLLECTORAPI_EC> errcode_from_name(

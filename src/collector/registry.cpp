@@ -207,6 +207,18 @@ OMP_COLLECTORAPI_EC Registry::unregister_callback(int event) noexcept {
   return OMP_ERRCODE_OK;
 }
 
+void Registry::quarantine(int event) noexcept {
+  if (event <= 0 || event == OMP_EVENT_LAST || event >= ORCA_EVENT_EXT_LAST) {
+    return;
+  }
+  std::scoped_lock lk(mu_);
+  const auto ev = static_cast<OMP_COLLECTORAPI_EVENT>(event);
+  if (staging_[index(ev)] == nullptr) return;  // already gone (races STOP)
+  staging_[index(ev)] = nullptr;
+  publish_locked();
+  quarantined_.fetch_add(1, std::memory_order_relaxed);
+}
+
 OMP_COLLECTORAPI_CALLBACK Registry::callback(
     OMP_COLLECTORAPI_EVENT event) const noexcept {
   std::scoped_lock lk(mu_);

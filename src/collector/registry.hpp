@@ -166,6 +166,30 @@ class Registry {
   /// callback succeeds (the table entry is simply NULL either way).
   OMP_COLLECTORAPI_EC unregister_callback(int event) noexcept;
 
+  /// Watchdog-side removal of a misbehaving callback: drop `event`'s
+  /// registration through the normal generation publish/retire path and
+  /// count it. Unlike unregister_callback this skips the lifecycle and
+  /// capability gates — the watchdog fires regardless of protocol state —
+  /// and is a no-op for out-of-range events.
+  void quarantine(int event) noexcept;
+
+  /// Callbacks removed by quarantine() so far.
+  std::uint64_t quarantined() const noexcept {
+    return quarantined_.load(std::memory_order_relaxed);
+  }
+
+  // --- fork safety --------------------------------------------------------
+
+  /// pthread_atfork prepare hook: take the mutation lock so the child never
+  /// inherits it mid-held (a snapshot taken between lock and unlock would
+  /// deadlock the child's first registration). Paired with
+  /// resume_after_fork() in both parent and child.
+  void prepare_fork() noexcept { mu_.lock(); }
+
+  /// pthread_atfork parent/child hook: release the lock taken by
+  /// prepare_fork(). SpinLock unlock is a plain store, safe in the child.
+  void resume_after_fork() noexcept { mu_.unlock(); }
+
   /// Currently registered callback for `event` (nullptr when none).
   OMP_COLLECTORAPI_CALLBACK callback(OMP_COLLECTORAPI_EVENT event) const noexcept;
 
@@ -312,6 +336,7 @@ class Registry {
 
   std::atomic<bool> initialized_{false};
   std::atomic<bool> paused_{false};
+  std::atomic<std::uint64_t> quarantined_{0};
   std::atomic<AsyncSink> async_sink_{nullptr};
   std::atomic<void*> async_ctx_{nullptr};
   EventCapabilities caps_;

@@ -10,7 +10,9 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -60,15 +62,23 @@ class SampleBuffer {
     // cap: drop and count, never block or throw into the event path.
     if (testing::FaultInjector::alloc_fails(
             testing::FaultPoint::kSampleRecord)) {
-      std::scoped_lock lk(mu_);
-      ++dropped_;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    std::scoped_lock lk(mu_);
+    // try_lock, never lock: record() is reachable from a signal handler
+    // interrupting the very thread that holds mu_ (a SIGPROF mid-record),
+    // where a blocking acquire would self-deadlock. Contention — including
+    // that reentrancy case — degrades to drop-and-count, same as the hard
+    // cap; dropped_ is atomic so the count never needs the lock.
+    if (!mu_.try_lock()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::scoped_lock lk(std::adopt_lock, mu_);
     if (samples_.size() < capacity_) {
       samples_.push_back(s);
     } else {
-      ++dropped_;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -77,21 +87,70 @@ class SampleBuffer {
   const std::vector<EventSample>& samples() const noexcept { return samples_; }
 
   std::uint64_t dropped() const noexcept {
-    std::scoped_lock lk(mu_);
-    return dropped_;
+    return dropped_.load(std::memory_order_relaxed);
   }
 
   void clear() noexcept {
     std::scoped_lock lk(mu_);
     samples_.clear();
-    dropped_ = 0;
+    dropped_.store(0, std::memory_order_relaxed);
   }
 
  private:
   mutable SpinLock mu_;
   std::size_t capacity_ = 0;
   std::vector<EventSample> samples_;
-  std::uint64_t dropped_ = 0;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Fixed-capacity, truly async-signal-safe sample lane: one writer (the
+/// thread whose signal handler records into it), any number of quiescent
+/// readers. The array is preallocated up front — record() performs no
+/// allocation, locking, or syscalls, so it is the storage path a SIGPROF
+/// handler uses (SampleBuffer, in contrast, may grow its vector and only
+/// guarantees deadlock-freedom, not signal-safety). The crash postmortem
+/// flusher reads count() with acquire ordering from an arbitrary thread,
+/// which is why the counter publishes each slot with release semantics.
+class SignalSampleLane {
+ public:
+  explicit SignalSampleLane(std::size_t capacity)
+      : capacity_(std::max<std::size_t>(capacity, 1)),
+        slots_(std::make_unique<EventSample[]>(capacity_)) {}
+
+  /// Single-writer append; drop-and-count when full. Safe from a signal
+  /// handler running on the owning thread.
+  void record(const EventSample& s) noexcept {
+    const std::size_t n = count_.load(std::memory_order_relaxed);
+    if (n >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    slots_[n] = s;
+    count_.store(n + 1, std::memory_order_release);
+  }
+
+  /// Samples published so far (acquire: the slots below the count are
+  /// fully written, even when read from another thread or a crash handler).
+  std::size_t count() const noexcept {
+    return count_.load(std::memory_order_acquire);
+  }
+
+  const EventSample* data() const noexcept { return slots_.get(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  void clear() noexcept {
+    count_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::unique_ptr<EventSample[]> slots_;
+  std::atomic<std::size_t> count_{0};
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 /// Per-thread sample storage for one tool session.

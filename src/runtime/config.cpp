@@ -92,6 +92,18 @@ bool RuntimeConfig::parse_telemetry_mode(const std::string& text,
   return true;
 }
 
+bool RuntimeConfig::parse_fork_mode(const std::string& text, ForkMode* mode) {
+  const std::string s = ascii_lower(text);
+  if (s == "disable" || s == "disabled" || s == "off") {
+    *mode = ForkMode::kDisable;
+  } else if (s == "rearm" || s == "re-arm" || s == "on") {
+    *mode = ForkMode::kRearm;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 RuntimeConfig RuntimeConfig::from_env() {
   RuntimeConfig cfg;
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
@@ -150,6 +162,32 @@ RuntimeConfig RuntimeConfig::from_env() {
   }
   if (const auto trace = env::get("ORCA_TELEMETRY_TRACE")) {
     cfg.telemetry_trace = *trace;
+  }
+  // Resilience knobs use the same warn-and-default contract: a typo'd
+  // value must never silently disarm crash dumps or the watchdog.
+  if (const auto dump = env::get("ORCA_CRASH_DUMP")) {
+    cfg.crash_dump = *dump;
+  }
+  if (const auto deadline = env::get("ORCA_CALLBACK_DEADLINE_MS")) {
+    char* end = nullptr;
+    const long ms = std::strtol(deadline->c_str(), &end, 10);
+    if (end == deadline->c_str() || *end != '\0' || ms < 0) {
+      std::fprintf(stderr,
+                   "ORCA: ignoring invalid ORCA_CALLBACK_DEADLINE_MS=\"%s\" "
+                   "(expected a non-negative millisecond count); watchdog "
+                   "stays off\n",
+                   deadline->c_str());
+    } else {
+      cfg.callback_deadline_ms = static_cast<int>(ms);
+    }
+  }
+  if (const auto mode = env::get("ORCA_FORK_MODE")) {
+    if (!parse_fork_mode(*mode, &cfg.fork_mode)) {
+      std::fprintf(stderr,
+                   "ORCA: ignoring invalid ORCA_FORK_MODE=\"%s\" "
+                   "(expected disable|rearm); keeping disable\n",
+                   mode->c_str());
+    }
   }
   return cfg;
 }

@@ -38,6 +38,13 @@ enum class EventBackpressure {
   kOverwriteOldest,  ///< evict the oldest undelivered event, count it
 };
 
+/// What collection does in a fork()ed child process
+/// (ORCA_FORK_MODE=disable|rearm; docs/RESILIENCE.md).
+enum class ForkMode {
+  kDisable,  ///< child keeps state queries but stops event delivery
+  kRearm,    ///< child reopens rings and restarts the drainer
+};
+
 /// Construction-time configuration of a `Runtime` instance.
 ///
 /// Defaults replicate the paper's OpenUH runtime: nested parallel regions
@@ -110,6 +117,21 @@ struct RuntimeConfig {
   /// for no trace (ORCA_TELEMETRY_TRACE).
   std::string telemetry_trace;
 
+  /// Crash postmortem dump file (ORCA_CRASH_DUMP): when non-empty, the
+  /// runtime installs SIGSEGV/SIGBUS/SIGABRT handlers that flush sample
+  /// buffers and loss counters here with raw write(2) before re-raising.
+  /// Empty (the default) leaves signal dispositions untouched.
+  std::string crash_dump;
+
+  /// Callback watchdog deadline in milliseconds
+  /// (ORCA_CALLBACK_DEADLINE_MS). A collector callback on the async
+  /// drainer exceeding it is quarantined through the generation retire
+  /// path. 0 (the default) disables the watchdog.
+  int callback_deadline_ms = 0;
+
+  /// Child-side behaviour after fork() (ORCA_FORK_MODE=disable|rearm).
+  ForkMode fork_mode = ForkMode::kDisable;
+
   /// Schedule applied when a loop asks for Schedule::kRuntime.
   ScheduleSpec runtime_schedule{};
 
@@ -137,6 +159,11 @@ struct RuntimeConfig {
   /// caller can warn and keep its defaults.
   static bool parse_telemetry_mode(const std::string& text, bool* timeline,
                                    bool* metrics);
+
+  /// Parse an ORCA_FORK_MODE string ("disable" / "rearm",
+  /// case-insensitive). Returns false — leaving `mode` untouched — when
+  /// the string is unrecognized, so the caller can warn and keep defaults.
+  static bool parse_fork_mode(const std::string& text, ForkMode* mode);
 };
 
 }  // namespace orca::rt

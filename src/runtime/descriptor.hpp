@@ -68,6 +68,21 @@ struct ThreadDescriptor {
   /// Team this thread is currently executing in; nullptr when idle/serial.
   TeamDescriptor* team = nullptr;
 
+  // Async-signal-safe region-id snapshots (docs/RESILIENCE.md). `team` and
+  // the chain behind it are written by the *master* while a worker is
+  // parked, so a signal landing on that worker cannot safely walk them.
+  // Every site that changes a descriptor's team publishes the region ids
+  // here (publish_region_snapshot, non-signal context); the fast path in
+  // Runtime::collector_api reads only these relaxed atomics.
+  std::atomic<unsigned long> snap_current_prid{0};
+  std::atomic<unsigned long> snap_parent_prid{0};
+  std::atomic<int> snap_in_parallel{0};  ///< 0 => PRID answers SEQUENCE_ERR
+
+  /// Re-derive the snapshot from `team` (walking out of serialized nested
+  /// teams exactly like the slow-path providers). Call after every write to
+  /// `team`; defined after TeamDescriptor below.
+  void publish_region_snapshot() noexcept;
+
   /// Pending-children counter of the task (or thread) currently executing
   /// on this thread: spawned tasks register here, and `taskwait` waits for
   /// exactly this counter — OpenMP's child-only semantics. Outside any
@@ -106,6 +121,7 @@ struct ThreadDescriptor {
     single_count = 0;
     own_task_children.store(0, std::memory_order_relaxed);
     task_children = &own_task_children;
+    publish_region_snapshot();
   }
 };
 
@@ -266,5 +282,23 @@ struct TeamDescriptor {
     members.assign(static_cast<std::size_t>(n), nullptr);
   }
 };
+
+inline void ThreadDescriptor::publish_region_snapshot() noexcept {
+  // Same walk as the slow-path PRID providers: serialized nested "teams"
+  // defer to the innermost *parallel* team (paper IV-E).
+  const TeamDescriptor* t = team;
+  while (t != nullptr && !t->is_parallel) t = t->parent_team;
+  if (t == nullptr) {
+    snap_in_parallel.store(0, std::memory_order_relaxed);
+    snap_current_prid.store(0, std::memory_order_relaxed);
+    snap_parent_prid.store(0, std::memory_order_relaxed);
+    return;
+  }
+  snap_current_prid.store(t->region_id, std::memory_order_relaxed);
+  snap_parent_prid.store(t->parent_region_id, std::memory_order_relaxed);
+  // in_parallel last (release) so a fast-path reader that sees 1 also sees
+  // the ids of this region, not a torn mix with the previous one.
+  snap_in_parallel.store(1, std::memory_order_release);
+}
 
 }  // namespace orca::rt

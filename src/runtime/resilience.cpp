@@ -1,0 +1,217 @@
+#include "runtime/resilience.hpp"
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include "common/spinlock.hpp"
+#include "runtime/runtime.hpp"
+#include "testing/fault_injection.hpp"
+
+namespace orca::rt::resilience {
+namespace {
+
+// --- crash dump state -------------------------------------------------------
+// Everything the handler touches is preallocated and lock-free: a crash
+// handler runs with arbitrary locks held (possibly by the crashing thread
+// itself) and must not allocate, lock, or call into stdio.
+
+constexpr int kMaxSections = 16;
+
+struct Section {
+  std::atomic<CrashSectionFn> fn{nullptr};
+  void* ctx = nullptr;
+  const char* name = nullptr;
+};
+
+Section g_sections[kMaxSections];
+
+/// Serializes slot claiming only; the crash handler never takes it (it
+/// reads the per-slot fn atomics directly).
+SpinLock g_sections_mu;
+
+char g_dump_path[512];
+std::atomic<bool> g_armed{false};
+std::atomic<bool> g_crashing{false};
+
+const int kCrashSignals[] = {SIGSEGV, SIGBUS, SIGABRT};
+
+extern "C" void orca_crash_handler(int sig) {
+  // One shot: a fault inside the dump (or a second crashing thread racing
+  // in) must not recurse — the loser proceeds straight to the re-raise.
+  bool expected = false;
+  if (g_crashing.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+    const int fd = ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      write_str(fd, "ORCA_CRASH_DUMP v1\n");
+      write_kv(fd, "signal", static_cast<unsigned long long>(sig));
+      write_kv(fd, "fork_events", fork_events());
+      for (const Section& s : g_sections) {
+        const CrashSectionFn fn = s.fn.load(std::memory_order_acquire);
+        if (fn == nullptr) continue;
+        write_str(fd, "section ");
+        write_str(fd, s.name != nullptr ? s.name : "?");
+        write_str(fd, "\n");
+        fn(s.ctx, fd);
+      }
+      write_str(fd, "end\n");
+      ::close(fd);
+    }
+  }
+  // Re-raise with the default disposition so the process still terminates
+  // (and core-dumps) exactly as it would have without the profiler.
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+// --- fork participants ------------------------------------------------------
+
+constexpr int kMaxParticipants = 16;
+
+/// Held from the atfork prepare hook until the parent/child hook: the
+/// participant set must not change while the kernel snapshots the process.
+SpinLock g_participants_mu;
+Runtime* g_participants[kMaxParticipants] = {};
+std::atomic<std::uint64_t> g_fork_events{0};
+
+void atfork_prepare() {
+  ORCA_FAULT_POINT(kForkRace);
+  g_fork_events.fetch_add(1, std::memory_order_relaxed);
+  g_participants_mu.lock();
+  for (Runtime* rt : g_participants) {
+    if (rt != nullptr) rt->prepare_fork();
+  }
+}
+
+void atfork_parent() {
+  for (int i = kMaxParticipants - 1; i >= 0; --i) {
+    if (g_participants[i] != nullptr) g_participants[i]->resume_parent_after_fork();
+  }
+  g_participants_mu.unlock();
+}
+
+void atfork_child() {
+  for (int i = kMaxParticipants - 1; i >= 0; --i) {
+    if (g_participants[i] != nullptr) g_participants[i]->resume_child_after_fork();
+  }
+  g_participants_mu.unlock();
+}
+
+}  // namespace
+
+int register_crash_section(const char* name, CrashSectionFn fn,
+                           void* ctx) noexcept {
+  if (fn == nullptr) return -1;
+  std::scoped_lock lk(g_sections_mu);
+  for (int i = 0; i < kMaxSections; ++i) {
+    if (g_sections[i].fn.load(std::memory_order_relaxed) != nullptr) continue;
+    // ctx/name first, then the release-published fn: a concurrent crash
+    // handler that loads a non-null fn is guaranteed to see them.
+    g_sections[i].ctx = ctx;
+    g_sections[i].name = name;
+    g_sections[i].fn.store(fn, std::memory_order_release);
+    return i;
+  }
+  return -1;
+}
+
+void unregister_crash_section(int slot) noexcept {
+  if (slot < 0 || slot >= kMaxSections) return;
+  g_sections[slot].fn.store(nullptr, std::memory_order_release);
+}
+
+bool arm_crash_dump(const char* path) noexcept {
+  if (path == nullptr || path[0] == '\0') return g_armed.load();
+  bool expected = false;
+  if (!g_armed.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    return true;  // first arming won; the path is already fixed
+  }
+  std::strncpy(g_dump_path, path, sizeof(g_dump_path) - 1);
+  g_dump_path[sizeof(g_dump_path) - 1] = '\0';
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &orca_crash_handler;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESETHAND: the handler restores SIG_DFL itself after the dump,
+  // and keeping the disposition lets a SIGBUS raised *inside* a SIGSEGV
+  // dump still funnel through the one-shot gate.
+  sa.sa_flags = 0;
+  for (int sig : kCrashSignals) {
+    (void)::sigaction(sig, &sa, nullptr);
+  }
+  return true;
+}
+
+bool crash_dump_armed() noexcept {
+  return g_armed.load(std::memory_order_acquire);
+}
+
+void write_str(int fd, const char* s) noexcept {
+  std::size_t len = 0;
+  while (s[len] != '\0') ++len;
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, s + off, len - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void write_u64(int fd, unsigned long long v) noexcept {
+  char buf[24];
+  char* p = buf + sizeof(buf);
+  *--p = '\0';
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  write_str(fd, p);
+}
+
+void write_kv(int fd, const char* key, unsigned long long v) noexcept {
+  write_str(fd, key);
+  write_str(fd, " ");
+  write_u64(fd, v);
+  write_str(fd, "\n");
+}
+
+void register_fork_participant(Runtime* rt) noexcept {
+  if (rt == nullptr) return;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    (void)::pthread_atfork(&atfork_prepare, &atfork_parent, &atfork_child);
+  });
+  std::scoped_lock lk(g_participants_mu);
+  for (Runtime*& slot : g_participants) {
+    if (slot == nullptr) {
+      slot = rt;
+      return;
+    }
+  }
+  // Table full: the runtime simply does not take part in the quiesce
+  // protocol (fork still works, it just loses the pre-fork flush).
+}
+
+void unregister_fork_participant(Runtime* rt) noexcept {
+  std::scoped_lock lk(g_participants_mu);
+  for (Runtime*& slot : g_participants) {
+    if (slot == rt) slot = nullptr;
+  }
+}
+
+std::uint64_t fork_events() noexcept {
+  return g_fork_events.load(std::memory_order_relaxed);
+}
+
+}  // namespace orca::rt::resilience

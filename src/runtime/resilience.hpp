@@ -1,0 +1,79 @@
+/// \file resilience.hpp
+/// Process-level crash and fork survival for the profiling runtime.
+///
+/// Two facilities live here, both deliberately runtime-instance-agnostic
+/// because POSIX signal dispositions and pthread_atfork handlers are
+/// process-global:
+///
+///  * **Crash postmortem dump** — SIGSEGV/SIGBUS/SIGABRT handlers that
+///    flush registered data sections to ORCA_CRASH_DUMP using only
+///    async-signal-safe primitives (open/write/close, no allocation, no
+///    locks, no stdio) and then re-raise with the default disposition so
+///    the process still dies with the original signal.
+///  * **fork() safety** — pthread_atfork hooks that quiesce every
+///    registered Runtime before the kernel snapshots the address space,
+///    so the child never inherits a lock held by a thread that does not
+///    exist there. The child then disarms or re-arms collection per
+///    RuntimeConfig::fork_mode.
+///
+/// See docs/RESILIENCE.md for the dump format and the fork-mode contract.
+#pragma once
+
+#include <cstdint>
+
+namespace orca::rt {
+
+class Runtime;
+
+namespace resilience {
+
+/// A crash-dump contributor: called from the crash signal handler with the
+/// open dump fd. The function must itself be async-signal-safe — use the
+/// write_* helpers below, never allocate, lock, or touch stdio.
+using CrashSectionFn = void (*)(void* ctx, int fd);
+
+/// Register a dump section. Returns the claimed slot (>= 0), or -1 when
+/// the fixed section table is full. Sections are emitted in slot order
+/// under a "section <name>" heading; `name` must outlive the registration.
+int register_crash_section(const char* name, CrashSectionFn fn,
+                           void* ctx) noexcept;
+
+/// Release a slot returned by register_crash_section (no-op for -1).
+void unregister_crash_section(int slot) noexcept;
+
+/// Install the crash handlers writing to `path` (copied into preallocated
+/// storage; at most 511 bytes are kept). Idempotent: the first arming wins
+/// and later calls only update nothing. Returns true when the handlers are
+/// (now) installed.
+bool arm_crash_dump(const char* path) noexcept;
+
+/// True once arm_crash_dump() installed the handlers.
+bool crash_dump_armed() noexcept;
+
+// --- async-signal-safe formatting helpers ---------------------------------
+
+/// write(2) a NUL-terminated string, restarting on EINTR.
+void write_str(int fd, const char* s) noexcept;
+
+/// write(2) `v` in decimal.
+void write_u64(int fd, unsigned long long v) noexcept;
+
+/// write(2) "<key> <v>\n".
+void write_kv(int fd, const char* key, unsigned long long v) noexcept;
+
+// --- fork() support -------------------------------------------------------
+
+/// Enroll `rt` in the pthread_atfork quiesce protocol (registers the
+/// process-wide handlers on first use). Balanced by
+/// unregister_fork_participant() in the Runtime destructor.
+void register_fork_participant(Runtime* rt) noexcept;
+
+void unregister_fork_participant(Runtime* rt) noexcept;
+
+/// fork() calls observed by the atfork prepare hook since process start
+/// (the child inherits the pre-fork count, already incremented for the
+/// fork that created it).
+std::uint64_t fork_events() noexcept;
+
+}  // namespace resilience
+}  // namespace orca::rt

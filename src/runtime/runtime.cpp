@@ -5,6 +5,9 @@
 #include <mutex>
 #include <string>
 
+#include "collector/message.hpp"
+#include "collector/names.hpp"
+#include "runtime/resilience.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
 #include "testing/fault_injection.hpp"
@@ -18,6 +21,12 @@ namespace {
 /// its master persona.
 thread_local Runtime* tls_runtime = nullptr;
 thread_local ThreadDescriptor* tls_descriptor = nullptr;
+
+/// Reentrancy sentinel for collector_api: set while the full (lock-taking)
+/// dispatcher runs on this thread, so a signal handler re-entering the API
+/// mid-dispatch can be refused instead of self-deadlocking on the queue or
+/// registry locks.
+thread_local bool tls_in_collector_api = false;
 
 }  // namespace
 
@@ -123,10 +132,24 @@ Runtime::Runtime(RuntimeConfig cfg)
     // lazily on OMP_REQ_START (provider_lifecycle) so uninstrumented runs
     // never pay for the extra thread.
     registry_.set_async_sink(&Runtime::async_sink, this);
+    // Deadline set before the drainer can start: start() reads it to
+    // decide whether to spawn the watchdog.
+    async_->set_callback_deadline(config_.callback_deadline_ms);
   }
+  if (!config_.crash_dump.empty()) {
+    resilience::arm_crash_dump(config_.crash_dump.c_str());
+    crash_section_slot_ =
+        resilience::register_crash_section("runtime", &Runtime::crash_section,
+                                           this);
+  }
+  resilience::register_fork_participant(this);
 }
 
 Runtime::~Runtime() {
+  // Unhook from the process-global tables first: an atfork or crash
+  // handler firing mid-destruction must not walk into a dying runtime.
+  resilience::unregister_fork_participant(this);
+  resilience::unregister_crash_section(crash_section_slot_);
   // Workers join in ~Worker (CP.25: threads are joined, never detached) —
   // before ~async_ so every event producer is gone when the drainer stops.
   workers_.clear();
@@ -239,6 +262,7 @@ void Runtime::worker_main(Worker& w) {
     w.desc.set_state(THR_WORK_STATE);
     run_region(*team, w.desc);
     w.desc.team = nullptr;
+    w.desc.publish_region_snapshot();
     w.desc.set_state(THR_IDLE_STATE);
     registry_.fire(OMP_EVENT_THR_BEGIN_IDLE, w.desc.emitter);
     // Last store: tells the master's quiesce that this worker has fully
@@ -336,6 +360,7 @@ void Runtime::fork(Microtask fn, void* frame, int num_threads) {
                          telemetry::Phase::kEnd,
                          static_cast<std::uint32_t>(rid));
   parallel_master_.team = nullptr;
+  parallel_master_.publish_region_snapshot();
   tls_descriptor = prev_tls;
   serial_master_.set_state(THR_SERIAL_STATE);
 }
@@ -364,6 +389,7 @@ void Runtime::fork_serialized(ThreadDescriptor& parent, Microtask fn,
   parent.tid_in_team = prev_tid;
   parent.loop_count = prev_loops;
   parent.single_count = prev_singles;
+  parent.publish_region_snapshot();
 }
 
 void Runtime::fork_nested(ThreadDescriptor& parent, Microtask fn, void* frame,
@@ -443,6 +469,7 @@ void Runtime::fork_nested(ThreadDescriptor& parent, Microtask fn, void* frame,
   parent.tid_in_team = prev_tid;
   parent.loop_count = prev_loops;
   parent.single_count = prev_singles;
+  parent.publish_region_snapshot();
   parent.set_state(prev_state);
 }
 
@@ -637,6 +664,72 @@ OMP_COLLECTORAPI_EC Runtime::provider_telemetry_snapshot(
   return OMP_ERRCODE_OK;
 }
 
+void Runtime::fill_resilience_stats(orca_resilience_stats* out) noexcept {
+  // Atomic loads only: this fills on the signal-safe fast path too.
+  out->quarantined_collectors = registry_.quarantined();
+  out->crash_dump_armed = resilience::crash_dump_armed() ? 1 : 0;
+  out->signal_queries_served =
+      signal_queries_served_.load(std::memory_order_relaxed);
+  out->fork_events = resilience::fork_events();
+}
+
+OMP_COLLECTORAPI_EC Runtime::provider_resilience_stats(
+    void* ctx, orca_resilience_stats* out) {
+  static_cast<Runtime*>(ctx)->fill_resilience_stats(out);
+  return OMP_ERRCODE_OK;
+}
+
+void Runtime::crash_section(void* ctx, int fd) {
+  auto& rt = *static_cast<Runtime*>(ctx);
+  // Everything below is loads of atomics + raw write(2): safe with the
+  // process in an arbitrary (crashed) state.
+  resilience::write_kv(fd, "quarantined_collectors",
+                       rt.registry_.quarantined());
+  resilience::write_kv(
+      fd, "signal_queries_served",
+      rt.signal_queries_served_.load(std::memory_order_relaxed));
+  if (rt.async_ != nullptr) {
+    const collector::EventRingStats s = rt.async_->stats();
+    resilience::write_kv(fd, "events_submitted", s.submitted);
+    resilience::write_kv(fd, "events_delivered", s.delivered);
+    resilience::write_kv(fd, "events_dropped", s.dropped);
+    resilience::write_kv(fd, "events_overwritten", s.overwritten);
+  }
+}
+
+void Runtime::prepare_fork() {
+  if (async_ != nullptr) async_->quiesce_for_fork();
+  registry_.prepare_fork();
+}
+
+void Runtime::resume_parent_after_fork() noexcept {
+  registry_.resume_after_fork();
+  if (async_ != nullptr) async_->resume_parent_after_fork();
+}
+
+void Runtime::resume_child_after_fork() {
+  registry_.resume_after_fork();
+  // Only the forking thread crossed into the child: the pool threads exist
+  // solely in the parent. Joining them would hang forever, so their handles
+  // are detached and the pool rebuilt lazily by the next parallel region.
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.detach();
+    w->shutdown.store(true, std::memory_order_relaxed);
+    w->inbox.store(nullptr, std::memory_order_relaxed);
+  }
+  workers_.clear();
+  const bool rearm = config_.fork_mode == ForkMode::kRearm;
+  if (async_ != nullptr) {
+    async_->reset_after_fork(rearm && registry_.initialized());
+  }
+  if (!rearm) {
+    // Disable mode: tear down the collection session. State/region-id
+    // queries keep working; callbacks are gone until the collector in the
+    // child runs a fresh START/REGISTER sequence.
+    (void)registry_.stop();
+  }
+}
+
 bool Runtime::async_sink(void* ctx, OMP_COLLECTORAPI_EVENT event) noexcept {
   auto& rt = *static_cast<Runtime*>(ctx);
   collector::AsyncDispatcher* async = rt.async_.get();
@@ -644,7 +737,116 @@ bool Runtime::async_sink(void* ctx, OMP_COLLECTORAPI_EVENT event) noexcept {
   return async->publish(provider_queue_slot(ctx), event);
 }
 
+int Runtime::signal_safe_query_path(void* arg) noexcept {
+  using collector::MessageCursor;
+  // Pass 1: validate-all. Only buffers made up entirely of the four
+  // signal-safe kinds are eligible; a malformed record rejects the whole
+  // buffer unanswered, exactly as the full dispatcher would.
+  MessageCursor scan(arg);
+  while (!scan.at_terminator()) {
+    if (!scan.valid()) return -1;
+    switch (scan.request()) {
+      case OMP_REQ_STATE:
+      case OMP_REQ_CURRENT_PRID:
+      case OMP_REQ_PARENT_PRID:
+      case ORCA_REQ_RESILIENCE_STATS:
+        break;
+      default:
+        return 1;  // needs the full dispatcher
+    }
+    scan.advance();
+  }
+  // Pass 2: answer-all from atomic snapshots. self() is lock-free (a TLS
+  // read, at worst one CAS claiming the master persona), and every reply
+  // below is memcpy into the caller's buffer — byte-identical to what
+  // dispatch.cpp's answer() would produce for the same records.
+  ThreadDescriptor* td = self();
+  ThreadDescriptor& d = td != nullptr ? *td : serial_master_;
+  MessageCursor cursor(arg);
+  while (!cursor.at_terminator()) {
+    switch (cursor.request()) {
+      case OMP_REQ_STATE: {
+        // Wait ids are written only by the descriptor's owner, so reading
+        // them from that thread's own signal handler is safe; the state
+        // itself is an atomic.
+        unsigned long wait_id = 0;
+        const OMP_COLLECTOR_API_THR_STATE state = d.get_state();
+        switch (state) {
+          case THR_IBAR_STATE: wait_id = d.ibar_id; break;
+          case THR_EBAR_STATE: wait_id = d.ebar_id; break;
+          case THR_LKWT_STATE: wait_id = d.lock_wait_id; break;
+          case THR_CTWT_STATE: wait_id = d.critical_wait_id; break;
+          case THR_ODWT_STATE: wait_id = d.ordered_wait_id; break;
+          case THR_ATWT_STATE: wait_id = d.atomic_wait_id; break;
+          default: break;
+        }
+        const int state_value = static_cast<int>(state);
+        if (!cursor.write_reply(&state_value, sizeof(state_value))) break;
+        if (collector::state_has_wait_id(state) &&
+            !cursor.write_reply(&wait_id, sizeof(wait_id),
+                                sizeof(state_value))) {
+          break;
+        }
+        cursor.set_errcode(OMP_ERRCODE_OK);
+        signal_queries_served_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case OMP_REQ_CURRENT_PRID:
+      case OMP_REQ_PARENT_PRID: {
+        unsigned long id = 0;
+        OMP_COLLECTORAPI_EC ec = OMP_ERRCODE_SEQUENCE_ERR;
+        if (d.snap_in_parallel.load(std::memory_order_acquire) != 0) {
+          id = cursor.request() == OMP_REQ_CURRENT_PRID
+                   ? d.snap_current_prid.load(std::memory_order_relaxed)
+                   : d.snap_parent_prid.load(std::memory_order_relaxed);
+          ec = OMP_ERRCODE_OK;
+        }
+        if (!cursor.write_reply(&id, sizeof(id))) break;
+        cursor.set_errcode(ec);
+        signal_queries_served_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      case ORCA_REQ_RESILIENCE_STATS: {
+        orca_resilience_stats stats = {};
+        if (cursor.payload_capacity() < sizeof(stats)) {
+          cursor.set_errcode(OMP_ERRCODE_MEM_TOO_SMALL);
+          break;
+        }
+        fill_resilience_stats(&stats);
+        if (!cursor.write_reply(&stats, sizeof(stats))) break;
+        cursor.set_errcode(OMP_ERRCODE_OK);
+        signal_queries_served_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      default:
+        break;  // unreachable: pass 1 filtered the kinds
+    }
+    cursor.advance();
+  }
+  return 0;
+}
+
 int Runtime::collector_api(void* arg) {
+  ORCA_FAULT_POINT(kSignalDuringQuery);
+  if (arg == nullptr) return -1;
+  // Query-only buffers take the async-signal-safe path: no locks, no
+  // allocation, no queue routing. Everything else falls through to the
+  // full dispatcher below.
+  if (const int rc = signal_safe_query_path(arg); rc != 1) return rc;
+  if (tls_in_collector_api) {
+    // A signal handler re-entered the API while the full dispatcher was
+    // live on this very thread, with records the lock-free path cannot
+    // serve. Refuse them all rather than deadlock on the queue/registry
+    // locks the interrupted frame may hold.
+    collector::MessageCursor cursor(arg);
+    while (!cursor.at_terminator()) {
+      if (!cursor.valid()) return -1;
+      cursor.set_errcode(OMP_ERRCODE_ERROR);
+      cursor.advance();
+    }
+    return 0;
+  }
+  tls_in_collector_api = true;
   // Dispatch entry is a quiescent point: registration churn arriving here
   // re-pins the caller's generation so superseded tables get reclaimed even
   // when no parallel work is running.
@@ -660,8 +862,11 @@ int Runtime::collector_api(void* arg) {
       &Runtime::provider_lifecycle,
       &Runtime::provider_event_stats,
       &Runtime::provider_telemetry_snapshot,
+      &Runtime::provider_resilience_stats,
   };
-  return collector::process_messages(registry_, queues_, providers, arg);
+  const int rc = collector::process_messages(registry_, queues_, providers, arg);
+  tls_in_collector_api = false;
+  return rc;
 }
 
 }  // namespace orca::rt

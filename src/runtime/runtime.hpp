@@ -199,7 +199,34 @@ class Runtime {
   const RuntimeConfig& config() const noexcept { return config_; }
 
   /// `__omp_collector_api` bound to this runtime instance.
+  ///
+  /// Buffers containing only STATE/CURRENT_PRID/PARENT_PRID/
+  /// RESILIENCE_STATS records are answered on an async-signal-safe fast
+  /// path: per-thread atomic snapshots, no locks, no allocation, no queue
+  /// routing — callable from a SIGPROF handler. Any other request mix
+  /// takes the full dispatcher; if a signal handler re-enters the API
+  /// while that dispatcher is live on the same thread, the non-signal-safe
+  /// records are refused with OMP_ERRCODE_ERROR instead of deadlocking.
   int collector_api(void* arg);
+
+  /// Requests answered on the signal-safe fast path so far.
+  std::uint64_t signal_queries_served() const noexcept {
+    return signal_queries_served_.load(std::memory_order_relaxed);
+  }
+
+  // --- fork()/crash glue (resilience.cpp pthread_atfork handlers) ----------
+
+  /// atfork-prepare: flush async delivery, then hold the dispatcher and
+  /// registry locks across the kernel snapshot.
+  void prepare_fork();
+
+  /// atfork-parent: release the locks taken by prepare_fork().
+  void resume_parent_after_fork() noexcept;
+
+  /// atfork-child: release inherited locks, detach the worker pool (those
+  /// threads only exist in the parent), and disarm or re-arm event
+  /// delivery per config().fork_mode.
+  void resume_child_after_fork();
 
   /// Fire an event — `__ompc_event` from the paper — through the ambient
   /// (no-descriptor) path. Foreign threads and compat callers only; runtime
@@ -277,6 +304,19 @@ class Runtime {
                                                   orca_event_stats* out);
   static OMP_COLLECTORAPI_EC provider_telemetry_snapshot(
       void* ctx, orca_telemetry_snapshot* out);
+  static OMP_COLLECTORAPI_EC provider_resilience_stats(
+      void* ctx, orca_resilience_stats* out);
+
+  /// Crash-dump section: loss counters and event-stats footer, written
+  /// with the resilience module's signal-safe helpers.
+  static void crash_section(void* ctx, int fd);
+
+  /// Answer an all-fast-kinds buffer from atomic snapshots. Returns 0
+  /// (answered) or -1 (malformed) when the buffer was eligible; 1 when it
+  /// holds any record the signal-safe path cannot serve.
+  int signal_safe_query_path(void* arg) noexcept;
+
+  void fill_resilience_stats(orca_resilience_stats* out) noexcept;
 
   /// Registry::AsyncSink trampoline: enqueue an admitted event on the
   /// calling thread's ring.
@@ -314,6 +354,13 @@ class Runtime {
 
   mutable SpinLock regions_mu_;
   std::unordered_map<void*, std::uint64_t> region_calls_;  ///< fn -> calls
+
+  /// Requests answered by signal_safe_query_path().
+  std::atomic<std::uint64_t> signal_queries_served_{0};
+
+  /// Crash-dump section slot (-1 when the dump is not armed or the table
+  /// was full).
+  int crash_section_slot_ = -1;
 
   /// Asynchronous event delivery (EventDelivery::kAsync only). Declared
   /// last so its destructor — which joins the drainer thread that still

@@ -46,6 +46,8 @@ constexpr std::size_t kPridCap = encoded_capacity(sizeof(unsigned long));
 constexpr std::size_t kStatsCap = encoded_capacity(sizeof(orca_event_stats));
 constexpr std::size_t kTelemetryCap =
     encoded_capacity(sizeof(orca_telemetry_snapshot));
+constexpr std::size_t kResilienceCap =
+    encoded_capacity(sizeof(orca_resilience_stats));
 
 /// One driver step: either a request batch sent through one API call, or a
 /// bare event firing (exercises PAUSE gating and async flush edges without
@@ -104,6 +106,13 @@ void encode(MessageBuilder& msg, const ModelRequest& r) {
         msg.add(r.kind, r.capacity);
       }
       return;
+    case ORCA_REQ_RESILIENCE_STATS:
+      if (r.capacity >= kResilienceCap) {
+        msg.add_resilience_stats_query();
+      } else {
+        msg.add(r.kind, r.capacity);
+      }
+      return;
     default:
       msg.add(r.kind, r.capacity);
       return;
@@ -121,7 +130,7 @@ constexpr OMP_COLLECTORAPI_EVENT kSupportedEvents[] = {
 };
 constexpr int kInvalidEvents[] = {0, -3, OMP_EVENT_LAST,
                                   ORCA_EVENT_EXT_LAST + 14};
-constexpr int kUnknownKinds[] = {OMP_REQ_LAST, 11, 15, 18, -2, 1000};
+constexpr int kUnknownKinds[] = {OMP_REQ_LAST, 11, 15, 19, -2, 1000};
 
 /// Draw one random request from the weighted protocol mix.
 ModelRequest random_request(SplitMix64& rng) {
@@ -192,12 +201,18 @@ ModelRequest random_request(SplitMix64& rng) {
   } else if (roll < 89) {  // stats reply cannot fit
     r.kind = ORCA_REQ_EVENT_STATS;
     r.capacity = 8;
-  } else if (roll < 92) {
+  } else if (roll < 91) {
     r.kind = ORCA_REQ_TELEMETRY_SNAPSHOT;
     r.capacity = kTelemetryCap;
-  } else if (roll < 94) {  // telemetry reply cannot fit
+  } else if (roll < 92) {  // telemetry reply cannot fit
     r.kind = ORCA_REQ_TELEMETRY_SNAPSHOT;
     r.capacity = (rng.next() & 1) != 0 ? 16 : 0;
+  } else if (roll < 93) {  // resilience stats (signal-safe fast-path kind)
+    r.kind = ORCA_REQ_RESILIENCE_STATS;
+    r.capacity = kResilienceCap;
+  } else if (roll < 94) {  // resilience reply cannot fit
+    r.kind = ORCA_REQ_RESILIENCE_STATS;
+    r.capacity = (rng.next() & 1) != 0 ? 8 : 0;
   } else {  // unknown request kinds
     r.kind = kUnknownKinds[rng.next() % std::size(kUnknownKinds)];
     r.capacity = (rng.next() & 1) != 0 ? 16 : 0;

@@ -46,6 +46,9 @@ enum class FaultPoint : int {
   kSampleRecord,      ///< perf::SampleBuffer::record allocation
   kGenerationPublish, ///< Registry::publish_locked — new generation swap
   kGenerationRetire,  ///< Registry::scan_retired_locked — reclamation scan
+  kSignalDuringQuery, ///< collector_api entry, ahead of the fast-path walk
+  kCallbackStall,     ///< AsyncDispatcher::deliver, watchdog-stamped window
+  kForkRace,          ///< pthread_atfork prepare, before the pre-fork quiesce
   kCount_
 };
 
@@ -66,6 +69,9 @@ constexpr const char* fault_point_name(FaultPoint p) noexcept {
     case FaultPoint::kSampleRecord: return "sample_record";
     case FaultPoint::kGenerationPublish: return "generation_publish";
     case FaultPoint::kGenerationRetire: return "generation_retire";
+    case FaultPoint::kSignalDuringQuery: return "signal_during_query";
+    case FaultPoint::kCallbackStall: return "callback_stall";
+    case FaultPoint::kForkRace: return "fork_race";
     case FaultPoint::kCount_: break;
   }
   return "?";

@@ -83,7 +83,7 @@ std::vector<char> serialize(const std::vector<PlannedRecord>& plan,
 
 constexpr int kLifecycleKinds[] = {OMP_REQ_START, OMP_REQ_STOP, OMP_REQ_PAUSE,
                                    OMP_REQ_RESUME};
-constexpr int kUnknownKinds[] = {OMP_REQ_LAST, 10, 12, 15, 18,
+constexpr int kUnknownKinds[] = {OMP_REQ_LAST, 10, 12, 15, 19,
                                  -1, -100, 9999};
 constexpr std::size_t kSmallCaps[] = {0, 1, 2, 4, 5, 8, 11, 12,
                                       16, 17, 24, 33, 48, 64};
@@ -114,13 +114,23 @@ PlannedRecord random_record(SplitMix64& rng) {
                                      : OMP_REQ_PARENT_PRID;
   } else if (roll < 87) {
     rec.kind = ORCA_REQ_EVENT_STATS;
-  } else if (roll < 93) {
+  } else if (roll < 91) {
     rec.kind = ORCA_REQ_TELEMETRY_SNAPSHOT;
     if ((rng.next() & 1) != 0) {
       // kSmallCaps never fits a snapshot; widen half the records so the
       // capacity gate passes and the UNSUPPORTED answer is exercised too.
       rec.sz = static_cast<int>(kRecordHeaderSize +
                                 sizeof(orca_telemetry_snapshot) +
+                                rng.next() % 32);
+    }
+  } else if (roll < 95) {
+    rec.kind = ORCA_REQ_RESILIENCE_STATS;
+    if ((rng.next() & 1) != 0) {
+      // Same widening treatment so the OK answer (and, for query-only
+      // buffers, the signal-safe fast path) gets exercised, not just the
+      // MEM_TOO_SMALL gate.
+      rec.sz = static_cast<int>(kRecordHeaderSize +
+                                sizeof(orca_resilience_stats) +
                                 rng.next() % 32);
     }
   } else {

@@ -21,7 +21,7 @@ bool event_in_range(int event) noexcept {
 
 std::string describe(const ModelRequest& req) {
   // Guarded cast: only in-range values may become the enum for naming.
-  std::string out = req.kind >= 0 && req.kind <= ORCA_REQ_TELEMETRY_SNAPSHOT
+  std::string out = req.kind >= 0 && req.kind <= ORCA_REQ_RESILIENCE_STATS
                         ? std::string(collector::to_string(
                               static_cast<OMP_COLLECTORAPI_REQUEST>(req.kind)))
                         : std::string("?");
@@ -108,6 +108,13 @@ OMP_COLLECTORAPI_EC ProtocolModel::apply_in(
         return OMP_ERRCODE_MEM_TOO_SMALL;
       }
       return telemetry_supported_ ? OMP_ERRCODE_OK : OMP_ERRCODE_UNSUPPORTED;
+    case ORCA_REQ_RESILIENCE_STATS:
+      // Capacity first, then always OK: the resilience counters exist from
+      // runtime construction on, in every delivery mode, and the query is
+      // answerable on the async-signal-safe fast path at any point.
+      return req.capacity < sizeof(orca_resilience_stats)
+                 ? OMP_ERRCODE_MEM_TOO_SMALL
+                 : OMP_ERRCODE_OK;
     default:
       return OMP_ERRCODE_UNKNOWN;
   }

@@ -164,6 +164,16 @@ Expected<orca_telemetry_snapshot> Client::telemetry_snapshot() const {
   return snap;
 }
 
+Expected<orca_resilience_stats> Client::resilience_stats() const {
+  MessageBuilder msg;
+  msg.add_resilience_stats_query();
+  if (api_(msg.buffer()) != 0) return OMP_ERRCODE_ERROR;
+  if (msg.errcode(0) != OMP_ERRCODE_OK) return msg.errcode(0);
+  orca_resilience_stats stats = {};
+  if (!msg.reply_value(0, &stats)) return OMP_ERRCODE_ERROR;
+  return stats;
+}
+
 OMP_COLLECTORAPI_EC Client::register_event(OMP_COLLECTORAPI_EVENT event,
                                            OMP_COLLECTORAPI_CALLBACK cb)
     const {

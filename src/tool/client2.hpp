@@ -138,6 +138,11 @@ class Client {
   /// never armed self-telemetry (ORCA_TELEMETRY=off, the default).
   Expected<orca_telemetry_snapshot> telemetry_snapshot() const;
 
+  /// ORCA_REQ_RESILIENCE_STATS. Always supported; the runtime answers it
+  /// on the async-signal-safe fast path, so it is also the query of choice
+  /// from a sampling signal handler.
+  Expected<orca_resilience_stats> resilience_stats() const;
+
   // --- event registration --------------------------------------------------
 
   /// Raw-ABI registration: the caller guarantees `cb` outlives it.

@@ -168,13 +168,27 @@ TEST(FaultInjection, ArmedHooksFireAtTheApiBoundary) {
   orca::rt::RuntimeConfig cfg;
   cfg.num_threads = 2;
   orca::rt::Runtime rt(cfg);
+  // A STATE-only buffer is answered on the async-signal-safe fast path:
+  // it crosses the signal seam at collector_api() entry but never reaches
+  // the full dispatcher or the per-thread queues.
   MessageBuilder msg;
   msg.add_state_query();
   EXPECT_EQ(rt.collector_api(msg.buffer()), 0);
   EXPECT_EQ(msg.errcode(0), OMP_ERRCODE_OK);
+  EXPECT_EQ(entered, 0);
+  EXPECT_EQ(fi->hits(FaultPoint::kSignalDuringQuery), 1u);
+  EXPECT_EQ(fi->hits(FaultPoint::kQueueDrain), 0u);
+
+  // Mixing in a lifecycle record forces the full dispatcher, which enters
+  // process_messages and drains the queued STATE query.
+  MessageBuilder slow;
+  slow.add(OMP_REQ_START);
+  slow.add_state_query();
+  slow.add(OMP_REQ_STOP);
+  EXPECT_EQ(rt.collector_api(slow.buffer()), 0);
   EXPECT_EQ(entered, 1);
   EXPECT_EQ(fi->hits(FaultPoint::kApiEnter), 1u);
-  EXPECT_GE(fi->hits(FaultPoint::kQueueDrain), 1u);  // STATE drained
+  EXPECT_GE(fi->hits(FaultPoint::kQueueDrain), 1u);
 }
 
 TEST(FaultInjection, InjectedAllocFailureMakesBuilderReturnNpos) {

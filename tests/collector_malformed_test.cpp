@@ -92,7 +92,7 @@ TEST(MalformedCorpus, UnknownAndNegativeRequestCodesAnswerUnknown) {
   Runtime rt(sync_cfg());
   MessageBuilder msg;
   for (const int kind :
-       {static_cast<int>(OMP_REQ_LAST), 10, 15, 18, -1, -100, 9999}) {
+       {static_cast<int>(OMP_REQ_LAST), 10, 15, 19, -1, -100, 9999}) {
     msg.add(kind, 8);
   }
   ASSERT_EQ(rt.collector_api(msg.buffer()), 0);

@@ -1,0 +1,146 @@
+/// Crash postmortem tests (docs/RESILIENCE.md): a subprocess arms
+/// ORCA_CRASH_DUMP, samples via the SIGPROF collector, and dies on a real
+/// SIGSEGV; the parent asserts the process terminated by that signal AND
+/// left a parseable "ORCA_CRASH_DUMP v1" dump with a nonzero sample count.
+/// A second case checks SIGABRT takes the same path, and a third that an
+/// unarmed runtime leaves signal dispositions (and the filesystem) alone.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "collector/api.h"
+#include "runtime/runtime.hpp"
+#include "tool/sampling_collector.hpp"
+
+namespace {
+
+using orca::rt::Runtime;
+using orca::rt::RuntimeConfig;
+using orca::tool::SamplingCollector;
+using orca::tool::SamplingOptions;
+
+/// Child body: arm the dump, sample until at least `min_samples` landed
+/// (bounded by a wall-clock cap), then die by `sig`. Never returns.
+[[noreturn]] void crash_child(const std::string& dump_path, int sig,
+                              std::size_t min_samples) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  cfg.crash_dump = dump_path;
+  // Leaked on purpose: the child exits by signal; destroying a Runtime
+  // forked out of a multithreaded parent is exactly what the crash path
+  // must never rely on.
+  auto* rt = new Runtime(cfg);
+  Runtime::make_current(rt);
+
+  SamplingOptions opts;
+  opts.hz = 1000;
+  if (!SamplingCollector::instance().start(&__omp_collector_api, opts)) {
+    _exit(10);
+  }
+  volatile double burn = 0;
+  const auto limit =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (SamplingCollector::instance().stats().samples < min_samples &&
+         std::chrono::steady_clock::now() < limit) {
+    for (int i = 0; i < 200000; ++i) burn = burn + i;
+  }
+  if (SamplingCollector::instance().stats().samples < min_samples) _exit(11);
+  raise(sig);
+  _exit(12);  // unreachable: the dump handler re-raises with SIG_DFL
+}
+
+/// Parse "key value" lines of the dump; returns value or -1 if absent.
+long long dump_value(const std::string& text, const std::string& key) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(key + " ", 0) == 0) {
+      return std::stoll(line.substr(key.size() + 1));
+    }
+  }
+  return -1;
+}
+
+void run_crash_case(int sig) {
+  const std::string dump_path =
+      "crash_dump_test_sig" + std::to_string(sig) + ".dump";
+  std::remove(dump_path.c_str());
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) crash_child(dump_path, sig, /*min_samples=*/3);
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "child exited with " << (WIFEXITED(status) ? WEXITSTATUS(status) : -1)
+      << " instead of dying by signal";
+  EXPECT_EQ(WTERMSIG(status), sig);
+
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good()) << "no dump at " << dump_path;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  // Format contract (docs/RESILIENCE.md): versioned header, the fatal
+  // signal, named sections, and the end marker proving the flush was not
+  // torn mid-write.
+  EXPECT_EQ(text.rfind("ORCA_CRASH_DUMP v1\n", 0), 0u) << text;
+  EXPECT_EQ(dump_value(text, "signal"), sig);
+  EXPECT_NE(text.find("section runtime\n"), std::string::npos);
+  EXPECT_NE(text.find("section sampler\n"), std::string::npos);
+  EXPECT_NE(text.find("\nend\n"), std::string::npos);
+
+  // The headline acceptance: the postmortem preserved real samples.
+  EXPECT_GE(dump_value(text, "samples"), 3);
+  EXPECT_GE(dump_value(text, "handler_invocations"), 3);
+  EXPECT_GE(dump_value(text, "signal_queries_served"), 1);
+
+  std::remove(dump_path.c_str());
+}
+
+TEST(CrashDump, SigsegvFlushesParseableDumpWithSamples) {
+  run_crash_case(SIGSEGV);
+}
+
+TEST(CrashDump, SigabrtTakesTheSamePostmortemPath) {
+  run_crash_case(SIGABRT);
+}
+
+TEST(CrashDump, UnarmedRuntimeLeavesDispositionsAlone) {
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // The disposition may not be SIG_DFL to begin with (sanitizer runtimes
+    // install their own SIGSEGV handler), so the contract is "unchanged",
+    // not "default": snapshot before constructing the runtime and compare.
+    struct sigaction before;
+    if (sigaction(SIGSEGV, nullptr, &before) != 0) _exit(2);
+    RuntimeConfig cfg;
+    cfg.num_threads = 2;  // crash_dump empty: nothing installed
+    auto* rt = new Runtime(cfg);
+    Runtime::make_current(rt);
+    struct sigaction after;
+    if (sigaction(SIGSEGV, nullptr, &after) != 0) _exit(3);
+    const bool same = before.sa_flags == after.sa_flags &&
+                      ((before.sa_flags & SA_SIGINFO)
+                           ? before.sa_sigaction == after.sa_sigaction
+                           : before.sa_handler == after.sa_handler);
+    _exit(same ? 0 : 1);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace

@@ -1,0 +1,274 @@
+/// Resilience-layer tests (docs/RESILIENCE.md): the async-signal-safe
+/// query fast path (served counters, reentrancy refusal, region-id answers
+/// from inside a team), the ORCA_REQ_RESILIENCE_STATS wire query on both
+/// the fast and dispatcher paths, the callback watchdog quarantining a
+/// stalled collector while the application proceeds, and the conformance
+/// differ running clean with the resilience fault seams armed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "collector/message.hpp"
+#include "runtime/runtime.hpp"
+#include "testing/conformance.hpp"
+#include "testing/fault_injection.hpp"
+#include "tool/client2.hpp"
+
+namespace {
+
+using orca::collector::Client;
+using orca::collector::MessageBuilder;
+using orca::rt::EventDelivery;
+using orca::rt::Runtime;
+using orca::rt::RuntimeConfig;
+using orca::testing::ConformanceOptions;
+using orca::testing::ConformanceReport;
+using orca::testing::conformance_seed;
+using orca::testing::FaultInjector;
+using orca::testing::FaultPoint;
+using orca::testing::run_conformance;
+
+/// Every test leaves the global injector disarmed and clean, even on
+/// assertion failure (same helper as the conformance suite).
+struct ScopedFaultInjection {
+  ScopedFaultInjection() { FaultInjector::instance().disarm(); }
+  ~ScopedFaultInjection() { FaultInjector::instance().disarm(); }
+  FaultInjector& operator*() const { return FaultInjector::instance(); }
+  FaultInjector* operator->() const { return &FaultInjector::instance(); }
+};
+
+RuntimeConfig sync_cfg() {
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  return cfg;
+}
+
+Client client_for(Runtime& rt) {
+  return Client([&rt](void* buffer) { return rt.collector_api(buffer); });
+}
+
+// ---------------------------------------------------------------------------
+// Signal-safe fast path
+// ---------------------------------------------------------------------------
+
+TEST(SignalFastPath, StateAndPridBuffersServedWithoutDispatcher) {
+  Runtime rt(sync_cfg());
+  const std::uint64_t before = rt.signal_queries_served();
+
+  MessageBuilder msg;
+  msg.add_state_query();
+  msg.add_id_query(OMP_REQ_CURRENT_PRID);
+  msg.add_id_query(OMP_REQ_PARENT_PRID);
+  ASSERT_EQ(rt.collector_api(msg.buffer()), 0);
+
+  EXPECT_EQ(msg.errcode(0), OMP_ERRCODE_OK);
+  int state = 0;
+  ASSERT_TRUE(msg.reply_value(0, &state));
+  EXPECT_EQ(state, THR_SERIAL_STATE);
+  // Outside any parallel region the id queries answer SEQUENCE_ERR —
+  // identical to the dispatcher path (paper IV-E).
+  EXPECT_EQ(msg.errcode(1), OMP_ERRCODE_SEQUENCE_ERR);
+  EXPECT_EQ(msg.errcode(2), OMP_ERRCODE_SEQUENCE_ERR);
+
+  EXPECT_EQ(rt.signal_queries_served(), before + 3);
+}
+
+std::atomic<std::uint64_t> g_region_ok{0};
+std::atomic<std::uint64_t> g_region_calls{0};
+
+void prid_probe(int, void* frame) {
+  auto* rt = static_cast<Runtime*>(frame);
+  g_region_calls.fetch_add(1, std::memory_order_relaxed);
+  MessageBuilder msg;
+  msg.add_id_query(OMP_REQ_CURRENT_PRID);
+  if (rt->collector_api(msg.buffer()) != 0) return;
+  unsigned long id = 0;
+  if (msg.errcode(0) == OMP_ERRCODE_OK && msg.reply_value(0, &id) && id != 0) {
+    g_region_ok.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+TEST(SignalFastPath, CurrentPridInsideTeamAnswersRegionId) {
+  g_region_ok = 0;
+  g_region_calls = 0;
+  Runtime rt(sync_cfg());
+  Runtime::make_current(&rt);
+  const std::uint64_t before = rt.signal_queries_served();
+  rt.fork(&prid_probe, &rt, 2);
+  Runtime::make_current(nullptr);
+  EXPECT_EQ(g_region_calls.load(), 2u);
+  EXPECT_EQ(g_region_ok.load(), 2u);
+  // Every in-team query went through the fast path's snapshot slots.
+  EXPECT_EQ(rt.signal_queries_served(), before + 2);
+}
+
+TEST(SignalFastPath, ReentrantNonFastBufferIsRefusedLockFree) {
+  ScopedFaultInjection fi;
+  Runtime rt(sync_cfg());
+
+  // The kApiEnter seam fires inside the full dispatcher — exactly where a
+  // SIGPROF handler could interrupt the thread. The hook re-enters
+  // collector_api: fast-eligible buffers are still answered, anything that
+  // needs the dispatcher is refused with ERROR on every record instead of
+  // self-deadlocking on the queues.
+  std::atomic<int> reentered{0};
+  MessageBuilder inner_fast;
+  inner_fast.add_state_query();
+  MessageBuilder inner_slow;
+  inner_slow.add(OMP_REQ_PAUSE);
+  fi->set_hook(FaultPoint::kApiEnter, [&] {
+    if (reentered.exchange(1) != 0) return;
+    EXPECT_EQ(rt.collector_api(inner_fast.buffer()), 0);
+    EXPECT_EQ(inner_fast.errcode(0), OMP_ERRCODE_OK);
+    EXPECT_EQ(rt.collector_api(inner_slow.buffer()), 0);
+    EXPECT_EQ(inner_slow.errcode(0), OMP_ERRCODE_ERROR);
+  });
+  fi->arm();
+
+  MessageBuilder outer;
+  outer.add(OMP_REQ_START);  // non-fast: takes the full dispatcher
+  EXPECT_EQ(rt.collector_api(outer.buffer()), 0);
+  EXPECT_EQ(outer.errcode(0), OMP_ERRCODE_OK);
+  EXPECT_EQ(reentered.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// ORCA_REQ_RESILIENCE_STATS
+// ---------------------------------------------------------------------------
+
+TEST(ResilienceStats, TypedClientQueryAndServedCounter) {
+  Runtime rt(sync_cfg());
+  const Client client = client_for(rt);
+
+  const auto first = client.resilience_stats();
+  ASSERT_TRUE(first) << static_cast<int>(first.error());
+  EXPECT_EQ(first->quarantined_collectors, 0u);
+  EXPECT_EQ(first->crash_dump_armed, 0u);
+  EXPECT_EQ(first->fork_events, 0u);
+
+  // The single-record query itself rides the fast path, so the counter the
+  // second reply reports includes the first query.
+  const auto second = client.resilience_stats();
+  ASSERT_TRUE(second);
+  EXPECT_GT(second->signal_queries_served, first->signal_queries_served);
+}
+
+TEST(ResilienceStats, CapacityGatesBeforeAnswerOnBothPaths) {
+  Runtime rt(sync_cfg());
+
+  // Fast path: the undersized record is fast-eligible, so the capacity
+  // verdict comes from the signal-safe lane.
+  MessageBuilder small;
+  small.add(ORCA_REQ_RESILIENCE_STATS, 8);
+  ASSERT_EQ(rt.collector_api(small.buffer()), 0);
+  EXPECT_EQ(small.errcode(0), OMP_ERRCODE_MEM_TOO_SMALL);
+
+  // Dispatcher path: a lifecycle record in the same buffer forces the full
+  // dispatcher, which must answer the stats record identically.
+  MessageBuilder mixed;
+  mixed.add(OMP_REQ_START);
+  mixed.add_resilience_stats_query();
+  mixed.add(ORCA_REQ_RESILIENCE_STATS, 8);
+  mixed.add(OMP_REQ_STOP);
+  ASSERT_EQ(rt.collector_api(mixed.buffer()), 0);
+  EXPECT_EQ(mixed.errcode(0), OMP_ERRCODE_OK);
+  EXPECT_EQ(mixed.errcode(1), OMP_ERRCODE_OK);
+  EXPECT_EQ(mixed.errcode(2), OMP_ERRCODE_MEM_TOO_SMALL);
+  EXPECT_EQ(mixed.errcode(3), OMP_ERRCODE_OK);
+
+  orca_resilience_stats stats = {};
+  ASSERT_TRUE(mixed.reply_value(1, &stats));
+  EXPECT_EQ(stats.quarantined_collectors, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Callback watchdog
+// ---------------------------------------------------------------------------
+
+std::atomic<int> g_release{0};
+std::atomic<int> g_stuck_calls{0};
+
+void stuck_callback(OMP_COLLECTORAPI_EVENT) {
+  g_stuck_calls.fetch_add(1, std::memory_order_relaxed);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (g_release.load(std::memory_order_acquire) == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(CallbackWatchdog, QuarantinesStalledCollectorWhileAppProceeds) {
+  g_release = 0;
+  g_stuck_calls = 0;
+
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  cfg.event_delivery = EventDelivery::kAsync;
+  cfg.callback_deadline_ms = 25;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+  const Client client = client_for(rt);
+
+  ASSERT_EQ(client.start(), OMP_ERRCODE_OK);
+  ASSERT_EQ(client.register_event(OMP_EVENT_FORK, &stuck_callback),
+            OMP_ERRCODE_OK);
+  rt.registry().fire(OMP_EVENT_FORK);
+
+  // The watchdog must retire the collector while its callback is *still
+  // stuck* — the app-side observer sees the quarantine strictly before the
+  // callback is released.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
+  while (rt.registry().quarantined() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(rt.registry().quarantined(), 1u);
+  EXPECT_EQ(g_stuck_calls.load(), 1);
+  g_release.store(1, std::memory_order_release);
+
+  // Post-quarantine events are delivered into a table without the entry:
+  // the stalled collector is never called again.
+  for (int i = 0; i < 10; ++i) rt.registry().fire(OMP_EVENT_FORK);
+  ASSERT_EQ(client.pause(), OMP_ERRCODE_OK);  // flush barrier
+  EXPECT_EQ(g_stuck_calls.load(), 1);
+
+  const auto stats = client.resilience_stats();
+  ASSERT_TRUE(stats);
+  EXPECT_EQ(stats->quarantined_collectors, 1u);
+
+  ASSERT_EQ(client.resume(), OMP_ERRCODE_OK);
+  ASSERT_EQ(client.stop(), OMP_ERRCODE_OK);
+  Runtime::make_current(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Conformance under armed resilience seams
+// ---------------------------------------------------------------------------
+
+TEST(Resilience, ConformanceDifferCleanWithResilienceSeamsArmed) {
+  ScopedFaultInjection fi;
+  fi->set_hook(FaultPoint::kSignalDuringQuery, [] {});
+  fi->set_hook(FaultPoint::kCallbackStall, [] { std::this_thread::yield(); });
+  fi->set_hook(FaultPoint::kForkRace, [] {});
+  fi->arm();
+
+  ConformanceOptions opt;
+  opt.seed = conformance_seed(opt.seed);
+  opt.sequences = 300;
+  ConformanceReport report = run_conformance(opt);
+  EXPECT_TRUE(report.ok) << report.failure;
+
+  opt.async_delivery = true;
+  report = run_conformance(opt);
+  EXPECT_TRUE(report.ok) << report.failure;
+
+  // Every collector_api call crosses the signal seam, so an armed hook
+  // must have observed the whole differ run.
+  EXPECT_GE(fi->hits(FaultPoint::kSignalDuringQuery), 1u);
+}
+
+}  // namespace

@@ -24,7 +24,15 @@
 # into build/artifacts/ (BENCH_*.json, one JSON object per line) so a CI
 # run leaves a perf paper trail to diff across commits:
 #   BENCH_event_path.json          — bench_event_path --smoke rows
+#   BENCH_primitives.json          — bench_primitives --smoke rows
+#                                    (barrier algos × threads, spinlock,
+#                                    disarmed emit)
 #   BENCH_telemetry_overhead.json  — telemetry_viewer armed-vs-off rows
+#
+# PERF_GATE=1 scripts/ci.sh additionally diffs the archived artifacts
+# against the checked-in bench/baselines/ snapshot with
+# scripts/perf_gate.py and fails the run on a regression beyond the
+# per-row tolerances (docs/PERFORMANCE.md covers refreshing baselines).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -51,6 +59,8 @@ for preset in "${presets[@]}"; do
     mkdir -p "$artifacts"
     ./build/bench/bench_event_path --smoke \
       | grep '^{' > "$artifacts/BENCH_event_path.json"
+    ./build/bench/bench_primitives --smoke \
+      | grep '^{' > "$artifacts/BENCH_primitives.json"
     ./build/examples/telemetry_viewer --reps=200 --inner=8 \
       "--out=$artifacts/telemetry_viewer_trace.json" \
       | grep '^{' > "$artifacts/BENCH_telemetry_overhead.json"
@@ -59,6 +69,12 @@ for preset in "${presets[@]}"; do
     ./build/examples/resilience_smoke --smoke \
       | grep '^{' > "$artifacts/BENCH_resilience_smoke.json"
     wc -l "$artifacts"/BENCH_*.json
+
+    if [ "${PERF_GATE:-0}" = 1 ]; then
+      echo "=== [$preset] perf gate (bench/baselines vs $artifacts) ==="
+      python3 scripts/perf_gate.py \
+        --baseline bench/baselines --current "$artifacts"
+    fi
   fi
 done
 

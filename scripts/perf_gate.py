@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Performance regression gate over BENCH_*.json artifacts.
+
+Diffs a directory of freshly produced bench JSON files (one JSON object per
+line, as emitted by the bench binaries and harvested by scripts/ci.sh into
+build/artifacts/) against the checked-in snapshot in bench/baselines/, and
+exits nonzero when a metric regressed beyond its tolerance.
+
+Row identity and metric classification are structural, so new benches join
+the gate without code changes here:
+
+  * string fields and the well-known integer parameters (threads, reps,
+    inner, events_per_thread, iters_per_thread, queries) form the row key;
+  * float fields are gated metrics — names containing "ns" or "ms" are
+    lower-is-better, names containing "mev_per_s" or "throughput" are
+    higher-is-better, anything else is ignored;
+  * other integer fields (delivered, dropped, ...) are informational.
+
+A baseline row may carry a "tolerance" field (fractional allowed
+regression for that row, e.g. 4.0 = 5x) overriding --tolerance. Regressions
+smaller than --min-delta in absolute metric units never fail, which keeps
+sub-nanosecond noise on near-zero metrics from tripping the gate.
+
+Exit codes: 0 = pass (new rows/files are reported but never fail),
+1 = regression or missing row/file, 2 = malformed input or I/O error.
+
+Usage:
+  perf_gate.py --baseline bench/baselines --current build/artifacts \
+               [--tolerance 0.75] [--min-delta 1.0]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+KEY_INT_FIELDS = frozenset(
+    ["threads", "events_per_thread", "iters_per_thread", "queries", "reps",
+     "inner"])
+LOWER_BETTER_HINTS = ("ns", "ms")
+HIGHER_BETTER_HINTS = ("mev_per_s", "throughput")
+
+EXIT_PASS = 0
+EXIT_FAIL = 1
+EXIT_ERROR = 2
+
+
+def metric_direction(name):
+    """'lower', 'higher', or None (not a gated metric)."""
+    if name == "tolerance":
+        return None
+    parts = name.split("_")
+    if any(hint in name for hint in HIGHER_BETTER_HINTS):
+        return "higher"
+    if any(part in LOWER_BETTER_HINTS for part in parts):
+        return "lower"
+    return None
+
+
+def row_key(row):
+    """Stable identity of one bench row: string fields + known int params."""
+    parts = []
+    for name in sorted(row):
+        value = row[name]
+        if isinstance(value, str):
+            parts.append("%s=%s" % (name, value))
+        elif isinstance(value, bool):
+            parts.append("%s=%s" % (name, value))
+        elif isinstance(value, int) and name in KEY_INT_FIELDS:
+            parts.append("%s=%d" % (name, value))
+    return " ".join(parts)
+
+
+def load_rows(path):
+    """Parse one bench JSON file: one object per line -> {key: row}.
+
+    Raises ValueError on malformed lines or duplicate keys.
+    """
+    rows = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    "%s:%d: malformed JSON line: %s" % (path, lineno, exc))
+            if not isinstance(row, dict):
+                raise ValueError(
+                    "%s:%d: expected a JSON object, got %s"
+                    % (path, lineno, type(row).__name__))
+            key = row_key(row)
+            if not key:
+                raise ValueError(
+                    "%s:%d: row has no identifying fields" % (path, lineno))
+            if key in rows:
+                raise ValueError(
+                    "%s:%d: duplicate row key: %s" % (path, lineno, key))
+            rows[key] = row
+    return rows
+
+
+def gate_metric(name, base, cur, tolerance, min_delta):
+    """Return (regressed, detail) for one metric value pair."""
+    direction = metric_direction(name)
+    if direction is None:
+        return False, None
+    if direction == "lower":
+        limit = base * (1.0 + tolerance)
+        regressed = cur > limit and (cur - base) > min_delta
+    else:
+        limit = base / (1.0 + tolerance)
+        regressed = cur < limit and (base - cur) > min_delta
+    detail = "%s %.3f -> %.3f (limit %.3f)" % (name, base, cur, limit)
+    return regressed, detail
+
+
+def gate_file(name, base_rows, cur_rows, tolerance, min_delta, report):
+    failures = 0
+    for key in sorted(base_rows):
+        base = base_rows[key]
+        cur = cur_rows.get(key)
+        if cur is None:
+            report.append("MISSING  %s: row not produced: %s" % (name, key))
+            failures += 1
+            continue
+        row_tol = base.get("tolerance", tolerance)
+        if not isinstance(row_tol, (int, float)) or row_tol < 0:
+            raise ValueError(
+                "%s: baseline row %s: invalid tolerance %r"
+                % (name, key, row_tol))
+        row_failed = False
+        for field in sorted(base):
+            base_val = base[field]
+            if not isinstance(base_val, float):
+                continue
+            cur_val = cur.get(field)
+            if not isinstance(cur_val, (int, float)):
+                continue
+            regressed, detail = gate_metric(
+                field, base_val, float(cur_val), row_tol, min_delta)
+            if detail is None:
+                continue
+            if regressed:
+                report.append("REGRESSION  %s: %s: %s" % (name, key, detail))
+                failures += 1
+                row_failed = True
+        if not row_failed:
+            report.append("PASS  %s: %s" % (name, key))
+    for key in sorted(set(cur_rows) - set(base_rows)):
+        report.append(
+            "NEW  %s: ungated row (refresh baselines to gate it): %s"
+            % (name, key))
+    return failures
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description="Gate BENCH_*.json artifacts against a baseline.")
+    parser.add_argument("--baseline", required=True,
+                        help="directory of checked-in baseline BENCH_*.json")
+    parser.add_argument("--current", required=True,
+                        help="directory of freshly produced BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.75,
+                        help="default fractional allowed regression "
+                             "(default: 0.75, i.e. 1.75x)")
+    parser.add_argument("--min-delta", type=float, default=1.0,
+                        help="absolute regression floor in metric units "
+                             "(default: 1.0)")
+    args = parser.parse_args(argv)
+
+    if not os.path.isdir(args.baseline):
+        print("perf_gate: MALFORMED input: baseline directory not found: %s"
+              % args.baseline, file=sys.stderr)
+        return EXIT_ERROR
+
+    baseline_files = sorted(
+        f for f in os.listdir(args.baseline)
+        if f.startswith("BENCH_") and f.endswith(".json"))
+    if not baseline_files:
+        print("perf_gate: MALFORMED input: no BENCH_*.json under %s"
+              % args.baseline, file=sys.stderr)
+        return EXIT_ERROR
+
+    report = []
+    failures = 0
+    try:
+        for name in baseline_files:
+            base_rows = load_rows(os.path.join(args.baseline, name))
+            cur_path = os.path.join(args.current, name)
+            if not os.path.isfile(cur_path):
+                report.append(
+                    "MISSING  %s: file not produced under %s"
+                    % (name, args.current))
+                failures += 1
+                continue
+            failures += gate_file(name, base_rows, load_rows(cur_path),
+                                  args.tolerance, args.min_delta, report)
+        if os.path.isdir(args.current):
+            for name in sorted(os.listdir(args.current)):
+                if (name.startswith("BENCH_") and name.endswith(".json")
+                        and name not in baseline_files):
+                    report.append("NEW  %s: ungated file (refresh baselines "
+                                  "to gate it)" % name)
+    except (ValueError, OSError) as exc:
+        print("\n".join(report))
+        print("perf_gate: MALFORMED input: %s" % exc, file=sys.stderr)
+        return EXIT_ERROR
+
+    print("\n".join(report))
+    if failures:
+        print("perf_gate: FAIL (%d regression%s/missing row%s; see above)"
+              % (failures, "s" if failures != 1 else "", "s" if failures != 1
+                 else ""))
+        return EXIT_FAIL
+    print("perf_gate: PASS (%d file%s gated)"
+          % (len(baseline_files), "s" if len(baseline_files) != 1 else ""))
+    return EXIT_PASS
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

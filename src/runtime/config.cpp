@@ -92,6 +92,35 @@ bool RuntimeConfig::parse_telemetry_mode(const std::string& text,
   return true;
 }
 
+bool RuntimeConfig::parse_barrier_kind(const std::string& text,
+                                       BarrierKind* kind) {
+  const std::string s = ascii_lower(text);
+  if (s == "centralized" || s == "central") {
+    *kind = BarrierKind::kCentralized;
+  } else if (s == "dissemination" || s == "dissem") {
+    *kind = BarrierKind::kDissemination;
+  } else if (s == "tree" || s == "hierarchical") {
+    *kind = BarrierKind::kTree;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+BarrierKind RuntimeConfig::barrier_kind_from_env() {
+  BarrierKind kind = BarrierKind::kCentralized;
+  if (const auto text = env::get("ORCA_BARRIER")) {
+    if (!parse_barrier_kind(*text, &kind)) {
+      std::fprintf(stderr,
+                   "ORCA: ignoring invalid ORCA_BARRIER=\"%s\" "
+                   "(expected centralized|dissemination|tree); keeping "
+                   "centralized\n",
+                   text->c_str());
+    }
+  }
+  return kind;
+}
+
 bool RuntimeConfig::parse_fork_mode(const std::string& text, ForkMode* mode) {
   const std::string s = ascii_lower(text);
   if (s == "disable" || s == "disabled" || s == "off") {

@@ -20,6 +20,7 @@
 #include "collector/api.h"
 #include "common/cacheline.hpp"
 #include "common/spinlock.hpp"
+#include "runtime/barrier.hpp"
 #include "runtime/config.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -125,47 +126,6 @@ struct ThreadDescriptor {
   }
 };
 
-/// Centralized sense-reversing barrier for one team. Yield-friendly: a
-/// short spin, then a condition-variable sleep, so oversubscribed runs
-/// (32 EPCC threads on few cores) do not livelock.
-class TeamBarrier {
- public:
-  void init(int size) noexcept {
-    size_ = size;
-    arrived_.store(0, std::memory_order_relaxed);
-    generation_.store(0, std::memory_order_relaxed);
-  }
-
-  void arrive_and_wait() {
-    if (size_ <= 1) return;
-    const std::uint64_t gen = generation_.load(std::memory_order_acquire);
-    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == size_) {
-      arrived_.store(0, std::memory_order_relaxed);
-      {
-        std::scoped_lock lk(mu_);
-        generation_.fetch_add(1, std::memory_order_release);
-      }
-      cv_.notify_all();
-      return;
-    }
-    for (int i = 0; i < kSpinBeforeYield; ++i) {
-      if (generation_.load(std::memory_order_acquire) != gen) return;
-      cpu_relax();
-    }
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_.wait(lk, [&] {
-      return generation_.load(std::memory_order_acquire) != gen;
-    });
-  }
-
- private:
-  int size_ = 1;
-  std::atomic<int> arrived_{0};
-  std::atomic<std::uint64_t> generation_{0};
-  std::mutex mu_;
-  std::condition_variable cv_;
-};
-
 /// Shared state of one worksharing loop instance. Teams keep a small ring
 /// of these ("dispatch buffers") so a nowait loop can still be draining
 /// while the next loop initializes.
@@ -258,7 +218,8 @@ struct TeamDescriptor {
   }
 
   void reset_for_region(unsigned long rid, unsigned long parent_rid, int n,
-                        void (*outlined)(int, void*), void* fp) {
+                        void (*outlined)(int, void*), void* fp,
+                        BarrierKind barrier_kind = BarrierKind::kCentralized) {
     region_id = rid;
     parent_region_id = parent_rid;
     parent_team = nullptr;
@@ -266,7 +227,7 @@ struct TeamDescriptor {
     is_parallel = true;
     fn = outlined;
     frame = fp;
-    barrier.init(n);
+    barrier.init(barrier_kind, n);
     single_claimed.store(0, std::memory_order_relaxed);
     ordered_next.store(0, std::memory_order_relaxed);
     loop_hwm = 0;

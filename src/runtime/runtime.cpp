@@ -46,8 +46,15 @@ struct Runtime::Worker {
 
   ~Worker() {
     shutdown.store(true, std::memory_order_release);
-    parker.signal();
-    if (thread.joinable()) thread.join();
+    // The signal exists only to wake the thread for the join. After a
+    // fork() the child detaches the handle first (the thread exists only
+    // in the parent), and skipping the signal then is what keeps this
+    // destructor fork-safe: Parker::signal() locks a mutex the vanished
+    // worker may have held at the snapshot instant.
+    if (thread.joinable()) {
+      parker.signal();
+      thread.join();
+    }
     runtime.registry().release_emitter(desc.emitter);
   }
 
@@ -114,6 +121,11 @@ Runtime::Runtime(RuntimeConfig cfg)
         (config_.telemetry_metrics ? telemetry::kMetricsBit : 0);
     telemetry::arm(telemetry_bits_);
     telemetry::name_thread("master");
+    // Surface the selected barrier algorithm in the metrics registry
+    // (1 + BarrierKind so 0 keeps meaning "never recorded").
+    telemetry::gauge_max(
+        telemetry::Gauge::kBarrierAlgorithm,
+        static_cast<std::uint64_t>(config_.barrier) + 1);
   }
   serial_master_.gtid = 0;
   serial_master_.runtime = this;
@@ -325,7 +337,7 @@ void Runtime::fork(Microtask fn, void* frame, int num_threads) {
   telemetry::record_span(telemetry::SpanKind::kParallelRegion,
                          telemetry::Phase::kBegin,
                          static_cast<std::uint32_t>(rid));
-  team_.reset_for_region(rid, 0UL, n, fn, frame);
+  team_.reset_for_region(rid, 0UL, n, fn, frame, config_.barrier);
   {
     std::scoped_lock lk(regions_mu_);
     ++region_calls_[reinterpret_cast<void*>(fn)];
@@ -410,7 +422,7 @@ void Runtime::fork_nested(ThreadDescriptor& parent, Microtask fn, void* frame,
       next_region_id_.fetch_add(1, std::memory_order_relaxed));
   const unsigned long parent_rid =
       parent.team != nullptr ? parent.team->region_id : 0;
-  team->reset_for_region(rid, parent_rid, n, fn, frame);
+  team->reset_for_region(rid, parent_rid, n, fn, frame, config_.barrier);
   team->parent_team = parent.team;
   {
     std::scoped_lock lk(regions_mu_);
@@ -661,6 +673,10 @@ OMP_COLLECTORAPI_EC Runtime::provider_telemetry_snapshot(
       m.histograms[static_cast<std::size_t>(
                        telemetry::Histogram::kRetireLatencyNs)]
           .max_ns;
+  // Deterministic per this runtime's config (like the supported check
+  // above), not the cross-runtime gauge: 1 + BarrierKind.
+  out->barrier_algorithm =
+      static_cast<unsigned long long>(rt.config_.barrier) + 1;
   return OMP_ERRCODE_OK;
 }
 
@@ -712,10 +728,18 @@ void Runtime::resume_child_after_fork() {
   // Only the forking thread crossed into the child: the pool threads exist
   // solely in the parent. Joining them would hang forever, so their handles
   // are detached and the pool rebuilt lazily by the next parallel region.
+  // The Worker structs themselves are deliberately LEAKED, not destroyed:
+  // each embeds the parker mutex/condvar the vanished thread may have been
+  // blocked on at the snapshot instant, and glibc's pthread_cond_destroy
+  // waits for such a waiter to leave — which in the child can never happen.
+  // Only the emitter nodes (plain atomics under the registry SpinLock,
+  // which the resume above already unlocked) go back to the pool.
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.detach();
     w->shutdown.store(true, std::memory_order_relaxed);
     w->inbox.store(nullptr, std::memory_order_relaxed);
+    registry_.release_emitter(w->desc.emitter);
+    (void)w.release();
   }
   workers_.clear();
   const bool rearm = config_.fork_mode == ForkMode::kRearm;

@@ -34,7 +34,7 @@ void barrier_common(Runtime& rt, ThreadDescriptor& td, unsigned long& wait_id) {
   // gated so a metrics-disarmed barrier pays only the relaxed-load checks.
   const std::uint64_t wait_begin =
       telemetry::metrics_armed() ? SteadyClock::now() : 0;
-  if (td.team != nullptr) td.team->barrier.arrive_and_wait();
+  if (td.team != nullptr) td.team->barrier.arrive_and_wait(td.tid_in_team);
   if (wait_begin != 0) {
     telemetry::count(telemetry::Counter::kBarrierWaits);
     telemetry::observe(telemetry::Histogram::kBarrierWaitNs,

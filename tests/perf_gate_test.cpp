@@ -1,0 +1,191 @@
+/// The perf gate (scripts/perf_gate.py) tested like product code: synthetic
+/// baseline/current fixture directories drive every verdict the gate can
+/// reach — clean pass, metric regression, missing row, missing file, new
+/// (ungated) row, malformed input — and the tests pin both the exit code
+/// contract (0 pass / 1 regression / 2 malformed) and the report
+/// vocabulary ci.sh readers grep for.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+#ifndef ORCA_SOURCE_DIR
+#error "perf_gate_test needs ORCA_SOURCE_DIR pointing at the repo root"
+#endif
+
+struct GateResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+/// Fresh fixture sandbox per test, with baseline/ and current/ subdirs.
+class PerfGateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char templ[] = "/tmp/orca_perf_gate_XXXXXX";
+    ASSERT_NE(::mkdtemp(templ), nullptr);
+    root_ = templ;
+    baseline_ = root_ + "/baseline";
+    current_ = root_ + "/current";
+    ASSERT_EQ(std::system(("mkdir -p " + baseline_ + " " + current_).c_str()),
+              0);
+  }
+
+  void TearDown() override {
+    if (!root_.empty()) {
+      ASSERT_EQ(std::system(("rm -rf " + root_).c_str()), 0);
+    }
+  }
+
+  void write_file(const std::string& dir, const std::string& name,
+                  const std::string& content) {
+    std::ofstream out(dir + "/" + name);
+    ASSERT_TRUE(out.good());
+    out << content;
+  }
+
+  GateResult run_gate() {
+    const std::string cmd = std::string("python3 ") + ORCA_SOURCE_DIR +
+                            "/scripts/perf_gate.py --baseline " + baseline_ +
+                            " --current " + current_ + " 2>&1";
+    GateResult result;
+    FILE* pipe = ::popen(cmd.c_str(), "r");
+    if (pipe == nullptr) return result;
+    char buf[512];
+    while (std::fgets(buf, sizeof buf, pipe) != nullptr) result.output += buf;
+    const int status = ::pclose(pipe);
+    result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    return result;
+  }
+
+  std::string root_;
+  std::string baseline_;
+  std::string current_;
+};
+
+// One stable row and one whose p99 the regression test inflates. The
+// metric suffixes matter: *_ns fields are gated lower-is-better,
+// mev_per_s higher-is-better, delivered (int) is informational only.
+const char kBaseline[] =
+    "{\"bench\":\"primitives\",\"primitive\":\"barrier\",\"algo\":\"tree\","
+    "\"threads\":2,\"ns_per_op\":100.0,\"p99_ns\":200.0,\"mev_per_s\":5.0,"
+    "\"delivered\":42,\"tolerance\":0.5}\n"
+    "{\"bench\":\"primitives\",\"primitive\":\"spinlock_acquire\","
+    "\"algo\":\"none\",\"threads\":1,\"ns_per_op\":8.0,\"p99_ns\":9.0,"
+    "\"tolerance\":0.5}\n";
+
+TEST_F(PerfGateTest, CleanPassExitsZero) {
+  write_file(baseline_, "BENCH_fixture.json", kBaseline);
+  write_file(current_, "BENCH_fixture.json", kBaseline);
+  const GateResult r = run_gate();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("perf_gate: PASS"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("REGRESSION"), std::string::npos) << r.output;
+}
+
+TEST_F(PerfGateTest, P99RegressionFails) {
+  write_file(baseline_, "BENCH_fixture.json", kBaseline);
+  // p99 200 -> 1000 blows the row's 0.5 tolerance (limit 300); everything
+  // else unchanged, so the report must name exactly this metric.
+  write_file(
+      current_, "BENCH_fixture.json",
+      "{\"bench\":\"primitives\",\"primitive\":\"barrier\",\"algo\":\"tree\","
+      "\"threads\":2,\"ns_per_op\":100.0,\"p99_ns\":1000.0,"
+      "\"mev_per_s\":5.0,\"delivered\":42}\n"
+      "{\"bench\":\"primitives\",\"primitive\":\"spinlock_acquire\","
+      "\"algo\":\"none\",\"threads\":1,\"ns_per_op\":8.0,\"p99_ns\":9.0}\n");
+  const GateResult r = run_gate();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("REGRESSION"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("p99_ns"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("perf_gate: FAIL"), std::string::npos) << r.output;
+}
+
+TEST_F(PerfGateTest, ThroughputDropFails) {
+  write_file(baseline_, "BENCH_fixture.json", kBaseline);
+  // Higher-is-better direction: mev_per_s 5.0 -> 1.0 is a regression even
+  // though every latency metric "improved".
+  write_file(
+      current_, "BENCH_fixture.json",
+      "{\"bench\":\"primitives\",\"primitive\":\"barrier\",\"algo\":\"tree\","
+      "\"threads\":2,\"ns_per_op\":100.0,\"p99_ns\":200.0,"
+      "\"mev_per_s\":1.0,\"delivered\":42}\n"
+      "{\"bench\":\"primitives\",\"primitive\":\"spinlock_acquire\","
+      "\"algo\":\"none\",\"threads\":1,\"ns_per_op\":8.0,\"p99_ns\":9.0}\n");
+  const GateResult r = run_gate();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("REGRESSION"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("mev_per_s"), std::string::npos) << r.output;
+}
+
+TEST_F(PerfGateTest, MissingRowFails) {
+  write_file(baseline_, "BENCH_fixture.json", kBaseline);
+  // Current run produced only one of the two baseline rows (a bench cell
+  // silently disappearing must not pass).
+  write_file(
+      current_, "BENCH_fixture.json",
+      "{\"bench\":\"primitives\",\"primitive\":\"spinlock_acquire\","
+      "\"algo\":\"none\",\"threads\":1,\"ns_per_op\":8.0,\"p99_ns\":9.0}\n");
+  const GateResult r = run_gate();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("MISSING"), std::string::npos) << r.output;
+}
+
+TEST_F(PerfGateTest, MissingFileFails) {
+  write_file(baseline_, "BENCH_fixture.json", kBaseline);
+  const GateResult r = run_gate();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("MISSING"), std::string::npos) << r.output;
+}
+
+TEST_F(PerfGateTest, NewRowIsReportedButPasses) {
+  write_file(baseline_, "BENCH_fixture.json", kBaseline);
+  write_file(current_, "BENCH_fixture.json",
+             std::string(kBaseline) +
+                 "{\"bench\":\"primitives\",\"primitive\":\"barrier\","
+                 "\"algo\":\"hypercube\",\"threads\":4,\"ns_per_op\":1.0}\n");
+  const GateResult r = run_gate();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("NEW"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("perf_gate: PASS"), std::string::npos) << r.output;
+}
+
+TEST_F(PerfGateTest, MalformedLineExitsTwo) {
+  write_file(baseline_, "BENCH_fixture.json", kBaseline);
+  write_file(current_, "BENCH_fixture.json",
+             std::string(kBaseline) + "this is not json\n");
+  const GateResult r = run_gate();
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("MALFORMED"), std::string::npos) << r.output;
+}
+
+TEST_F(PerfGateTest, EmptyBaselineDirectoryExitsTwo) {
+  // A gate with nothing to gate is a setup error, not a pass: silently
+  // green CI with an empty baseline dir would defeat the whole stage.
+  write_file(current_, "BENCH_fixture.json", kBaseline);
+  const GateResult r = run_gate();
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("MALFORMED"), std::string::npos) << r.output;
+}
+
+TEST_F(PerfGateTest, GatesTheCheckedInBaselineShapes) {
+  // The real checked-in baselines must parse and gate against themselves:
+  // catches a baseline refresh committing malformed rows.
+  const std::string repo_baselines =
+      std::string(ORCA_SOURCE_DIR) + "/bench/baselines";
+  const std::string cmd = "cp " + repo_baselines + "/BENCH_*.json " +
+                          current_ + "/";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  baseline_ = repo_baselines;
+  const GateResult r = run_gate();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("perf_gate: PASS"), std::string::npos) << r.output;
+}
+
+}  // namespace

@@ -20,7 +20,7 @@
 #include "npb/multizone.hpp"
 #include "runtime/ompc_api.h"
 #include "runtime/runtime.hpp"
-#include "tool/client.hpp"
+#include "tool/client2.hpp"
 #include "tool/collector_tool.hpp"
 
 using orca::bench::flag_double;
@@ -71,7 +71,7 @@ double run_sp_mz_arm(Arm arm, double scale) {
     tool.reset();
     tool.configure(arm_options(arm));
     opts.rank_begin = [](int) {
-      orca::tool::CollectorClient client(&__omp_collector_api);
+      orca::collector::Client client(&__omp_collector_api);
       client.start();
       for (const auto event :
            {OMP_EVENT_FORK, OMP_EVENT_JOIN, OMP_EVENT_THR_BEGIN_IBAR,
@@ -80,7 +80,7 @@ double run_sp_mz_arm(Arm arm, double scale) {
       }
     };
     opts.rank_end = [](int) {
-      orca::tool::CollectorClient client(&__omp_collector_api);
+      orca::collector::Client client(&__omp_collector_api);
       client.stop();
     };
   }

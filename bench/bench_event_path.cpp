@@ -280,16 +280,19 @@ int main(int argc, char** argv) {
                      orca::strfmt("%llu", row.delivered),
                      orca::strfmt("%llu", row.dropped),
                      orca::strfmt("%llu", row.overwritten)});
-      std::printf(
-          "{\"bench\":\"event_path\",\"mode\":\"%s\",\"threads\":%d,"
-          "\"events_per_thread\":%d,\"app_ns_per_event\":%.2f,"
-          "\"p50_ns_per_event\":%.2f,\"p99_ns_per_event\":%.2f,"
-          "\"mev_per_s\":%.3f,\"flush_ms\":%.3f,\"delivered\":%llu,"
-          "\"dropped\":%llu,\"overwritten\":%llu}\n",
-          mode.name, threads, events, row.app_ns_per_event,
-          row.p50_ns_per_event, row.p99_ns_per_event,
-          row.throughput_mev, row.flush_ms, row.delivered, row.dropped,
-          row.overwritten);
+      orca::bench::JsonRow("event_path")
+          .str("mode", mode.name)
+          .num("threads", threads)
+          .num("events_per_thread", events)
+          .fixed("app_ns_per_event", row.app_ns_per_event)
+          .latency_tail(row.p50_ns_per_event, row.p99_ns_per_event,
+                        "ns_per_event")
+          .fixed("mev_per_s", row.throughput_mev, 3)
+          .fixed("flush_ms", row.flush_ms, 3)
+          .num("delivered", row.delivered)
+          .num("dropped", row.dropped)
+          .num("overwritten", row.overwritten)
+          .print();
     }
   }
   std::printf("\n%s\n", table.render().c_str());
@@ -312,11 +315,12 @@ int main(int argc, char** argv) {
     sig_table.add_row({name, orca::strfmt("%.1f", row.ns_per_query),
                        orca::strfmt("%.1f", row.p50_ns),
                        orca::strfmt("%.1f", row.p99_ns)});
-    std::printf(
-        "{\"bench\":\"signal_query_path\",\"resilience\":\"%s\","
-        "\"queries\":%d,\"ns_per_query\":%.2f,\"p50_ns\":%.2f,"
-        "\"p99_ns\":%.2f}\n",
-        name, queries, row.ns_per_query, row.p50_ns, row.p99_ns);
+    orca::bench::JsonRow("signal_query_path")
+        .str("resilience", name)
+        .num("queries", queries)
+        .fixed("ns_per_query", row.ns_per_query)
+        .latency_tail(row.p50_ns, row.p99_ns, "ns")
+        .print();
   }
   std::printf("\n%s\n", sig_table.render().c_str());
   return 0;

@@ -12,7 +12,7 @@
 #include "common/strutil.hpp"
 #include "npb/multizone.hpp"
 #include "runtime/ompc_api.h"
-#include "tool/client.hpp"
+#include "tool/client2.hpp"
 #include "tool/collector_tool.hpp"
 
 using orca::bench::flag_double;
@@ -42,7 +42,7 @@ double run_once(const std::string& name, Config config, double scale,
     // every rank STARTs its own runtime's collector and registers the
     // fork/join/ibar callbacks there.
     opts.rank_begin = [](int) {
-      orca::tool::CollectorClient client(&__omp_collector_api);
+      orca::collector::Client client(&__omp_collector_api);
       client.start();
       for (const auto event :
            {OMP_EVENT_FORK, OMP_EVENT_JOIN, OMP_EVENT_THR_BEGIN_IBAR,
@@ -52,7 +52,7 @@ double run_once(const std::string& name, Config config, double scale,
       }
     };
     opts.rank_end = [](int) {
-      orca::tool::CollectorClient client(&__omp_collector_api);
+      orca::collector::Client client(&__omp_collector_api);
       client.stop();
     };
   }

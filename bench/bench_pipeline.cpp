@@ -1,0 +1,148 @@
+/// \file bench_pipeline.cpp
+/// Throughput of the composable collector pipeline (src/pipeline/) as a
+/// function of chain depth: one producer pushes decoded `pipeline::Event`s
+/// through 1..5 chained stages ending in a counting sink, and we report
+/// ns/event and Mev/s per depth. This prices the abstraction the tracer and
+/// sampling collector now stand on — the acceptance bar is that a 3-stage
+/// chain sustains >= 1 Mev/s, i.e. the stage hop costs stay in the tens of
+/// nanoseconds and never approach the cost of the events being measured.
+///
+/// Chain composition per depth (built downstream-first, cheapest first so
+/// each added row isolates one combinator's cost):
+///
+///   1  sink
+///   2  map -> sink
+///   3  filter -> map -> sink            (the acceptance-bar row)
+///   4  quantize -> filter -> map -> sink
+///   5  killswitch -> quantize -> filter -> map -> sink
+///
+/// Per depth, batch samples reduce to mean/p50/p99 (bench_util.hpp Summary)
+/// and emit one JSON row; `scripts/ci.sh` harvests the rows into
+/// build/artifacts/BENCH_pipeline.json, which `scripts/perf_gate.py` diffs
+/// against bench/baselines/.
+///
+/// Usage: bench_pipeline [--reps=20] [--inner=200000] [--smoke]
+///   --smoke: CI sanity mode (ctest -L perf-smoke) — fewer/shorter batches,
+///   same code paths, no timing claims.
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/clock.hpp"
+#include "common/strutil.hpp"
+#include "pipeline/pipeline.hpp"
+#include "pipeline/stage.hpp"
+
+namespace {
+
+using orca::SteadyClock;
+using orca::bench::Summary;
+using orca::pipeline::Event;
+using orca::pipeline::KillSwitch;
+using orca::pipeline::Pipeline;
+using orca::pipeline::StagePtr;
+
+/// Downstream-first chain of `stages` combinators ending in a sink that
+/// counts into `*delivered`. The predicates keep every event and the
+/// killswitch stays untripped: every stage does its bookkeeping and hop,
+/// none sheds work, so depth N prices exactly N accept/emit traversals.
+StagePtr<Event> build_chain(int stages, std::uint64_t* delivered,
+                            KillSwitch* ks) {
+  StagePtr<Event> chain = orca::pipeline::sink<Event>(
+      "count", [delivered](const Event&) { ++*delivered; });
+  if (stages >= 2) {
+    chain = orca::pipeline::map<Event>(
+        "stamp",
+        [](const Event& e) {
+          Event out = e;
+          out.ns += 1;
+          return out;
+        },
+        std::move(chain));
+  }
+  if (stages >= 3) {
+    chain = orca::pipeline::filter<Event>(
+        "keep", [](const Event& e) { return e.event != OMP_EVENT_LAST; },
+        std::move(chain));
+  }
+  if (stages >= 4) {
+    chain = orca::pipeline::quantize<Event>("q1", 1, std::move(chain));
+  }
+  if (stages >= 5) {
+    chain = orca::pipeline::killswitch<Event>("ks", *ks, std::move(chain));
+  }
+  return chain;
+}
+
+Summary run_depth(int stages, int reps, int inner) {
+  std::uint64_t delivered = 0;
+  KillSwitch ks;
+  Pipeline<Event> p(build_chain(stages, &delivered, &ks));
+
+  Event e;
+  e.event = OMP_EVENT_FORK;
+  e.tid = 0;
+
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps));
+  for (int b = 0; b < reps; ++b) {
+    const std::uint64_t begin = SteadyClock::now();
+    for (int i = 0; i < inner; ++i) {
+      e.seq = static_cast<std::uint64_t>(i);
+      e.ticks = begin + static_cast<std::uint64_t>(i);
+      p.push(e);
+    }
+    samples.push_back(static_cast<double>(SteadyClock::now() - begin) /
+                      static_cast<double>(inner));
+  }
+  p.flush();
+
+  // Lossless by construction: a miscount here means a combinator is
+  // shedding (or double-delivering) events, which would invalidate the
+  // timing row entirely.
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(reps) * static_cast<std::uint64_t>(inner);
+  if (delivered != expected) {
+    std::fprintf(stderr,
+                 "bench_pipeline: depth %d delivered %llu of %llu events\n",
+                 stages, static_cast<unsigned long long>(delivered),
+                 static_cast<unsigned long long>(expected));
+    std::exit(1);
+  }
+  return orca::bench::summarize(samples);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = orca::bench::has_flag(argc, argv, "smoke");
+  const int reps =
+      orca::bench::flag_int(argc, argv, "reps", smoke ? 5 : 20);
+  const int inner =
+      orca::bench::flag_int(argc, argv, "inner", smoke ? 20000 : 200000);
+
+  std::printf("Pipeline chain throughput (%d batches x %d events)\n\n",
+              reps, inner);
+  orca::TextTable table(
+      {"stages", "ns/event", "p50 ns", "p99 ns", "Mev/s"});
+  for (int stages = 1; stages <= 5; ++stages) {
+    const Summary dist = run_depth(stages, reps, inner);
+    const double mev_per_s = dist.mean > 0 ? 1000.0 / dist.mean : 0.0;
+    table.add_row({orca::strfmt("%d", stages),
+                   orca::strfmt("%.1f", dist.mean),
+                   orca::strfmt("%.1f", dist.p50),
+                   orca::strfmt("%.1f", dist.p99),
+                   orca::strfmt("%.2f", mev_per_s)});
+    orca::bench::JsonRow("pipeline")
+        .num("stages", stages)
+        .num("reps", reps)
+        .num("inner", inner)
+        .fixed("ns_per_event", dist.mean)
+        .latency_tail(dist, "ns")
+        .fixed("mev_per_s", mev_per_s, 3)
+        .print();
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  return 0;
+}

@@ -153,11 +153,15 @@ void print_row(orca::TextTable& table, const char* primitive,
                  orca::strfmt("%.1f", dist.mean),
                  orca::strfmt("%.1f", dist.p50),
                  orca::strfmt("%.1f", dist.p99)});
-  std::printf(
-      "{\"bench\":\"primitives\",\"primitive\":\"%s\",\"algo\":\"%s\","
-      "\"threads\":%d,\"reps\":%d,\"inner\":%d,\"ns_per_op\":%.2f,"
-      "\"p50_ns\":%.2f,\"p99_ns\":%.2f}\n",
-      primitive, algo, threads, reps, inner, dist.mean, dist.p50, dist.p99);
+  orca::bench::JsonRow("primitives")
+      .str("primitive", primitive)
+      .str("algo", algo)
+      .num("threads", threads)
+      .num("reps", reps)
+      .num("inner", inner)
+      .fixed("ns_per_op", dist.mean)
+      .latency_tail(dist, "ns")
+      .print();
 }
 
 }  // namespace

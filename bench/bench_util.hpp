@@ -79,6 +79,89 @@ struct Summary {
   double max = 0;
 };
 
+/// One machine-readable result row, printed as a single JSON object on its
+/// own line so CI can harvest it with `grep '^{'` (scripts/ci.sh) and diff
+/// it against bench/baselines/ (scripts/perf_gate.py). Fields appear in
+/// insertion order and every row leads with "bench":"<name>"; benches must
+/// keep key names and decimal precision stable or the baselines churn.
+class JsonRow {
+ public:
+  explicit JsonRow(const char* bench) { str("bench", bench); }
+
+  JsonRow& str(const char* key, const char* value) {
+    sep();
+    body_ += '"';
+    body_ += key;
+    body_ += "\":\"";
+    body_ += value;
+    body_ += '"';
+    return *this;
+  }
+
+  JsonRow& num(const char* key, long long value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", value);
+    return raw(key, buf);
+  }
+
+  JsonRow& num(const char* key, unsigned long long value) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu", value);
+    return raw(key, buf);
+  }
+
+  JsonRow& num(const char* key, unsigned long value) {
+    return num(key, static_cast<unsigned long long>(value));
+  }
+
+  JsonRow& num(const char* key, long value) {
+    return num(key, static_cast<long long>(value));
+  }
+
+  JsonRow& num(const char* key, int value) {
+    return num(key, static_cast<long long>(value));
+  }
+
+  /// Fixed-point double; perf metrics use 2 decimals, rates/durations
+  /// that need sub-percent resolution use 3.
+  JsonRow& fixed(const char* key, double value, int decimals = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return raw(key, buf);
+  }
+
+  /// The shared latency tail every latency bench reports: p50/p99 at two
+  /// decimals, keyed "p50_<suffix>"/"p99_<suffix>".
+  JsonRow& latency_tail(double p50, double p99, const char* suffix) {
+    fixed((std::string("p50_") + suffix).c_str(), p50);
+    fixed((std::string("p99_") + suffix).c_str(), p99);
+    return *this;
+  }
+
+  JsonRow& latency_tail(const Summary& s, const char* suffix) {
+    return latency_tail(s.p50, s.p99, suffix);
+  }
+
+  /// Emit the row to stdout and a trailing newline.
+  void print() const { std::printf("%s}\n", body_.c_str()); }
+
+ private:
+  JsonRow& raw(const char* key, const char* value) {
+    sep();
+    body_ += '"';
+    body_ += key;
+    body_ += "\":";
+    body_ += value;
+    return *this;
+  }
+
+  void sep() {
+    if (body_.size() > 1) body_ += ',';
+  }
+
+  std::string body_ = "{";
+};
+
 inline Summary summarize(const std::vector<double>& samples) {
   Summary s;
   s.count = samples.size();

@@ -7,7 +7,7 @@
 
 #include "npb/multizone.hpp"
 #include "runtime/ompc_api.h"
-#include "tool/client.hpp"
+#include "tool/client2.hpp"
 #include "tool/collector_tool.hpp"
 
 int main() {
@@ -22,7 +22,7 @@ int main() {
   // Per-rank collector lifecycle, as an LD_PRELOAD'ed tool would do inside
   // each MPI process.
   opts.rank_begin = [](int rank) {
-    orca::tool::CollectorClient client(&__omp_collector_api);
+    orca::collector::Client client(&__omp_collector_api);
     client.start();
     for (const auto event :
          {OMP_EVENT_FORK, OMP_EVENT_JOIN, OMP_EVENT_THR_BEGIN_IBAR,
@@ -34,7 +34,7 @@ int main() {
                 rank);
   };
   opts.rank_end = [](int rank) {
-    orca::tool::CollectorClient client(&__omp_collector_api);
+    orca::collector::Client client(&__omp_collector_api);
     client.stop();
     std::printf("rank %d: collector stopped\n", rank);
   };

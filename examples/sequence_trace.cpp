@@ -13,7 +13,7 @@
 
 #include "collector/names.hpp"
 #include "runtime/ompc_api.h"
-#include "tool/client.hpp"
+#include "tool/client2.hpp"
 #include "tool/tracer.hpp"
 #include "translate/omp.hpp"
 
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
 
   std::printf("Figure 3: collector / OpenMP runtime interaction sequence\n\n");
 
-  auto probe = orca::tool::CollectorClient::discover();
+  auto probe = orca::collector::Client::discover();
   if (!probe) {
     std::fprintf(stderr, "dlsym(\"__omp_collector_api\") failed\n");
     return 1;
@@ -71,14 +71,14 @@ int main(int argc, char** argv) {
   // single block, plus ORA queries from the master thread mid-region.
   orca::omp::parallel([&](int) {
     if (omp_get_thread_num() == 0) {
-      const auto state = probe->query_state();
-      const auto current = probe->current_region_id();
-      const auto parent = probe->parent_region_id();
+      const auto state = probe->state();
+      const auto current = probe->current_prid();
+      const auto parent = probe->parent_prid();
       std::printf(
           "  [inside region] state=%s current_prid=%lu parent_prid=%lu\n",
           state ? std::string(orca::collector::to_string(state->state)).c_str()
                 : "?",
-          current.id, parent.id);
+          current.value_or(0), parent.value_or(0));
     }
     orca::omp::barrier();
     orca::omp::critical([] {});
@@ -96,9 +96,10 @@ int main(int argc, char** argv) {
   orca::omp::parallel([](int) {}, 2);
 
   // Out-of-region queries: id 0 + sequence error (paper IV-E).
-  const auto outside = probe->current_region_id();
-  std::printf("  [outside region] current_prid=%lu reply=%s\n", outside.id,
-              std::string(orca::collector::to_string(outside.errcode)).c_str());
+  const auto outside = probe->current_prid();
+  std::printf("  [outside region] current_prid=%lu reply=%s\n",
+              outside.value_or(0),
+              std::string(orca::collector::to_string(outside.error())).c_str());
 
   tracer.detach();
   show("OMP_REQ_STOP", OMP_ERRCODE_OK);

@@ -27,6 +27,8 @@
 #   BENCH_primitives.json          — bench_primitives --smoke rows
 #                                    (barrier algos × threads, spinlock,
 #                                    disarmed emit)
+#   BENCH_pipeline.json            — bench_pipeline --smoke rows
+#                                    (events/s vs stage chain depth)
 #   BENCH_telemetry_overhead.json  — telemetry_viewer armed-vs-off rows
 #
 # PERF_GATE=1 scripts/ci.sh additionally diffs the archived artifacts
@@ -61,6 +63,8 @@ for preset in "${presets[@]}"; do
       | grep '^{' > "$artifacts/BENCH_event_path.json"
     ./build/bench/bench_primitives --smoke \
       | grep '^{' > "$artifacts/BENCH_primitives.json"
+    ./build/bench/bench_pipeline --smoke \
+      | grep '^{' > "$artifacts/BENCH_pipeline.json"
     ./build/examples/telemetry_viewer --reps=200 --inner=8 \
       "--out=$artifacts/telemetry_viewer_trace.json" \
       | grep '^{' > "$artifacts/BENCH_telemetry_overhead.json"

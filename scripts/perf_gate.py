@@ -10,7 +10,8 @@ Row identity and metric classification are structural, so new benches join
 the gate without code changes here:
 
   * string fields and the well-known integer parameters (threads, reps,
-    inner, events_per_thread, iters_per_thread, queries) form the row key;
+    inner, events_per_thread, iters_per_thread, queries, stages, events)
+    form the row key;
   * float fields are gated metrics — names containing "ns" or "ms" are
     lower-is-better, names containing "mev_per_s" or "throughput" are
     higher-is-better, anything else is ignored;
@@ -36,7 +37,7 @@ import sys
 
 KEY_INT_FIELDS = frozenset(
     ["threads", "events_per_thread", "iters_per_thread", "queries", "reps",
-     "inner"])
+     "inner", "stages", "events"])
 LOWER_BETTER_HINTS = ("ns", "ms")
 HIGHER_BETTER_HINTS = ("mev_per_s", "throughput")
 

@@ -1,0 +1,211 @@
+/// \file aggregate.hpp
+/// Bounded online aggregation: the telemetry layer's log2-histogram
+/// sketches promoted to the collector side, as a pipeline stage.
+///
+/// `AggregateStage<T>` folds an unbounded stream into a bounded keyed map
+/// of `Log2Sketch`es (count / sum / max / 40 log2 buckets — the same
+/// geometry as `telemetry::HistogramView`, so a reader can compare runtime
+/// self-telemetry and collector-side aggregates bucket for bucket). The
+/// key population is capped: once `max_keys` distinct keys exist, further
+/// new keys fold into one overflow sketch instead of allocating, which is
+/// what lets a pipeline run for days in constant memory (ROADMAP item).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/cacheline.hpp"
+#include "common/spinlock.hpp"
+#include "pipeline/stage.hpp"
+
+namespace orca::pipeline {
+
+/// Bucket count of one sketch: 2^0 .. >2^38, matching
+/// telemetry::kHistogramBuckets so the two layers' histograms line up.
+inline constexpr std::size_t kSketchBuckets = 40;
+
+/// One streaming log2 histogram (no allocation after construction).
+struct Log2Sketch {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::uint64_t buckets[kSketchBuckets] = {};
+
+  void observe(std::uint64_t value) noexcept {
+    ++count;
+    sum += value;
+    if (value > max) max = value;
+    ++buckets[bucket_of(value)];
+  }
+
+  void merge(const Log2Sketch& other) noexcept {
+    count += other.count;
+    sum += other.sum;
+    if (other.max > max) max = other.max;
+    for (std::size_t i = 0; i < kSketchBuckets; ++i) {
+      buckets[i] += other.buckets[i];
+    }
+  }
+
+  double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  /// Bucket-interpolated quantile (upper-bound estimate), 0 when empty.
+  double quantile(double q) const noexcept;
+
+  static std::size_t bucket_of(std::uint64_t value) noexcept {
+    std::size_t b = 0;
+    while (value > 1 && b + 1 < kSketchBuckets) {
+      value >>= 1;
+      ++b;
+    }
+    return b;
+  }
+};
+
+/// One key's aggregate, copied out by snapshot().
+struct AggregateRow {
+  std::uint64_t key = 0;
+  bool overflow = false;  ///< the catch-all row for keys past the cap
+  Log2Sketch sketch;
+};
+
+/// Render rows as an aligned text table (key, count, mean, p50, p99, max).
+/// `key_label` names the key column; `unit` suffixes the value columns.
+std::string render_aggregate(const std::vector<AggregateRow>& rows,
+                             const std::string& key_label,
+                             const std::string& unit);
+
+/// Streaming keyed aggregation stage. `key(item)` chooses the sketch,
+/// `value(item)` is the observation. Terminal: every accepted item is
+/// folded (emitted); nothing is dropped — keys past the cap still
+/// aggregate, just into the shared overflow sketch.
+template <typename T>
+class AggregateStage final : public Stage<T> {
+ public:
+  using KeyFn = std::function<std::uint64_t(const T&)>;
+  using ValueFn = std::function<std::uint64_t(const T&)>;
+
+  AggregateStage(std::string name, KeyFn key, ValueFn value,
+                 std::size_t max_keys = kDefaultMaxKeys)
+      : Stage<T>(std::move(name)),
+        key_(std::move(key)),
+        value_(std::move(value)),
+        max_keys_(max_keys == 0 ? 1 : max_keys) {}
+
+  /// Rows sorted by key, the overflow row (if any observations landed
+  /// there) last. Safe concurrently with producers (per-shard locks).
+  std::vector<AggregateRow> snapshot() const {
+    std::map<std::uint64_t, Log2Sketch> merged;
+    Log2Sketch overflow;
+    for (const CachePadded<Shard>& padded : shards_) {
+      const Shard& sh = *padded;
+      std::scoped_lock lk(sh.mu);
+      for (const auto& [key, sketch] : sh.sketches) {
+        merged[key].merge(sketch);
+      }
+      overflow.merge(sh.overflow);
+    }
+    std::vector<AggregateRow> rows;
+    rows.reserve(merged.size() + 1);
+    for (const auto& [key, sketch] : merged) {
+      AggregateRow row;
+      row.key = key;
+      row.sketch = sketch;
+      rows.push_back(row);
+    }
+    if (overflow.count > 0) {
+      AggregateRow row;
+      row.overflow = true;
+      row.sketch = overflow;
+      rows.push_back(row);
+    }
+    return rows;
+  }
+
+  /// Distinct keys currently tracked (excludes the overflow bucket).
+  std::size_t key_count() const noexcept {
+    return keys_.load(std::memory_order_acquire);
+  }
+
+  /// Observations that landed in the overflow sketch.
+  std::uint64_t overflowed() const noexcept {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
+
+  void clear() {
+    for (CachePadded<Shard>& padded : shards_) {
+      Shard& sh = *padded;
+      std::scoped_lock lk(sh.mu);
+      sh.sketches.clear();
+      sh.overflow = Log2Sketch{};
+    }
+    keys_.store(0, std::memory_order_release);
+    overflowed_.store(0, std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t kDefaultMaxKeys = 1024;
+
+ protected:
+  void consume(const T& item) override {
+    const std::uint64_t key = key_(item);
+    const std::uint64_t value = value_(item);
+    Shard& sh = *shards_[key % kShards];
+    std::scoped_lock lk(sh.mu);
+    auto it = sh.sketches.find(key);
+    if (it == sh.sketches.end()) {
+      // Admission under the cap races benignly: two shards may admit the
+      // last two slots concurrently, overshooting by at most kShards - 1
+      // keys — still a constant bound, which is the point.
+      if (keys_.load(std::memory_order_relaxed) >= max_keys_) {
+        sh.overflow.observe(value);
+        overflowed_.fetch_add(1, std::memory_order_relaxed);
+        this->note_emitted();
+        return;
+      }
+      keys_.fetch_add(1, std::memory_order_acq_rel);
+      it = sh.sketches.emplace(key, Log2Sketch{}).first;
+    }
+    it->second.observe(value);
+    this->note_emitted();
+  }
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable SpinLock mu;
+    std::map<std::uint64_t, Log2Sketch> sketches;
+    Log2Sketch overflow;
+  };
+
+  KeyFn key_;
+  ValueFn value_;
+  const std::size_t max_keys_;
+  std::array<CachePadded<Shard>, kShards> shards_;
+  std::atomic<std::size_t> keys_{0};
+  std::atomic<std::uint64_t> overflowed_{0};
+};
+
+/// Factory keeping the typed handle (callers need snapshot()).
+template <typename T>
+std::shared_ptr<AggregateStage<T>> aggregate(
+    std::string name, typename AggregateStage<T>::KeyFn key,
+    typename AggregateStage<T>::ValueFn value,
+    std::size_t max_keys = AggregateStage<T>::kDefaultMaxKeys) {
+  return std::make_shared<AggregateStage<T>>(std::move(name), std::move(key),
+                                             std::move(value), max_keys);
+}
+
+}  // namespace orca::pipeline

@@ -1,0 +1,64 @@
+#include "pipeline/pipeline.hpp"
+
+#include <algorithm>
+
+#include "common/strutil.hpp"
+#include "pipeline/aggregate.hpp"
+
+namespace orca::pipeline {
+
+double Log2Sketch::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kSketchBuckets; ++b) {
+    seen += buckets[b];
+    if (static_cast<double>(seen) > rank) {
+      // Upper bound of bucket b: 2^(b+1) - 1 (bucket 0 holds 0 and 1).
+      const double hi =
+          static_cast<double>((b + 1 < 64 ? (1ull << (b + 1)) : ~0ull) - 1);
+      return std::min(hi, static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+std::string render_stats(const std::vector<StageStats>& stats) {
+  std::string out =
+      strfmt("%-18s %12s %12s %12s %12s %10s\n", "stage", "accepted",
+             "emitted", "filtered", "dropped", "held");
+  for (const StageStats& s : stats) {
+    out += strfmt("%-18s %12llu %12llu %12llu %12llu %10llu\n",
+                  s.name.c_str(),
+                  static_cast<unsigned long long>(s.accepted),
+                  static_cast<unsigned long long>(s.emitted),
+                  static_cast<unsigned long long>(s.filtered),
+                  static_cast<unsigned long long>(s.dropped),
+                  static_cast<unsigned long long>(s.held));
+  }
+  return out;
+}
+
+std::string render_aggregate(const std::vector<AggregateRow>& rows,
+                             const std::string& key_label,
+                             const std::string& unit) {
+  std::string out = strfmt("%-12s %10s %14s %14s %14s %14s\n",
+                           key_label.c_str(), "count",
+                           ("mean_" + unit).c_str(), ("p50_" + unit).c_str(),
+                           ("p99_" + unit).c_str(), ("max_" + unit).c_str());
+  for (const AggregateRow& row : rows) {
+    const std::string key =
+        row.overflow ? "<other>" : strfmt("%llu",
+                                          static_cast<unsigned long long>(
+                                              row.key));
+    out += strfmt("%-12s %10llu %14.1f %14.1f %14.1f %14llu\n", key.c_str(),
+                  static_cast<unsigned long long>(row.sketch.count),
+                  row.sketch.mean(), row.sketch.quantile(0.5),
+                  row.sketch.quantile(0.99),
+                  static_cast<unsigned long long>(row.sketch.max));
+  }
+  return out;
+}
+
+}  // namespace orca::pipeline

@@ -1,0 +1,86 @@
+/// \file pipeline.hpp
+/// `Pipeline<T>`: the assembled stage graph a collector tool pushes into,
+/// plus `pipeline::Event`, the decoded collector event every assembly
+/// speaks (docs/PIPELINE.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "collector/api.h"
+#include "pipeline/stage.hpp"
+
+namespace orca::pipeline {
+
+/// One decoded collector event, as produced by the v2 client's event feed
+/// (`Session::pipeline`): the ORA callback's event kind plus the delivery
+/// context the async drainer recovered (origin slot + enqueue ticks), or
+/// the caller's own thread/clock under synchronous delivery.
+struct Event {
+  std::uint64_t seq = 0;    ///< global arrival order across the feed
+  std::uint64_t ticks = 0;  ///< origin timestamp (TSC under async delivery)
+  std::uint64_t ns = 0;     ///< SteadyClock stamp at decode time
+  OMP_COLLECTORAPI_EVENT event = OMP_EVENT_LAST;
+  int tid = -1;             ///< origin thread slot, -1 unknown
+};
+
+/// Arrival-order comparator for Event collections.
+inline bool by_seq(const Event& a, const Event& b) noexcept {
+  return a.seq < b.seq;
+}
+
+/// Render a stats walk as an aligned text table (one line per stage).
+std::string render_stats(const std::vector<StageStats>& stats);
+
+/// The assembled graph: owns the head stage (and through it, via shared
+/// ownership, the whole DAG). Copyable handle — copies push into the same
+/// stages.
+template <typename In>
+class Pipeline {
+ public:
+  Pipeline() = default;
+  explicit Pipeline(StagePtr<In> head) : head_(std::move(head)) {}
+
+  explicit operator bool() const noexcept { return head_ != nullptr; }
+  const StagePtr<In>& head() const noexcept { return head_; }
+
+  void push(const In& item) {
+    if (head_) head_->push(item);
+  }
+
+  /// Drain every buffering stage, head to tail.
+  void flush() {
+    if (head_) head_->flush();
+  }
+
+  /// Accounting snapshot of every reachable stage, in DFS order from the
+  /// head (diamond joins appear once).
+  std::vector<StageStats> stats() const {
+    std::vector<StageStats> out;
+    if (!head_) return out;
+    std::unordered_set<const StageBase*> seen;
+    walk(head_.get(), seen, out);
+    return out;
+  }
+
+  /// stats() rendered as an aligned text table.
+  std::string render() const { return render_stats(stats()); }
+
+ private:
+  static void walk(const StageBase* stage,
+                   std::unordered_set<const StageBase*>& seen,
+                   std::vector<StageStats>& out) {
+    if (stage == nullptr || !seen.insert(stage).second) return;
+    out.push_back(stage->stats());
+    for (const StageBase* next : stage->downstream()) {
+      walk(next, seen, out);
+    }
+  }
+
+  StagePtr<In> head_;
+};
+
+}  // namespace orca::pipeline

@@ -109,15 +109,12 @@ bool RuntimeConfig::parse_barrier_kind(const std::string& text,
 
 BarrierKind RuntimeConfig::barrier_kind_from_env() {
   BarrierKind kind = BarrierKind::kCentralized;
-  if (const auto text = env::get("ORCA_BARRIER")) {
-    if (!parse_barrier_kind(*text, &kind)) {
-      std::fprintf(stderr,
-                   "ORCA: ignoring invalid ORCA_BARRIER=\"%s\" "
-                   "(expected centralized|dissemination|tree); keeping "
-                   "centralized\n",
-                   text->c_str());
-    }
-  }
+  env_parsed(
+      "ORCA_BARRIER",
+      [&kind](const std::string& text) {
+        return parse_barrier_kind(text, &kind);
+      },
+      "centralized|dissemination|tree", "centralized");
   return kind;
 }
 
@@ -131,6 +128,28 @@ bool RuntimeConfig::parse_fork_mode(const std::string& text, ForkMode* mode) {
     return false;
   }
   return true;
+}
+
+long RuntimeConfig::env_long(const char* name, long fallback, long min_value,
+                             const char* expected) {
+  const auto text = env::get(name);
+  if (!text) return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(text->c_str(), &end, 10);
+  if (end == text->c_str() || *end != '\0' || value < min_value) {
+    std::fprintf(stderr,
+                 "ORCA: ignoring invalid %s=\"%s\" (expected %s); "
+                 "keeping %ld\n",
+                 name, text->c_str(), expected, fallback);
+    return fallback;
+  }
+  return value;
+}
+
+std::size_t RuntimeConfig::env_size(const char* name, std::size_t fallback,
+                                    const char* expected) {
+  return static_cast<std::size_t>(
+      env_long(name, static_cast<long>(fallback), 1, expected));
 }
 
 RuntimeConfig RuntimeConfig::from_env() {
@@ -150,10 +169,9 @@ RuntimeConfig RuntimeConfig::from_env() {
     cfg.event_delivery =
         parse_event_delivery(*delivery, cfg.event_delivery);
   }
-  const long ring = env::get_long(
-      "ORCA_EVENT_RING_CAPACITY",
-      static_cast<long>(cfg.event_ring_capacity));
-  if (ring > 0) cfg.event_ring_capacity = static_cast<std::size_t>(ring);
+  cfg.event_ring_capacity =
+      env_size("ORCA_EVENT_RING_CAPACITY", cfg.event_ring_capacity,
+               "a positive record count");
   if (const auto policy = env::get("ORCA_EVENT_BACKPRESSURE")) {
     cfg.event_backpressure =
         parse_backpressure(*policy, cfg.event_backpressure);
@@ -164,28 +182,16 @@ RuntimeConfig RuntimeConfig::from_env() {
   // Telemetry knobs warn-and-default instead of silently falling back: a
   // profiling run with a typo'd mode would otherwise record nothing and
   // look like a runtime bug.
-  if (const auto mode = env::get("ORCA_TELEMETRY")) {
-    if (!parse_telemetry_mode(*mode, &cfg.telemetry_timeline,
-                              &cfg.telemetry_metrics)) {
-      std::fprintf(stderr,
-                   "ORCA: ignoring invalid ORCA_TELEMETRY=\"%s\" "
-                   "(expected off|metrics|timeline|full); telemetry stays "
-                   "off\n",
-                   mode->c_str());
-    }
-  }
-  if (const auto ring = env::get("ORCA_TELEMETRY_RING")) {
-    char* end = nullptr;
-    const long records = std::strtol(ring->c_str(), &end, 10);
-    if (end == ring->c_str() || *end != '\0' || records <= 0) {
-      std::fprintf(stderr,
-                   "ORCA: ignoring invalid ORCA_TELEMETRY_RING=\"%s\" "
-                   "(expected a positive record count); keeping %zu\n",
-                   ring->c_str(), cfg.telemetry_ring_capacity);
-    } else {
-      cfg.telemetry_ring_capacity = static_cast<std::size_t>(records);
-    }
-  }
+  env_parsed(
+      "ORCA_TELEMETRY",
+      [&cfg](const std::string& text) {
+        return parse_telemetry_mode(text, &cfg.telemetry_timeline,
+                                    &cfg.telemetry_metrics);
+      },
+      "off|metrics|timeline|full", "telemetry off");
+  cfg.telemetry_ring_capacity =
+      env_size("ORCA_TELEMETRY_RING", cfg.telemetry_ring_capacity,
+               "a positive record count");
   if (const auto report = env::get("ORCA_TELEMETRY_REPORT")) {
     cfg.telemetry_report = *report;
   }
@@ -197,27 +203,15 @@ RuntimeConfig RuntimeConfig::from_env() {
   if (const auto dump = env::get("ORCA_CRASH_DUMP")) {
     cfg.crash_dump = *dump;
   }
-  if (const auto deadline = env::get("ORCA_CALLBACK_DEADLINE_MS")) {
-    char* end = nullptr;
-    const long ms = std::strtol(deadline->c_str(), &end, 10);
-    if (end == deadline->c_str() || *end != '\0' || ms < 0) {
-      std::fprintf(stderr,
-                   "ORCA: ignoring invalid ORCA_CALLBACK_DEADLINE_MS=\"%s\" "
-                   "(expected a non-negative millisecond count); watchdog "
-                   "stays off\n",
-                   deadline->c_str());
-    } else {
-      cfg.callback_deadline_ms = static_cast<int>(ms);
-    }
-  }
-  if (const auto mode = env::get("ORCA_FORK_MODE")) {
-    if (!parse_fork_mode(*mode, &cfg.fork_mode)) {
-      std::fprintf(stderr,
-                   "ORCA: ignoring invalid ORCA_FORK_MODE=\"%s\" "
-                   "(expected disable|rearm); keeping disable\n",
-                   mode->c_str());
-    }
-  }
+  cfg.callback_deadline_ms = static_cast<int>(
+      env_long("ORCA_CALLBACK_DEADLINE_MS", cfg.callback_deadline_ms, 0,
+               "a non-negative millisecond count"));
+  env_parsed(
+      "ORCA_FORK_MODE",
+      [&cfg](const std::string& text) {
+        return parse_fork_mode(text, &cfg.fork_mode);
+      },
+      "disable|rearm", "disable");
   return cfg;
 }
 

@@ -3,8 +3,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdio>
 #include <string>
 
+#include "common/env.hpp"
 #include "runtime/barrier.hpp"
 
 namespace orca::rt {
@@ -184,6 +186,43 @@ struct RuntimeConfig {
   /// Read ORCA_BARRIER, warning and returning kCentralized on an
   /// unrecognized value. Backs the `barrier` member's default initializer.
   static BarrierKind barrier_kind_from_env();
+
+  // --- warn-and-default env readers ----------------------------------------
+  // Every ORCA_* knob goes through these, so a misparse always warns with
+  // one voice — "ORCA: ignoring invalid NAME=\"...\" (expected ...);
+  // keeping ..." — instead of each call site inventing its own (or, worse,
+  // silently falling back and looking like a runtime bug).
+
+  /// Read an integer knob. Unset returns `fallback`; a value that fails to
+  /// parse in full or is below `min_value` warns (quoting `expected`) and
+  /// returns `fallback`.
+  static long env_long(const char* name, long fallback, long min_value,
+                       const char* expected);
+
+  /// env_long for size-like knobs (capacities, record counts); min 1.
+  static std::size_t env_size(const char* name, std::size_t fallback,
+                              const char* expected);
+
+  /// Read a string knob through a parser such as parse_fork_mode: `parse`
+  /// returns false on an unrecognized value, which warns (quoting
+  /// `expected`, naming `kept` as what stays) and leaves the out-param
+  /// untouched.
+  template <typename ParseFn>
+  static void env_parsed(const char* name, ParseFn parse,
+                         const char* expected, const char* kept);
 };
+
+template <typename ParseFn>
+void RuntimeConfig::env_parsed(const char* name, ParseFn parse,
+                               const char* expected, const char* kept) {
+  const auto text = env::get(name);
+  if (!text) return;
+  if (!parse(*text)) {
+    std::fprintf(stderr,
+                 "ORCA: ignoring invalid %s=\"%s\" (expected %s); "
+                 "keeping %s\n",
+                 name, text->c_str(), expected, kept);
+  }
+}
 
 }  // namespace orca::rt

@@ -308,6 +308,7 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kGenerationsPublished: return "generations_published";
     case Counter::kGenerationsRetired: return "generations_retired";
     case Counter::kTimelineOverwrites: return "timeline_overwrites";
+    case Counter::kPipelineDrops: return "pipeline_drops";
     case Counter::kCount: break;
   }
   return "?";

@@ -125,6 +125,7 @@ enum class Counter : std::uint8_t {
   kGenerationsPublished,   ///< callback-table generations published
   kGenerationsRetired,     ///< generations freed after their grace period
   kTimelineOverwrites,     ///< timeline records lost to ring wraparound
+  kPipelineDrops,          ///< items shed by collector pipeline stages
   kCount
 };
 

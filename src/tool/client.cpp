@@ -1,5 +1,9 @@
 #include "tool/client.hpp"
 
+// This translation unit *implements* the deprecated v1 shim; referencing
+// the class here is the point, not an oversight.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace orca::tool {
 
 std::optional<CollectorClient> CollectorClient::discover() {

@@ -34,7 +34,13 @@ struct RegionIdReply {
 };
 
 /// Typed wrapper around `__omp_collector_api` (v1 surface).
-class CollectorClient {
+///
+/// Deprecated since PR 8: every in-tree user now speaks the v2 client;
+/// this shim remains (with one compat test) for out-of-tree collectors
+/// mid-migration.
+class [[deprecated(
+    "use orca::collector::Client / Session (tool/client2.hpp); this v1 shim "
+    "only delegates to them")]] CollectorClient {
  public:
   using ApiFn = int (*)(void*);
 

@@ -5,8 +5,11 @@
 #include <array>
 #include <mutex>
 
+#include "collector/async.hpp"
 #include "collector/message.hpp"
+#include "common/clock.hpp"
 #include "common/spinlock.hpp"
+#include "runtime/ompc_api.h"
 
 namespace orca::collector {
 namespace {
@@ -208,6 +211,45 @@ OMP_COLLECTORAPI_EC Client::unregister_event(
   msg.add_unregister(event);
   if (api_(msg.buffer()) != 0) return OMP_ERRCODE_ERROR;
   return msg.errcode(0);
+}
+
+EventFeed Session::pipeline(pipeline::StagePtr<pipeline::Event> head,
+                            std::vector<OMP_COLLECTORAPI_EVENT> events) {
+  EventFeed feed;
+  if (!active() || head == nullptr) return feed;
+  if (events.empty()) {
+    for (int e = 1; e < OMP_EVENT_LAST; ++e) {
+      events.push_back(static_cast<OMP_COLLECTORAPI_EVENT>(e));
+    }
+  }
+  feed.seq_ = std::make_shared<std::atomic<std::uint64_t>>(0);
+  const Client client(api_);
+  for (const OMP_COLLECTORAPI_EVENT event : events) {
+    // One decode closure per event (the trampoline table is keyed by event
+    // kind), all sharing the feed's sequence counter and the graph head.
+    Expected<Registration> reg = client.register_event(
+        event, [head, seq = feed.seq_](OMP_COLLECTORAPI_EVENT ev) {
+          pipeline::Event out;
+          out.seq = seq->fetch_add(1, std::memory_order_relaxed);
+          // Under asynchronous delivery the callback runs on the drainer
+          // thread; the delivery context recovers the origin thread's slot
+          // and enqueue timestamp, which is what a consumer should see.
+          if (const EventRecord* rec = AsyncDispatcher::delivery_context()) {
+            out.ticks = rec->ticks;
+            out.tid = rec->origin_slot;
+          } else {
+            out.ticks = SteadyClock::now();
+            out.tid = __ompc_get_global_thread_num();
+          }
+          out.ns = SteadyClock::now();
+          out.event = ev;
+          head->push(out);
+        });
+    // Optional events may come back OMP_ERRCODE_UNSUPPORTED; a consumer
+    // simply receives whatever the runtime can provide.
+    if (reg) feed.regs_.push_back(std::move(*reg));
+  }
+  return feed;
 }
 
 OMP_COLLECTORAPI_EC Session::stop() noexcept {

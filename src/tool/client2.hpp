@@ -11,11 +11,16 @@
 /// foreign-language collectors need `MessageBuilder` directly.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "collector/api.h"
+#include "pipeline/pipeline.hpp"
 
 namespace orca::collector {
 
@@ -172,6 +177,33 @@ class Client {
   ApiFn api_;
 };
 
+/// Live event subscription created by Session::pipeline(): a bundle of
+/// owning Registrations whose shared decode callback turns raw ORA
+/// callbacks into `pipeline::Event`s and pushes them into the consumer's
+/// stage graph. Destroying (or reset()ing) the feed unregisters every
+/// event and releases the decode closure. Move-only.
+class EventFeed {
+ public:
+  EventFeed() = default;
+  EventFeed(EventFeed&&) = default;
+  EventFeed& operator=(EventFeed&&) = default;
+  EventFeed(const EventFeed&) = delete;
+  EventFeed& operator=(const EventFeed&) = delete;
+
+  /// True when at least one event registration is live.
+  explicit operator bool() const noexcept { return !regs_.empty(); }
+  std::size_t subscribed() const noexcept { return regs_.size(); }
+
+  /// Unregister everything and drop the decode closure. Idempotent.
+  void reset() noexcept { regs_.clear(); }
+
+ private:
+  friend class Session;
+  std::vector<Registration> regs_;
+  /// Global arrival order across all events of the feed.
+  std::shared_ptr<std::atomic<std::uint64_t>> seq_;
+};
+
 /// RAII collector session: OMP_REQ_START on construction, OMP_REQ_STOP on
 /// destruction (when START succeeded). Move-only.
 class Session {
@@ -200,6 +232,21 @@ class Session {
   /// Early STOP; the destructor then does nothing. Returns the STOP
   /// errcode (SEQUENCE_ERR when the session never started).
   OMP_COLLECTORAPI_EC stop() noexcept;
+
+  /// The blessed way to consume events (docs/PIPELINE.md): subscribe the
+  /// head of a stage assembly to `events` (empty = every standard event)
+  /// and decode each callback into a `pipeline::Event` — origin slot +
+  /// enqueue ticks recovered from the async drainer's delivery context
+  /// when present, the calling thread + SteadyClock otherwise — before
+  /// pushing it into the graph.
+  ///
+  /// Events the runtime declines (OMP_ERRCODE_UNSUPPORTED optional events)
+  /// are skipped, mirroring what a tracer wants. The returned feed owns
+  /// the registrations; keep it alive as long as the pipeline should
+  /// receive events, and destroy it *before* tearing down the stages it
+  /// feeds. Returns an empty feed when the session is not active.
+  EventFeed pipeline(pipeline::StagePtr<pipeline::Event> head,
+                     std::vector<OMP_COLLECTORAPI_EVENT> events = {});
 
  private:
   Client::ApiFn api_;

@@ -28,7 +28,7 @@ void PrototypeCollector::configure(ToolOptions opts) {
     store_ = std::make_unique<perf::SampleStore>(opts_.thread_slots,
                                                  opts_.sample_capacity);
   }
-  client_ = CollectorClient::discover();
+  client_ = collector::Client::discover();
 }
 
 bool PrototypeCollector::attach(ToolOptions opts) {
@@ -118,8 +118,8 @@ void PrototypeCollector::on_event(OMP_COLLECTORAPI_EVENT event) {
     // Region ids are retrieved "at the join event" (paper Sec. IV); the
     // master's team is still current when JOIN fires.
     if (opts_.query_region_ids) {
-      const RegionIdReply id = client_->current_region_id();
-      if (id.errcode == OMP_ERRCODE_OK) sample.region_id = id.id;
+      const collector::Expected<unsigned long> id = client_->current_prid();
+      if (id) sample.region_id = *id;
     }
     if (opts_.record_callstacks) {
       // Implementation-model callstack for the offline user-model pass

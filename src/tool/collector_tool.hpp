@@ -30,7 +30,7 @@
 #include "perf/counter.hpp"
 #include "perf/samples.hpp"
 #include "perf/trace.hpp"
-#include "tool/client.hpp"
+#include "tool/client2.hpp"
 
 namespace orca::tool {
 
@@ -193,7 +193,7 @@ class PrototypeCollector {
   bool passes_dedup(const std::vector<const void*>& frames);
 
   ToolOptions opts_;
-  std::optional<CollectorClient> client_;
+  std::optional<collector::Client> client_;
   std::unique_ptr<perf::SampleStore> store_;
   perf::HwTimeCounter counter_;
   std::atomic<std::uint64_t> callback_count_{0};

@@ -9,6 +9,7 @@
 #include "collector/api.h"
 #include "collector/message.hpp"
 #include "common/clock.hpp"
+#include "runtime/config.hpp"
 #include "runtime/resilience.hpp"
 
 namespace orca::tool {
@@ -185,16 +186,75 @@ SamplingStats SamplingCollector::stats() const noexcept {
   return s;
 }
 
-std::vector<perf::EventSample> SamplingCollector::merged_samples() const {
-  std::vector<perf::EventSample> out;
+SamplingOptions SamplingOptions::from_env() {
+  SamplingOptions opts;
+  opts.hz = static_cast<int>(rt::RuntimeConfig::env_long(
+      "ORCA_SAMPLING_HZ", opts.hz, 1, "a positive frequency in Hz"));
+  opts.lane_capacity = static_cast<std::size_t>(rt::RuntimeConfig::env_long(
+      "ORCA_SAMPLING_LANE_CAPACITY", static_cast<long>(opts.lane_capacity),
+      1, "a positive sample count"));
+  opts.max_threads = static_cast<int>(rt::RuntimeConfig::env_long(
+      "ORCA_SAMPLING_MAX_THREADS", opts.max_threads, 1,
+      "a positive thread count"));
+  return opts;
+}
+
+std::size_t SamplingCollector::pump(
+    const pipeline::StagePtr<perf::EventSample>& head) const {
+  if (head == nullptr) return 0;
+  std::size_t pumped = 0;
   for (const auto& lane : lanes_) {
-    out.insert(out.end(), lane->data(), lane->data() + lane->count());
+    // count() is release-published per slot, so every sample it admits is
+    // fully written even while the handler is still firing elsewhere.
+    const std::size_t n = lane->count();
+    const perf::EventSample* data = lane->data();
+    for (std::size_t i = 0; i < n; ++i) head->push(data[i]);
+    pumped += n;
   }
-  std::sort(out.begin(), out.end(),
-            [](const perf::EventSample& a, const perf::EventSample& b) {
-              return a.ticks < b.ticks;
-            });
-  return out;
+  return pumped;
+}
+
+std::vector<perf::EventSample> SamplingCollector::merged_samples() const {
+  auto merged = pipeline::collect<perf::EventSample>("samples");
+  pump(merged);
+  return merged->sorted(
+      [](const perf::EventSample& a, const perf::EventSample& b) {
+        return a.ticks < b.ticks;
+      });
+}
+
+std::vector<pipeline::AggregateRow> SamplingCollector::region_report(
+    std::size_t max_regions) const {
+  // Assembly: delta (tick gap to the lane's previous sample; lanes are
+  // pumped sequentially, so one shared slot keyed by lane suffices) ->
+  // bounded per-region aggregate.
+  auto agg = pipeline::aggregate<RegionSlice>(
+      "by-region", [](const RegionSlice& s) { return s.region; },
+      [](const RegionSlice& s) { return s.ticks; }, max_regions);
+  auto prev = std::make_shared<std::vector<std::uint64_t>>(lanes_.size(), 0);
+  pipeline::StagePtr<perf::EventSample> delta = pipeline::map<
+      perf::EventSample>(
+      "delta",
+      [prev](const perf::EventSample& s) {
+        RegionSlice slice;
+        slice.region = s.region_id;
+        const auto lane = static_cast<std::size_t>(s.tid);
+        if (lane < prev->size()) {
+          const std::uint64_t last = (*prev)[lane];
+          (*prev)[lane] = s.ticks;
+          slice.ticks = (last == 0 || s.ticks < last) ? 0 : s.ticks - last;
+        }
+        return slice;
+      },
+      pipeline::StagePtr<RegionSlice>(agg));
+  pump(delta);
+  return agg->snapshot();
+}
+
+std::string SamplingCollector::render_region_report(
+    std::size_t max_regions) const {
+  return pipeline::render_aggregate(region_report(max_regions), "region",
+                                    "ticks");
 }
 
 void SamplingCollector::clear() {

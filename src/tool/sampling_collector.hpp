@@ -20,9 +20,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "perf/samples.hpp"
+#include "pipeline/aggregate.hpp"
+#include "pipeline/pipeline.hpp"
 
 namespace orca::tool {
 
@@ -32,6 +35,18 @@ struct SamplingOptions {
   std::size_t lane_capacity = 65536;  ///< preallocated samples per thread
   int max_threads = 64;          ///< per-thread lane slots
   bool crash_section = true;     ///< register a postmortem dump section
+
+  /// Read ORCA_SAMPLING_HZ / ORCA_SAMPLING_LANE_CAPACITY /
+  /// ORCA_SAMPLING_MAX_THREADS over these defaults, warning (and keeping
+  /// the default) on misparse like every other ORCA_* knob.
+  static SamplingOptions from_env();
+};
+
+/// Intermediate record of the region-report assembly: one sample's CPU
+/// slice (in TSC ticks) attributed to a parallel region (0 = serial).
+struct RegionSlice {
+  std::uint64_t region = 0;
+  std::uint64_t ticks = 0;
 };
 
 /// Aggregate counters of one sampling session.
@@ -69,9 +84,26 @@ class SamplingCollector {
 
   SamplingStats stats() const noexcept;
 
-  /// All samples across lanes, ordered by tick. Quiescent-side: call after
-  /// stop().
+  /// Pump every retained sample, lane by lane, into a stage assembly —
+  /// the sampler's source adapter onto the shared pipeline vocabulary
+  /// (docs/PIPELINE.md). Returns the number pushed. Quiescent-side: call
+  /// after stop(); the lanes are not consumed (pump again as needed).
+  std::size_t pump(const pipeline::StagePtr<perf::EventSample>& head) const;
+
+  /// All samples across lanes, ordered by tick — a collect-stage assembly
+  /// over pump(). Quiescent-side: call after stop().
   std::vector<perf::EventSample> merged_samples() const;
+
+  /// Per-region CPU-time sketches: samples flow through a delta stage
+  /// (tick gap to the lane's previous sample ≈ CPU time charged at the
+  /// sampling rate) into a bounded online aggregate keyed by region id —
+  /// region 0 is serial execution. Constant-memory: at most `max_regions`
+  /// keys plus one overflow row. Quiescent-side: call after stop().
+  std::vector<pipeline::AggregateRow> region_report(
+      std::size_t max_regions = 256) const;
+
+  /// region_report() rendered as an aligned text table.
+  std::string render_region_report(std::size_t max_regions = 256) const;
 
   /// Drop all recorded samples and counters (quiescent-side).
   void clear();

@@ -1,13 +1,9 @@
 #include "tool/tracer.hpp"
 
-#include <algorithm>
-#include <mutex>
+#include <utility>
 
-#include "collector/async.hpp"
 #include "collector/names.hpp"
-#include "common/clock.hpp"
 #include "common/strutil.hpp"
-#include "runtime/ompc_api.h"
 
 namespace orca::tool {
 
@@ -16,38 +12,10 @@ TracingCollector& TracingCollector::instance() {
   return tracer;
 }
 
-void TracingCollector::record(int tid, std::uint64_t ticks,
-                              OMP_COLLECTORAPI_EVENT event) {
-  TraceEvent entry;
-  entry.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
-  entry.ticks = ticks;
-  // Export timestamp in the telemetry clock domain (ticks may be TSC under
-  // async delivery). Under async this is delivery time, not origin time —
-  // honest for a merged trace, where the drainer IS when the tool saw it.
-  entry.ns = SteadyClock::now();
-  entry.event = event;
-  entry.tid = tid;
-  Stage& stage = *stages_[tid >= 0 ? static_cast<std::size_t>(tid) % kStages
-                                   : kStages - 1];
-  std::scoped_lock lk(stage.mu);
-  stage.events.push_back(entry);
-}
-
-void TracingCollector::event_callback(OMP_COLLECTORAPI_EVENT event) {
-  TracingCollector& self = instance();
-  // Under asynchronous delivery the callback runs on the drainer thread;
-  // the delivery context recovers the origin thread's slot and enqueue
-  // timestamp, which is what a trace should show.
-  if (const collector::EventRecord* rec =
-          collector::AsyncDispatcher::delivery_context()) {
-    self.record(rec->origin_slot, rec->ticks, event);
-    return;
-  }
-  self.record(__ompc_get_global_thread_num(), SteadyClock::now(), event);
-}
-
-bool TracingCollector::attach(std::vector<OMP_COLLECTORAPI_EVENT> events) {
+bool TracingCollector::attach(std::vector<OMP_COLLECTORAPI_EVENT> events,
+                              Filter keep, std::uint64_t max_events) {
   if (attached()) return false;
+  feed_.reset();  // drop any stale registrations before rebuilding stages
   client_ = collector::Client::discover();
   if (!client_) return false;
   // Session issues OMP_REQ_START on construction; a failed START leaves it
@@ -58,58 +26,69 @@ bool TracingCollector::attach(std::vector<OMP_COLLECTORAPI_EVENT> events) {
     return false;
   }
 
-  if (events.empty()) {
-    for (int e = 1; e < OMP_EVENT_LAST; ++e) {
-      events.push_back(static_cast<OMP_COLLECTORAPI_EVENT>(e));
-    }
+  // Assemble downstream-first. Branch 1: the striped ordered log. Branch 2:
+  // per-event-kind inter-arrival gaps folded into bounded sketches.
+  log_ = pipeline::collect<TraceEvent>("log");
+  intervals_ = pipeline::aggregate<EventGap>(
+      "by-event", [](const EventGap& g) { return g.kind; },
+      [](const EventGap& g) { return g.gap_ns; });
+  // Last-arrival timestamp per event kind, shared by the map closure across
+  // every pushing thread (exchange keeps it race-honest).
+  auto last = std::make_shared<
+      std::array<std::atomic<std::uint64_t>, ORCA_EVENT_EXT_LAST>>();
+  pipeline::StagePtr<TraceEvent> interval = pipeline::map<TraceEvent>(
+      "interval",
+      [last](const TraceEvent& e) {
+        const auto kind = static_cast<std::size_t>(e.event);
+        const std::size_t slot = kind < ORCA_EVENT_EXT_LAST ? kind : 0;
+        const std::uint64_t prev =
+            (*last)[slot].exchange(e.ns, std::memory_order_relaxed);
+        EventGap gap;
+        gap.kind = static_cast<std::uint64_t>(e.event);
+        gap.gap_ns = (prev == 0 || e.ns < prev) ? 0 : e.ns - prev;
+        return gap;
+      },
+      pipeline::StagePtr<EventGap>(intervals_));
+
+  kill_ = pipeline::KillSwitch();
+  pipeline::StagePtr<TraceEvent> head =
+      pipeline::fanout<TraceEvent>("fanout", {log_, std::move(interval)});
+  head = pipeline::killswitch<TraceEvent>("killswitch", kill_,
+                                          std::move(head), max_events);
+  if (keep) {
+    head = pipeline::filter<TraceEvent>("filter", std::move(keep),
+                                        std::move(head));
   }
-  for (const OMP_COLLECTORAPI_EVENT event : events) {
-    // Optional events may come back OMP_ERRCODE_UNSUPPORTED; a tracer
-    // simply records whatever the runtime can provide. The raw-callback
-    // overload is deliberate: the callback is a static function, so the
-    // owning Registration machinery would buy nothing here.
-    (void)client_->register_event(event, &TracingCollector::event_callback);
-  }
+  pipeline_ = pipeline::Pipeline<TraceEvent>(head);
+
+  feed_ = session_->pipeline(std::move(head), std::move(events));
   return true;
 }
 
 void TracingCollector::detach() {
-  // Session's stop() sends OMP_REQ_STOP exactly once per successful START.
+  // Unregister while the stages are still alive, then let Session's stop()
+  // send OMP_REQ_STOP exactly once per successful START.
+  feed_.reset();
   session_.reset();
 }
 
 std::vector<TraceEvent> TracingCollector::log() const {
-  std::vector<TraceEvent> merged;
-  for (const CachePadded<Stage>& padded : stages_) {
-    const Stage& stage = *padded;
-    std::scoped_lock lk(stage.mu);
-    merged.insert(merged.end(), stage.events.begin(), stage.events.end());
-  }
-  std::sort(merged.begin(), merged.end(),
-            [](const TraceEvent& a, const TraceEvent& b) {
-              return a.seq < b.seq;
-            });
-  return merged;
+  if (!log_) return {};
+  return log_->sorted(pipeline::by_seq);
 }
 
 std::size_t TracingCollector::count(OMP_COLLECTORAPI_EVENT event) const {
+  if (!log_) return 0;
   std::size_t n = 0;
-  for (const CachePadded<Stage>& padded : stages_) {
-    const Stage& stage = *padded;
-    std::scoped_lock lk(stage.mu);
-    for (const TraceEvent& e : stage.events) {
-      if (e.event == event) ++n;
-    }
+  for (const TraceEvent& e : log_->snapshot()) {
+    if (e.event == event) ++n;
   }
   return n;
 }
 
 void TracingCollector::clear() {
-  for (CachePadded<Stage>& padded : stages_) {
-    Stage& stage = *padded;
-    std::scoped_lock lk(stage.mu);
-    stage.events.clear();
-  }
+  if (log_) log_->clear();
+  if (intervals_) intervals_->clear();
 }
 
 std::vector<telemetry::ExternalEvent> TracingCollector::external_events()
@@ -142,6 +121,12 @@ std::string TracingCollector::render() const {
                   std::string(collector::to_string(e.event)).c_str());
   }
   return out;
+}
+
+std::vector<pipeline::AggregateRow> TracingCollector::event_intervals()
+    const {
+  if (!intervals_) return {};
+  return intervals_->snapshot();
 }
 
 }  // namespace orca::tool

@@ -4,58 +4,73 @@
 /// example, by tests that assert event ordering, and as the "tracing"
 /// usage mode the ORA spec's optional events exist for.
 ///
-/// Storage is striped: arriving events land in per-slot staging buffers
-/// (cache-line padded, one spinlock each) instead of one global lock, so
-/// concurrent application threads -- or the async drainer delivering on
-/// behalf of many origin threads -- never contend on a single line.
-/// `log()` merges the stages by a global arrival sequence, preserving the
-/// old single-log arrival order.
+/// Since PR 8 the tracer owns no consume loop: it assembles the shared
+/// stage vocabulary (docs/PIPELINE.md) behind a `Session::pipeline` feed —
+///
+///   decode -> [filter] -> killswitch -> fanout( log-collect,
+///                                               interval -> aggregate )
+///
+/// The collect branch is the striped, ordered event log (`log()`,
+/// `render()`, `write_chrome_trace()`); the aggregate branch folds
+/// per-event-kind inter-arrival gaps into bounded log2 sketches
+/// (`event_intervals()`), so a days-long trace session can keep the log
+/// branch off and still report — the ROADMAP's constant-memory mode.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "collector/api.h"
-#include "common/cacheline.hpp"
-#include "common/spinlock.hpp"
+#include "pipeline/aggregate.hpp"
+#include "pipeline/pipeline.hpp"
 #include "telemetry/export.hpp"
 #include "tool/client2.hpp"
 
 namespace orca::tool {
 
-/// One trace entry.
-struct TraceEvent {
-  std::uint64_t seq = 0;  ///< global arrival order across all stages
-  std::uint64_t ticks = 0;
-  std::uint64_t ns = 0;   ///< SteadyClock stamp at record time (for export)
-  OMP_COLLECTORAPI_EVENT event = OMP_EVENT_LAST;
-  int tid = -1;
+/// One trace entry: the pipeline's decoded collector event, verbatim.
+using TraceEvent = pipeline::Event;
+
+/// Intermediate record of the tracer's aggregation branch: one event's
+/// arrival gap to the previous event of the same kind (0 for the first).
+struct EventGap {
+  std::uint64_t kind = 0;
+  std::uint64_t gap_ns = 0;
 };
 
 /// Event-trace collector (singleton, same reason as PrototypeCollector).
 class TracingCollector {
  public:
+  /// Optional selection applied before anything else in the assembly;
+  /// events it rejects are counted as `filtered` in pipeline_stats().
+  using Filter = std::function<bool(const TraceEvent&)>;
+
   static TracingCollector& instance();
 
   TracingCollector(const TracingCollector&) = delete;
   TracingCollector& operator=(const TracingCollector&) = delete;
 
-  /// Discover + START (via an RAII collector::Session) + register every
-  /// event the runtime accepts. `events` empty means "all known events";
-  /// unsupported ones are skipped (their registration returns
-  /// OMP_ERRCODE_UNSUPPORTED).
-  bool attach(std::vector<OMP_COLLECTORAPI_EVENT> events = {});
+  /// Discover + START (via an RAII collector::Session) + subscribe the
+  /// stage assembly through `Session::pipeline`. `events` empty means
+  /// "all known events"; unsupported ones are skipped. `keep` (optional)
+  /// filters events before they reach the log; `max_events` > 0 arms the
+  /// assembly's killswitch to self-trip after that many events pass.
+  bool attach(std::vector<OMP_COLLECTORAPI_EVENT> events = {},
+              Filter keep = nullptr, std::uint64_t max_events = 0);
 
   void detach();
   bool attached() const noexcept {
     return session_.has_value() && session_->active();
   }
 
-  /// Snapshot of the log in arrival order (merged across stages).
+  /// Snapshot of the log in arrival order (merged across the collect
+  /// stage's stripes by the feed's global sequence).
   std::vector<TraceEvent> log() const;
 
   /// Events of one kind in the log.
@@ -75,24 +90,31 @@ class TracingCollector {
   /// plus this collector event log — to `path`. False on I/O failure.
   bool write_chrome_trace(const std::string& path) const;
 
+  /// Per-event-kind inter-arrival sketches from the aggregation branch
+  /// (key = OMP_COLLECTORAPI_EVENT value), sorted by key.
+  std::vector<pipeline::AggregateRow> event_intervals() const;
+
+  /// Trip the assembly's killswitch: further events are dropped (and
+  /// honestly counted) until the next attach().
+  void halt() noexcept { kill_.trip(); }
+  bool halted() const noexcept { return kill_.tripped(); }
+
+  /// Accounting of every stage in the current assembly.
+  std::vector<pipeline::StageStats> pipeline_stats() const {
+    return pipeline_.stats();
+  }
+  std::string render_pipeline() const { return pipeline_.render(); }
+
  private:
-  /// Stripe count for the staging buffers. Thread ids map onto stripes
-  /// modulo this, so collisions only cost occasional lock sharing.
-  static constexpr std::size_t kStages = 16;
-
-  struct Stage {
-    mutable SpinLock mu;
-    std::vector<TraceEvent> events;
-  };
-
   TracingCollector() = default;
-  static void event_callback(OMP_COLLECTORAPI_EVENT event);
-  void record(int tid, std::uint64_t ticks, OMP_COLLECTORAPI_EVENT event);
 
-  std::array<CachePadded<Stage>, kStages> stages_;
-  std::atomic<std::uint64_t> next_seq_{0};
   std::optional<collector::Client> client_;
   std::optional<collector::Session> session_;
+  collector::EventFeed feed_;
+  pipeline::Pipeline<TraceEvent> pipeline_;
+  std::shared_ptr<pipeline::CollectStage<TraceEvent>> log_;
+  std::shared_ptr<pipeline::AggregateStage<EventGap>> intervals_;
+  pipeline::KillSwitch kill_;
 };
 
 }  // namespace orca::tool

@@ -13,7 +13,7 @@
 #include "perf/trace.hpp"
 #include "runtime/ompc_api.h"
 #include "runtime/runtime.hpp"
-#include "tool/client.hpp"
+#include "tool/client2.hpp"
 #include "tool/collector_tool.hpp"
 #include "unwind/user_model.hpp"
 
@@ -121,13 +121,13 @@ TEST(Pipeline, MzPerRankCollectorsObserveAllRegions) {
   opts.threads_per_proc = 1;
   opts.scale = 0.05;
   opts.rank_begin = [](int) {
-    orca::tool::CollectorClient client(&__omp_collector_api);
+    orca::collector::Client client(&__omp_collector_api);
     client.start();
     client.register_event(OMP_EVENT_FORK, PrototypeCollector::raw_callback());
     client.register_event(OMP_EVENT_JOIN, PrototypeCollector::raw_callback());
   };
   opts.rank_end = [](int) {
-    orca::tool::CollectorClient client(&__omp_collector_api);
+    orca::collector::Client client(&__omp_collector_api);
     client.stop();
   };
   const auto result = orca::npb::run_lu_mz(opts);

@@ -10,7 +10,7 @@
 #include "collector/message.hpp"
 #include "runtime/ompc_api.h"
 #include "runtime/runtime.hpp"
-#include "tool/client.hpp"
+#include "tool/client2.hpp"
 #include "translate/omp.hpp"
 
 namespace {
@@ -18,15 +18,15 @@ namespace {
 using orca::collector::MessageBuilder;
 using orca::rt::Runtime;
 using orca::rt::RuntimeConfig;
-using orca::tool::CollectorClient;
+using CollectorApiClient = orca::collector::Client;
 
 /// Query the calling thread's state via the wire protocol.
-orca::tool::StateReply query_state(Runtime& rt) {
+orca::collector::ThreadState query_state(Runtime& rt) {
   MessageBuilder msg;
   msg.add_state_query();
   EXPECT_EQ(rt.collector_api(msg.buffer()), 0);
   EXPECT_EQ(msg.errcode(0), OMP_ERRCODE_OK);
-  orca::tool::StateReply reply;
+  orca::collector::ThreadState reply;
   int state = 0;
   EXPECT_TRUE(msg.reply_value(0, &state));
   reply.state = static_cast<OMP_COLLECTOR_API_THR_STATE>(state);
@@ -184,9 +184,9 @@ TEST(States, LockWaitIdIncrementsPerContendedAcquire) {
 TEST(States, CollectorApiCreatesGlobalRuntimeOnDemand) {
   // A tool may touch the API before any OpenMP construct ran in the
   // process; the dispatcher must bootstrap the default runtime.
-  auto client = CollectorClient::discover();
+  auto client = CollectorApiClient::discover();
   ASSERT_TRUE(client.has_value());
-  const auto state = client->query_state();
+  const auto state = client->state();
   ASSERT_TRUE(state.has_value());
   // The calling thread is a master-or-unknown thread: serial state.
   EXPECT_EQ(state->state, THR_SERIAL_STATE);

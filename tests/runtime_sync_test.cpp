@@ -14,7 +14,7 @@
 #include "collector/names.hpp"
 #include "runtime/ompc_api.h"
 #include "runtime/runtime.hpp"
-#include "tool/client.hpp"
+#include "tool/client2.hpp"
 #include "translate/omp.hpp"
 
 namespace {

@@ -1,0 +1,76 @@
+/// The v1 `CollectorClient` is deprecated (tool/client.hpp) but must keep
+/// working until out-of-tree collectors finish migrating: this is the one
+/// test that exercises the compat shim end to end — discovery, lifecycle,
+/// typed queries in and out of a region, and delegation to the v2 client.
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.hpp"
+#include "translate/omp.hpp"
+
+// The whole point of this file is to use the deprecated surface.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#include "tool/client.hpp"
+
+namespace {
+
+using orca::rt::Runtime;
+using orca::rt::RuntimeConfig;
+using orca::tool::CollectorClient;
+
+TEST(ClientShim, DiscoveryAndLifecycleStillWork) {
+  RuntimeConfig cfg;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  auto client = CollectorClient::discover();
+  ASSERT_TRUE(client.has_value());
+
+  EXPECT_EQ(client->start(), OMP_ERRCODE_OK);
+  EXPECT_EQ(client->start(), OMP_ERRCODE_SEQUENCE_ERR);
+  EXPECT_EQ(client->pause(), OMP_ERRCODE_OK);
+  EXPECT_EQ(client->resume(), OMP_ERRCODE_OK);
+  EXPECT_EQ(client->stop(), OMP_ERRCODE_OK);
+  Runtime::make_current(nullptr);
+}
+
+TEST(ClientShim, TypedQueriesKeepV1ReplyShapes) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  Runtime rt(cfg);
+  Runtime::make_current(&rt);
+
+  auto client = CollectorClient::discover();
+  ASSERT_TRUE(client.has_value());
+  ASSERT_EQ(client->start(), OMP_ERRCODE_OK);
+
+  // v1 contract outside a region: id 0 rides next to SEQUENCE_ERR instead
+  // of surfacing as a failure.
+  const auto outside = client->current_region_id();
+  EXPECT_EQ(outside.id, 0u);
+  EXPECT_EQ(outside.errcode, OMP_ERRCODE_SEQUENCE_ERR);
+
+  const auto state = client->query_state();
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->state, THR_SERIAL_STATE);
+
+  unsigned long inside_id = 0;
+  OMP_COLLECTORAPI_EC inside_ec = OMP_ERRCODE_ERROR;
+  orca::omp::parallel(
+      [&](int tid) {
+        if (tid == 0) {
+          auto in_region = CollectorClient(&__omp_collector_api);
+          const auto id = in_region.current_region_id();
+          inside_id = id.id;
+          inside_ec = id.errcode;
+        }
+      },
+      2);
+  EXPECT_EQ(inside_ec, OMP_ERRCODE_OK);
+  EXPECT_GT(inside_id, 0u);
+
+  // The shim hands out its v2 delegate; both speak to the same runtime.
+  EXPECT_EQ(client->typed().stop(), OMP_ERRCODE_OK);
+  Runtime::make_current(nullptr);
+}
+
+}  // namespace

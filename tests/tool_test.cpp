@@ -10,7 +10,7 @@
 #include "collector/names.hpp"
 #include "perf/trace.hpp"
 #include "runtime/runtime.hpp"
-#include "tool/client.hpp"
+#include "tool/client2.hpp"
 #include "tool/collector_tool.hpp"
 #include "tool/tracer.hpp"
 #include "translate/omp.hpp"
@@ -19,14 +19,14 @@ namespace {
 
 using orca::rt::Runtime;
 using orca::rt::RuntimeConfig;
-using orca::tool::CollectorClient;
+using CollectorApiClient = orca::collector::Client;
 using orca::tool::PrototypeCollector;
 using orca::tool::Report;
 using orca::tool::ToolOptions;
 using orca::tool::TracingCollector;
 
 TEST(Client, DiscoversSymbolThroughDynamicLinker) {
-  const auto client = CollectorClient::discover();
+  const auto client = CollectorApiClient::discover();
   ASSERT_TRUE(client.has_value());
 }
 
@@ -34,7 +34,7 @@ TEST(Client, LifecycleRoundTrip) {
   RuntimeConfig cfg;
   Runtime rt(cfg);
   Runtime::make_current(&rt);
-  auto client = CollectorClient::discover();
+  auto client = CollectorApiClient::discover();
   ASSERT_TRUE(client.has_value());
 
   EXPECT_EQ(client->start(), OMP_ERRCODE_OK);

@@ -107,6 +107,17 @@ void report(const char* name, double paper_share, int reps, RunFn&& run) {
               "measurement/storage share = %.2f%% (paper: %.2f%%)\n",
               name, t_off, t_comm, t_full, total_ovh * 1e3, comm_ovh * 1e3,
               measure_ovh * 1e3, share, paper_share);
+  orca::bench::JsonRow("breakdown")
+      .str("benchmark", name)
+      .num("reps", reps)
+      .fixed("off_s", t_off, 4)
+      .fixed("comm_s", t_comm, 4)
+      .fixed("full_s", t_full, 4)
+      .fixed("comm_overhead_ms", comm_ovh * 1e3)
+      .fixed("measure_overhead_ms", measure_ovh * 1e3)
+      .fixed("measure_share_pct", share)
+      .fixed("paper_share_pct", paper_share)
+      .print();
 }
 
 }  // namespace

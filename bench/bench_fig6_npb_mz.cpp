@@ -100,8 +100,8 @@ int main(int argc, char** argv) {
     for (const Config& c : configs) {
       const double off = best_of(target.name, c, scale, false, reps);
       const double on = best_of(target.name, c, scale, true, reps);
-      row.push_back(
-          orca::strfmt("%.1f", orca::bench::overhead_percent(off, on)));
+      const double pct = orca::bench::overhead_percent(off, on);
+      row.push_back(orca::strfmt("%.1f", pct));
       // Absolute collection cost per region call: the thread-count trend
       // the paper's percentages reflect (events per region ~ 2 + 2T), made
       // visible independently of the off-arm's oversubscription cost.
@@ -110,6 +110,15 @@ int main(int argc, char** argv) {
               orca::npb::table2_target(target.name, c.procs), scale)) *
           c.procs;
       us_per_call.push_back((on - off) / total_calls * 1e6);
+      orca::bench::JsonRow("fig6_npb_mz")
+          .str("benchmark", target.name)
+          .str("config", orca::strfmt("%dx%d", c.procs, c.threads).c_str())
+          .num("threads", c.threads)
+          .num("reps", reps)
+          .fixed("scale", scale)
+          .fixed("overhead_pct", pct)
+          .fixed("us_per_call", us_per_call.back(), 3)
+          .print();
     }
     row.push_back(orca::strfmt("%.2f", us_per_call.front()));
     row.push_back(orca::strfmt("%.2f", us_per_call.back()));

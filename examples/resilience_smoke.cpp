@@ -28,6 +28,7 @@
 
 #include "bench_util.hpp"
 #include "collector/api.h"
+#include "common/buildinfo.hpp"
 #include "epcc/syncbench.hpp"
 #include "runtime/runtime.hpp"
 #include "tool/client2.hpp"
@@ -172,6 +173,9 @@ int run_stall(const orca::epcc::Options& opts, int deadline_ms) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (orca::common::handle_version_flag(argc, argv, "resilience_smoke")) {
+    return 0;
+  }
   orca::epcc::Options opts;
   opts.num_threads = flag_int(argc, argv, "threads", 4);
   opts.outer_reps = flag_int(argc, argv, "reps", 10);

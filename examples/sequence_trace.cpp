@@ -12,6 +12,7 @@
 #include <string>
 
 #include "collector/names.hpp"
+#include "common/buildinfo.hpp"
 #include "runtime/ompc_api.h"
 #include "tool/client2.hpp"
 #include "tool/tracer.hpp"
@@ -27,6 +28,9 @@ void show(const char* request, OMP_COLLECTORAPI_EC ec) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (orca::common::handle_version_flag(argc, argv, "sequence_trace")) {
+    return 0;
+  }
   // --telemetry-out=<path>: also write the merged Chrome/Perfetto trace —
   // runtime self-telemetry timelines + the collector event log — to <path>.
   std::string telemetry_out;
@@ -34,7 +38,8 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--telemetry-out=", 16) == 0) {
       telemetry_out = argv[i] + 16;
     } else {
-      std::fprintf(stderr, "usage: %s [--telemetry-out=<path>]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--telemetry-out=<path>] [--version]\n",
+                   argv[0]);
       return 2;
     }
   }

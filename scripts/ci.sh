@@ -29,6 +29,8 @@
 #                                    disarmed emit)
 #   BENCH_pipeline.json            — bench_pipeline --smoke rows
 #                                    (events/s vs stage chain depth)
+#   BENCH_shm.json                 — bench_shm_drain --smoke rows
+#                                    (drained Mev/s vs reader shard count)
 #   BENCH_telemetry_overhead.json  — telemetry_viewer armed-vs-off rows
 #
 # PERF_GATE=1 scripts/ci.sh additionally diffs the archived artifacts
@@ -38,6 +40,23 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# Stale-shm hygiene: crashed or SIGKILLed runs leave /dev/shm/orca.* (and
+# orcatest-*/orcafleet-*/orcabench-* from the suites) behind. Segment names
+# are "<prefix>.<pid>.<seq>"; unlink any whose owner pid is gone. The
+# runtime does the same (shm::cleanup_stale_segments) before arming.
+for seg in /dev/shm/orca.* /dev/shm/orcatest-* /dev/shm/orcafleet-* \
+           /dev/shm/orcabench-*; do
+  [ -e "$seg" ] || continue
+  pid=$(basename "$seg" | awk -F. '{print $(NF-1)}')
+  case "$pid" in
+    ''|*[!0-9]*) continue ;;  # unparseable name: leave it alone
+  esac
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "ci.sh: reaping stale shm segment $seg (owner $pid is gone)"
+    rm -f "$seg"
+  fi
+done
 
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
@@ -55,6 +74,11 @@ for preset in "${presets[@]}"; do
   echo "=== [$preset] perf-smoke lane ==="
   ctest --preset "$preset" -L perf-smoke --output-on-failure
 
+  echo "=== [$preset] fleet lane ==="
+  # Out-of-process aggregation: orcamon against a three-producer fleet
+  # with one producer SIGKILLed mid-run (docs/FLEET.md acceptance).
+  ctest --preset "$preset" -L fleet --output-on-failure
+
   if [ "$preset" = default ]; then
     echo "=== [$preset] archive bench artifacts ==="
     artifacts=build/artifacts
@@ -65,6 +89,8 @@ for preset in "${presets[@]}"; do
       | grep '^{' > "$artifacts/BENCH_primitives.json"
     ./build/bench/bench_pipeline --smoke \
       | grep '^{' > "$artifacts/BENCH_pipeline.json"
+    ./build/bench/bench_shm_drain --smoke \
+      | grep '^{' > "$artifacts/BENCH_shm.json"
     ./build/examples/telemetry_viewer --reps=200 --inner=8 \
       "--out=$artifacts/telemetry_viewer_trace.json" \
       | grep '^{' > "$artifacts/BENCH_telemetry_overhead.json"

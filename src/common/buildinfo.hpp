@@ -1,0 +1,45 @@
+/// \file buildinfo.hpp
+/// One build-info stamp shared by every CLI surface (orcamon,
+/// sequence_trace, resilience_smoke): git sha + build type, injected by
+/// the top-level CMakeLists as ORCA_GIT_SHA / ORCA_BUILD_TYPE so the
+/// fleet report can say exactly which build produced a trace.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#ifndef ORCA_GIT_SHA
+#define ORCA_GIT_SHA "unknown"
+#endif
+#ifndef ORCA_BUILD_TYPE
+#define ORCA_BUILD_TYPE "unknown"
+#endif
+
+namespace orca::common {
+
+/// "<tool> (orca <sha>, <build-type>)" — the line `--version` prints.
+inline std::string version_line(const char* tool) {
+  std::string out = tool;
+  out += " (orca ";
+  out += ORCA_GIT_SHA;
+  out += ", ";
+  out += ORCA_BUILD_TYPE;
+  out += ")";
+  return out;
+}
+
+/// Scan argv for --version; print the stamp and return true when found
+/// (the caller exits 0). Keeps every tool's main() to one line of
+/// version plumbing.
+inline bool handle_version_flag(int argc, char** argv, const char* tool) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--version") == 0) {
+      std::puts(version_line(tool).c_str());
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace orca::common

@@ -118,6 +118,23 @@ BarrierKind RuntimeConfig::barrier_kind_from_env() {
   return kind;
 }
 
+bool RuntimeConfig::shm_export_from_env() {
+  return env::get_bool("ORCA_SHM_EXPORT", false);
+}
+
+std::string RuntimeConfig::shm_prefix_from_env() {
+  if (const auto prefix = env::get("ORCA_SHM_PREFIX")) {
+    if (!prefix->empty() && prefix->find('/') == std::string::npos) {
+      return *prefix;
+    }
+    std::fprintf(stderr,
+                 "ORCA: ignoring invalid ORCA_SHM_PREFIX=\"%s\" (expected "
+                 "a non-empty name without '/'); keeping orca\n",
+                 prefix->c_str());
+  }
+  return "orca";
+}
+
 bool RuntimeConfig::parse_fork_mode(const std::string& text, ForkMode* mode) {
   const std::string s = ascii_lower(text);
   if (s == "disable" || s == "disabled" || s == "off") {
@@ -135,8 +152,13 @@ long RuntimeConfig::env_long(const char* name, long fallback, long min_value,
   const auto text = env::get(name);
   if (!text) return fallback;
   char* end = nullptr;
+  errno = 0;
   const long value = std::strtol(text->c_str(), &end, 10);
-  if (end == text->c_str() || *end != '\0' || value < min_value) {
+  // errno check: strtol silently clamps "99999999999999999999" to
+  // LONG_MAX with a fully consumed string, which would otherwise pass
+  // validation and look like a deliberate (absurd) setting.
+  if (errno == ERANGE || end == text->c_str() || *end != '\0' ||
+      value < min_value) {
     std::fprintf(stderr,
                  "ORCA: ignoring invalid %s=\"%s\" (expected %s); "
                  "keeping %ld\n",
@@ -198,6 +220,9 @@ RuntimeConfig RuntimeConfig::from_env() {
   if (const auto trace = env::get("ORCA_TELEMETRY_TRACE")) {
     cfg.telemetry_trace = *trace;
   }
+  // Shm export knobs (docs/FLEET.md) are env-backed *defaults* — read at
+  // RuntimeConfig construction like ORCA_BARRIER, so they reach every
+  // process in a fleet, not just from_env() callers.
   // Resilience knobs use the same warn-and-default contract: a typo'd
   // value must never silently disarm crash dumps or the watchdog.
   if (const auto dump = env::get("ORCA_CRASH_DUMP")) {

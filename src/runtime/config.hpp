@@ -127,6 +127,31 @@ struct RuntimeConfig {
   /// Empty (the default) leaves signal dispositions untouched.
   std::string crash_dump;
 
+  /// Mirror the event stream, SIGPROF samples, telemetry metrics, and
+  /// crash-dump state into a named /dev/shm segment an external daemon
+  /// (orcamon) can attach to (ORCA_SHM_EXPORT; docs/FLEET.md). Off by
+  /// default: the disarmed hook is one acquire load per event.
+  /// Env-backed default (like `barrier`): `ORCA_SHM_EXPORT=1` must reach
+  /// every process in a fleet, including tools and benches that build
+  /// `RuntimeConfig cfg;` by hand and never call from_env().
+  bool shm_export = shm_export_from_env();
+
+  /// Per-thread shm event-ring capacity in records, rounded up to a power
+  /// of two (ORCA_SHM_RING_CAPACITY). Only meaningful with export armed.
+  std::size_t shm_ring_capacity =
+      env_size("ORCA_SHM_RING_CAPACITY", 4096, "a positive record count");
+
+  /// Producer heartbeat interval in milliseconds (ORCA_SHM_HEARTBEAT_MS):
+  /// how often the sense pulse flips and the telemetry mirror + crash
+  /// snapshot refresh.
+  int shm_heartbeat_ms = static_cast<int>(env_long(
+      "ORCA_SHM_HEARTBEAT_MS", 50, 1, "a positive millisecond count"));
+
+  /// Segment-name prefix (ORCA_SHM_PREFIX): segments are named
+  /// "<prefix>.<pid>.<seq>". Tests point this at a unique prefix so
+  /// concurrent suites never discover each other's fleets.
+  std::string shm_prefix = shm_prefix_from_env();
+
   /// Callback watchdog deadline in milliseconds
   /// (ORCA_CALLBACK_DEADLINE_MS). A collector callback on the async
   /// drainer exceeding it is quarantined through the generation retire
@@ -186,6 +211,12 @@ struct RuntimeConfig {
   /// Read ORCA_BARRIER, warning and returning kCentralized on an
   /// unrecognized value. Backs the `barrier` member's default initializer.
   static BarrierKind barrier_kind_from_env();
+
+  /// Read ORCA_SHM_EXPORT / ORCA_SHM_PREFIX for the shm members' default
+  /// initializers: a fleet operator exports whole process trees by
+  /// environment, so the knobs must reach hand-built configs too.
+  static bool shm_export_from_env();
+  static std::string shm_prefix_from_env();
 
   // --- warn-and-default env readers ----------------------------------------
   // Every ORCA_* knob goes through these, so a misparse always warns with

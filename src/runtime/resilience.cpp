@@ -48,22 +48,26 @@ extern "C" void orca_crash_handler(int sig) {
   bool expected = false;
   if (g_crashing.compare_exchange_strong(expected, true,
                                          std::memory_order_acq_rel)) {
-    const int fd = ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
-    if (fd >= 0) {
-      write_str(fd, "ORCA_CRASH_DUMP v1\n");
-      write_kv(fd, "signal", static_cast<unsigned long long>(sig));
-      write_kv(fd, "fork_events", fork_events());
-      for (const Section& s : g_sections) {
-        const CrashSectionFn fn = s.fn.load(std::memory_order_acquire);
-        if (fn == nullptr) continue;
-        write_str(fd, "section ");
-        write_str(fd, s.name != nullptr ? s.name : "?");
-        write_str(fd, "\n");
-        fn(s.ctx, fd);
-      }
-      write_str(fd, "end\n");
-      ::close(fd);
+    // Sections-only arming (arm_crash_sections) runs with fd = -1: the
+    // write_* helpers no-op, but contributors with their own sink — the
+    // shm crash region — still get their postmortem.
+    const int fd = g_dump_path[0] != '\0'
+                       ? ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC,
+                                0644)
+                       : -1;
+    write_str(fd, "ORCA_CRASH_DUMP v1\n");
+    write_kv(fd, "signal", static_cast<unsigned long long>(sig));
+    write_kv(fd, "fork_events", fork_events());
+    for (const Section& s : g_sections) {
+      const CrashSectionFn fn = s.fn.load(std::memory_order_acquire);
+      if (fn == nullptr) continue;
+      write_str(fd, "section ");
+      write_str(fd, s.name != nullptr ? s.name : "?");
+      write_str(fd, "\n");
+      fn(s.ctx, fd);
     }
+    write_str(fd, "end\n");
+    if (fd >= 0) ::close(fd);
   }
   // Re-raise with the default disposition so the process still terminates
   // (and core-dumps) exactly as it would have without the profiler.
@@ -127,15 +131,9 @@ void unregister_crash_section(int slot) noexcept {
   g_sections[slot].fn.store(nullptr, std::memory_order_release);
 }
 
-bool arm_crash_dump(const char* path) noexcept {
-  if (path == nullptr || path[0] == '\0') return g_armed.load();
-  bool expected = false;
-  if (!g_armed.compare_exchange_strong(expected, true,
-                                       std::memory_order_acq_rel)) {
-    return true;  // first arming won; the path is already fixed
-  }
-  std::strncpy(g_dump_path, path, sizeof(g_dump_path) - 1);
-  g_dump_path[sizeof(g_dump_path) - 1] = '\0';
+namespace {
+
+void install_crash_handlers() noexcept {
   struct sigaction sa;
   std::memset(&sa, 0, sizeof(sa));
   sa.sa_handler = &orca_crash_handler;
@@ -147,6 +145,37 @@ bool arm_crash_dump(const char* path) noexcept {
   for (int sig : kCrashSignals) {
     (void)::sigaction(sig, &sa, nullptr);
   }
+}
+
+}  // namespace
+
+bool arm_crash_dump(const char* path) noexcept {
+  if (path == nullptr || path[0] == '\0') return g_armed.load();
+  bool expected = false;
+  if (!g_armed.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    // Handlers already installed. A sections-only arming (empty path) is
+    // upgraded to a full dump by the first real path to arrive; a second
+    // real path loses to the first, as before.
+    if (g_dump_path[0] == '\0') {
+      std::strncpy(g_dump_path, path, sizeof(g_dump_path) - 1);
+      g_dump_path[sizeof(g_dump_path) - 1] = '\0';
+    }
+    return true;
+  }
+  std::strncpy(g_dump_path, path, sizeof(g_dump_path) - 1);
+  g_dump_path[sizeof(g_dump_path) - 1] = '\0';
+  install_crash_handlers();
+  return true;
+}
+
+bool arm_crash_sections() noexcept {
+  bool expected = false;
+  if (!g_armed.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel)) {
+    return true;  // handlers (with or without a path) already installed
+  }
+  install_crash_handlers();
   return true;
 }
 
@@ -155,6 +184,7 @@ bool crash_dump_armed() noexcept {
 }
 
 void write_str(int fd, const char* s) noexcept {
+  if (fd < 0) return;  // sections-only crash arming: no dump file
   std::size_t len = 0;
   while (s[len] != '\0') ++len;
   std::size_t off = 0;

@@ -50,6 +50,14 @@ bool arm_crash_dump(const char* path) noexcept;
 /// True once arm_crash_dump() installed the handlers.
 bool crash_dump_armed() noexcept;
 
+/// Install the crash handlers with *no* dump file: registered sections
+/// still run (with fd = -1, which the write_* helpers below ignore), so
+/// contributors that write somewhere else — the shm crash region — get
+/// their postmortem even when ORCA_CRASH_DUMP is unset. If a dump path
+/// was armed first, this is a no-op; if the path arrives later,
+/// arm_crash_dump() upgrades the already-installed handlers.
+bool arm_crash_sections() noexcept;
+
 // --- async-signal-safe formatting helpers ---------------------------------
 
 /// write(2) a NUL-terminated string, restarting on EINTR.

@@ -154,6 +154,32 @@ Runtime::Runtime(RuntimeConfig cfg)
         resilience::register_crash_section("runtime", &Runtime::crash_section,
                                            this);
   }
+  if (config_.shm_export) {
+    // Hygiene first: segments a crashed run left behind would otherwise
+    // sit in /dev/shm forever and confuse fleet discovery.
+    shm::cleanup_stale_segments(config_.shm_prefix);
+    shm::ExporterOptions sopts;
+    sopts.name = shm::default_segment_name(config_.shm_prefix);
+#if defined(__GLIBC__)
+    sopts.label = program_invocation_short_name;
+#else
+    sopts.label = "orca";
+#endif
+    sopts.ring_count = static_cast<std::uint32_t>(config_.max_threads) + 1;
+    sopts.event_capacity =
+        static_cast<std::uint32_t>(config_.shm_ring_capacity);
+    sopts.heartbeat_ms = static_cast<std::uint32_t>(config_.shm_heartbeat_ms);
+    shm_armed_ = shm::arm(sopts);
+    if (shm_armed_) {
+      // Crash handlers go in even without ORCA_CRASH_DUMP: the shm crash
+      // region is its own sink, so a SIGSEGV postmortem lands there (and
+      // the heartbeat's rolling snapshot covers SIGKILL, where no handler
+      // can run).
+      resilience::arm_crash_sections();
+      shm_crash_slot_ = resilience::register_crash_section(
+          "shm-export", &Runtime::shm_crash_section, nullptr);
+    }
+  }
   resilience::register_fork_participant(this);
 }
 
@@ -162,10 +188,15 @@ Runtime::~Runtime() {
   // handler firing mid-destruction must not walk into a dying runtime.
   resilience::unregister_fork_participant(this);
   resilience::unregister_crash_section(crash_section_slot_);
+  resilience::unregister_crash_section(shm_crash_slot_);
   // Workers join in ~Worker (CP.25: threads are joined, never detached) —
   // before ~async_ so every event producer is gone when the drainer stops.
   workers_.clear();
   if (async_) async_->stop_and_join();
+  // Every event producer is quiescent now; the last disarm finalizes the
+  // segment (final telemetry mirror — so it must run before telemetry
+  // disarms below) and unlinks it.
+  if (shm_armed_) shm::disarm();
   registry_.release_emitter(serial_master_.emitter);
   registry_.release_emitter(parallel_master_.emitter);
   // Export before disarming: workers and the drainer are quiescent, so the
@@ -253,7 +284,7 @@ void Runtime::worker_main(Worker& w) {
   // (paper IV-C1: "as soon as the threads are created, they are set to be
   // in the THR_IDLE_STATE and OMP_EVENT_THR_BEGIN_IDLE triggers").
   w.desc.set_state(THR_IDLE_STATE);
-  registry_.fire(OMP_EVENT_THR_BEGIN_IDLE, w.desc.emitter);
+  event(w.desc, OMP_EVENT_THR_BEGIN_IDLE);
 
   // Start from epoch 0, not the current epoch: the master may already have
   // signalled this worker's first assignment while the thread was starting
@@ -270,13 +301,13 @@ void Runtime::worker_main(Worker& w) {
     if (team == nullptr) continue;  // spurious wake-up
 
     registry_.refresh(w.desc.emitter);  // wake-up = quiescent point
-    registry_.fire(OMP_EVENT_THR_END_IDLE, w.desc.emitter);
+    event(w.desc, OMP_EVENT_THR_END_IDLE);
     w.desc.set_state(THR_WORK_STATE);
     run_region(*team, w.desc);
     w.desc.team = nullptr;
     w.desc.publish_region_snapshot();
     w.desc.set_state(THR_IDLE_STATE);
-    registry_.fire(OMP_EVENT_THR_BEGIN_IDLE, w.desc.emitter);
+    event(w.desc, OMP_EVENT_THR_BEGIN_IDLE);
     // Last store: tells the master's quiesce that this worker has fully
     // departed the team (the team object may be recycled afterwards).
     w.inbox.store(nullptr, std::memory_order_release);
@@ -326,7 +357,7 @@ void Runtime::fork(Microtask fn, void* frame, int num_threads) {
 
   // Conceptually every parallel region forks, even when the runtime only
   // wakes sleeping threads; the event precedes thread creation/wake-up.
-  registry_.fire(OMP_EVENT_FORK, caller->emitter);
+  event(*caller, OMP_EVENT_FORK);
   telemetry::count(telemetry::Counter::kForks);
 
   ensure_pool(n - 1);
@@ -366,7 +397,7 @@ void Runtime::fork(Microtask fn, void* frame, int num_threads) {
   // is set to THR_OVHD_STATE as soon as it leaves the implicit barrier at
   // the end of the parallel region" (paper IV-C1).
   parallel_master_.set_state(THR_OVHD_STATE);
-  registry_.fire(OMP_EVENT_JOIN, parallel_master_.emitter);
+  event(parallel_master_, OMP_EVENT_JOIN);
   telemetry::count(telemetry::Counter::kJoins);
   telemetry::record_span(telemetry::SpanKind::kParallelRegion,
                          telemetry::Phase::kEnd,
@@ -413,7 +444,7 @@ void Runtime::fork_nested(ThreadDescriptor& parent, Microtask fn, void* frame,
   parent.set_state(THR_OVHD_STATE);
   // Future-work behaviour the paper sketches: "a fork event will be
   // generated whenever we create a nested parallel region".
-  registry_.fire(OMP_EVENT_FORK, parent.emitter);
+  event(parent, OMP_EVENT_FORK);
   telemetry::count(telemetry::Counter::kForks);
 
   auto team = std::make_unique<TeamDescriptor>();
@@ -474,7 +505,7 @@ void Runtime::fork_nested(ThreadDescriptor& parent, Microtask fn, void* frame,
   for (auto& t : threads) t.join();
 
   parent.set_state(THR_OVHD_STATE);
-  registry_.fire(OMP_EVENT_JOIN, parent.emitter);
+  event(parent, OMP_EVENT_JOIN);
   telemetry::count(telemetry::Counter::kJoins);
 
   parent.team = prev_team;
@@ -711,6 +742,13 @@ void Runtime::crash_section(void* ctx, int fd) {
     resilience::write_kv(fd, "events_dropped", s.dropped);
     resilience::write_kv(fd, "events_overwritten", s.overwritten);
   }
+}
+
+void Runtime::shm_crash_section(void* /*ctx*/, int fd) {
+  // Writes the postmortem into the shm crash region (its own sink — works
+  // with fd == -1 under sections-only arming) and drops a breadcrumb into
+  // the dump file when there is one.
+  shm::crash_postmortem(fd);
 }
 
 void Runtime::prepare_fork() {

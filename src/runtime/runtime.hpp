@@ -27,6 +27,7 @@
 #include "common/spinlock.hpp"
 #include "runtime/config.hpp"
 #include "runtime/descriptor.hpp"
+#include "shm/exporter.hpp"
 
 namespace orca::rt {
 
@@ -235,12 +236,19 @@ class Runtime {
   /// on the calling thread's ring and the drainer invokes the callback; the
   /// admission checks (registered/initialized/!paused) stay on this thread
   /// either way.
-  void event(OMP_COLLECTORAPI_EVENT e) noexcept { registry_.fire(e); }
+  void event(OMP_COLLECTORAPI_EVENT e) noexcept {
+    shm::mirror_event(-1, static_cast<int>(e));
+    registry_.fire(e);
+  }
 
   /// Fire an event on behalf of `td` via its leased EmitterCache: the
   /// disarmed case is one relaxed 64-bit load + predictable branch, no
   /// shared-state traffic (the epoch fast path).
   void event(ThreadDescriptor& td, OMP_COLLECTORAPI_EVENT e) noexcept {
+    // The shm mirror rides in front of the registry fast path; disarmed it
+    // is one acquire load + branch, the same budget class as the epoch
+    // fast path's relaxed mask load (docs/FLEET.md).
+    shm::mirror_event(td.gtid, static_cast<int>(e));
     registry_.fire(e, td.emitter);
   }
 
@@ -311,6 +319,10 @@ class Runtime {
   /// with the resilience module's signal-safe helpers.
   static void crash_section(void* ctx, int fd);
 
+  /// Crash-dump section trampoline for the shm export layer (the runtime
+  /// registers it to keep shm free of a resilience dependency).
+  static void shm_crash_section(void* ctx, int fd);
+
   /// Answer an all-fast-kinds buffer from atomic snapshots. Returns 0
   /// (answered) or -1 (malformed) when the buffer was eligible; 1 when it
   /// holds any record the signal-safe path cannot serve.
@@ -361,6 +373,11 @@ class Runtime {
   /// Crash-dump section slot (-1 when the dump is not armed or the table
   /// was full).
   int crash_section_slot_ = -1;
+
+  /// Whether this instance holds a refcount on the process shm exporter,
+  /// and its crash-section slot (-1 when none).
+  bool shm_armed_ = false;
+  int shm_crash_slot_ = -1;
 
   /// Asynchronous event delivery (EventDelivery::kAsync only). Declared
   /// last so its destructor — which joins the drainer thread that still

@@ -80,9 +80,9 @@ void Runtime::critical_begin(ThreadDescriptor& td, orca_lock_word* word) {
   ++td.critical_wait_id;
   const auto prev = td.get_state();
   td.set_state(THR_CTWT_STATE);
-  registry_.fire(OMP_EVENT_THR_BEGIN_CTWT, td.emitter);
+  event(td, OMP_EVENT_THR_BEGIN_CTWT);
   lock.lock();
-  registry_.fire(OMP_EVENT_THR_END_CTWT, td.emitter);
+  event(td, OMP_EVENT_THR_END_CTWT);
   td.set_state(prev == THR_CTWT_STATE ? THR_WORK_STATE : prev);
 }
 
@@ -125,9 +125,9 @@ void Runtime::atomic_begin(ThreadDescriptor& td) {
   ++td.atomic_wait_id;
   const auto prev = td.get_state();
   td.set_state(THR_ATWT_STATE);
-  registry_.fire(OMP_EVENT_THR_BEGIN_ATWT, td.emitter);
+  event(td, OMP_EVENT_THR_BEGIN_ATWT);
   atomic_lock_.lock();
-  registry_.fire(OMP_EVENT_THR_END_ATWT, td.emitter);
+  event(td, OMP_EVENT_THR_END_ATWT);
   td.set_state(prev == THR_ATWT_STATE ? THR_WORK_STATE : prev);
 }
 
@@ -154,9 +154,9 @@ void Runtime::lock_acquire(ThreadDescriptor& td, OmpLock& lk) {
   ++td.lock_wait_id;
   const auto prev = td.get_state();
   td.set_state(THR_LKWT_STATE);
-  registry_.fire(OMP_EVENT_THR_BEGIN_LKWT, td.emitter);
+  event(td, OMP_EVENT_THR_BEGIN_LKWT);
   lk.impl.lock();
-  registry_.fire(OMP_EVENT_THR_END_LKWT, td.emitter);
+  event(td, OMP_EVENT_THR_END_LKWT);
   td.set_state(prev == THR_LKWT_STATE ? THR_WORK_STATE : prev);
 }
 
@@ -188,9 +188,9 @@ void Runtime::nest_lock_acquire(ThreadDescriptor& td, OmpNestLock& lk) {
     ++td.lock_wait_id;
     const auto prev = td.get_state();
     td.set_state(THR_LKWT_STATE);
-    registry_.fire(OMP_EVENT_THR_BEGIN_LKWT, td.emitter);
+    event(td, OMP_EVENT_THR_BEGIN_LKWT);
     lk.impl.lock();
-    registry_.fire(OMP_EVENT_THR_END_LKWT, td.emitter);
+    event(td, OMP_EVENT_THR_END_LKWT);
     td.set_state(prev == THR_LKWT_STATE ? THR_WORK_STATE : prev);
   }
   lk.owner.store(&td, std::memory_order_release);

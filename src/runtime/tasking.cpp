@@ -36,9 +36,9 @@ void Runtime::task_spawn(ThreadDescriptor& td, std::function<void()> body) {
     // Undeferred execution: serial context, or tasking disabled (the
     // OpenUH-2009 behaviour). The events still fire when supported so a
     // trace shows *where* task bodies ran.
-    registry_.fire(ORCA_EVENT_TASK_BEGIN, td.emitter);
+    event(td, ORCA_EVENT_TASK_BEGIN);
     body();
-    registry_.fire(ORCA_EVENT_TASK_END, td.emitter);
+    event(td, ORCA_EVENT_TASK_END);
     return;
   }
   std::atomic<int>& parent = children_counter(td);
@@ -71,7 +71,7 @@ bool Runtime::execute_pending_task(ThreadDescriptor& td) {
   std::atomic<int> my_children{0};
   td.task_children = &my_children;
 
-  registry_.fire(ORCA_EVENT_TASK_BEGIN, td.emitter);
+  event(td, ORCA_EVENT_TASK_BEGIN);
   frame.body();
   // Implicit wait for this task's own children: keeps `my_children` (and
   // any stack state the children reference) alive until they finish.
@@ -83,7 +83,7 @@ bool Runtime::execute_pending_task(ThreadDescriptor& td) {
       backoff.pause();
     }
   }
-  registry_.fire(ORCA_EVENT_TASK_END, td.emitter);
+  event(td, ORCA_EVENT_TASK_END);
   telemetry::count(telemetry::Counter::kTasksExecuted);
 
   td.task_children = prev_children;

@@ -151,7 +151,7 @@ bool Runtime::single_begin(ThreadDescriptor& td) {
   const std::uint64_t ticket = ++td.single_count;
   TeamDescriptor* team = td.team;
   if (team == nullptr || team->size <= 1) {
-    registry_.fire(OMP_EVENT_THR_BEGIN_SINGLE, td.emitter);
+    event(td, OMP_EVENT_THR_BEGIN_SINGLE);
     return true;
   }
   // The k-th single of the region is executed by whichever thread advances
@@ -168,7 +168,7 @@ bool Runtime::single_begin(ThreadDescriptor& td) {
               expected, ticket, std::memory_order_acq_rel)) {
         // Paper IV-C6: default state inside single is THR_WORK_STATE.
         td.set_state(THR_WORK_STATE);
-        registry_.fire(OMP_EVENT_THR_BEGIN_SINGLE, td.emitter);
+        event(td, OMP_EVENT_THR_BEGIN_SINGLE);
         return true;
       }
       continue;
@@ -180,26 +180,26 @@ bool Runtime::single_begin(ThreadDescriptor& td) {
 void Runtime::single_end(ThreadDescriptor& td, bool executed) {
   // The extra end-of-single runtime call exists purely so the exit event
   // is captured (paper IV-C6).
-  if (executed) registry_.fire(OMP_EVENT_THR_END_SINGLE, td.emitter);
+  if (executed) event(td, OMP_EVENT_THR_END_SINGLE);
 }
 
 bool Runtime::master_begin(ThreadDescriptor& td) {
   if (td.tid_in_team != 0) return false;
   td.set_state(THR_WORK_STATE);  // paper IV-C6 default
-  registry_.fire(OMP_EVENT_THR_BEGIN_MASTER, td.emitter);
+  event(td, OMP_EVENT_THR_BEGIN_MASTER);
   return true;
 }
 
 void Runtime::master_end(ThreadDescriptor& td) {
   if (td.tid_in_team != 0) return;
-  registry_.fire(OMP_EVENT_THR_END_MASTER, td.emitter);
+  event(td, OMP_EVENT_THR_END_MASTER);
 }
 
 void Runtime::ordered_begin(ThreadDescriptor& td, long iteration) {
   TeamDescriptor* team = td.team;
   if (team == nullptr) {
     if (config_.ordered_events) {
-      registry_.fire(OMP_EVENT_THR_BEGIN_ORDERED, td.emitter);
+      event(td, OMP_EVENT_THR_BEGIN_ORDERED);
     }
     return;
   }
@@ -208,26 +208,26 @@ void Runtime::ordered_begin(ThreadDescriptor& td, long iteration) {
     const auto prev = td.get_state();
     td.set_state(THR_ODWT_STATE);
     if (config_.ordered_events) {
-      registry_.fire(OMP_EVENT_THR_BEGIN_ODWT, td.emitter);
+      event(td, OMP_EVENT_THR_BEGIN_ODWT);
     }
     Backoff backoff;
     while (team->ordered_next.load(std::memory_order_acquire) != iteration) {
       backoff.pause();
     }
     if (config_.ordered_events) {
-      registry_.fire(OMP_EVENT_THR_END_ODWT, td.emitter);
+      event(td, OMP_EVENT_THR_END_ODWT);
     }
     td.set_state(prev == THR_ODWT_STATE ? THR_WORK_STATE : prev);
   }
   if (config_.ordered_events) {
-    registry_.fire(OMP_EVENT_THR_BEGIN_ORDERED, td.emitter);
+    event(td, OMP_EVENT_THR_BEGIN_ORDERED);
   }
 }
 
 void Runtime::ordered_end(ThreadDescriptor& td) {
   TeamDescriptor* team = td.team;
   if (config_.ordered_events) {
-    registry_.fire(OMP_EVENT_THR_END_ORDERED, td.emitter);
+    event(td, OMP_EVENT_THR_END_ORDERED);
   }
   if (team != nullptr) {
     team->ordered_next.fetch_add(1, std::memory_order_acq_rel);

@@ -1,0 +1,285 @@
+#include "shm/reader.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace orca::shm {
+
+std::vector<SegmentName> discover_segments(const std::string& prefix) {
+  std::vector<SegmentName> out;
+  if (prefix.empty()) return out;
+  DIR* dir = ::opendir("/dev/shm");
+  if (dir == nullptr) return out;
+  const std::string want = prefix + ".";
+  while (struct dirent* ent = ::readdir(dir)) {
+    const std::string name(ent->d_name);
+    if (name.rfind(want, 0) != 0) continue;
+    const std::string rest = name.substr(want.size());
+    const std::size_t dot = rest.find('.');
+    const std::string pid_text =
+        dot == std::string::npos ? rest : rest.substr(0, dot);
+    if (pid_text.empty() ||
+        pid_text.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    SegmentName seg;
+    seg.name = name;
+    seg.pid = std::strtoll(pid_text.c_str(), nullptr, 10);
+    out.push_back(std::move(seg));
+  }
+  ::closedir(dir);
+  std::sort(out.begin(), out.end(),
+            [](const SegmentName& a, const SegmentName& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+namespace {
+
+void set_error(std::string* error, const std::string& text) {
+  if (error != nullptr) *error = text;
+}
+
+}  // namespace
+
+std::unique_ptr<SegmentReader> SegmentReader::attach(const std::string& name,
+                                                     std::string* error) {
+  const std::string path = "/" + name;
+  // O_RDWR even though we never store: PROT_READ-only mappings of a
+  // segment full of std::atomic loads are fine, but keeping the option to
+  // bump readers_attached (a write) costs nothing and documents intent.
+  const int fd = ::shm_open(path.c_str(), O_RDWR, 0);
+  if (fd < 0) {
+    set_error(error, "shm_open failed: " + std::string(std::strerror(errno)));
+    return nullptr;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 ||
+      st.st_size < static_cast<off_t>(sizeof(SegmentHeader))) {
+    set_error(error, "segment smaller than its header");
+    ::close(fd);
+    return nullptr;
+  }
+  const auto mapped = static_cast<std::uint64_t>(st.st_size);
+  void* base = ::mmap(nullptr, mapped, PROT_READ | PROT_WRITE, MAP_SHARED,
+                      fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    set_error(error, "mmap failed: " + std::string(std::strerror(errno)));
+    return nullptr;
+  }
+  auto* header = static_cast<SegmentHeader*>(base);
+  if (header->magic != kMagic) {
+    set_error(error, "bad magic (not an ORCA segment)");
+    ::munmap(base, mapped);
+    return nullptr;
+  }
+  if (header->version != kVersion) {
+    set_error(error, "segment version mismatch");
+    ::munmap(base, mapped);
+    return nullptr;
+  }
+  if (header->ready.load(std::memory_order_acquire) == 0) {
+    set_error(error, "segment still initializing");
+    ::munmap(base, mapped);
+    return nullptr;
+  }
+  if (header->segment_bytes > mapped || header->ring_count == 0) {
+    set_error(error, "segment geometry out of bounds");
+    ::munmap(base, mapped);
+    return nullptr;
+  }
+  auto reader = std::unique_ptr<SegmentReader>(new SegmentReader());
+  reader->name_ = name;
+  reader->base_ = static_cast<const char*>(base);
+  reader->mapped_bytes_ = mapped;
+  reader->event_cursors_.resize(header->ring_count);
+  reader->sample_cursors_.resize(header->ring_count);
+  header->readers_attached.fetch_add(1, std::memory_order_relaxed);
+  return reader;
+}
+
+SegmentReader::~SegmentReader() {
+  if (base_ != nullptr) {
+    ::munmap(const_cast<char*>(base_), mapped_bytes_);
+  }
+}
+
+std::int64_t SegmentReader::owner_pid() const noexcept {
+  return header()->owner_pid;
+}
+
+std::string SegmentReader::label() const {
+  const SegmentHeader* h = header();
+  return std::string(h->label,
+                     ::strnlen(h->label, sizeof(h->label)));
+}
+
+std::uint32_t SegmentReader::ring_count() const noexcept {
+  return header()->ring_count;
+}
+
+std::uint64_t SegmentReader::created_ns() const noexcept {
+  return header()->created_ns;
+}
+
+std::uint64_t SegmentReader::events_published() const noexcept {
+  return header()->events_published.load(std::memory_order_acquire);
+}
+
+std::uint64_t SegmentReader::samples_published() const noexcept {
+  return header()->samples_published.load(std::memory_order_acquire);
+}
+
+ProducerState SegmentReader::producer_state() const noexcept {
+  return static_cast<ProducerState>(
+      header()->producer_state.load(std::memory_order_acquire));
+}
+
+Poll SegmentReader::poll_event(std::uint32_t ring, Record* out) noexcept {
+  const SegmentHeader* h = header();
+  return ring_poll(*ring_header(h->event_headers_off, ring),
+                   ring_cells(h->event_cells_off, ring, h->event_capacity),
+                   h->event_capacity - 1, h->event_capacity,
+                   event_cursors_[ring], out);
+}
+
+Poll SegmentReader::poll_sample(std::uint32_t ring, Record* out) noexcept {
+  const SegmentHeader* h = header();
+  return ring_poll(*ring_header(h->sample_headers_off, ring),
+                   ring_cells(h->sample_cells_off, ring, h->sample_capacity),
+                   h->sample_capacity - 1, h->sample_capacity,
+                   sample_cursors_[ring], out);
+}
+
+void SegmentReader::finalize_ring(std::uint32_t ring) noexcept {
+  const SegmentHeader* h = header();
+  cursor_finalize(*ring_header(h->event_headers_off, ring),
+                  event_cursors_[ring]);
+  cursor_finalize(*ring_header(h->sample_headers_off, ring),
+                  sample_cursors_[ring]);
+}
+
+std::uint64_t SegmentReader::total_read() const noexcept {
+  std::uint64_t n = 0;
+  for (const Cursor& c : event_cursors_) n += c.read;
+  for (const Cursor& c : sample_cursors_) n += c.read;
+  return n;
+}
+
+std::uint64_t SegmentReader::total_lost() const noexcept {
+  std::uint64_t n = 0;
+  for (const Cursor& c : event_cursors_) n += c.lost;
+  for (const Cursor& c : sample_cursors_) n += c.lost;
+  return n;
+}
+
+std::uint64_t SegmentReader::total_produced() const noexcept {
+  const SegmentHeader* h = header();
+  std::uint64_t n = 0;
+  for (std::uint32_t r = 0; r < h->ring_count; ++r) {
+    n += ring_header(h->event_headers_off, r)
+             ->tail.load(std::memory_order_acquire);
+    n += ring_header(h->sample_headers_off, r)
+             ->tail.load(std::memory_order_acquire);
+  }
+  return n;
+}
+
+Liveness SegmentReader::check_liveness(std::uint64_t now_ns,
+                                       unsigned grace) noexcept {
+  const SegmentHeader* h = header();
+  if (producer_state() == ProducerState::kFinalized) {
+    return Liveness::kFinalized;
+  }
+  const std::uint32_t sense =
+      h->heartbeat_sense.load(std::memory_order_acquire);
+  if (last_flip_local_ns_ == 0 || sense != last_sense_) {
+    last_sense_ = sense;
+    last_flip_local_ns_ = now_ns;
+    return Liveness::kAlive;
+  }
+  const std::uint64_t interval_ns =
+      static_cast<std::uint64_t>(h->heartbeat_interval_ms) * 1000000ull;
+  const std::uint64_t budget =
+      std::max<std::uint64_t>(interval_ns * grace, 200000000ull);  // >=200ms
+  if (now_ns - last_flip_local_ns_ < budget) return Liveness::kAlive;
+  // Pulse stopped. Only the kernel can confirm death: a SIGSTOPped or
+  // swap-thrashed producer is late, not dead.
+  if (::kill(static_cast<pid_t>(h->owner_pid), 0) != 0 && errno == ESRCH) {
+    return Liveness::kDead;
+  }
+  return Liveness::kAlive;
+}
+
+MirrorSnapshot SegmentReader::telemetry_snapshot() const {
+  const auto* m = reinterpret_cast<const TelemetryMirror*>(
+      base_ + header()->telemetry_off);
+  MirrorSnapshot snap;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::uint64_t v1 = m->version.load(std::memory_order_acquire);
+    if (v1 & 1) continue;  // writer active
+    const std::uint64_t nc = std::min<std::uint64_t>(
+        m->counter_count.load(std::memory_order_relaxed), kMirrorCounterCap);
+    const std::uint64_t ng = std::min<std::uint64_t>(
+        m->gauge_count.load(std::memory_order_relaxed), kMirrorGaugeCap);
+    snap.counters.assign(nc, 0);
+    snap.gauges.assign(ng, 0);
+    for (std::uint64_t i = 0; i < nc; ++i) {
+      snap.counters[i] = m->counters[i].load(std::memory_order_relaxed);
+    }
+    for (std::uint64_t i = 0; i < ng; ++i) {
+      snap.gauges[i] = m->gauges[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (m->version.load(std::memory_order_relaxed) == v1) {
+      snap.torn = false;
+      return snap;
+    }
+  }
+  // A producer frozen mid-write (crashed under the seqlock) never closes
+  // the version; report what we copied, marked torn.
+  snap.torn = true;
+  return snap;
+}
+
+CrashSalvage SegmentReader::salvage_crash() const {
+  const SegmentHeader* h = header();
+  const auto* cr =
+      reinterpret_cast<const CrashRegion*>(base_ + h->crash_off);
+  const char* text = base_ + h->crash_off + sizeof(CrashRegion);
+  CrashSalvage out;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::uint64_t v1 = cr->version.load(std::memory_order_acquire);
+    out.kind = cr->kind.load(std::memory_order_acquire);
+    if (out.kind == kCrashEmpty) return out;
+    const std::uint32_t len = std::min(
+        cr->length.load(std::memory_order_acquire), h->crash_capacity);
+    out.ns = cr->ns.load(std::memory_order_acquire);
+    out.text.assign(text, len);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if ((v1 & 1) == 0 &&
+        cr->version.load(std::memory_order_relaxed) == v1) {
+      out.torn = false;
+      return out;
+    }
+  }
+  out.torn = true;  // producer died mid-snapshot: salvage is best-effort
+  return out;
+}
+
+bool SegmentReader::unlink_segment() noexcept {
+  return ::shm_unlink(("/" + name_).c_str()) == 0;
+}
+
+}  // namespace orca::shm

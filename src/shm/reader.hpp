@@ -1,0 +1,141 @@
+/// \file reader.hpp
+/// Out-of-process side of the shm export layer: discover segments in
+/// /dev/shm, attach (read-only semantics — readers never store into the
+/// segment), drain the broadcast rings with private cursors, watch the
+/// sense-reversing heartbeat, and salvage the crash region when the
+/// producer dies. This is what orcamon (src/tool/orcamon) is built from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shm/layout.hpp"
+
+namespace orca::shm {
+
+/// One discovered segment name (no leading slash) + the owner pid parsed
+/// out of it.
+struct SegmentName {
+  std::string name;
+  std::int64_t pid = 0;
+};
+
+/// Scan /dev/shm for "<prefix>.<pid>.<seq>" segments, sorted by name.
+std::vector<SegmentName> discover_segments(const std::string& prefix);
+
+/// Consistent telemetry-mirror snapshot (seqlock copy-out).
+struct MirrorSnapshot {
+  bool torn = false;  ///< producer died mid-write; values are best-effort
+  std::vector<std::uint64_t> counters;
+  std::vector<std::uint64_t> gauges;
+};
+
+/// Crash-region salvage.
+struct CrashSalvage {
+  std::uint32_t kind = 0;  ///< kCrashEmpty / kCrashSnapshot / kCrashPostmortem
+  bool torn = false;       ///< producer died mid-snapshot
+  std::uint64_t ns = 0;    ///< producer clock at last write
+  std::string text;        ///< the key/value body
+};
+
+/// Producer liveness as judged by the heartbeat watch + kill(pid, 0).
+enum class Liveness {
+  kAlive,      ///< sense still flipping (or within the grace window)
+  kFinalized,  ///< producer declared a clean shutdown
+  kDead,       ///< pulse stopped and the owner pid is gone
+};
+
+/// Attached view of one producer segment. Not thread-safe as a whole —
+/// the fleet monitor partitions rings across shards, and each Cursor must
+/// be driven by one thread at a time; the underlying mapping is immutable
+/// from this side, so concurrent polls of *different* cursors are fine.
+class SegmentReader {
+ public:
+  /// Map "<name>" (no leading slash). Returns nullptr (with a message in
+  /// *error when non-null) on ENOENT, bad magic/version, or a truncated
+  /// segment. Attaching mid-initialization (ready == 0) fails softly:
+  /// retry on the next discovery pass.
+  static std::unique_ptr<SegmentReader> attach(const std::string& name,
+                                               std::string* error = nullptr);
+
+  ~SegmentReader();
+  SegmentReader(const SegmentReader&) = delete;
+  SegmentReader& operator=(const SegmentReader&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  std::int64_t owner_pid() const noexcept;
+  std::string label() const;
+  std::uint32_t ring_count() const noexcept;
+  std::uint64_t created_ns() const noexcept;
+  std::uint64_t events_published() const noexcept;
+  std::uint64_t samples_published() const noexcept;
+  ProducerState producer_state() const noexcept;
+
+  /// Poll one record off the given event/sample ring using the reader's
+  /// own cursor for it. Cursors live in the reader (one per ring per
+  /// bank), created at attach time.
+  Poll poll_event(std::uint32_t ring, Record* out) noexcept;
+  Poll poll_sample(std::uint32_t ring, Record* out) noexcept;
+
+  const Cursor& event_cursor(std::uint32_t ring) const noexcept {
+    return event_cursors_[ring];
+  }
+  const Cursor& sample_cursor(std::uint32_t ring) const noexcept {
+    return sample_cursors_[ring];
+  }
+
+  /// Charge everything still unread on `ring` to the loss books (call
+  /// only after the producer is dead/finalized and a drain pass made no
+  /// progress).
+  void finalize_ring(std::uint32_t ring) noexcept;
+
+  /// Summed loss books across every ring of both banks.
+  std::uint64_t total_read() const noexcept;
+  std::uint64_t total_lost() const noexcept;
+  /// Records the producer claims to have pushed (heartbeat-refreshed sum
+  /// of ring tails — exact once finalized/dead and drained).
+  std::uint64_t total_produced() const noexcept;
+
+  /// Heartbeat watch: call periodically; it tracks the last sense flip
+  /// against the *caller's* clock. `now_ns` is the caller's SteadyClock.
+  /// The producer is suspect after `grace` missed intervals (default 8)
+  /// and declared dead only when its pid is also gone.
+  Liveness check_liveness(std::uint64_t now_ns, unsigned grace = 8) noexcept;
+
+  MirrorSnapshot telemetry_snapshot() const;
+  CrashSalvage salvage_crash() const;
+
+  /// Unlink the segment name (reaping a dead producer). The mapping —
+  /// ours and any other reader's — survives; only the name goes away.
+  bool unlink_segment() noexcept;
+
+ private:
+  SegmentReader() = default;
+
+  const SegmentHeader* header() const noexcept {
+    return reinterpret_cast<const SegmentHeader*>(base_);
+  }
+  const RingHeader* ring_header(std::uint64_t off,
+                                std::uint32_t ring) const noexcept {
+    return reinterpret_cast<const RingHeader*>(base_ + off) + ring;
+  }
+  const RingCell* ring_cells(std::uint64_t off, std::uint32_t ring,
+                             std::uint32_t capacity) const noexcept {
+    return reinterpret_cast<const RingCell*>(base_ + off) +
+           static_cast<std::size_t>(ring) * capacity;
+  }
+
+  std::string name_;
+  const char* base_ = nullptr;
+  std::uint64_t mapped_bytes_ = 0;
+  std::vector<Cursor> event_cursors_;
+  std::vector<Cursor> sample_cursors_;
+
+  // Heartbeat watch state (single caller by contract).
+  std::uint32_t last_sense_ = 0;
+  std::uint64_t last_flip_local_ns_ = 0;
+};
+
+}  // namespace orca::shm

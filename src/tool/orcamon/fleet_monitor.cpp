@@ -1,0 +1,484 @@
+#include "tool/orcamon/fleet_monitor.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "collector/api.h"
+#include "collector/names.hpp"
+#include "common/clock.hpp"
+#include "pipeline/stage.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace orca::tool::orcamon {
+namespace {
+
+/// Drain batch per ring bank per pass for a live producer: bounded so one
+/// chatty ring cannot starve the shard's other assignments.
+constexpr int kLiveBatch = 1024;
+
+/// Fleet-size cap. producers_ is reserved to this in the constructor so
+/// push_back never reallocates: shard threads index the vector with only
+/// a size snapshot taken under the lock, which is sound exactly because
+/// the element storage never moves.
+constexpr std::size_t kMaxProducers = 256;
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// Short display name for an event code: "FORK", "THR_BEGIN_IDLE", ...
+std::string event_display(std::int32_t code) {
+  std::string_view full =
+      collector::to_string(static_cast<OMP_COLLECTORAPI_EVENT>(code));
+  if (full == "?") return "event-" + std::to_string(code);
+  constexpr std::string_view kOmp = "OMP_EVENT_";
+  constexpr std::string_view kOrca = "ORCA_EVENT_";
+  if (full.substr(0, kOmp.size()) == kOmp) full.remove_prefix(kOmp.size());
+  else if (full.substr(0, kOrca.size()) == kOrca)
+    full.remove_prefix(kOrca.size());
+  return std::string(full);
+}
+
+std::string state_display(std::int32_t code) {
+  std::string_view full =
+      collector::to_string(static_cast<OMP_COLLECTOR_API_THR_STATE>(code));
+  if (full == "?") return "state-" + std::to_string(code);
+  return std::string(full);
+}
+
+}  // namespace
+
+FleetMonitor::FleetMonitor(MonitorOptions opts) : opts_(std::move(opts)) {
+  if (opts_.shards == 0) opts_.shards = 1;
+  producers_.reserve(kMaxProducers);
+  // Shared tail, downstream-first: the terminal branches, then the fanout
+  // every producer's tag stage feeds.
+  region_agg_ = pipeline::aggregate<FleetEvent>(
+      "region-durations",
+      [](const FleetEvent& e) { return static_cast<std::uint64_t>(e.pid); },
+      [](const FleetEvent& e) { return e.arg; });
+  auto spans = pipeline::filter<FleetEvent>(
+      "join-spans",
+      [](const FleetEvent& e) {
+        return !e.sample && e.code == OMP_EVENT_JOIN && e.arg > 0;
+      },
+      region_agg_);
+  trace_ = pipeline::collect<FleetEvent>("trace", opts_.max_trace_events);
+  auto counter = pipeline::sink<FleetEvent>(
+      "fleet-count", [this](const FleetEvent&) {
+        events_seen_.fetch_add(1, std::memory_order_relaxed);
+      });
+  tail_ = pipeline::fanout<FleetEvent>("fleet", {spans, trace_, counter});
+}
+
+FleetMonitor::~FleetMonitor() {
+  shards_stop_.store(true, std::memory_order_release);
+  for (std::thread& t : shard_threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+pipeline::StagePtr<RawRecord> FleetMonitor::build_head(std::int64_t pid,
+                                                       Producer* /*p*/) {
+  const std::string tag = std::to_string(pid);
+  auto stamp = pipeline::map<FleetEvent>(
+      "tag:" + tag,
+      [pid](const FleetEvent& e) {
+        FleetEvent out = e;
+        out.pid = pid;
+        return out;
+      },
+      tail_);
+  return pipeline::map<RawRecord>(
+      "decode:" + tag,
+      [](const RawRecord& r) {
+        FleetEvent ev;
+        ev.ns = r.rec.ns;
+        ev.tid = r.rec.tid;
+        ev.code = r.rec.event;
+        ev.arg = r.rec.arg;
+        ev.sample = r.sample;
+        return ev;
+      },
+      stamp);
+}
+
+void FleetMonitor::attach_new_segments() {
+  const std::vector<shm::SegmentName> found =
+      shm::discover_segments(opts_.prefix);
+  for (const shm::SegmentName& seg : found) {
+    {
+      std::scoped_lock lk(mu_);
+      if (seen_names_.count(seg.name) != 0) continue;
+    }
+    if (seg.pid == static_cast<std::int64_t>(::getpid())) continue;
+    std::string err;
+    auto reader = shm::SegmentReader::attach(seg.name, &err);
+    if (!reader) continue;  // mid-init or vanished: retry next pass
+    auto p = std::make_unique<Producer>();
+    p->reader = std::move(reader);
+    p->rings.resize(p->reader->ring_count());
+    p->head = build_head(p->reader->owner_pid(), p.get());
+    std::scoped_lock lk(mu_);
+    if (producers_.size() >= kMaxProducers) break;  // fleet full; retry never
+    p->index = producers_.size();
+    seen_names_[seg.name] = true;
+    producers_.push_back(std::move(p));
+  }
+}
+
+void FleetMonitor::update_liveness(std::uint64_t now_ns) {
+  std::size_t n;
+  {
+    std::scoped_lock lk(mu_);
+    n = producers_.size();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Producer& p = *producers_[i];
+    if (p.phase.load(std::memory_order_acquire) != kActive) continue;
+    switch (p.reader->check_liveness(now_ns, opts_.liveness_grace)) {
+      case shm::Liveness::kAlive:
+        break;
+      case shm::Liveness::kFinalized:
+        p.finalized.store(true, std::memory_order_release);
+        p.phase.store(kDraining, std::memory_order_release);
+        break;
+      case shm::Liveness::kDead:
+        p.dead.store(true, std::memory_order_release);
+        p.phase.store(kDraining, std::memory_order_release);
+        break;
+    }
+  }
+}
+
+bool FleetMonitor::drain_ring(Producer& p, std::uint32_t ring) {
+  RingState& state = p.rings[ring];
+  if (state.done) return false;
+  const bool draining = p.phase.load(std::memory_order_acquire) != kActive;
+  bool progress = false;
+  shm::Record rec;
+  for (int bank = 0; bank < 2; ++bank) {
+    const bool sample = bank == 1;
+    int budget = draining ? -1 : kLiveBatch;
+    while (budget != 0) {
+      if (budget > 0) --budget;
+      const shm::Poll poll = sample ? p.reader->poll_sample(ring, &rec)
+                                    : p.reader->poll_event(ring, &rec);
+      if (poll == shm::Poll::kEmpty) break;
+      progress = true;
+      if (poll == shm::Poll::kLost) continue;  // loss already booked
+      RawRecord raw{rec, sample};
+      if (!sample) {
+        // Region edges: FORK opens, JOIN closes and carries the duration
+        // downstream in arg (the ring's arg field is unused for events).
+        // FORK and JOIN may surface on different rings, hence the lock.
+        if (rec.event == OMP_EVENT_FORK) {
+          std::scoped_lock lk(p.fork_mu);
+          p.open_forks[rec.tid] = rec.ns;
+        } else if (rec.event == OMP_EVENT_JOIN) {
+          std::scoped_lock lk(p.fork_mu);
+          auto it = p.open_forks.find(rec.tid);
+          if (it != p.open_forks.end()) {
+            if (rec.ns >= it->second) raw.rec.arg = rec.ns - it->second;
+            p.open_forks.erase(it);
+          }
+        }
+      }
+      p.head->push(raw);
+    }
+  }
+  if (draining && !progress) {
+    // Two empty banks on a dead/finalized producer: close this ring's
+    // books (whatever the tail claims beyond the cursor becomes loss).
+    p.reader->finalize_ring(ring);
+    state.done = true;
+    const std::uint32_t done =
+        p.rings_done.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (done == p.reader->ring_count()) {
+      p.phase.store(kDone, std::memory_order_release);
+    }
+    return true;
+  }
+  return progress;
+}
+
+void FleetMonitor::shard_loop(unsigned shard) {
+  while (!shards_stop_.load(std::memory_order_acquire)) {
+    bool progress = false;
+    std::size_t n;
+    {
+      std::scoped_lock lk(mu_);
+      n = producers_.size();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Producer& p = *producers_[i];
+      if (p.phase.load(std::memory_order_acquire) == kDone) continue;
+      const std::uint32_t rings = p.reader->ring_count();
+      for (std::uint32_t r = 0; r < rings; ++r) {
+        if ((i + r) % opts_.shards != shard) continue;
+        progress |= drain_ring(p, r);
+      }
+    }
+    if (!progress) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opts_.poll_ms == 0 ? 1 : opts_.poll_ms));
+    }
+  }
+}
+
+std::size_t FleetMonitor::run() {
+  const std::uint64_t start_ns = SteadyClock::now();
+  shards_stop_.store(false, std::memory_order_release);
+  shard_threads_.reserve(opts_.shards);
+  for (unsigned s = 0; s < opts_.shards; ++s) {
+    shard_threads_.emplace_back([this, s] { shard_loop(s); });
+  }
+
+  std::uint64_t last_report_ns = start_ns;
+  const auto report_every =
+      static_cast<std::uint64_t>(opts_.report_interval_s * 1e9);
+  for (;;) {
+    attach_new_segments();
+    const std::uint64_t now = SteadyClock::now();
+    update_liveness(now);
+
+    // Salvage + reap producers whose shards closed the books. Done from
+    // this thread so unlink/salvage happen exactly once.
+    std::size_t n, done = 0;
+    {
+      std::scoped_lock lk(mu_);
+      n = producers_.size();
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      Producer& p = *producers_[i];
+      if (p.phase.load(std::memory_order_acquire) != kDone) continue;
+      ++done;
+      if (!p.salvaged) {
+        p.salvage = p.reader->salvage_crash();
+        if (p.dead.load(std::memory_order_acquire) && opts_.unlink_dead) {
+          p.reader->unlink_segment();
+        }
+        p.salvaged = true;
+      }
+    }
+
+    if (report_every > 0 && now - last_report_ns >= report_every) {
+      last_report_ns = now;
+      emit_report(false);
+    }
+
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (opts_.duration_s > 0 &&
+        static_cast<double>(now - start_ns) > opts_.duration_s * 1e9) {
+      break;
+    }
+    if (opts_.exit_when_idle && n > 0 && done == n) break;
+
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(opts_.discover_ms == 0 ? 10
+                                                         : opts_.discover_ms));
+  }
+
+  shards_stop_.store(true, std::memory_order_release);
+  for (std::thread& t : shard_threads_) t.join();
+  shard_threads_.clear();
+  tail_->flush();
+
+  // Close the books on anything still open (stopped mid-flight).
+  std::size_t n;
+  {
+    std::scoped_lock lk(mu_);
+    n = producers_.size();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Producer& p = *producers_[i];
+    if (!p.salvaged) {
+      p.salvage = p.reader->salvage_crash();
+      p.salvaged = true;
+    }
+  }
+
+  if (!opts_.trace_out.empty()) write_trace(opts_.trace_out);
+  emit_report(true);
+  return n;
+}
+
+std::size_t FleetMonitor::attached_count() const {
+  std::scoped_lock lk(mu_);
+  return producers_.size();
+}
+
+std::vector<ProducerInfo> FleetMonitor::producers() const {
+  std::size_t n;
+  {
+    std::scoped_lock lk(mu_);
+    n = producers_.size();
+  }
+  std::vector<ProducerInfo> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Producer& p = *producers_[i];
+    ProducerInfo info;
+    info.name = p.reader->name();
+    info.label = p.reader->label();
+    info.pid = p.reader->owner_pid();
+    info.finalized = p.finalized.load(std::memory_order_acquire);
+    info.dead = p.dead.load(std::memory_order_acquire);
+    info.drained = p.phase.load(std::memory_order_acquire) == kDone;
+    info.produced = p.reader->total_produced();
+    info.read = p.reader->total_read();
+    info.lost = p.reader->total_lost();
+    info.salvage = p.salvaged ? p.salvage : p.reader->salvage_crash();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::string FleetMonitor::render_report() const {
+  std::ostringstream os;
+  const std::vector<ProducerInfo> fleet = producers();
+  std::size_t alive = 0, finalized = 0, dead = 0;
+  for (const ProducerInfo& p : fleet) {
+    if (p.dead) ++dead;
+    else if (p.finalized) ++finalized;
+    else ++alive;
+  }
+  os << "orcamon fleet report: " << fleet.size() << " producer(s) (" << alive
+     << " alive, " << finalized << " finalized, " << dead << " dead), "
+     << events_seen() << " records merged, " << trace_->size()
+     << " retained for trace\n";
+  for (const ProducerInfo& p : fleet) {
+    os << "  pid " << p.pid << " [" << p.label << "] "
+       << (p.dead ? "dead" : p.finalized ? "finalized" : "alive")
+       << (p.drained ? ", drained" : "") << ": produced=" << p.produced
+       << " read=" << p.read << " lost=" << p.lost;
+    if (p.drained && p.produced != p.read + p.lost) {
+      os << " (books OPEN)";  // should never print once drained
+    }
+    os << "\n";
+    if (p.salvage.kind != shm::kCrashEmpty) {
+      os << "    crash section ("
+         << (p.salvage.kind == shm::kCrashPostmortem ? "postmortem" : "snapshot")
+         << (p.salvage.torn ? ", torn" : "") << "): "
+         << p.salvage.text.size() << " bytes\n";
+    }
+  }
+  const std::vector<pipeline::AggregateRow> rows = region_agg_->snapshot();
+  if (!rows.empty()) {
+    os << "parallel-region durations by pid (ns):\n"
+       << pipeline::render_aggregate(rows, "pid", "ns");
+  }
+  os << pipeline::render_stats(pipeline::Pipeline<FleetEvent>(tail_).stats());
+  return os.str();
+}
+
+void FleetMonitor::emit_report(bool final_report) {
+  const std::string text = render_report();
+  if (opts_.report_out.empty()) {
+    std::fputs(text.c_str(), stdout);
+    std::fflush(stdout);
+    return;
+  }
+  // Periodic reports overwrite in place; readers always see a whole file.
+  const std::string tmp = opts_.report_out + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return;
+  std::fputs(text.c_str(), f);
+  std::fclose(f);
+  std::rename(tmp.c_str(), opts_.report_out.c_str());
+  (void)final_report;
+}
+
+bool FleetMonitor::write_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::vector<FleetEvent> events =
+      trace_->sorted([](const FleetEvent& a, const FleetEvent& b) {
+        return a.ns < b.ns;
+      });
+  std::uint64_t base = 0;
+  for (const FleetEvent& e : events) {
+    const std::uint64_t start = e.ns - std::min(e.ns, e.arg);
+    if (base == 0 || start < base) base = start;
+  }
+
+  std::fputs("{\"traceEvents\":[\n", f);
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) std::fputs(",\n", f);
+    first = false;
+  };
+
+  // Process/thread name metadata: one process row per producer, one
+  // thread row per (pid, tid) that shows up in the merged stream.
+  for (const ProducerInfo& p : producers()) {
+    comma();
+    std::fprintf(f,
+                 "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%" PRId64
+                 ",\"tid\":0,\"args\":{\"name\":\"%s (pid %" PRId64 "%s)\"}}",
+                 p.pid, json_escape(p.label).c_str(), p.pid,
+                 p.dead ? ", died" : "");
+  }
+  std::set<std::pair<std::int64_t, std::int32_t>> threads;
+  for (const FleetEvent& e : events) threads.insert({e.pid, e.tid});
+  for (const auto& [pid, tid] : threads) {
+    comma();
+    std::fprintf(f,
+                 "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%" PRId64
+                 ",\"tid\":%d,\"args\":{\"name\":\"%s\"}}",
+                 pid, tid, tid == 0 ? "master" : "worker");
+  }
+
+  for (const FleetEvent& e : events) {
+    comma();
+    if (!e.sample && e.code == OMP_EVENT_JOIN && e.arg > 0) {
+      // FORK..JOIN region as a complete span on the master track.
+      std::fprintf(f,
+                   "{\"name\":\"parallel region\",\"cat\":\"region\","
+                   "\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%" PRId64
+                   ",\"tid\":%d}",
+                   static_cast<double>(e.ns - e.arg - base) / 1e3,
+                   static_cast<double>(e.arg) / 1e3, e.pid, e.tid);
+      continue;
+    }
+    const std::string name =
+        e.sample ? state_display(e.code) : event_display(e.code);
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,"
+                 "\"pid\":%" PRId64 ",\"tid\":%d,\"s\":\"t\"}",
+                 json_escape(name).c_str(), e.sample ? "sample" : "event",
+                 static_cast<double>(e.ns - base) / 1e3, e.pid, e.tid);
+  }
+  std::fputs("\n]}\n", f);
+  return std::fclose(f) == 0;
+}
+
+}  // namespace orca::tool::orcamon

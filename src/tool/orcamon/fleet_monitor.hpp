@@ -1,0 +1,165 @@
+/// \file fleet_monitor.hpp
+/// orcamon's engine: attach to every ORCA shm export segment matching a
+/// prefix, drain the per-thread broadcast rings with sharded reader
+/// threads, and merge the per-process streams through one src/pipeline
+/// stage graph into
+///
+///   * a correlated multi-process Perfetto trace (producer clocks share
+///     the CLOCK_MONOTONIC epoch, so spans line up across processes), and
+///   * a periodic fleet text report: per-region log2 duration sketches,
+///     honest per-producer loss books (produced == read + lost), the
+///     telemetry mirror, and crash salvage for producers that died.
+///
+/// Producer lifecycle handling is the point of the tool: a producer whose
+/// heartbeat stops (SIGKILL, crash) or that finalizes cleanly moves to a
+/// draining phase — its rings are drained to the last published record,
+/// the remainder is charged to the loss book, its crash region is
+/// salvaged — while the fleet session keeps running for everyone else.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "pipeline/aggregate.hpp"
+#include "pipeline/pipeline.hpp"
+#include "shm/reader.hpp"
+
+namespace orca::tool::orcamon {
+
+struct MonitorOptions {
+  std::string prefix = "orca";   ///< segment prefix (ORCA_SHM_PREFIX)
+  unsigned shards = 2;           ///< reader threads draining rings
+  unsigned poll_ms = 2;          ///< shard sleep when every ring was empty
+  unsigned discover_ms = 100;    ///< /dev/shm rescan + liveness cadence
+  double duration_s = 0;         ///< 0 = run until stop()/idle
+  double report_interval_s = 5;  ///< 0 = final report only
+  std::string trace_out;         ///< Perfetto JSON path ("" = no trace)
+  std::string report_out;        ///< report path ("" = stdout)
+  std::size_t max_trace_events = 1 << 20;  ///< collect cap (counted drop)
+  bool unlink_dead = true;       ///< reap dead producers' segment names
+  /// Exit once at least one producer attached and every attached producer
+  /// has finalized/died and been fully drained. The integration tests and
+  /// one-shot CLI runs use this; a long-lived daemon leaves it off.
+  bool exit_when_idle = false;
+  unsigned liveness_grace = 8;   ///< missed heartbeats before suspecting
+};
+
+/// One decoded, producer-tagged record — the type the shared pipeline
+/// tail speaks.
+struct FleetEvent {
+  std::int64_t pid = 0;
+  std::uint64_t ns = 0;    ///< producer CLOCK_MONOTONIC stamp
+  std::int32_t tid = -1;   ///< producer thread slot
+  std::int32_t code = 0;   ///< OMP_COLLECTORAPI_EVENT, or sampler state
+  std::uint64_t arg = 0;   ///< samples: region id; JOIN: region duration ns
+  bool sample = false;     ///< true = SIGPROF-sample bank
+};
+
+/// Raw ring record + bank tag, as the shard threads push it into a
+/// producer's decode stage.
+struct RawRecord {
+  shm::Record rec;
+  bool sample = false;
+};
+
+/// Per-producer summary, copied out by producers().
+struct ProducerInfo {
+  std::string name;    ///< segment name
+  std::string label;   ///< producer-chosen display label
+  std::int64_t pid = 0;
+  bool finalized = false;  ///< clean shutdown observed
+  bool dead = false;       ///< heartbeat stopped + pid gone
+  bool drained = false;    ///< all rings finalized, books closed
+  std::uint64_t produced = 0;
+  std::uint64_t read = 0;
+  std::uint64_t lost = 0;
+  shm::CrashSalvage salvage;  ///< kind == kCrashEmpty when nothing there
+};
+
+class FleetMonitor {
+ public:
+  explicit FleetMonitor(MonitorOptions opts);
+  ~FleetMonitor();
+  FleetMonitor(const FleetMonitor&) = delete;
+  FleetMonitor& operator=(const FleetMonitor&) = delete;
+
+  /// Blocking session: spawns the shard threads, runs discovery +
+  /// liveness + reporting on the calling thread until a stop condition
+  /// (stop(), duration, exit_when_idle), then drains, writes the trace
+  /// and the final report. Returns the number of producers seen.
+  std::size_t run();
+
+  /// Ask a concurrent run() to wind down (signal handlers use this).
+  void stop() noexcept { stop_.store(true, std::memory_order_release); }
+
+  std::size_t attached_count() const;
+  std::uint64_t events_seen() const noexcept {
+    return events_seen_.load(std::memory_order_acquire);
+  }
+  std::vector<ProducerInfo> producers() const;
+
+  /// The fleet report (also what run() writes periodically).
+  std::string render_report() const;
+
+  /// Write the merged Perfetto trace-event JSON. False on I/O failure.
+  bool write_trace(const std::string& path) const;
+
+ private:
+  enum Phase : int { kActive = 0, kDraining = 1, kDone = 2 };
+
+  struct RingState {
+    bool done = false;  ///< both banks finalized (owned by one shard)
+  };
+
+  struct Producer {
+    std::size_t index = 0;
+    std::unique_ptr<shm::SegmentReader> reader;
+    pipeline::StagePtr<RawRecord> head;  ///< decode -> tag -> shared tail
+    std::atomic<int> phase{kActive};
+    std::atomic<bool> dead{false};
+    std::atomic<bool> finalized{false};
+    std::vector<RingState> rings;        ///< ring r owned by one shard
+    std::atomic<std::uint32_t> rings_done{0};
+    /// FORK -> JOIN pairing, keyed by producer tid. FORK and JOIN for one
+    /// region can surface on different rings (hence different shards), so
+    /// the map takes a lock — held only for the two region-edge events.
+    std::mutex fork_mu;
+    std::unordered_map<std::int32_t, std::uint64_t> open_forks;
+    // Written by the run() thread once kDone:
+    shm::CrashSalvage salvage;
+    bool salvaged = false;
+  };
+
+  void attach_new_segments();
+  void update_liveness(std::uint64_t now_ns);
+  void shard_loop(unsigned shard);
+  /// Drain one producer ring (both banks). Returns true on any progress.
+  bool drain_ring(Producer& p, std::uint32_t ring);
+  void emit_report(bool final_report);
+  pipeline::StagePtr<RawRecord> build_head(std::int64_t pid, Producer* p);
+
+  MonitorOptions opts_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> shards_stop_{false};
+
+  mutable std::mutex mu_;  ///< guards producers_ growth + attached names
+  std::vector<std::unique_ptr<Producer>> producers_;
+  std::unordered_map<std::string, bool> seen_names_;
+
+  // Shared pipeline tail (fanout -> {region aggregate, trace collect,
+  // counting sink}), built once in the constructor.
+  pipeline::StagePtr<FleetEvent> tail_;
+  std::shared_ptr<pipeline::AggregateStage<FleetEvent>> region_agg_;
+  std::shared_ptr<pipeline::CollectStage<FleetEvent>> trace_;
+  std::atomic<std::uint64_t> events_seen_{0};
+
+  std::vector<std::thread> shard_threads_;
+};
+
+}  // namespace orca::tool::orcamon

@@ -11,6 +11,7 @@
 #include "common/clock.hpp"
 #include "runtime/config.hpp"
 #include "runtime/resilience.hpp"
+#include "shm/exporter.hpp"
 
 namespace orca::tool {
 namespace {
@@ -104,6 +105,10 @@ void SamplingCollector::on_sigprof() noexcept {
     unassigned_drops_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  // Mirror into the shm export segment (fleet profiling) before the local
+  // lane: mirror_sample is wait-free and async-signal-safe, and disarmed it
+  // is one load + branch.
+  shm::mirror_sample(tls_lane, state, region);
   perf::EventSample s;
   s.ticks = TscClock::now();
   s.region_id = region;

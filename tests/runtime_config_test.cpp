@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 
 #include "collector/message.hpp"
 #include "runtime/config.hpp"
@@ -257,6 +258,145 @@ TEST(BarrierTelemetry, SelectedAlgorithmSurfaces) {
   EXPECT_GE(m.gauges[static_cast<std::size_t>(
                 orca::telemetry::Gauge::kBarrierAlgorithm)],
             static_cast<std::uint64_t>(BarrierKind::kDissemination) + 1);
+}
+
+TEST(ConfigFromEnv, ShmKnobsReachDefaultConstructedConfigs) {
+  // A fleet operator arms export by environment on whole process trees;
+  // tools and benches that build `RuntimeConfig cfg;` by hand (never
+  // calling from_env) must honour it, exactly like ORCA_BARRIER.
+  ::setenv("ORCA_SHM_EXPORT", "1", 1);
+  ::setenv("ORCA_SHM_PREFIX", "orcaknob", 1);
+  ::setenv("ORCA_SHM_RING_CAPACITY", "512", 1);
+  ::setenv("ORCA_SHM_HEARTBEAT_MS", "25", 1);
+  const RuntimeConfig cfg;
+  EXPECT_TRUE(cfg.shm_export);
+  EXPECT_EQ(cfg.shm_prefix, "orcaknob");
+  EXPECT_EQ(cfg.shm_ring_capacity, 512u);
+  EXPECT_EQ(cfg.shm_heartbeat_ms, 25);
+
+  ::setenv("ORCA_SHM_PREFIX", "bad/prefix", 1);
+  ::testing::internal::CaptureStderr();
+  const RuntimeConfig bad;
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(bad.shm_prefix, "orca") << "slashes would escape /dev/shm";
+  EXPECT_NE(warning.find("ORCA_SHM_PREFIX"), std::string::npos) << warning;
+
+  ::unsetenv("ORCA_SHM_EXPORT");
+  ::unsetenv("ORCA_SHM_PREFIX");
+  ::unsetenv("ORCA_SHM_RING_CAPACITY");
+  ::unsetenv("ORCA_SHM_HEARTBEAT_MS");
+  const RuntimeConfig off;
+  EXPECT_FALSE(off.shm_export);
+  EXPECT_EQ(off.shm_prefix, "orca");
+}
+
+TEST(EnvHelpers, EnvLongEdgeCases) {
+  const char* kKnob = "ORCA_TEST_ENV_LONG";
+  ::unsetenv(kKnob);
+  EXPECT_EQ(RuntimeConfig::env_long(kKnob, 42, 0, "an int"), 42)
+      << "unset keeps the fallback";
+
+  struct Case {
+    const char* text;
+    const char* why;
+  };
+  // Every reject must warn (one voice) and keep the fallback.
+  const Case rejected[] = {
+      {"", "empty string"},
+      {"   ", "whitespace only"},
+      {"123abc", "trailing junk"},
+      {"abc", "not a number"},
+      {"12.5", "trailing fraction"},
+      {"99999999999999999999", "overflow: strtol clamps to LONG_MAX "
+                               "with errno=ERANGE"},
+      {"-99999999999999999999", "underflow"},
+      {"-7", "below min_value"},
+  };
+  for (const Case& c : rejected) {
+    ::setenv(kKnob, c.text, 1);
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(RuntimeConfig::env_long(kKnob, 42, 0, "an int"), 42)
+        << c.why << ": \"" << c.text << '"';
+    const std::string warning = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(warning.find(kKnob), std::string::npos)
+        << c.why << " must warn; got: " << warning;
+  }
+
+  // Accepted shapes: full parse at or above min_value, sign included.
+  ::setenv(kKnob, "0", 1);
+  EXPECT_EQ(RuntimeConfig::env_long(kKnob, 42, 0, "an int"), 0);
+  ::setenv(kKnob, "-7", 1);
+  EXPECT_EQ(RuntimeConfig::env_long(kKnob, 42, -100, "an int"), -7)
+      << "negative is fine when min_value allows it";
+  ::setenv(kKnob, "  15", 1);
+  EXPECT_EQ(RuntimeConfig::env_long(kKnob, 42, 0, "an int"), 15)
+      << "strtol skips leading whitespace";
+  ::unsetenv(kKnob);
+}
+
+TEST(EnvHelpers, EnvSizeRejectsZeroAndNegative) {
+  const char* kKnob = "ORCA_TEST_ENV_SIZE";
+  ::unsetenv(kKnob);
+  EXPECT_EQ(RuntimeConfig::env_size(kKnob, 1024, "a count"), 1024u);
+  // Sizes have an implicit min of 1: a zero or negative capacity would
+  // wedge every ring that allocates from it.
+  for (const char* bad : {"0", "-1", "-4096", ""}) {
+    ::setenv(kKnob, bad, 1);
+    ::testing::internal::CaptureStderr();
+    EXPECT_EQ(RuntimeConfig::env_size(kKnob, 1024, "a count"), 1024u)
+        << '"' << bad << '"';
+    ::testing::internal::GetCapturedStderr();
+  }
+  ::setenv(kKnob, "1", 1);
+  EXPECT_EQ(RuntimeConfig::env_size(kKnob, 1024, "a count"), 1u);
+  ::unsetenv(kKnob);
+}
+
+TEST(EnvHelpers, EnvParsedLeavesTargetUntouchedOnGarbage) {
+  const char* kKnob = "ORCA_TEST_ENV_PARSED";
+  int calls = 0;
+  int value = 5;
+
+  ::unsetenv(kKnob);
+  RuntimeConfig::env_parsed(
+      kKnob,
+      [&](const std::string&) {
+        ++calls;
+        return true;
+      },
+      "anything", "5");
+  EXPECT_EQ(calls, 0) << "unset must not even invoke the parser";
+
+  ::setenv(kKnob, "bogus", 1);
+  ::testing::internal::CaptureStderr();
+  RuntimeConfig::env_parsed(
+      kKnob,
+      [&](const std::string& text) {
+        ++calls;
+        if (text != "seven") return false;
+        value = 7;
+        return true;
+      },
+      "the word seven", "5");
+  const std::string warning = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(value, 5) << "rejected parse must leave the target untouched";
+  EXPECT_NE(warning.find(kKnob), std::string::npos) << warning;
+  EXPECT_NE(warning.find("bogus"), std::string::npos) << warning;
+  EXPECT_NE(warning.find("keeping 5"), std::string::npos) << warning;
+
+  ::setenv(kKnob, "seven", 1);
+  RuntimeConfig::env_parsed(
+      kKnob,
+      [&](const std::string& text) {
+        ++calls;
+        if (text != "seven") return false;
+        value = 7;
+        return true;
+      },
+      "the word seven", "5");
+  EXPECT_EQ(value, 7);
+  ::unsetenv(kKnob);
 }
 
 TEST(ConfigDefaults, MatchOpenUh) {

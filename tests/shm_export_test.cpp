@@ -1,0 +1,193 @@
+/// Shm export layer tests (docs/FLEET.md): arm/attach handshake through a
+/// real /dev/shm segment, runtime-config arming, event mirroring into the
+/// rings, heartbeat + telemetry mirror + crash-snapshot freshness, clean
+/// finalize-and-unlink, and stale-segment hygiene.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "collector/api.h"
+#include "runtime/runtime.hpp"
+#include "shm/exporter.hpp"
+#include "shm/reader.hpp"
+
+namespace {
+
+using orca::rt::Runtime;
+using orca::rt::RuntimeConfig;
+namespace shm = orca::shm;
+
+std::string unique_prefix(const char* tag) {
+  return std::string("orcatest-") + tag + "-" + std::to_string(::getpid());
+}
+
+void wait_until(const std::function<bool()>& pred, int limit_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(limit_ms);
+  while (!pred() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+void noop_region(int, void*) {}
+
+TEST(ShmExport, ArmExportsReadableSegment) {
+  const std::string prefix = unique_prefix("arm");
+  shm::ExporterOptions opts;
+  opts.name = shm::default_segment_name(prefix);
+  opts.label = "unit-test";
+  opts.ring_count = 4;
+  opts.event_capacity = 64;
+  opts.sample_capacity = 16;
+  opts.crash_capacity = 1024;
+  opts.heartbeat_ms = 5;
+  ASSERT_TRUE(shm::arm(opts));
+  EXPECT_TRUE(shm::export_armed());
+  EXPECT_EQ(shm::armed_segment_name(), opts.name);
+
+  shm::mirror_event(1, 7);
+  shm::mirror_event(1, 8);
+  shm::mirror_sample(2, 3, 99);
+
+  const auto segs = shm::discover_segments(prefix);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].pid, static_cast<std::int64_t>(::getpid()));
+
+  std::string err;
+  auto reader = shm::SegmentReader::attach(opts.name, &err);
+  ASSERT_NE(reader, nullptr) << err;
+  EXPECT_EQ(reader->owner_pid(), static_cast<std::int64_t>(::getpid()));
+  EXPECT_EQ(reader->label(), "unit-test");
+  EXPECT_EQ(reader->ring_count(), 4u);
+
+  shm::Record rec;
+  ASSERT_EQ(reader->poll_event(1, &rec), shm::Poll::kRecord);
+  EXPECT_EQ(rec.event, 7);
+  EXPECT_EQ(rec.tid, 1);
+  ASSERT_EQ(reader->poll_event(1, &rec), shm::Poll::kRecord);
+  EXPECT_EQ(rec.event, 8);
+  ASSERT_EQ(reader->poll_sample(2, &rec), shm::Poll::kRecord);
+  EXPECT_EQ(rec.event, 3);
+  EXPECT_EQ(rec.arg, 99u);
+
+  // Heartbeat: the sense keeps flipping, so the producer reads alive, and
+  // the rolling crash snapshot + telemetry mirror stay fresh.
+  wait_until([&] {
+    return reader->salvage_crash().kind == shm::kCrashSnapshot;
+  });
+  EXPECT_EQ(reader->check_liveness(orca::SteadyClock::now()),
+            shm::Liveness::kAlive);
+  const shm::CrashSalvage salvage = reader->salvage_crash();
+  EXPECT_EQ(salvage.kind, shm::kCrashSnapshot);
+  EXPECT_FALSE(salvage.torn);
+  EXPECT_NE(salvage.text.find("events_published"), std::string::npos);
+
+  const shm::MirrorSnapshot mirror = reader->telemetry_snapshot();
+  EXPECT_FALSE(mirror.torn);
+  EXPECT_FALSE(mirror.counters.empty());
+
+  shm::disarm();
+  EXPECT_FALSE(shm::export_armed());
+  EXPECT_EQ(reader->producer_state(), shm::ProducerState::kFinalized);
+  EXPECT_EQ(reader->check_liveness(orca::SteadyClock::now()),
+            shm::Liveness::kFinalized);
+  // Finalized totals are exact; drain the rest and balance the books.
+  while (reader->poll_event(1, &rec) == shm::Poll::kRecord) {}
+  for (std::uint32_t r = 0; r < reader->ring_count(); ++r) {
+    reader->finalize_ring(r);
+  }
+  EXPECT_EQ(reader->total_read() + reader->total_lost(),
+            reader->total_produced());
+  // The name is gone (unlinked); the mapping we hold stays valid.
+  EXPECT_EQ(shm::SegmentReader::attach(opts.name), nullptr);
+  EXPECT_TRUE(shm::discover_segments(prefix).empty());
+}
+
+TEST(ShmExport, RefcountedArmSharesOneSegment) {
+  const std::string prefix = unique_prefix("refcount");
+  shm::ExporterOptions opts;
+  opts.name = shm::default_segment_name(prefix);
+  opts.ring_count = 2;
+  opts.event_capacity = 16;
+  ASSERT_TRUE(shm::arm(opts));
+  const std::string first = shm::armed_segment_name();
+  ASSERT_TRUE(shm::arm(opts));  // second arm: refcount only
+  EXPECT_EQ(shm::armed_segment_name(), first);
+  shm::disarm();
+  EXPECT_TRUE(shm::export_armed()) << "first disarm must not finalize";
+  shm::disarm();
+  EXPECT_FALSE(shm::export_armed());
+  EXPECT_TRUE(shm::discover_segments(prefix).empty());
+}
+
+TEST(ShmExport, RuntimeArmsFromConfigAndMirrorsForkJoin) {
+  const std::string prefix = unique_prefix("runtime");
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  cfg.max_threads = 4;
+  cfg.shm_export = true;
+  cfg.shm_prefix = prefix;
+  cfg.shm_ring_capacity = 256;
+  cfg.shm_heartbeat_ms = 10;
+  {
+    Runtime rt(cfg);
+    EXPECT_TRUE(shm::export_armed());
+    rt.fork(&noop_region, nullptr, 2);
+    rt.fork(&noop_region, nullptr, 2);
+
+    const auto segs = shm::discover_segments(prefix);
+    ASSERT_EQ(segs.size(), 1u);
+    auto reader = shm::SegmentReader::attach(segs[0].name);
+    ASSERT_NE(reader, nullptr);
+    // Ring 0 is the master slot: both regions' FORK and JOIN live there.
+    int forks = 0, joins = 0;
+    shm::Record rec;
+    while (reader->poll_event(0, &rec) == shm::Poll::kRecord) {
+      if (rec.event == OMP_EVENT_FORK) ++forks;
+      if (rec.event == OMP_EVENT_JOIN) ++joins;
+    }
+    EXPECT_EQ(forks, 2);
+    EXPECT_EQ(joins, 2);
+  }
+  // Runtime destruction disarms and unlinks.
+  EXPECT_FALSE(shm::export_armed());
+  EXPECT_TRUE(shm::discover_segments(prefix).empty());
+}
+
+TEST(ShmExport, DisarmedByDefault) {
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  ASSERT_FALSE(cfg.shm_export);
+  Runtime rt(cfg);
+  EXPECT_FALSE(shm::export_armed());
+}
+
+TEST(ShmExport, StaleSegmentsReaped) {
+  const std::string prefix = unique_prefix("stale");
+  // A leftover from a "crashed" run: owner pid far above pid_max.
+  const std::string stale = prefix + ".999999999.0";
+  const std::string live =
+      prefix + "." + std::to_string(::getpid()) + ".0";
+  for (const std::string& name : {stale, live}) {
+    const int fd = ::shm_open(("/" + name).c_str(), O_CREAT | O_RDWR, 0600);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::ftruncate(fd, 4096), 0);
+    ::close(fd);
+  }
+  ASSERT_EQ(shm::discover_segments(prefix).size(), 2u);
+
+  EXPECT_EQ(shm::cleanup_stale_segments(prefix), 1u);
+  const auto left = shm::discover_segments(prefix);
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0].name, live) << "live-owner segment must survive";
+  ::shm_unlink(("/" + live).c_str());
+}
+
+}  // namespace

@@ -1,0 +1,108 @@
+/// orcamon — out-of-process fleet profiler (docs/FLEET.md).
+///
+/// Attaches to every ORCA shm export segment matching --prefix, drains
+/// the per-thread rings with sharded reader threads, and emits a merged
+/// multi-process Perfetto trace plus a periodic fleet text report.
+/// Producers may come, go, finalize, or be SIGKILLed at any point; the
+/// session keeps running and their books stay honest.
+///
+///   orcamon [--prefix P] [--shards N] [--duration S] [--trace out.json]
+///           [--report out.txt] [--report-interval S] [--idle-exit]
+///           [--keep-dead] [--version]
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/buildinfo.hpp"
+#include "tool/orcamon/fleet_monitor.hpp"
+
+namespace {
+
+orca::tool::orcamon::FleetMonitor* g_monitor = nullptr;
+
+void on_signal(int) {
+  if (g_monitor != nullptr) g_monitor->stop();
+}
+
+void usage() {
+  std::puts(
+      "usage: orcamon [options]\n"
+      "  --prefix P           segment prefix to watch (default: orca)\n"
+      "  --shards N           reader threads (default: 2)\n"
+      "  --duration S         stop after S seconds (default: until ^C)\n"
+      "  --trace FILE         write merged Perfetto JSON on exit\n"
+      "  --report FILE        write fleet report here (default: stdout)\n"
+      "  --report-interval S  periodic report cadence (default: 5, 0=off)\n"
+      "  --idle-exit          exit once every producer finalized/died\n"
+      "  --keep-dead          do not unlink dead producers' segments\n"
+      "  --version            print build stamp and exit");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (orca::common::handle_version_flag(argc, argv, "orcamon")) return 0;
+
+  orca::tool::orcamon::MonitorOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    // Both spellings work: "--prefix orca" and "--prefix=orca" (the =
+    // form is what every other tool in the tree takes).
+    std::string inline_value;
+    bool has_inline = false;
+    if (const std::size_t eq = arg.find('='); eq != std::string::npos) {
+      inline_value = arg.substr(eq + 1);
+      arg.resize(eq);
+      has_inline = true;
+    }
+    const auto next = [&]() -> const char* {
+      if (has_inline) return inline_value.c_str();
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "orcamon: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--prefix") {
+      opts.prefix = next();
+    } else if (arg == "--shards") {
+      opts.shards = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--duration") {
+      opts.duration_s = std::atof(next());
+    } else if (arg == "--trace") {
+      opts.trace_out = next();
+    } else if (arg == "--report") {
+      opts.report_out = next();
+    } else if (arg == "--report-interval") {
+      opts.report_interval_s = std::atof(next());
+    } else if (arg == "--idle-exit") {
+      opts.exit_when_idle = true;
+    } else if (arg == "--keep-dead") {
+      opts.unlink_dead = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "orcamon: unknown option %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  std::fprintf(stderr, "%s watching /dev/shm/%s.* (%u shards)\n",
+               orca::common::version_line("orcamon").c_str(),
+               opts.prefix.c_str(), opts.shards);
+
+  orca::tool::orcamon::FleetMonitor monitor(opts);
+  g_monitor = &monitor;
+  std::signal(SIGINT, &on_signal);
+  std::signal(SIGTERM, &on_signal);
+  const std::size_t seen = monitor.run();
+  g_monitor = nullptr;
+  std::fprintf(stderr, "orcamon: %zu producer(s), %llu records merged\n",
+               seen,
+               static_cast<unsigned long long>(monitor.events_seen()));
+  return 0;
+}

@@ -46,7 +46,7 @@ cd "$(dirname "$0")/.."
 # are "<prefix>.<pid>.<seq>"; unlink any whose owner pid is gone. The
 # runtime does the same (shm::cleanup_stale_segments) before arming.
 for seg in /dev/shm/orca.* /dev/shm/orcatest-* /dev/shm/orcafleet-* \
-           /dev/shm/orcabench-*; do
+           /dev/shm/orcabench-* /dev/shm/orcachaos-*; do
   [ -e "$seg" ] || continue
   pid=$(basename "$seg" | awk -F. '{print $(NF-1)}')
   case "$pid" in
@@ -78,6 +78,26 @@ for preset in "${presets[@]}"; do
   # Out-of-process aggregation: orcamon against a three-producer fleet
   # with one producer SIGKILLed mid-run (docs/FLEET.md acceptance).
   ctest --preset "$preset" -L fleet --output-on-failure
+
+  if [ "$preset" = default ] || [ "$preset" = asan ]; then
+    echo "=== [$preset] chaos lane ==="
+    # Seeded hostile-fleet schedules (SIGSTOP/SIGKILL/truncate/header
+    # scribbles/attach flapping) against a live monitor, plus the
+    # deterministic watchdog / stall-deadline / attach-backoff scenarios
+    # (docs/FLEET.md threat model). A failing schedule prints a
+    # replayable ORCA_TEST_SEED; archive every seed so a flake caught
+    # here is never lost with the log.
+    mkdir -p build/artifacts
+    chaos_log="build/artifacts/chaos_${preset}.log"
+    if ! ctest --preset "$preset" -L chaos --output-on-failure \
+        | tee "$chaos_log"; then
+      grep -o 'ORCA_TEST_SEED=0x[0-9a-fA-F]*' "$chaos_log" \
+        >> build/artifacts/chaos_seeds.txt || true
+      echo "ci.sh: chaos lane failed; replay seeds archived in" \
+           "build/artifacts/chaos_seeds.txt"
+      exit 1
+    fi
+  fi
 
   if [ "$preset" = default ]; then
     echo "=== [$preset] archive bench artifacts ==="

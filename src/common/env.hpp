@@ -3,6 +3,8 @@
 /// OMP_SCHEDULE, ...) and ORCA's own tuning knobs.
 #pragma once
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
@@ -44,6 +46,34 @@ inline bool get_bool(const char* name, bool fallback) {
   if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
   if (s == "0" || s == "false" || s == "no" || s == "off") return false;
   return fallback;
+}
+
+/// Warn-and-default integer knob reader: the implementation behind
+/// `RuntimeConfig::env_long`, hoisted here so daemon-side code (orcamon)
+/// that deliberately does not link orca_runtime reads its ORCA_MON_* knobs
+/// with the same one-voice diagnostic — "ORCA: ignoring invalid
+/// NAME=\"...\" (expected ...); keeping ...". Unset returns `fallback`; a
+/// value that fails to parse in full or is below `min_value` warns and
+/// returns `fallback`.
+inline long long_or(const char* name, long fallback, long min_value,
+                    const char* expected) {
+  const auto text = get(name);
+  if (!text) return fallback;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(text->c_str(), &end, 10);
+  // errno check: strtol silently clamps "99999999999999999999" to
+  // LONG_MAX with a fully consumed string, which would otherwise pass
+  // validation and look like a deliberate (absurd) setting.
+  if (errno == ERANGE || end == text->c_str() || *end != '\0' ||
+      value < min_value) {
+    std::fprintf(stderr,
+                 "ORCA: ignoring invalid %s=\"%s\" (expected %s); "
+                 "keeping %ld\n",
+                 name, text->c_str(), expected, fallback);
+    return fallback;
+  }
+  return value;
 }
 
 /// Split a string on a delimiter, trimming ASCII whitespace from each piece.

@@ -149,23 +149,10 @@ bool RuntimeConfig::parse_fork_mode(const std::string& text, ForkMode* mode) {
 
 long RuntimeConfig::env_long(const char* name, long fallback, long min_value,
                              const char* expected) {
-  const auto text = env::get(name);
-  if (!text) return fallback;
-  char* end = nullptr;
-  errno = 0;
-  const long value = std::strtol(text->c_str(), &end, 10);
-  // errno check: strtol silently clamps "99999999999999999999" to
-  // LONG_MAX with a fully consumed string, which would otherwise pass
-  // validation and look like a deliberate (absurd) setting.
-  if (errno == ERANGE || end == text->c_str() || *end != '\0' ||
-      value < min_value) {
-    std::fprintf(stderr,
-                 "ORCA: ignoring invalid %s=\"%s\" (expected %s); "
-                 "keeping %ld\n",
-                 name, text->c_str(), expected, fallback);
-    return fallback;
-  }
-  return value;
+  // The implementation lives in env::long_or (common/env.hpp) so code
+  // that does not link orca_runtime — orcamon in particular — parses its
+  // knobs with the identical warn-and-default diagnostic.
+  return env::long_or(name, fallback, min_value, expected);
 }
 
 std::size_t RuntimeConfig::env_size(const char* name, std::size_t fallback,

@@ -21,6 +21,7 @@
 #include "common/clock.hpp"
 #include "shm/layout.hpp"
 #include "telemetry/telemetry.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace orca::shm {
 namespace {
@@ -64,6 +65,15 @@ struct TextCursor {
 class ShmExporter {
  public:
   static ShmExporter* create(const ExporterOptions& opts) {
+    ORCA_FAULT_POINT(kShmArm);
+    if (testing::FaultInjector::alloc_fails(testing::FaultPoint::kShmArm)) {
+      // Stand-in for ENOSPC/EPERM at sizing time: the export arm must
+      // degrade to a warning, never fail the hosting runtime.
+      std::fprintf(stderr,
+                   "ORCA: shm export disabled: injected arm fault "
+                   "(simulated ENOSPC)\n");
+      return nullptr;
+    }
     const std::string path = "/" + opts.name;
     // O_EXCL: a leftover live segment with our name means a pid collision
     // or a bug — never silently scribble over someone else's rings.
@@ -116,6 +126,10 @@ class ShmExporter {
     header_->producer_state.store(
         static_cast<std::uint32_t>(ProducerState::kFinalized),
         std::memory_order_release);
+    // readers_attached is deliberately not consulted anywhere on this
+    // path: a reader that was SIGKILLed (or never decremented) must not
+    // be able to hold the producer's exit hostage. Their mappings survive
+    // the unlink; only the name goes away.
     ::shm_unlink(("/" + name_).c_str());
     ::munmap(base_, geo_.total_bytes);
   }
@@ -243,6 +257,9 @@ class ShmExporter {
   void mirror_telemetry() noexcept {
     const telemetry::MetricsView view = telemetry::metrics();
     mirror_->version.fetch_add(1, std::memory_order_acq_rel);  // odd
+    // Seam sits inside the odd window on purpose: a hook that parks here
+    // models a producer frozen mid-write, which readers must report torn.
+    ORCA_FAULT_POINT(kShmMirror);
     const std::size_t nc =
         std::min(telemetry::kCounterCount, kMirrorCounterCap);
     const std::size_t ng = std::min(telemetry::kGaugeCount, kMirrorGaugeCap);
@@ -289,6 +306,7 @@ class ShmExporter {
     while (!hb_stop_) {
       hb_cv_.wait_for(lk, interval, [this] { return hb_stop_; });
       if (hb_stop_) break;
+      ORCA_FAULT_POINT(kHeartbeat);
       refresh_totals();
       mirror_telemetry();
       write_snapshot();

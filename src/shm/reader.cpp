@@ -12,6 +12,9 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "shm/validate.hpp"
+#include "testing/fault_injection.hpp"
+
 namespace orca::shm {
 
 std::vector<SegmentName> discover_segments(const std::string& prefix) {
@@ -44,68 +47,155 @@ std::vector<SegmentName> discover_segments(const std::string& prefix) {
   return out;
 }
 
+const char* attach_error_kind_name(AttachError::Kind kind) noexcept {
+  switch (kind) {
+    case AttachError::Kind::kNone: return "none";
+    case AttachError::Kind::kNotFound: return "not-found";
+    case AttachError::Kind::kTransient: return "transient";
+    case AttachError::Kind::kCorrupt: return "corrupt";
+    case AttachError::Kind::kIo: return "io";
+  }
+  return "?";
+}
+
 namespace {
 
-void set_error(std::string* error, const std::string& text) {
-  if (error != nullptr) *error = text;
+std::unique_ptr<SegmentReader> set_error(AttachError* err,
+                                         AttachError::Kind kind,
+                                         const std::string& text) {
+  if (err != nullptr) {
+    err->kind = kind;
+    err->message = text;
+  }
+  return nullptr;
 }
 
 }  // namespace
 
 std::unique_ptr<SegmentReader> SegmentReader::attach(const std::string& name,
-                                                     std::string* error) {
+                                                     AttachError* err) {
+  ORCA_FAULT_POINT(kShmAttach);
+  if (testing::FaultInjector::alloc_fails(testing::FaultPoint::kShmAttach)) {
+    return set_error(err, AttachError::Kind::kIo, "injected attach fault");
+  }
   const std::string path = "/" + name;
-  // O_RDWR even though we never store: PROT_READ-only mappings of a
-  // segment full of std::atomic loads are fine, but keeping the option to
-  // bump readers_attached (a write) costs nothing and documents intent.
-  const int fd = ::shm_open(path.c_str(), O_RDWR, 0);
+  // Read-only where possible: readers never need to store into the
+  // segment except for the diagnostic readers_attached bump, so a
+  // producer that published its segment unwritable still gets drained —
+  // we just skip the bump. Try RW first (for the counter), fall back.
+  bool writable = true;
+  int fd = ::shm_open(path.c_str(), O_RDWR, 0);
+  if (fd < 0 && (errno == EACCES || errno == EPERM || errno == EROFS)) {
+    writable = false;
+    fd = ::shm_open(path.c_str(), O_RDONLY, 0);
+  }
   if (fd < 0) {
-    set_error(error, "shm_open failed: " + std::string(std::strerror(errno)));
-    return nullptr;
+    const int e = errno;
+    return set_error(err,
+                     e == ENOENT ? AttachError::Kind::kNotFound
+                                 : AttachError::Kind::kIo,
+                     "shm_open failed: " + std::string(std::strerror(e)));
   }
   struct stat st {};
-  if (::fstat(fd, &st) != 0 ||
-      st.st_size < static_cast<off_t>(sizeof(SegmentHeader))) {
-    set_error(error, "segment smaller than its header");
+  if (::fstat(fd, &st) != 0) {
+    const std::string text =
+        "fstat failed: " + std::string(std::strerror(errno));
     ::close(fd);
-    return nullptr;
+    return set_error(err, AttachError::Kind::kIo, text);
+  }
+  if (st.st_size < static_cast<off_t>(sizeof(SegmentHeader))) {
+    ::close(fd);
+    // The creator sizes the file right after shm_open(O_CREAT); a reader
+    // racing that window sees a short (often zero-byte) file.
+    return set_error(err, AttachError::Kind::kTransient,
+                     "segment smaller than its header (mid-create?)");
   }
   const auto mapped = static_cast<std::uint64_t>(st.st_size);
-  void* base = ::mmap(nullptr, mapped, PROT_READ | PROT_WRITE, MAP_SHARED,
-                      fd, 0);
-  ::close(fd);
+  void* base = ::mmap(nullptr, mapped,
+                      writable ? PROT_READ | PROT_WRITE : PROT_READ,
+                      MAP_SHARED, fd, 0);
   if (base == MAP_FAILED) {
-    set_error(error, "mmap failed: " + std::string(std::strerror(errno)));
-    return nullptr;
+    const std::string text =
+        "mmap failed: " + std::string(std::strerror(errno));
+    ::close(fd);
+    return set_error(err, AttachError::Kind::kIo, text);
   }
   auto* header = static_cast<SegmentHeader*>(base);
-  if (header->magic != kMagic) {
-    set_error(error, "bad magic (not an ORCA segment)");
+  if (header->magic != kMagic || header->version != kVersion) {
+    // Distinguish the two for the quarantine record, but both are final.
+    const std::string text = header->magic != kMagic
+                                 ? "bad magic (not an ORCA segment)"
+                                 : "segment version mismatch";
     ::munmap(base, mapped);
-    return nullptr;
-  }
-  if (header->version != kVersion) {
-    set_error(error, "segment version mismatch");
-    ::munmap(base, mapped);
-    return nullptr;
+    ::close(fd);
+    return set_error(err, AttachError::Kind::kCorrupt, text);
   }
   if (header->ready.load(std::memory_order_acquire) == 0) {
-    set_error(error, "segment still initializing");
     ::munmap(base, mapped);
-    return nullptr;
+    ::close(fd);
+    return set_error(err, AttachError::Kind::kTransient,
+                     "segment still initializing");
   }
-  if (header->segment_bytes > mapped || header->ring_count == 0) {
-    set_error(error, "segment geometry out of bounds");
+  // Deep validation: every derived offset bounds-checked against the
+  // mapping before any cursor is created (validate.hpp).
+  std::string why;
+  if (!validate_segment(*header, mapped, &why)) {
     ::munmap(base, mapped);
-    return nullptr;
+    ::close(fd);
+    return set_error(err, AttachError::Kind::kCorrupt, why);
   }
+  // Close the attach/truncate race: everything above read pages that a
+  // concurrent ftruncate could have pulled out from under us. Re-check
+  // the file size now that the geometry is captured; shrunk means a
+  // producer dying loudly — let the retry policy sort it out.
+  struct stat st2 {};
+  if (::fstat(fd, &st2) != 0 ||
+      static_cast<std::uint64_t>(st2.st_size) < mapped) {
+    ::munmap(base, mapped);
+    ::close(fd);
+    return set_error(err, AttachError::Kind::kTransient,
+                     "segment resized during attach");
+  }
+
   auto reader = std::unique_ptr<SegmentReader>(new SegmentReader());
   reader->name_ = name;
   reader->base_ = static_cast<const char*>(base);
   reader->mapped_bytes_ = mapped;
+  reader->fd_ = fd;  // kept for revalidate(): detects later truncation
+  reader->writable_ = writable;
+  reader->geom_.ring_count = header->ring_count;
+  reader->geom_.event_capacity = header->event_capacity;
+  reader->geom_.sample_capacity = header->sample_capacity;
+  reader->geom_.crash_capacity = header->crash_capacity;
+  reader->geom_.event_headers_off = header->event_headers_off;
+  reader->geom_.sample_headers_off = header->sample_headers_off;
+  reader->geom_.event_cells_off = header->event_cells_off;
+  reader->geom_.sample_cells_off = header->sample_cells_off;
+  reader->geom_.telemetry_off = header->telemetry_off;
+  reader->geom_.crash_off = header->crash_off;
+  // Clamp the advertised heartbeat so a hostile interval cannot push the
+  // liveness budget out to "never suspect me".
+  reader->geom_.heartbeat_interval_ms =
+      std::clamp<std::uint32_t>(header->heartbeat_interval_ms, 1, 60000);
+  reader->label_.assign(header->label,
+                        ::strnlen(header->label, sizeof(header->label)));
+  reader->owner_pid_ = header->owner_pid;
+  reader->created_ns_ = header->created_ns;
   reader->event_cursors_.resize(header->ring_count);
   reader->sample_cursors_.resize(header->ring_count);
-  header->readers_attached.fetch_add(1, std::memory_order_relaxed);
+  if (writable) {
+    // Diagnostics only; nothing on the producer side ever waits on it, so
+    // a reader that dies without decrementing costs nothing.
+    header->readers_attached.fetch_add(1, std::memory_order_relaxed);
+  }
+  return reader;
+}
+
+std::unique_ptr<SegmentReader> SegmentReader::attach(const std::string& name,
+                                                     std::string* error) {
+  AttachError err;
+  auto reader = attach(name, &err);
+  if (!reader && error != nullptr) *error = err.message;
   return reader;
 }
 
@@ -113,24 +203,23 @@ SegmentReader::~SegmentReader() {
   if (base_ != nullptr) {
     ::munmap(const_cast<char*>(base_), mapped_bytes_);
   }
+  if (fd_ >= 0) ::close(fd_);
 }
 
-std::int64_t SegmentReader::owner_pid() const noexcept {
-  return header()->owner_pid;
-}
-
-std::string SegmentReader::label() const {
-  const SegmentHeader* h = header();
-  return std::string(h->label,
-                     ::strnlen(h->label, sizeof(h->label)));
-}
-
-std::uint32_t SegmentReader::ring_count() const noexcept {
-  return header()->ring_count;
-}
-
-std::uint64_t SegmentReader::created_ns() const noexcept {
-  return header()->created_ns;
+bool SegmentReader::revalidate(std::string* why) const noexcept {
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) {
+    if (why != nullptr) *why = "fstat on kept fd failed";
+    return false;
+  }
+  if (static_cast<std::uint64_t>(st.st_size) < mapped_bytes_) {
+    if (why != nullptr) {
+      *why = "segment truncated to " + std::to_string(st.st_size) +
+             " bytes (mapped " + std::to_string(mapped_bytes_) + ")";
+    }
+    return false;
+  }
+  return true;
 }
 
 std::uint64_t SegmentReader::events_published() const noexcept {
@@ -147,26 +236,25 @@ ProducerState SegmentReader::producer_state() const noexcept {
 }
 
 Poll SegmentReader::poll_event(std::uint32_t ring, Record* out) noexcept {
-  const SegmentHeader* h = header();
-  return ring_poll(*ring_header(h->event_headers_off, ring),
-                   ring_cells(h->event_cells_off, ring, h->event_capacity),
-                   h->event_capacity - 1, h->event_capacity,
+  return ring_poll(*ring_header(geom_.event_headers_off, ring),
+                   ring_cells(geom_.event_cells_off, ring,
+                              geom_.event_capacity),
+                   geom_.event_capacity - 1, geom_.event_capacity,
                    event_cursors_[ring], out);
 }
 
 Poll SegmentReader::poll_sample(std::uint32_t ring, Record* out) noexcept {
-  const SegmentHeader* h = header();
-  return ring_poll(*ring_header(h->sample_headers_off, ring),
-                   ring_cells(h->sample_cells_off, ring, h->sample_capacity),
-                   h->sample_capacity - 1, h->sample_capacity,
+  return ring_poll(*ring_header(geom_.sample_headers_off, ring),
+                   ring_cells(geom_.sample_cells_off, ring,
+                              geom_.sample_capacity),
+                   geom_.sample_capacity - 1, geom_.sample_capacity,
                    sample_cursors_[ring], out);
 }
 
 void SegmentReader::finalize_ring(std::uint32_t ring) noexcept {
-  const SegmentHeader* h = header();
-  cursor_finalize(*ring_header(h->event_headers_off, ring),
+  cursor_finalize(*ring_header(geom_.event_headers_off, ring),
                   event_cursors_[ring]);
-  cursor_finalize(*ring_header(h->sample_headers_off, ring),
+  cursor_finalize(*ring_header(geom_.sample_headers_off, ring),
                   sample_cursors_[ring]);
 }
 
@@ -185,19 +273,19 @@ std::uint64_t SegmentReader::total_lost() const noexcept {
 }
 
 std::uint64_t SegmentReader::total_produced() const noexcept {
-  const SegmentHeader* h = header();
   std::uint64_t n = 0;
-  for (std::uint32_t r = 0; r < h->ring_count; ++r) {
-    n += ring_header(h->event_headers_off, r)
+  for (std::uint32_t r = 0; r < geom_.ring_count; ++r) {
+    n += ring_header(geom_.event_headers_off, r)
              ->tail.load(std::memory_order_acquire);
-    n += ring_header(h->sample_headers_off, r)
+    n += ring_header(geom_.sample_headers_off, r)
              ->tail.load(std::memory_order_acquire);
   }
   return n;
 }
 
-Liveness SegmentReader::check_liveness(std::uint64_t now_ns,
-                                       unsigned grace) noexcept {
+Liveness SegmentReader::check_liveness(std::uint64_t now_ns, unsigned grace,
+                                       std::uint64_t stall_deadline_ns)
+    noexcept {
   const SegmentHeader* h = header();
   if (producer_state() == ProducerState::kFinalized) {
     return Liveness::kFinalized;
@@ -209,22 +297,29 @@ Liveness SegmentReader::check_liveness(std::uint64_t now_ns,
     last_flip_local_ns_ = now_ns;
     return Liveness::kAlive;
   }
+  const std::uint64_t quiet = now_ns - last_flip_local_ns_;
   const std::uint64_t interval_ns =
-      static_cast<std::uint64_t>(h->heartbeat_interval_ms) * 1000000ull;
+      static_cast<std::uint64_t>(geom_.heartbeat_interval_ms) * 1000000ull;
   const std::uint64_t budget =
       std::max<std::uint64_t>(interval_ns * grace, 200000000ull);  // >=200ms
-  if (now_ns - last_flip_local_ns_ < budget) return Liveness::kAlive;
+  const bool pid_gone =
+      ::kill(static_cast<pid_t>(owner_pid_), 0) != 0 && errno == ESRCH;
+  // Hard staleness deadline: a producer whose heart stopped this long ago
+  // is not coming back on its own (SIGSTOP, swap thrash, wedged), even if
+  // the kernel still lists the pid. The caller opts in (0 = off).
+  if (stall_deadline_ns > 0 && quiet >= stall_deadline_ns) {
+    return pid_gone ? Liveness::kDead : Liveness::kStalled;
+  }
+  if (quiet < budget) return Liveness::kAlive;
   // Pulse stopped. Only the kernel can confirm death: a SIGSTOPped or
   // swap-thrashed producer is late, not dead.
-  if (::kill(static_cast<pid_t>(h->owner_pid), 0) != 0 && errno == ESRCH) {
-    return Liveness::kDead;
-  }
+  if (pid_gone) return Liveness::kDead;
   return Liveness::kAlive;
 }
 
 MirrorSnapshot SegmentReader::telemetry_snapshot() const {
-  const auto* m = reinterpret_cast<const TelemetryMirror*>(
-      base_ + header()->telemetry_off);
+  const auto* m =
+      reinterpret_cast<const TelemetryMirror*>(base_ + geom_.telemetry_off);
   MirrorSnapshot snap;
   for (int attempt = 0; attempt < 16; ++attempt) {
     const std::uint64_t v1 = m->version.load(std::memory_order_acquire);
@@ -254,17 +349,16 @@ MirrorSnapshot SegmentReader::telemetry_snapshot() const {
 }
 
 CrashSalvage SegmentReader::salvage_crash() const {
-  const SegmentHeader* h = header();
   const auto* cr =
-      reinterpret_cast<const CrashRegion*>(base_ + h->crash_off);
-  const char* text = base_ + h->crash_off + sizeof(CrashRegion);
+      reinterpret_cast<const CrashRegion*>(base_ + geom_.crash_off);
+  const char* text = base_ + geom_.crash_off + sizeof(CrashRegion);
   CrashSalvage out;
   for (int attempt = 0; attempt < 16; ++attempt) {
     const std::uint64_t v1 = cr->version.load(std::memory_order_acquire);
     out.kind = cr->kind.load(std::memory_order_acquire);
     if (out.kind == kCrashEmpty) return out;
     const std::uint32_t len = std::min(
-        cr->length.load(std::memory_order_acquire), h->crash_capacity);
+        cr->length.load(std::memory_order_acquire), geom_.crash_capacity);
     out.ns = cr->ns.load(std::memory_order_acquire);
     out.text.assign(text, len);
     std::atomic_thread_fence(std::memory_order_acquire);

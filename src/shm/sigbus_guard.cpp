@@ -1,0 +1,73 @@
+#include "shm/sigbus_guard.hpp"
+
+#include <signal.h>
+
+#include <mutex>
+
+namespace orca::shm {
+namespace {
+
+/// Innermost armed escape target on this thread; null = not in a guard.
+thread_local sigjmp_buf* t_target = nullptr;
+
+/// Disposition that was installed before the guard armed, replayed
+/// verbatim for SIGBUS on unguarded threads (e.g. the crash-dump handler
+/// from docs/RESILIENCE.md, or the default core-dumping one).
+struct sigaction g_previous;
+std::mutex g_install_mu;
+
+void on_sigbus(int sig, siginfo_t* info, void* ucontext) {
+  if (t_target != nullptr) {
+    siglongjmp(*t_target, 1);
+  }
+  // Not ours: put the previous disposition back and re-deliver so the
+  // process dies (or dumps) exactly as it would have without the guard.
+  ::sigaction(SIGBUS, &g_previous, nullptr);
+  if ((g_previous.sa_flags & SA_SIGINFO) != 0 &&
+      g_previous.sa_sigaction != nullptr) {
+    g_previous.sa_sigaction(sig, info, ucontext);
+    return;
+  }
+  if (g_previous.sa_handler != SIG_DFL && g_previous.sa_handler != SIG_IGN &&
+      g_previous.sa_handler != nullptr) {
+    g_previous.sa_handler(sig);
+    return;
+  }
+  ::raise(SIGBUS);
+}
+
+/// Install (or re-install) the guard handler. Re-checked on every guard
+/// entry rather than once: the resilience layer also claims SIGBUS when a
+/// runtime arms crash dumps, and whichever layer installed *last* must
+/// chain to the other — so if someone replaced us, we re-front them and
+/// keep their disposition as the unguarded fallthrough.
+void ensure_installed() {
+  std::scoped_lock lk(g_install_mu);
+  struct sigaction current {};
+  ::sigaction(SIGBUS, nullptr, &current);
+  if ((current.sa_flags & SA_SIGINFO) != 0 &&
+      current.sa_sigaction == &on_sigbus) {
+    return;  // still fronting
+  }
+  struct sigaction sa {};
+  sa.sa_sigaction = &on_sigbus;
+  // SA_NODEFER: the guard's siglongjmp skips the normal handler return,
+  // which would otherwise leave SIGBUS blocked forever on this thread.
+  sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGBUS, &sa, &g_previous);
+}
+
+}  // namespace
+
+namespace detail {
+
+SigbusScope::SigbusScope(sigjmp_buf* buf) noexcept : prev_(t_target) {
+  ensure_installed();
+  t_target = buf;
+}
+
+SigbusScope::~SigbusScope() noexcept { t_target = prev_; }
+
+}  // namespace detail
+}  // namespace orca::shm

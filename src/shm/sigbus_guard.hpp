@@ -1,0 +1,64 @@
+/// \file sigbus_guard.hpp
+/// SIGBUS containment for readers of a segment another process controls.
+///
+/// Structural validation (validate.hpp) proves every offset fits the
+/// mapping *we measured at attach time* — but the file behind a MAP_SHARED
+/// mapping can shrink afterwards (a hostile or buggy producer calls
+/// ftruncate), and the kernel's answer to touching a page past the new
+/// EOF is SIGBUS, which no bounds check can see coming. A fleet daemon
+/// attached to N untrusted processes must not die because one of them
+/// truncated its segment mid-drain.
+///
+/// `with_sigbus_guard(fn)` runs `fn` with a thread-local escape hatch
+/// armed: a SIGBUS raised on this thread while inside the guard longjmps
+/// back out and the call returns false. SIGBUS on a thread with no guard
+/// armed falls through to whatever disposition was installed before the
+/// first guard (crash-dump handlers keep working). Guards nest; the
+/// innermost wins.
+///
+/// Contract for `fn`: it must hold no locks while touching guarded
+/// memory and leave only state that tolerates abandonment at an arbitrary
+/// instruction (the shm reader's cursors qualify: a torn cursor update
+/// is at worst one record of drift, and a guard trip quarantines the
+/// whole segment anyway). The jump is taken with sigsetjmp(.., 0) — no
+/// signal-mask save/restore syscall — and the handler is installed with
+/// SA_NODEFER, so no mask cleanup is owed after the escape.
+#pragma once
+
+#include <csetjmp>
+
+namespace orca::shm {
+
+namespace detail {
+
+/// RAII arming of the thread-local escape target. The ctor installs the
+/// process-wide SIGBUS handler once (saving the previous disposition for
+/// unguarded threads) and pushes `buf`; the dtor pops back to the outer
+/// guard, if any.
+class SigbusScope {
+ public:
+  explicit SigbusScope(sigjmp_buf* buf) noexcept;
+  ~SigbusScope() noexcept;
+  SigbusScope(const SigbusScope&) = delete;
+  SigbusScope& operator=(const SigbusScope&) = delete;
+
+ private:
+  sigjmp_buf* prev_;
+};
+
+}  // namespace detail
+
+/// Run `fn` with SIGBUS containment. Returns false when `fn` was aborted
+/// by SIGBUS (the segment shrank under us), true when it ran to the end.
+template <typename Fn>
+bool with_sigbus_guard(Fn&& fn) noexcept {
+  sigjmp_buf buf;
+  detail::SigbusScope scope(&buf);
+  // The sigsetjmp must sit in this frame: it stays live for the whole of
+  // fn(), which is what makes the handler's siglongjmp well-defined.
+  if (sigsetjmp(buf, 0) != 0) return false;
+  fn();
+  return true;
+}
+
+}  // namespace orca::shm

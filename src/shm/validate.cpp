@@ -1,0 +1,120 @@
+#include "shm/validate.hpp"
+
+#include <cstring>
+
+#include "shm/layout.hpp"
+
+namespace orca::shm {
+namespace {
+
+bool fail(std::string* why, const std::string& text) {
+  if (why != nullptr) *why = text;
+  return false;
+}
+
+bool is_pow2(std::uint32_t v) noexcept { return v != 0 && (v & (v - 1)) == 0; }
+
+/// True when `count` elements of `elem` bytes starting at `off` fit inside
+/// `limit`. Division form: no `off + count * elem` intermediate, so a
+/// hostile header cannot wrap the check past 2^64.
+bool section_fits(std::uint64_t off, std::uint64_t count, std::uint64_t elem,
+                  std::uint64_t limit) noexcept {
+  if (off > limit) return false;
+  if (elem == 0 || count == 0) return true;
+  return count <= (limit - off) / elem;
+}
+
+}  // namespace
+
+bool validate_segment(const SegmentHeader& h, std::uint64_t mapped_bytes,
+                      std::string* why) {
+  if (mapped_bytes < sizeof(SegmentHeader)) {
+    return fail(why, "mapping smaller than the segment header");
+  }
+  if (h.magic != kMagic) return fail(why, "bad magic (not an ORCA segment)");
+  if (h.version != kVersion) return fail(why, "segment version mismatch");
+  if (h.header_bytes < sizeof(SegmentHeader)) {
+    return fail(why, "header_bytes smaller than SegmentHeader");
+  }
+  if (h.segment_bytes > mapped_bytes) {
+    return fail(why, "segment_bytes exceeds the mapped size");
+  }
+  if (h.segment_bytes < sizeof(SegmentHeader)) {
+    return fail(why, "segment_bytes smaller than the header");
+  }
+  const std::uint64_t limit = h.segment_bytes;
+
+  if (h.ring_count == 0) return fail(why, "ring_count is zero");
+  if (h.ring_count > kMaxRingCount) {
+    return fail(why, "ring_count exceeds the sanity ceiling");
+  }
+  if (!is_pow2(h.event_capacity) || h.event_capacity > kMaxRingCapacity) {
+    return fail(why, "event_capacity not a bounded power of two");
+  }
+  if (!is_pow2(h.sample_capacity) || h.sample_capacity > kMaxRingCapacity) {
+    return fail(why, "sample_capacity not a bounded power of two");
+  }
+  if (h.crash_capacity > kMaxCrashCapacity) {
+    return fail(why, "crash_capacity exceeds the sanity ceiling");
+  }
+
+  // Section extents. Every offset must land past the header (the producer
+  // publishes geometry exactly once; an offset inside the header aliases
+  // live handshake atomics) and every section must fit below limit.
+  const std::uint64_t sections[] = {h.event_headers_off, h.sample_headers_off,
+                                    h.event_cells_off, h.sample_cells_off,
+                                    h.telemetry_off, h.crash_off};
+  for (const std::uint64_t off : sections) {
+    if (off < sizeof(SegmentHeader)) {
+      return fail(why, "section offset aliases the segment header");
+    }
+    if (off % alignof(RingCell) != 0) {
+      return fail(why, "section offset not 8-byte aligned");
+    }
+  }
+  // RingHeader is alignas(64): casting a misaligned offset to RingHeader*
+  // is UB before the first atomic load, so the banks get the strict check.
+  if (h.event_headers_off % alignof(RingHeader) != 0 ||
+      h.sample_headers_off % alignof(RingHeader) != 0) {
+    return fail(why, "ring header bank not cacheline aligned");
+  }
+  if (!section_fits(h.event_headers_off, h.ring_count, sizeof(RingHeader),
+                    limit)) {
+    return fail(why, "event ring headers exceed segment_bytes");
+  }
+  if (!section_fits(h.sample_headers_off, h.ring_count, sizeof(RingHeader),
+                    limit)) {
+    return fail(why, "sample ring headers exceed segment_bytes");
+  }
+  // Cell banks are ring_count * capacity cells; fold the product into the
+  // count argument via a division-guarded multiply.
+  const std::uint64_t event_cells =
+      static_cast<std::uint64_t>(h.ring_count) * h.event_capacity;
+  const std::uint64_t sample_cells =
+      static_cast<std::uint64_t>(h.ring_count) * h.sample_capacity;
+  if (!section_fits(h.event_cells_off, event_cells, sizeof(RingCell), limit)) {
+    return fail(why, "event cells exceed segment_bytes");
+  }
+  if (!section_fits(h.sample_cells_off, sample_cells, sizeof(RingCell),
+                    limit)) {
+    return fail(why, "sample cells exceed segment_bytes");
+  }
+  if (!section_fits(h.telemetry_off, 1, sizeof(TelemetryMirror), limit)) {
+    return fail(why, "telemetry mirror exceeds segment_bytes");
+  }
+  if (!section_fits(h.crash_off, 1, sizeof(CrashRegion), limit) ||
+      !section_fits(h.crash_off + sizeof(CrashRegion), h.crash_capacity, 1,
+                    limit)) {
+    return fail(why, "crash region exceeds segment_bytes");
+  }
+
+  // The label is rendered into reports; an un-terminated one would make
+  // every later strnlen-bounded copy carry 64 bytes of attacker-chosen
+  // junk and, worse, invites unbounded reads in naive consumers.
+  if (std::memchr(h.label, '\0', sizeof(h.label)) == nullptr) {
+    return fail(why, "label not NUL-terminated");
+  }
+  return true;
+}
+
+}  // namespace orca::shm

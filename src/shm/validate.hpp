@@ -1,0 +1,44 @@
+/// \file validate.hpp
+/// Deep, overflow-safe structural validation of a mapped ORCA export
+/// segment (docs/FLEET.md "Threat model & failure matrix").
+///
+/// `SegmentReader::attach` used to trust most of the header: it checked
+/// magic/version/ready and that `segment_bytes` fit the mapping, then
+/// dereferenced every producer-supplied offset on the poll path. A
+/// producer that crashes mid-initialization, lies in its header, or is
+/// actively hostile could therefore walk a reader off the end of the
+/// mapping (oversized `ring_count`, an offset past `segment_bytes`, a
+/// capacity that is not a power of two so `cap - 1` is not a mask, a
+/// `segment_bytes` chosen so `off + count * size` wraps 64 bits).
+///
+/// `validate_segment` bounds-checks every derived extent against the
+/// *mapped* size before any cursor is created. All arithmetic is division
+/// based (`count <= (limit - off) / elem`), never `off + count * elem`,
+/// so no intermediate can overflow. On rejection it reports a one-line
+/// reason suitable for a quarantine record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace orca::shm {
+
+struct SegmentHeader;
+
+/// Hard sanity ceilings. Real producers sit far below these; anything
+/// above is a corrupt or hostile header, not a big fleet.
+inline constexpr std::uint32_t kMaxRingCount = 1u << 16;
+inline constexpr std::uint32_t kMaxRingCapacity = 1u << 30;
+inline constexpr std::uint32_t kMaxCrashCapacity = 1u << 28;
+
+/// Validate `header` (the first bytes of a mapping of `mapped_bytes`)
+/// structurally: magic, version, geometry ceilings, power-of-two ring
+/// capacities, every section extent inside `segment_bytes`, and
+/// `segment_bytes` itself inside the mapping. The label must be
+/// NUL-terminated inside its array (readers render it into reports).
+/// Returns true when every derived offset is safe to dereference; on
+/// false, `*why` (when non-null) holds the first failed check.
+bool validate_segment(const SegmentHeader& header, std::uint64_t mapped_bytes,
+                      std::string* why);
+
+}  // namespace orca::shm

@@ -1,0 +1,88 @@
+/// \file chaos.hpp
+/// Seeded chaos orchestrator for the shm fleet layer.
+///
+/// The fleet monitor's claims — no crash, honest books, every producer
+/// disposition accounted — are only worth something under the failure
+/// weather they advertise surviving: producers freezing (SIGSTOP), dying
+/// uncleanly (SIGKILL), truncating their segments, scribbling their
+/// headers, and strangers flapping attach/detach on the same segments.
+/// This module turns one 64-bit seed into a replayable `ChaosSchedule`
+/// of such actions, executes it against a live fleet of victim
+/// processes, and — when a schedule breaks an invariant — greedily
+/// minimizes it by replaying step subsets, the same reproducibility
+/// contract as the conformance differ (`ORCA_TEST_SEED` to replay).
+///
+/// The generator keeps schedules *fair*, not gentle: any SIGSTOP is
+/// eventually followed by SIGCONT or SIGKILL for the same victim, so a
+/// finished schedule never leaves a process frozen (books must be able
+/// to close); header mutations touch only the pre-ready geometry fields,
+/// never the ring tails (the books themselves are not falsified — the
+/// monitor's snapshot-at-attach defense is what's under test).
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace orca::testing::chaos {
+
+enum class ChaosOp : int {
+  kPause = 0,     ///< do nothing (a hole in the schedule)
+  kStop,          ///< SIGSTOP the victim (heartbeat freezes, pid lives)
+  kCont,          ///< SIGCONT the victim
+  kKill,          ///< SIGKILL the victim (no cleanup, segment stays)
+  kTruncate,      ///< ftruncate the victim's segment (param picks depth)
+  kMutateHeader,  ///< scribble one geometry field (param picks which)
+  kFlapAttach,    ///< attach + immediately drop a transient reader
+  kCount_
+};
+
+const char* chaos_op_name(ChaosOp op) noexcept;
+
+struct ChaosStep {
+  unsigned delay_ms = 0;    ///< sleep before acting
+  ChaosOp op = ChaosOp::kPause;
+  unsigned victim = 0;      ///< producer index (mod fleet size)
+  std::uint64_t param = 0;  ///< op-specific selector (depth / field)
+};
+
+struct ChaosSchedule {
+  std::uint64_t seed = 0;
+  std::vector<ChaosStep> steps;
+
+  /// Derive a schedule entirely from (seed, index): `index` salts the
+  /// stream so one ORCA_TEST_SEED reproduces a whole campaign.
+  static ChaosSchedule generate(std::uint64_t seed, std::uint64_t index,
+                                std::size_t step_count, std::size_t fleet);
+
+  /// One step per line, replayable by eye.
+  std::string describe() const;
+};
+
+/// One victim process + the segment it exports.
+struct ChaosVictim {
+  pid_t pid = 0;
+  std::string segment;  ///< segment name, no leading slash
+};
+
+/// Execute `schedule` against `victims` (blocking; honors delays). Safe
+/// against victims that already died or unlinked — every action degrades
+/// to a no-op on ENOENT/ESRCH. On return no victim is left SIGSTOPped,
+/// even if the schedule's own CONT was minimized away.
+void run_schedule(const ChaosSchedule& schedule,
+                  const std::vector<ChaosVictim>& victims);
+
+/// Greedy delta-minimization: repeatedly try dropping step ranges (halves
+/// first, then single steps), keeping any subset for which `still_fails`
+/// returns true. `still_fails` must re-run the whole scenario — fresh
+/// victims, fresh monitor — for the candidate schedule. Bounded by
+/// `max_replays` invocations.
+ChaosSchedule minimize(
+    const ChaosSchedule& failing,
+    const std::function<bool(const ChaosSchedule&)>& still_fails,
+    std::size_t max_replays = 48);
+
+}  // namespace orca::testing::chaos

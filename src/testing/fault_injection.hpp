@@ -49,6 +49,11 @@ enum class FaultPoint : int {
   kSignalDuringQuery, ///< collector_api entry, ahead of the fast-path walk
   kCallbackStall,     ///< AsyncDispatcher::deliver, watchdog-stamped window
   kForkRace,          ///< pthread_atfork prepare, before the pre-fork quiesce
+  kShmArm,            ///< ShmExporter::create — segment sizing/mapping
+  kShmMirror,         ///< heartbeat telemetry mirror refresh
+  kShmAttach,         ///< SegmentReader::attach entry (reader side)
+  kShardDrain,        ///< FleetMonitor shard loop, top of each pass
+  kHeartbeat,         ///< exporter heartbeat loop, each beat
   kCount_
 };
 
@@ -72,6 +77,11 @@ constexpr const char* fault_point_name(FaultPoint p) noexcept {
     case FaultPoint::kSignalDuringQuery: return "signal_during_query";
     case FaultPoint::kCallbackStall: return "callback_stall";
     case FaultPoint::kForkRace: return "fork_race";
+    case FaultPoint::kShmArm: return "shm_arm";
+    case FaultPoint::kShmMirror: return "shm_mirror";
+    case FaultPoint::kShmAttach: return "shm_attach";
+    case FaultPoint::kShardDrain: return "shard_drain";
+    case FaultPoint::kHeartbeat: return "heartbeat";
     case FaultPoint::kCount_: break;
   }
   return "?";

@@ -1,22 +1,31 @@
 /// Shm export layer tests (docs/FLEET.md): arm/attach handshake through a
 /// real /dev/shm segment, runtime-config arming, event mirroring into the
 /// rings, heartbeat + telemetry mirror + crash-snapshot freshness, clean
-/// finalize-and-unlink, and stale-segment hygiene.
+/// finalize-and-unlink, stale-segment hygiene — and the hostile-world
+/// surface: an adversarial header-mutation corpus that attach must reject
+/// without faulting, SIGBUS survival when the file shrinks under the
+/// mapping, and graceful arm degradation when segment creation fails.
 #include <gtest/gtest.h>
 
 #include <fcntl.h>
 #include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "collector/api.h"
 #include "runtime/runtime.hpp"
 #include "shm/exporter.hpp"
+#include "shm/layout.hpp"
 #include "shm/reader.hpp"
+#include "shm/sigbus_guard.hpp"
+#include "testing/fault_injection.hpp"
 
 namespace {
 
@@ -188,6 +197,287 @@ TEST(ShmExport, StaleSegmentsReaped) {
   ASSERT_EQ(left.size(), 1u);
   EXPECT_EQ(left[0].name, live) << "live-owner segment must survive";
   ::shm_unlink(("/" + live).c_str());
+}
+
+// --- hostile-world surface --------------------------------------------------
+
+/// A hand-built segment with no exporter behind it: the heartbeat thread
+/// of a live ShmExporter would SIGBUS (and kill the test) the moment we
+/// truncate or scribble, so adversarial tests construct the bytes
+/// directly and play producer by hand.
+struct RawSegment {
+  std::string name;
+  int fd = -1;
+  char* base = nullptr;
+  shm::Geometry geo;
+  shm::SegmentHeader* header = nullptr;
+  shm::RingHeader* event_headers = nullptr;
+  shm::RingCell* event_cells = nullptr;
+
+  RawSegment(const RawSegment&) = delete;
+  RawSegment& operator=(const RawSegment&) = delete;
+
+  explicit RawSegment(const std::string& seg_name, std::uint32_t rings = 2,
+                      std::uint32_t event_cap = 64,
+                      std::uint32_t sample_cap = 16,
+                      std::uint32_t crash_cap = 256)
+      : name(seg_name) {
+    geo = shm::Geometry::compute(rings, event_cap, sample_cap, crash_cap);
+    fd = ::shm_open(("/" + name).c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+    if (fd < 0) return;
+    if (::ftruncate(fd, static_cast<off_t>(geo.total_bytes)) != 0) return;
+    void* b = ::mmap(nullptr, geo.total_bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED, fd, 0);
+    if (b == MAP_FAILED) return;
+    base = static_cast<char*>(b);
+    header = new (base) shm::SegmentHeader{};
+    header->magic = shm::kMagic;
+    header->version = shm::kVersion;
+    header->header_bytes = sizeof(shm::SegmentHeader);
+    header->segment_bytes = geo.total_bytes;
+    header->owner_pid = static_cast<std::int64_t>(::getpid());
+    header->ring_count = geo.ring_count;
+    header->event_capacity = geo.event_capacity;
+    header->sample_capacity = geo.sample_capacity;
+    header->crash_capacity = geo.crash_capacity;
+    header->event_headers_off = geo.event_headers_off;
+    header->sample_headers_off = geo.sample_headers_off;
+    header->event_cells_off = geo.event_cells_off;
+    header->sample_cells_off = geo.sample_cells_off;
+    header->telemetry_off = geo.telemetry_off;
+    header->crash_off = geo.crash_off;
+    std::snprintf(header->label, sizeof(header->label), "raw-segment");
+    header->heartbeat_interval_ms = 5;
+    event_headers = new (base + geo.event_headers_off)
+        shm::RingHeader[geo.ring_count]{};
+    new (base + geo.sample_headers_off) shm::RingHeader[geo.ring_count]{};
+    event_cells = new (base + geo.event_cells_off)
+        shm::RingCell[static_cast<std::size_t>(geo.ring_count) *
+                      geo.event_capacity]{};
+    new (base + geo.sample_cells_off)
+        shm::RingCell[static_cast<std::size_t>(geo.ring_count) *
+                      geo.sample_capacity]{};
+    new (base + geo.telemetry_off) shm::TelemetryMirror{};
+    new (base + geo.crash_off) shm::CrashRegion{};
+    header->producer_state.store(
+        static_cast<std::uint32_t>(shm::ProducerState::kActive),
+        std::memory_order_release);
+    header->ready.store(1, std::memory_order_release);
+  }
+
+  void push_event(std::uint32_t ring, std::int32_t event, std::int32_t tid) {
+    shm::Record rec;
+    rec.ns = 1000;
+    rec.event = event;
+    rec.tid = tid;
+    shm::ring_push(event_headers[ring],
+                   event_cells +
+                       static_cast<std::size_t>(ring) * geo.event_capacity,
+                   geo.event_capacity - 1, rec);
+  }
+
+  bool ok() const { return base != nullptr; }
+
+  ~RawSegment() {
+    if (base != nullptr) ::munmap(base, geo.total_bytes);
+    if (fd >= 0) ::close(fd);
+    ::shm_unlink(("/" + name).c_str());
+  }
+};
+
+TEST(ShmAttackSurface, AdversarialHeaderCorpusRejectedAtAttach) {
+  struct Entry {
+    const char* tag;
+    std::function<void(shm::SegmentHeader&)> corrupt;
+    const char* expect;  // substring of the attach error
+  };
+  const std::vector<Entry> corpus = {
+      {"ring-count-ceiling",
+       [](shm::SegmentHeader& h) { h.ring_count = 1u << 20; },
+       "ring_count"},
+      {"ring-count-overflowing",
+       [](shm::SegmentHeader& h) { h.ring_count = 0xFFFFu; },
+       "exceed"},
+      {"ring-count-zero", [](shm::SegmentHeader& h) { h.ring_count = 0; },
+       "ring_count"},
+      {"capacity-not-pow2",
+       [](shm::SegmentHeader& h) { h.event_capacity = 3; },
+       "power of two"},
+      {"capacity-overflow-bait",
+       [](shm::SegmentHeader& h) { h.sample_capacity = 1u << 30; },
+       "sample"},
+      {"cells-off-past-end",
+       [](shm::SegmentHeader& h) {
+         h.event_cells_off = h.segment_bytes + 64;
+       },
+       "exceed"},
+      {"offset-aliases-header",
+       [](shm::SegmentHeader& h) { h.telemetry_off = 8; },
+       "aliases"},
+      {"offset-misaligned",
+       [](shm::SegmentHeader& h) { h.event_headers_off += 4; },
+       "aligned"},
+      {"segment-bytes-overflow",
+       [](shm::SegmentHeader& h) { h.segment_bytes = ~0ull >> 1; },
+       "mapped"},
+      {"crash-region-overflow-bait",
+       [](shm::SegmentHeader& h) {
+         h.crash_off = h.segment_bytes - 4 * 16;  // aligned, region hangs off
+       },
+       "crash"},
+      {"label-unterminated",
+       [](shm::SegmentHeader& h) {
+         std::memset(h.label, 'X', sizeof(h.label));
+       },
+       "label"},
+      {"bad-magic", [](shm::SegmentHeader& h) { h.magic ^= 0xFF; }, "magic"},
+      {"bad-version", [](shm::SegmentHeader& h) { h.version = 99; },
+       "version"},
+  };
+  int index = 0;
+  for (const Entry& entry : corpus) {
+    RawSegment seg(unique_prefix("corpus") + "." +
+                   std::to_string(::getpid()) + "." + std::to_string(index++));
+    ASSERT_TRUE(seg.ok()) << entry.tag;
+    entry.corrupt(*seg.header);
+    shm::AttachError err;
+    auto reader = shm::SegmentReader::attach(seg.name, &err);
+    EXPECT_EQ(reader, nullptr) << entry.tag;
+    EXPECT_EQ(err.kind, shm::AttachError::Kind::kCorrupt) << entry.tag;
+    EXPECT_FALSE(err.retryable()) << entry.tag;
+    EXPECT_NE(err.message.find(entry.expect), std::string::npos)
+        << entry.tag << ": got \"" << err.message << "\"";
+  }
+}
+
+TEST(ShmAttackSurface, TransientStatesClassifiedRetryable) {
+  // Mid-initialization: valid geometry, ready still 0.
+  RawSegment seg(unique_prefix("transient") + "." +
+                 std::to_string(::getpid()) + ".1");
+  ASSERT_TRUE(seg.ok());
+  seg.header->ready.store(0, std::memory_order_release);
+  shm::AttachError err;
+  EXPECT_EQ(shm::SegmentReader::attach(seg.name, &err), nullptr);
+  EXPECT_EQ(err.kind, shm::AttachError::Kind::kTransient);
+  EXPECT_TRUE(err.retryable());
+
+  // Mid-create: the file exists but is shorter than the header.
+  const std::string shorty =
+      unique_prefix("transient") + "." + std::to_string(::getpid()) + ".2";
+  const int fd = ::shm_open(("/" + shorty).c_str(), O_CREAT | O_RDWR, 0600);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::ftruncate(fd, 16), 0);
+  ::close(fd);
+  EXPECT_EQ(shm::SegmentReader::attach(shorty, &err), nullptr);
+  EXPECT_EQ(err.kind, shm::AttachError::Kind::kTransient);
+  ::shm_unlink(("/" + shorty).c_str());
+
+  // Vanished: classified kNotFound, not retryable.
+  EXPECT_EQ(shm::SegmentReader::attach(shorty + ".gone", &err), nullptr);
+  EXPECT_EQ(err.kind, shm::AttachError::Kind::kNotFound);
+  EXPECT_FALSE(err.retryable());
+}
+
+TEST(ShmAttackSurface, TruncationSurvivedViaSigbusGuard) {
+  RawSegment seg(unique_prefix("truncate") + "." +
+                 std::to_string(::getpid()) + ".1");
+  ASSERT_TRUE(seg.ok());
+  for (int i = 0; i < 10; ++i) seg.push_event(0, 7, 0);
+
+  shm::AttachError err;
+  auto reader = shm::SegmentReader::attach(seg.name, &err);
+  ASSERT_NE(reader, nullptr) << err.message;
+  EXPECT_TRUE(reader->revalidate());
+  shm::Record rec;
+  ASSERT_EQ(reader->poll_event(0, &rec), shm::Poll::kRecord);
+
+  // The producer turns hostile: the file shrinks to nothing under both
+  // mappings. Every page is now a SIGBUS in waiting.
+  ASSERT_EQ(::ftruncate(seg.fd, 0), 0);
+  std::string why;
+  EXPECT_FALSE(reader->revalidate(&why));
+  EXPECT_NE(why.find("truncated"), std::string::npos);
+
+  // A guarded drain is aborted, not fatal; the guard reports the trip.
+  const bool survived = shm::with_sigbus_guard([&] {
+    while (reader->poll_event(0, &rec) == shm::Poll::kRecord) {}
+  });
+  EXPECT_FALSE(survived) << "poll should have faulted on the empty file";
+
+  // Guards nest and the thread stays usable afterwards.
+  EXPECT_TRUE(shm::with_sigbus_guard([] {}));
+}
+
+TEST(ShmAttackSurface, ArmDegradesToWarningOnInjectedFailure) {
+  auto& inj = orca::testing::FaultInjector::instance();
+  inj.fail_allocs(orca::testing::FaultPoint::kShmArm, 1);
+  inj.arm();
+  shm::ExporterOptions opts;
+  opts.name = shm::default_segment_name(unique_prefix("degrade"));
+  EXPECT_FALSE(shm::arm(opts));
+  EXPECT_FALSE(shm::export_armed());
+  inj.disarm();
+
+  // The hosting runtime shrugs it off: construction succeeds, regions
+  // run, nothing was exported.
+  inj.fail_allocs(orca::testing::FaultPoint::kShmArm, 1);
+  inj.arm();
+  const std::string prefix = unique_prefix("degrade-rt");
+  RuntimeConfig cfg;
+  cfg.num_threads = 2;
+  cfg.shm_export = true;
+  cfg.shm_prefix = prefix;
+  {
+    Runtime rt(cfg);
+    EXPECT_FALSE(shm::export_armed());
+    rt.fork(&noop_region, nullptr, 2);
+  }
+  inj.disarm();
+  EXPECT_TRUE(shm::discover_segments(prefix).empty());
+}
+
+TEST(ShmAttackSurface, AttachSeamInjectsRetryableFailure) {
+  RawSegment seg(unique_prefix("attachseam") + "." +
+                 std::to_string(::getpid()) + ".1");
+  ASSERT_TRUE(seg.ok());
+  auto& inj = orca::testing::FaultInjector::instance();
+  inj.fail_allocs(orca::testing::FaultPoint::kShmAttach, 1);
+  inj.arm();
+  shm::AttachError err;
+  EXPECT_EQ(shm::SegmentReader::attach(seg.name, &err), nullptr);
+  EXPECT_EQ(err.kind, shm::AttachError::Kind::kIo);
+  EXPECT_TRUE(err.retryable());
+  // Budget spent: the same attach now succeeds (what the monitor's
+  // backoff loop relies on).
+  EXPECT_NE(shm::SegmentReader::attach(seg.name, &err), nullptr)
+      << err.message;
+  inj.disarm();
+}
+
+TEST(ShmAttackSurface, ReadOnlySegmentsAttachWithoutTheBump) {
+  RawSegment seg(unique_prefix("readonly") + "." +
+                 std::to_string(::getpid()) + ".1");
+  ASSERT_TRUE(seg.ok());
+  seg.push_event(0, 7, 0);
+  ASSERT_EQ(::chmod(("/dev/shm/" + seg.name).c_str(), 0400), 0);
+
+  shm::AttachError err;
+  auto reader = shm::SegmentReader::attach(seg.name, &err);
+  ASSERT_NE(reader, nullptr) << err.message;
+  // Root bypasses the permission bits, so the read-only fallback only
+  // engages for unprivileged runs; either way the attach counter must
+  // agree with writable().
+  const std::uint32_t attached =
+      seg.header->readers_attached.load(std::memory_order_acquire);
+  if (reader->writable()) {
+    EXPECT_EQ(attached, 1u);
+  } else {
+    EXPECT_EQ(attached, 0u) << "read-only reader must not write the bump";
+  }
+  // Draining needs no write access at all.
+  shm::Record rec;
+  EXPECT_EQ(reader->poll_event(0, &rec), shm::Poll::kRecord);
+  EXPECT_EQ(rec.event, 7);
 }
 
 }  // namespace

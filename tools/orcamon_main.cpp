@@ -9,6 +9,11 @@
 ///   orcamon [--prefix P] [--shards N] [--duration S] [--trace out.json]
 ///           [--report out.txt] [--report-interval S] [--idle-exit]
 ///           [--keep-dead] [--version]
+///
+/// Exit codes: 0 clean session; 2 usage error; 3 at least one segment was
+/// quarantined at attach (validation failure or retries exhausted); 4 at
+/// least one attached producer had to be quarantined mid-session (SIGBUS,
+/// truncation) or closed with unbalanced books.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -37,7 +42,10 @@ void usage() {
       "  --report-interval S  periodic report cadence (default: 5, 0=off)\n"
       "  --idle-exit          exit once every producer finalized/died\n"
       "  --keep-dead          do not unlink dead producers' segments\n"
-      "  --version            print build stamp and exit");
+      "  --version            print build stamp and exit\n"
+      "environment: ORCA_MON_ATTACH_RETRY_MS, ORCA_MON_ATTACH_RETRY_MAX,\n"
+      "  ORCA_MON_SHARD_STALL_MS, ORCA_MON_HEARTBEAT_DEADLINE_MS\n"
+      "exit codes: 0 ok, 2 usage, 3 attach quarantine, 4 drain quarantine");
 }
 
 }  // namespace
@@ -46,6 +54,7 @@ int main(int argc, char** argv) {
   if (orca::common::handle_version_flag(argc, argv, "orcamon")) return 0;
 
   orca::tool::orcamon::MonitorOptions opts;
+  opts.apply_env();
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     // Both spellings work: "--prefix orca" and "--prefix=orca" (the =
@@ -104,5 +113,31 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "orcamon: %zu producer(s), %llu records merged\n",
                seen,
                static_cast<unsigned long long>(monitor.events_seen()));
+
+  // Quarantines decide the exit code: attach-phase rejections (a segment
+  // never admitted) rank as 3, mid-session evictions and open books as 4.
+  bool attach_quarantine = false;
+  bool drain_quarantine = false;
+  for (const auto& q : monitor.quarantines()) {
+    std::fprintf(stderr, "orcamon: quarantine: %s (pid %lld, %s): %s\n",
+                 q.name.c_str(), static_cast<long long>(q.pid),
+                 q.attach_phase ? "at attach" : "mid-session",
+                 q.reason.c_str());
+    (q.attach_phase ? attach_quarantine : drain_quarantine) = true;
+  }
+  for (const auto& p : monitor.producers()) {
+    if (p.drained && !p.quarantined && p.produced != p.read + p.lost) {
+      std::fprintf(stderr,
+                   "orcamon: books open for pid %lld: produced=%llu "
+                   "read=%llu lost=%llu\n",
+                   static_cast<long long>(p.pid),
+                   static_cast<unsigned long long>(p.produced),
+                   static_cast<unsigned long long>(p.read),
+                   static_cast<unsigned long long>(p.lost));
+      drain_quarantine = true;
+    }
+  }
+  if (attach_quarantine) return 3;
+  if (drain_quarantine) return 4;
   return 0;
 }
